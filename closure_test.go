@@ -1,0 +1,66 @@
+package legodb
+
+import (
+	"math/rand"
+	"testing"
+
+	"legodb/internal/imdb"
+	"legodb/internal/pschema"
+	"legodb/internal/relational"
+	"legodb/internal/transform"
+	"legodb/internal/xquery"
+	"legodb/internal/xstats"
+)
+
+// TestPropertyTransformationClosure drives random walks through the
+// transformation space and asserts, at every step, the system's closure
+// invariants: the schema stays stratified, the fixed mapping stays total,
+// the full workload stays translatable, and documents valid under the
+// original schema stay valid (all rewritings preserve or widen the
+// language).
+func TestPropertyTransformationClosure(t *testing.T) {
+	base := imdb.Schema()
+	if err := xstats.Annotate(base, imdb.Stats()); err != nil {
+		t.Fatal(err)
+	}
+	start, err := pschema.InitialInlined(base, pschema.InlineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := imdb.Generate(imdb.GenOptions{Shows: 10, Seed: 77})
+	opts := transform.Options{WildcardLabels: map[string]float64{"nyt": 0.25}}
+
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		current := start.Clone()
+		for step := 0; step < 8; step++ {
+			cands := transform.Candidates(current, opts)
+			if len(cands) == 0 {
+				break
+			}
+			tr := cands[rng.Intn(len(cands))]
+			next, err := transform.Apply(current, tr)
+			if err != nil {
+				// Some candidates are inapplicable in context (the search
+				// skips them the same way); try another.
+				continue
+			}
+			current = next
+			if err := pschema.Check(current); err != nil {
+				t.Fatalf("seed %d step %d (%s): schema not stratified: %v", seed, step, tr, err)
+			}
+			cat, err := relational.Map(current)
+			if err != nil {
+				t.Fatalf("seed %d step %d (%s): mapping failed: %v", seed, step, tr, err)
+			}
+			for _, name := range imdb.QueryNames() {
+				if _, err := xquery.Translate(imdb.Query(name), current, cat); err != nil {
+					t.Fatalf("seed %d step %d (%s): query %s untranslatable: %v", seed, step, tr, name, err)
+				}
+			}
+			if !current.Valid(sample) {
+				t.Fatalf("seed %d step %d (%s): transformed schema rejects a valid document", seed, step, tr)
+			}
+		}
+	}
+}

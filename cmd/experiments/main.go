@@ -1,0 +1,54 @@
+// Command experiments regenerates the paper's evaluation artifacts: each
+// subcommand prints the same rows or series as one table or figure of
+// Section 5 (see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	experiments           # run everything
+//	experiments fig6 tab2 # run selected experiments
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"legodb/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "text", "output format: text, csv, markdown")
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = experiments.Names()
+	}
+	failed := false
+	for _, name := range names {
+		tbl, err := experiments.Run(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		switch *format {
+		case "csv":
+			fmt.Print(tbl.CSV())
+			fmt.Println()
+		case "markdown":
+			fmt.Println(tbl.Markdown())
+		default:
+			fmt.Println(tbl)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,281 @@
+// Command legodb runs the cost-based storage mapping engine from the
+// command line: given an XML Schema (algebra notation), data statistics
+// (Appendix A notation) and a workload file, it prints the chosen
+// relational configuration, the translated SQL and the search trace.
+//
+// Usage:
+//
+//	legodb -schema schema.alg -stats stats.st -workload workload.xq [flags]
+//
+// The workload file holds one weighted query per block:
+//
+//	# weight 0.4
+//	FOR $v IN imdb/show WHERE $v/year = 1999 RETURN $v/title
+//	;
+//	# weight 0.6
+//	FOR $s IN imdb/show RETURN $s
+//	;
+//
+// Without -schema, the embedded IMDB application (paper Appendices A–C)
+// is used, with -preset choosing its workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"legodb"
+	"legodb/internal/imdb"
+)
+
+func main() {
+	var (
+		schemaPath = flag.String("schema", "", "XML Schema file (algebra notation, or a DTD when the file ends in .dtd); empty = embedded IMDB schema")
+		statsPath  = flag.String("stats", "", "statistics file (Appendix A notation); empty with -schema unset = embedded IMDB statistics")
+		wkldPath   = flag.String("workload", "", "workload file (queries separated by ';' lines, '# weight w' comments)")
+		preset     = flag.String("preset", "lookup", "embedded workload when -workload unset: lookup, publish, w1, w2, mixed:<k>")
+		strategy   = flag.String("strategy", "greedy-so", "search strategy: greedy-so, greedy-si, greedy-full")
+		beam       = flag.Int("beam", 0, "beam width (>1 switches from greedy to beam search)")
+		threshold  = flag.Float64("threshold", 0, "stop when an iteration improves cost by less than this fraction")
+		maxIter    = flag.Int("max-iterations", 0, "bound the greedy loop (0 = until convergence)")
+		showSQL    = flag.Bool("sql", false, "print the translated SQL workload")
+		showTrace  = flag.Bool("trace", true, "print the search trace")
+		loadPath   = flag.String("load", "", "XML document to shred into the chosen configuration")
+		queryText  = flag.String("query", "", "XQuery to execute against the loaded store")
+		paramList  = flag.String("params", "", "query parameters: c1=value,c2=value")
+	)
+	flag.Parse()
+
+	eng, err := buildEngine(*schemaPath, *statsPath, *wkldPath, *preset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "legodb:", err)
+		os.Exit(1)
+	}
+	opts := legodb.AdviseOptions{Threshold: *threshold, MaxIterations: *maxIter, BeamWidth: *beam}
+	switch *strategy {
+	case "greedy-so":
+		opts.Strategy = legodb.GreedySO
+	case "greedy-si":
+		opts.Strategy = legodb.GreedySI
+	case "greedy-full":
+		opts.Strategy = legodb.GreedyFull
+		opts.WildcardLabels = map[string]float64{"nyt": 0.25}
+	default:
+		fmt.Fprintf(os.Stderr, "legodb: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	advice, err := eng.Advise(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "legodb:", err)
+		os.Exit(1)
+	}
+	if *showTrace {
+		fmt.Println("-- search --")
+		fmt.Print(advice.Explain())
+		fmt.Println()
+	}
+	fmt.Println("-- physical schema --")
+	fmt.Print(advice.PSchema())
+	fmt.Println()
+	fmt.Println("-- relational configuration --")
+	fmt.Print(advice.DDL())
+	if *showSQL {
+		fmt.Println("-- translated workload --")
+		fmt.Print(advice.SQL())
+	}
+	if *loadPath != "" || *queryText != "" {
+		if err := runStore(advice, *loadPath, *queryText, *paramList); err != nil {
+			fmt.Fprintln(os.Stderr, "legodb:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runStore instantiates the advised configuration, loads a document and
+// executes a query, printing the result table.
+func runStore(advice *legodb.Advice, loadPath, queryText, paramList string) error {
+	store, err := advice.Open()
+	if err != nil {
+		return err
+	}
+	if loadPath != "" {
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := store.LoadXML(f); err != nil {
+			return fmt.Errorf("load %s: %w", loadPath, err)
+		}
+		fmt.Println("-- loaded --")
+		for _, t := range store.Tables() {
+			fmt.Printf("%-24s %8d rows\n", t, store.TableRows(t))
+		}
+	}
+	if queryText == "" {
+		return nil
+	}
+	params := legodb.Params{}
+	if paramList != "" {
+		for _, pair := range strings.Split(paramList, ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return fmt.Errorf("bad parameter %q (want name=value)", pair)
+			}
+			params[strings.TrimSpace(k)] = v
+		}
+	}
+	plan, err := store.ExplainQuery(queryText)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- plan --")
+	fmt.Println(plan)
+	res, err := store.Query(queryText, params)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- result --")
+	fmt.Println(strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		fmt.Println(strings.Join(row, "\t"))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+	return nil
+}
+
+func buildEngine(schemaPath, statsPath, wkldPath, preset string) (*legodb.Engine, error) {
+	schemaText := imdb.SchemaText
+	statsText := imdb.Stats().String()
+	if schemaPath != "" {
+		b, err := os.ReadFile(schemaPath)
+		if err != nil {
+			return nil, err
+		}
+		schemaText = string(b)
+		statsText = ""
+	}
+	if statsPath != "" {
+		b, err := os.ReadFile(statsPath)
+		if err != nil {
+			return nil, err
+		}
+		statsText = string(b)
+	}
+	var eng *legodb.Engine
+	var err error
+	switch {
+	case strings.HasSuffix(schemaPath, ".dtd"):
+		eng, err = legodb.NewFromDTD(schemaText)
+	case strings.HasSuffix(schemaPath, ".xsd"):
+		eng, err = legodb.NewFromXSD(schemaText)
+	default:
+		eng, err = legodb.New(schemaText)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if statsText != "" {
+		if err := eng.SetStatisticsText(statsText); err != nil {
+			return nil, err
+		}
+	}
+	if wkldPath != "" {
+		b, err := os.ReadFile(wkldPath)
+		if err != nil {
+			return nil, err
+		}
+		return eng, addWorkloadFile(eng, string(b))
+	}
+	if schemaPath != "" {
+		return nil, fmt.Errorf("-workload is required with -schema")
+	}
+	return eng, addPreset(eng, preset)
+}
+
+// addWorkloadFile parses the ';'-separated workload format.
+func addWorkloadFile(eng *legodb.Engine, text string) error {
+	blocks := strings.Split(text, "\n;")
+	n := 0
+	for _, block := range blocks {
+		weight := 1.0
+		var queryLines []string
+		for _, line := range strings.Split(block, "\n") {
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "# weight") {
+				w, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(trimmed, "# weight")), 64)
+				if err != nil {
+					return fmt.Errorf("bad weight line %q", trimmed)
+				}
+				weight = w
+				continue
+			}
+			if strings.HasPrefix(trimmed, "#") || trimmed == ";" {
+				continue
+			}
+			queryLines = append(queryLines, line)
+		}
+		src := strings.TrimSpace(strings.Join(queryLines, "\n"))
+		if src == "" {
+			continue
+		}
+		n++
+		upper := strings.ToUpper(src)
+		if strings.HasPrefix(upper, "INSERT ") || strings.HasPrefix(upper, "DELETE ") || strings.HasPrefix(upper, "MODIFY ") {
+			if err := eng.AddUpdate(fmt.Sprintf("U%d", n), src, weight); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := eng.AddQuery(fmt.Sprintf("Q%d", n), src, weight); err != nil {
+			return err
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("workload file holds no queries")
+	}
+	return nil
+}
+
+func addPreset(eng *legodb.Engine, preset string) error {
+	add := func(names []string, weights []float64) error {
+		for i, name := range names {
+			q := imdb.Query(name)
+			if err := eng.AddQuery(name, q.String(), weights[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	uniform := func(n int, w float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = w
+		}
+		return out
+	}
+	switch {
+	case preset == "lookup":
+		return add([]string{"Q8", "Q9", "Q11", "Q12", "Q13"}, uniform(5, 1))
+	case preset == "publish":
+		return add([]string{"Q15", "Q16", "Q17"}, uniform(3, 1))
+	case preset == "w1":
+		return add([]string{"F1", "F2", "F3", "F4"}, []float64{0.4, 0.4, 0.1, 0.1})
+	case preset == "w2":
+		return add([]string{"F1", "F2", "F3", "F4"}, []float64{0.1, 0.1, 0.4, 0.4})
+	case strings.HasPrefix(preset, "mixed:"):
+		k, err := strconv.ParseFloat(strings.TrimPrefix(preset, "mixed:"), 64)
+		if err != nil || k < 0 || k > 1 {
+			return fmt.Errorf("bad mixed preset %q (want mixed:<k in [0,1]>)", preset)
+		}
+		if err := add([]string{"Q8", "Q9", "Q11", "Q12", "Q13"}, uniform(5, k/5)); err != nil {
+			return err
+		}
+		return add([]string{"Q15", "Q16", "Q17"}, uniform(3, (1-k)/3))
+	default:
+		return fmt.Errorf("unknown preset %q", preset)
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"legodb"
+	"legodb/internal/imdb"
+)
+
+func freshEngine(t *testing.T) *legodb.Engine {
+	t.Helper()
+	eng, err := legodb.New(imdb.SchemaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetStatisticsText(imdb.Stats().String()); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestAddWorkloadFile(t *testing.T) {
+	eng := freshEngine(t)
+	err := addWorkloadFile(eng, `# weight 0.4
+FOR $v IN imdb/show WHERE $v/year = 1999 RETURN $v/title
+;
+# weight 0.5
+FOR $s IN imdb/show RETURN $s
+;
+# weight 0.1
+INSERT imdb/show/aka
+;`)
+	if err != nil {
+		t.Fatalf("addWorkloadFile: %v", err)
+	}
+	advice, err := eng.Advise(legodb.AdviseOptions{Strategy: legodb.GreedySI, MaxIterations: 1})
+	if err != nil {
+		t.Fatalf("Advise over parsed workload: %v", err)
+	}
+	if advice.Cost() <= 0 {
+		t.Fatal("non-positive cost")
+	}
+}
+
+func TestAddWorkloadFileErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"# weight x\nFOR $v IN imdb/show RETURN $v\n;",
+		"NOT A QUERY AT ALL\n;",
+	}
+	for _, src := range cases {
+		if err := addWorkloadFile(freshEngine(t), src); err == nil {
+			t.Errorf("addWorkloadFile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAddPresets(t *testing.T) {
+	for _, preset := range []string{"lookup", "publish", "w1", "w2", "mixed:0.3"} {
+		if err := addPreset(freshEngine(t), preset); err != nil {
+			t.Errorf("preset %q: %v", preset, err)
+		}
+	}
+	for _, preset := range []string{"nope", "mixed:x", "mixed:2"} {
+		if err := addPreset(freshEngine(t), preset); err == nil {
+			t.Errorf("preset %q accepted, want error", preset)
+		}
+	}
+}
+
+func TestBuildEngineWithFiles(t *testing.T) {
+	dir := t.TempDir()
+	schemaFile := filepath.Join(dir, "s.alg")
+	statsFile := filepath.Join(dir, "s.st")
+	wkldFile := filepath.Join(dir, "w.xq")
+	if err := os.WriteFile(schemaFile, []byte(`
+type R = r[ X{0,*} ]
+type X = x[ a[ String ] ]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(statsFile, []byte(`(["r";"x"], STcnt(100));`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wkldFile, []byte("FOR $x IN r/x RETURN $x/a\n;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := buildEngine(schemaFile, statsFile, wkldFile, "")
+	if err != nil {
+		t.Fatalf("buildEngine: %v", err)
+	}
+	if _, err := eng.Advise(legodb.AdviseOptions{}); err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	// -schema without -workload is an error.
+	if _, err := buildEngine(schemaFile, statsFile, "", ""); err == nil {
+		t.Fatal("schema without workload accepted")
+	}
+	// Missing files error.
+	if _, err := buildEngine(filepath.Join(dir, "missing.alg"), "", wkldFile, ""); err == nil {
+		t.Fatal("missing schema file accepted")
+	}
+}
+
+func TestBuildEngineWithDTD(t *testing.T) {
+	dir := t.TempDir()
+	dtdFile := filepath.Join(dir, "s.dtd")
+	wkldFile := filepath.Join(dir, "w.xq")
+	if err := os.WriteFile(dtdFile, []byte(`
+<!ELEMENT r (x*)>
+<!ELEMENT x (a)>
+<!ELEMENT a (#PCDATA)>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wkldFile, []byte("FOR $x IN r/x RETURN $x/a\n;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := buildEngine(dtdFile, "", wkldFile, "")
+	if err != nil {
+		t.Fatalf("buildEngine with DTD: %v", err)
+	}
+	advice, err := eng.Advise(legodb.AdviseOptions{})
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	if advice.Cost() <= 0 {
+		t.Fatal("non-positive cost")
+	}
+}
+
+func TestEmbeddedDefault(t *testing.T) {
+	eng, err := buildEngine("", "", "", "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Advise(legodb.AdviseOptions{Strategy: legodb.GreedySI, MaxIterations: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

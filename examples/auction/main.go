@@ -1,0 +1,125 @@
+// Auction scenario: a different application domain (an XMark-flavored
+// auction site) showing that the advisor is not IMDB-specific. The
+// schema mixes the features the paper's rewritings target: a deep
+// optional profile (inline or outline?), unbounded bid histories
+// (repetition), open-ended item descriptions behind a wildcard
+// (materialization), and a closed/open auction union (distribution).
+// Two workloads — bidding (hot lookups) and reporting (bulk export) —
+// get visibly different storage advice.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"legodb"
+)
+
+const schema = `
+type Site = site[ Auction{0,*}, User{0,*} ]
+type Auction = auction [ @id[ String ],
+    title[ String ],
+    category[ String ],
+    Bid*,
+    descr[ ~[ String ] ],
+    ( current_price[ Integer ], ends[ String ]
+    | final_price[ Integer ], winner[ String ] ) ]
+type Bid = bid[ bidder[ String ], amount[ Integer ], time[ String ] ]
+type User = user [ name[ String ],
+    rating[ Integer ],
+    profile[ education[ String ], income[ Integer ], interest[ String ] ]? ]
+`
+
+const stats = `
+(["site"], STcnt(1));
+(["site";"auction"], STcnt(20000));
+(["site";"auction";"id"], STsize(12));
+(["site";"auction";"title"], STsize(60) STbase(0,0,20000));
+(["site";"auction";"category"], STsize(20) STbase(0,0,120));
+(["site";"auction";"bid"], STcnt(240000));
+(["site";"auction";"bid";"bidder"], STsize(30) STbase(0,0,50000));
+(["site";"auction";"bid";"amount"], STbase(1,100000,5000));
+(["site";"auction";"bid";"time"], STsize(20));
+(["site";"auction";"descr";"TILDE"], STsize(500));
+(["site";"auction";"current_price"], STcnt(14000) STbase(1,100000,5000));
+(["site";"auction";"final_price"], STcnt(6000) STbase(1,100000,5000));
+(["site";"auction";"winner"], STsize(30));
+(["site";"auction";"ends"], STsize(20));
+(["site";"user"], STcnt(50000));
+(["site";"user";"name"], STsize(30) STbase(0,0,50000));
+(["site";"user";"rating"], STbase(0,100,100));
+(["site";"user";"profile";"education"], STcnt(15000) STsize(20));
+(["site";"user";"profile";"income"], STbase(0,1000000,1000));
+(["site";"user";"profile";"interest"], STsize(30));
+`
+
+func advise(label string, queries map[string]struct {
+	src    string
+	weight float64
+}) {
+	eng, err := legodb.New(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.SetStatisticsText(stats); err != nil {
+		log.Fatal(err)
+	}
+	for name, q := range queries {
+		if err := eng.AddQuery(name, q.src, q.weight); err != nil {
+			log.Fatal(err)
+		}
+	}
+	advice, err := eng.Advise(legodb.AdviseOptions{Strategy: legodb.GreedySI})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s workload ===\n", label)
+	fmt.Printf("cost %.1f (started at %.1f)\n", advice.Cost(), advice.InitialCost())
+	fmt.Println(advice.PSchema())
+}
+
+func main() {
+	// Bidding: hot point queries on live auctions and user ratings.
+	advise("bidding", map[string]struct {
+		src    string
+		weight float64
+	}{
+		"price-by-title": {`FOR $a IN site/auction WHERE $a/title = c1
+		                    RETURN $a/current_price`, 0.4},
+		"bids-of-auction": {`FOR $a IN site/auction, $b IN $a/bid WHERE $a/title = c1
+		                     RETURN $b/bidder, $b/amount`, 0.4},
+		"user-rating": {`FOR $u IN site/user WHERE $u/name = c2 RETURN $u/rating`, 0.2},
+	})
+
+	// Reporting: bulk exports for analytics.
+	advise("reporting", map[string]struct {
+		src    string
+		weight float64
+	}{
+		"export-auctions": {`FOR $a IN site/auction RETURN $a`, 0.6},
+		"export-users":    {`FOR $u IN site/user RETURN $u`, 0.4},
+	})
+
+	// Same engine, update-heavy mix: every bid is an insert.
+	eng, err := legodb.New(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.SetStatisticsText(stats); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.AddQuery("price-by-title",
+		`FOR $a IN site/auction WHERE $a/title = c1 RETURN $a/current_price`, 0.3); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.AddUpdate("place-bid", "INSERT site/auction/bid", 0.7); err != nil {
+		log.Fatal(err)
+	}
+	advice, err := eng.Advise(legodb.AdviseOptions{Strategy: legodb.GreedySI})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== bid-insert-heavy workload ===")
+	fmt.Printf("cost %.1f (started at %.1f)\n", advice.Cost(), advice.InitialCost())
+	fmt.Println(advice.DDL())
+}

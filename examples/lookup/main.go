@@ -1,0 +1,78 @@
+// Lookup scenario (the paper's W2): a movie-information web site serves
+// interactive point queries. LegoDB keeps rarely-touched wide fields
+// (like the 120-byte description) out of the hot Show relation. The
+// example compares the advised configuration against the ALL-INLINED
+// rule of thumb, then answers lookups on real data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"legodb"
+	"legodb/internal/imdb"
+)
+
+func main() {
+	eng, err := legodb.New(imdb.SchemaText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.SetStatisticsText(imdb.Stats().String()); err != nil {
+		log.Fatal(err)
+	}
+	// W2 = {F1: 0.1, F2: 0.1, F3: 0.4, F4: 0.4}: lookup heavy.
+	for name, weight := range map[string]float64{"F1": 0.1, "F2": 0.1, "F3": 0.4, "F4": 0.4} {
+		if err := eng.AddQuery(name, imdb.Query(name).String(), weight); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	advice, err := eng.Advise(legodb.AdviseOptions{Strategy: legodb.GreedySI})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := eng.EvaluateFixed("all-inlined")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("advised configuration cost: %.1f\n", advice.Cost())
+	fmt.Printf("ALL-INLINED baseline cost:  %.1f (%.0f%% more expensive)\n\n",
+		baseline.Cost(), 100*(baseline.Cost()-advice.Cost())/advice.Cost())
+	fmt.Println("advised physical schema:")
+	fmt.Print(advice.PSchema())
+
+	store, err := advice.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc := imdb.Generate(imdb.GenOptions{Shows: 150, Seed: 11})
+	if err := store.Load(doc); err != nil {
+		log.Fatal(err)
+	}
+
+	// Interactive lookups with parameters drawn from the data.
+	title := doc.Path("show", "title")[0].Text
+	fmt.Printf("\nlookup: description of %q\n", title)
+	plan, err := store.ExplainQuery(`FOR $v IN imdb/show WHERE $v/title = c2 RETURN $v/description`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+	res, err := store.Query(`FOR $v IN imdb/show WHERE $v/title = c2 RETURN $v/description`,
+		legodb.Params{"c2": title})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("  -> %v\n", row)
+	}
+
+	year := doc.Path("show", "year")[0].Text
+	res, err = store.Query(`FOR $v IN imdb/show WHERE $v/year = c1 RETURN $v/title, $v/year`,
+		legodb.Params{"c1": year})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nshows of year %s: %d\n", year, len(res.Rows))
+}

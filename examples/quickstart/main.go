@@ -1,0 +1,68 @@
+// Quickstart: describe an application (schema, statistics, workload),
+// let LegoDB pick a relational storage mapping, and inspect the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"legodb"
+)
+
+const schema = `
+type Catalog = catalog[ Product{0,*} ]
+type Product = product [ @sku[ String ],
+    name[ String ],
+    price[ Integer ],
+    description[ String ],
+    Review* ]
+type Review = review[ ~[ String ] ]
+`
+
+// Statistics in the paper's Appendix A notation: instance counts, value
+// sizes, integer ranges with distinct counts.
+const stats = `
+(["catalog"], STcnt(1));
+(["catalog";"product"], STcnt(50000));
+(["catalog";"product";"sku"], STsize(12));
+(["catalog";"product";"name"], STsize(40) STbase(0,0,50000));
+(["catalog";"product";"price"], STbase(100,99999,5000));
+(["catalog";"product";"description"], STsize(400));
+(["catalog";"product";"review"], STcnt(120000));
+(["catalog";"product";"review";"TILDE"], STsize(300));
+`
+
+func main() {
+	eng, err := legodb.New(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.SetStatisticsText(stats); err != nil {
+		log.Fatal(err)
+	}
+	// The workload: mostly point lookups by name, occasionally a full
+	// catalog export.
+	if err := eng.AddQuery("lookup",
+		`FOR $p IN catalog/product WHERE $p/name = c1 RETURN $p/name, $p/price`, 0.8); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.AddQuery("export",
+		`FOR $p IN catalog/product RETURN $p`, 0.2); err != nil {
+		log.Fatal(err)
+	}
+
+	advice, err := eng.Advise(legodb.AdviseOptions{Strategy: legodb.GreedySO})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("search:")
+	fmt.Print(advice.Explain())
+	fmt.Println()
+	fmt.Println("chosen physical schema:")
+	fmt.Print(advice.PSchema())
+	fmt.Println()
+	fmt.Println("relational configuration:")
+	fmt.Print(advice.DDL())
+	fmt.Println("translated workload:")
+	fmt.Print(advice.SQL())
+}

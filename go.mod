@@ -1,0 +1,3 @@
+module legodb
+
+go 1.22

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"legodb/internal/transform"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+	"legodb/internal/xstats"
+)
+
+// Beam search — the paper's Section 7 lists "considering dynamic
+// programming search strategies" as future work; this implements a beam
+// variant: instead of committing to the single cheapest transformation
+// per level (Algorithm 4.1), the search keeps the Width cheapest distinct
+// configurations and expands them all, escaping local minima the greedy
+// loop can fall into.
+
+// BeamOptions configures BeamSearch. Width 1 degenerates to the greedy
+// algorithm.
+type BeamOptions struct {
+	Options
+	// Width is the number of configurations kept per level (default 3).
+	Width int
+	// MaxLevels bounds the number of expansion levels (default 64).
+	MaxLevels int
+}
+
+// BeamSearch explores the transformation space keeping the Width best
+// configurations per level. The result's trace records the best cost at
+// each level.
+func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set, opts BeamOptions) (*Result, error) {
+	if len(wkld.Entries) == 0 && len(wkld.Updates) == 0 {
+		return nil, fmt.Errorf("core: empty workload")
+	}
+	if opts.Width <= 0 {
+		opts.Width = 3
+	}
+	if opts.MaxLevels <= 0 {
+		opts.MaxLevels = 64
+	}
+	annotated := schema.Clone()
+	if stats != nil {
+		if err := xstats.Annotate(annotated, stats); err != nil {
+			return nil, fmt.Errorf("core: annotate: %w", err)
+		}
+	}
+	ps, err := InitialSchema(annotated, opts.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("core: initial schema: %w", err)
+	}
+	rootCount := opts.RootCount
+	if rootCount == 0 {
+		rootCount = 1
+	}
+	eval := &Evaluator{Workload: wkld, RootCount: rootCount, Model: opts.Model}
+	initial, err := eval.Evaluate(ps)
+	if err != nil {
+		return nil, fmt.Errorf("core: evaluate initial schema: %w", err)
+	}
+	result := &Result{InitialCost: initial.Cost, Strategy: opts.Strategy}
+	tropts := transform.Options{Kinds: opts.kinds(), WildcardLabels: opts.WildcardLabels}
+
+	beam := []Config{initial}
+	best := initial
+	seen := map[string]bool{fingerprint(initial.Schema): true}
+
+	for level := 0; level < opts.MaxLevels; level++ {
+		start := time.Now()
+		var candidates []Config
+		expansions := 0
+		for _, cfg := range beam {
+			for _, tr := range transform.Candidates(cfg.Schema, tropts) {
+				next, err := transform.Apply(cfg.Schema, tr)
+				if err != nil {
+					continue
+				}
+				fp := fingerprint(next)
+				if seen[fp] {
+					continue
+				}
+				seen[fp] = true
+				nc, err := eval.Evaluate(next)
+				if err != nil {
+					continue
+				}
+				expansions++
+				candidates = append(candidates, nc)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i].Cost < candidates[j].Cost })
+		if len(candidates) > opts.Width {
+			candidates = candidates[:opts.Width]
+		}
+		improved := candidates[0].Cost < best.Cost
+		if improved {
+			prev := best.Cost
+			best = candidates[0]
+			result.Trace = append(result.Trace, Iteration{
+				Cost:       best.Cost,
+				Applied:    fmt.Sprintf("beam level %d (%d expansions)", level+1, expansions),
+				Candidates: expansions,
+				Elapsed:    time.Since(start),
+			})
+			if opts.Threshold > 0 && (prev-best.Cost)/prev < opts.Threshold {
+				break
+			}
+		}
+		// Continue expanding even on a non-improving level (the beam may
+		// climb out of a plateau), but stop once the whole level is worse
+		// than the best by a wide margin.
+		if !improved && candidates[0].Cost > best.Cost*1.5 {
+			break
+		}
+		beam = candidates
+	}
+	result.Best = best
+	return result, nil
+}
+
+// fingerprint canonically identifies a schema's structure (statistics
+// annotations included, so equivalent rewrites with different stats
+// remain distinct).
+func fingerprint(s *xschema.Schema) string { return s.String() }

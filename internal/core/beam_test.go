@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"legodb/internal/imdb"
+	"legodb/internal/pschema"
+	"legodb/internal/xquery"
+)
+
+func TestBeamSearchNeverWorseThanGreedy(t *testing.T) {
+	for _, wl := range []struct {
+		name string
+		w    *xquery.Workload
+	}{{"lookup", imdb.LookupWorkload()}, {"publish", imdb.PublishWorkload()}} {
+		t.Run(wl.name, func(t *testing.T) {
+			greedy, err := GreedySearch(imdb.Schema(), wl.w, imdb.Stats(), Options{Strategy: GreedySO})
+			if err != nil {
+				t.Fatal(err)
+			}
+			beam, err := BeamSearch(imdb.Schema(), wl.w, imdb.Stats(), BeamOptions{
+				Options: Options{Strategy: GreedySO},
+				Width:   3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if beam.Best.Cost > greedy.Best.Cost*1.0001 {
+				t.Fatalf("beam (%.1f) worse than greedy (%.1f)", beam.Best.Cost, greedy.Best.Cost)
+			}
+			if err := pschema.Check(beam.Best.Schema); err != nil {
+				t.Fatalf("beam result not physical: %v", err)
+			}
+		})
+	}
+}
+
+func TestBeamWidthOneMatchesGreedyCost(t *testing.T) {
+	w := imdb.PublishWorkload()
+	greedy, err := GreedySearch(imdb.Schema(), w, imdb.Stats(), Options{Strategy: GreedySI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beam, err := BeamSearch(imdb.Schema(), w, imdb.Stats(), BeamOptions{
+		Options: Options{Strategy: GreedySI},
+		Width:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Width-1 beam explores the same frontier as greedy (deduplication
+	// may skip revisits, so allow tiny slack).
+	ratio := beam.Best.Cost / greedy.Best.Cost
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("width-1 beam %.1f vs greedy %.1f", beam.Best.Cost, greedy.Best.Cost)
+	}
+}
+
+func TestBeamTraceMonotone(t *testing.T) {
+	res, err := BeamSearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), BeamOptions{
+		Options: Options{Strategy: GreedySO},
+		Width:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := res.InitialCost
+	for i, it := range res.Trace {
+		if it.Cost > prev {
+			t.Fatalf("level %d increased best cost: %.1f -> %.1f", i, prev, it.Cost)
+		}
+		prev = it.Cost
+	}
+}
+
+func TestBeamEmptyWorkloadRejected(t *testing.T) {
+	if _, err := BeamSearch(imdb.Schema(), &xquery.Workload{}, imdb.Stats(), BeamOptions{}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}
+
+// --- update workload extension ---
+
+func TestUpdateWorkloadCosts(t *testing.T) {
+	w := &xquery.Workload{}
+	w.AddUpdate(xquery.MustParseUpdate("INSERT imdb/show"), 1)
+	s := imdb.AnnotatedSchema()
+	inlined, err := pschemaAllInlined(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outlined, err := pschemaInitialOutlined(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := GetPSchemaCost(inlined, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := GetPSchemaCost(outlined, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inserting a show into the fragmented configuration writes one row
+	// per outlined element: far more seeks and index updates.
+	if ci >= co {
+		t.Fatalf("insert cost inlined (%.1f) should be below outlined (%.1f)", ci, co)
+	}
+}
+
+func TestModifyFavorsNarrowRows(t *testing.T) {
+	w := &xquery.Workload{}
+	w.AddUpdate(xquery.MustParseUpdate("MODIFY imdb/show/description"), 1)
+	s := imdb.AnnotatedSchema()
+	inlined, err := pschemaAllInlined(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outlined, err := pschemaInitialOutlined(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := GetPSchemaCost(inlined, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := GetPSchemaCost(outlined, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Modifying a description rewrites the whole fixed-width row: the
+	// wide inlined Show row costs more bytes than the tiny Description
+	// row.
+	if co >= ci {
+		t.Fatalf("modify cost outlined (%.1f) should be below inlined (%.1f)", co, ci)
+	}
+}
+
+func TestUpdateHeavyWorkloadChangesSearchOutcome(t *testing.T) {
+	// The same lookup workload with and without a heavy insert stream
+	// should produce configurations with different table counts: inserts
+	// penalize fragmentation.
+	queriesOnly := imdb.LookupWorkload()
+	resQ, err := GreedySearch(imdb.Schema(), queriesOnly, imdb.Stats(), Options{Strategy: GreedySO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withUpdates := imdb.LookupWorkload()
+	withUpdates.AddUpdate(xquery.MustParseUpdate("INSERT imdb/show"), 40)
+	withUpdates.AddUpdate(xquery.MustParseUpdate("INSERT imdb/actor"), 40)
+	resU, err := GreedySearch(imdb.Schema(), withUpdates, imdb.Stats(), Options{Strategy: GreedySO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resU.Best.Schema.Names) > len(resQ.Best.Schema.Names) {
+		t.Fatalf("insert-heavy workload kept more tables (%d) than query-only (%d)",
+			len(resU.Best.Schema.Names), len(resQ.Best.Schema.Names))
+	}
+}

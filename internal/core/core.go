@@ -1,0 +1,308 @@
+// Package core implements LegoDB's cost-based search for an efficient
+// XML-to-relational storage mapping (Section 4.2, Algorithm 4.1): starting
+// from an initial physical schema, it repeatedly applies the single
+// schema transformation that lowers the estimated workload cost the most,
+// using the relational optimizer as the cost oracle, until no
+// transformation improves the configuration.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"legodb/internal/optimizer"
+	"legodb/internal/relational"
+	"legodb/internal/sqlast"
+	"legodb/internal/transform"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+	"legodb/internal/xstats"
+)
+
+// Strategy selects the search's starting configuration and move set.
+type Strategy int
+
+const (
+	// GreedySO starts with everything outlined and applies inlining
+	// moves (the paper's greedy-so).
+	GreedySO Strategy = iota
+	// GreedySI starts with everything inlined (unions flattened to
+	// options, as in the ALL-INLINED configuration) and applies
+	// outlining moves (the paper's greedy-si).
+	GreedySI
+	// GreedyFull starts all-inlined with unions kept and considers the
+	// full transformation repertoire. Not part of the paper's prototype
+	// (which explored inlining/outlining in the greedy loop and the
+	// other rewritings separately); provided as the natural extension.
+	GreedyFull
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case GreedySO:
+		return "greedy-so"
+	case GreedySI:
+		return "greedy-si"
+	case GreedyFull:
+		return "greedy-full"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures the search.
+type Options struct {
+	Strategy Strategy
+	// Kinds overrides the strategy's move set when non-nil.
+	Kinds []transform.Kind
+	// WildcardLabels feeds wildcard materialization candidates (label →
+	// estimated fraction); only used when the move set includes it.
+	WildcardLabels map[string]float64
+	// Threshold stops the search early when the relative improvement of
+	// an iteration falls below it (Section 5.2 suggests this
+	// optimization); 0 disables.
+	Threshold float64
+	// MaxIterations bounds the loop (0 = unbounded).
+	MaxIterations int
+	// RootCount is the number of stored documents (default 1).
+	RootCount float64
+	// Model overrides the optimizer cost model when non-nil.
+	Model *optimizer.CostModel
+	// Workers bounds the goroutines evaluating candidate configurations
+	// per iteration (0 = GOMAXPROCS, 1 = sequential). The outcome is
+	// deterministic regardless: ties break on candidate order.
+	Workers int
+}
+
+func (o *Options) kinds() []transform.Kind {
+	if o.Kinds != nil {
+		return o.Kinds
+	}
+	switch o.Strategy {
+	case GreedySO:
+		return []transform.Kind{transform.KindInline}
+	case GreedySI:
+		return []transform.Kind{transform.KindOutline}
+	default:
+		return transform.AllKinds
+	}
+}
+
+// Config is one evaluated storage configuration.
+type Config struct {
+	Schema  *xschema.Schema
+	Catalog *relational.Catalog
+	Queries []*sqlast.Query
+	Cost    float64
+}
+
+// Iteration records one step of the greedy loop, for the Figure 10
+// convergence plots.
+type Iteration struct {
+	Cost       float64
+	Applied    string
+	Candidates int
+	Elapsed    time.Duration
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Best        Config
+	InitialCost float64
+	Trace       []Iteration
+	Strategy    Strategy
+}
+
+// Evaluator costs physical schemas against a fixed workload. It is the
+// GetPSchemaCost of Algorithm 4.1.
+type Evaluator struct {
+	Workload  *xquery.Workload
+	RootCount float64
+	Model     *optimizer.CostModel
+}
+
+// Evaluate maps the p-schema to relations, translates the workload and
+// returns the weighted-average estimated cost together with the derived
+// configuration.
+func (e *Evaluator) Evaluate(ps *xschema.Schema) (Config, error) {
+	cat, err := relational.MapWith(ps, relational.Options{RootCount: e.RootCount})
+	if err != nil {
+		return Config{}, err
+	}
+	opt := optimizer.New(cat)
+	if e.Model != nil {
+		opt.Model = *e.Model
+	}
+	queries := make([]*sqlast.Query, len(e.Workload.Entries))
+	weights := make([]float64, len(e.Workload.Entries))
+	for i, entry := range e.Workload.Entries {
+		sq, err := xquery.Translate(entry.Query, ps, cat)
+		if err != nil {
+			return Config{}, err
+		}
+		queries[i] = sq
+		weights[i] = entry.Weight
+	}
+	// Weighted average over queries and update operations together.
+	total, wsum := 0.0, 0.0
+	for i, q := range queries {
+		est, err := opt.QueryCost(q)
+		if err != nil {
+			return Config{}, err
+		}
+		total += est.Cost * weights[i]
+		wsum += weights[i]
+	}
+	for _, ue := range e.Workload.Updates {
+		targets, err := xquery.ResolveUpdate(ue.Update, ps, cat)
+		if err != nil {
+			return Config{}, err
+		}
+		c, err := opt.UpdateCost(ue.Update, targets)
+		if err != nil {
+			return Config{}, err
+		}
+		total += c * ue.Weight
+		wsum += ue.Weight
+	}
+	if wsum == 0 {
+		return Config{}, fmt.Errorf("core: workload has zero total weight")
+	}
+	return Config{Schema: ps, Catalog: cat, Queries: queries, Cost: total / wsum}, nil
+}
+
+// GetPSchemaCost returns just the estimated workload cost of a p-schema.
+func GetPSchemaCost(ps *xschema.Schema, wkld *xquery.Workload, rootCount float64) (float64, error) {
+	e := &Evaluator{Workload: wkld, RootCount: rootCount}
+	cfg, err := e.Evaluate(ps)
+	if err != nil {
+		return 0, err
+	}
+	return cfg.Cost, nil
+}
+
+// InitialSchema builds the starting p-schema for a strategy from an
+// annotated schema.
+func InitialSchema(s *xschema.Schema, strategy Strategy) (*xschema.Schema, error) {
+	switch strategy {
+	case GreedySO:
+		return pschemaInitialOutlined(s)
+	case GreedySI:
+		return pschemaAllInlined(s)
+	default:
+		return pschemaInitialInlined(s)
+	}
+}
+
+// GreedySearch runs Algorithm 4.1: annotate the schema with statistics,
+// build the strategy's initial physical schema, then iteratively apply
+// the single cheapest transformation until no candidate improves the
+// cost (or the threshold / iteration bound fires).
+func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set, opts Options) (*Result, error) {
+	if len(wkld.Entries) == 0 && len(wkld.Updates) == 0 {
+		return nil, fmt.Errorf("core: empty workload")
+	}
+	annotated := schema.Clone()
+	if stats != nil {
+		if err := xstats.Annotate(annotated, stats); err != nil {
+			return nil, fmt.Errorf("core: annotate: %w", err)
+		}
+	}
+	ps, err := InitialSchema(annotated, opts.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("core: initial schema: %w", err)
+	}
+	rootCount := opts.RootCount
+	if rootCount == 0 {
+		rootCount = 1
+	}
+	eval := &Evaluator{Workload: wkld, RootCount: rootCount, Model: opts.Model}
+	best, err := eval.Evaluate(ps)
+	if err != nil {
+		return nil, fmt.Errorf("core: evaluate initial schema: %w", err)
+	}
+	result := &Result{InitialCost: best.Cost, Strategy: opts.Strategy}
+	tropts := transform.Options{Kinds: opts.kinds(), WildcardLabels: opts.WildcardLabels}
+
+	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
+		start := time.Now()
+		cands := transform.Candidates(best.Schema, tropts)
+		results := evaluateCandidates(best.Schema, cands, eval, opts.Workers)
+		var bestCand Config
+		bestCand.Cost = best.Cost
+		applied := ""
+		for i, cfg := range results {
+			if cfg != nil && cfg.Cost < bestCand.Cost {
+				bestCand = *cfg
+				applied = cands[i].String()
+			}
+		}
+		if applied == "" {
+			break
+		}
+		improvement := (best.Cost - bestCand.Cost) / best.Cost
+		best = bestCand
+		result.Trace = append(result.Trace, Iteration{
+			Cost:       best.Cost,
+			Applied:    applied,
+			Candidates: len(cands),
+			Elapsed:    time.Since(start),
+		})
+		if opts.Threshold > 0 && improvement < opts.Threshold {
+			break
+		}
+	}
+	result.Best = best
+	return result, nil
+}
+
+// evaluateCandidates applies and costs every candidate transformation of
+// one schema, fanning out across workers. The result slice is indexed
+// like cands; inapplicable or unanswerable candidates are nil (skipped,
+// as the paper's engine does).
+func evaluateCandidates(base *xschema.Schema, cands []transform.Transformation, eval *Evaluator, workers int) []*Config {
+	results := make([]*Config, len(cands))
+	if workers == 1 || len(cands) <= 1 {
+		for i, tr := range cands {
+			results[i] = evaluateOne(base, tr, eval)
+		}
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = evaluateOne(base, cands[i], eval)
+			}
+		}()
+	}
+	for i := range cands {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+func evaluateOne(base *xschema.Schema, tr transform.Transformation, eval *Evaluator) *Config {
+	nextSchema, err := transform.Apply(base, tr)
+	if err != nil {
+		return nil
+	}
+	cfg, err := eval.Evaluate(nextSchema)
+	if err != nil {
+		return nil
+	}
+	return &cfg
+}

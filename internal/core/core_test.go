@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+
+	"legodb/internal/imdb"
+	"legodb/internal/pschema"
+	"legodb/internal/transform"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+)
+
+func TestEvaluatorCostsPaperWorkloads(t *testing.T) {
+	s := imdb.AnnotatedSchema()
+	ps, err := pschema.AllInlined(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []*xquery.Workload{imdb.LookupWorkload(), imdb.PublishWorkload(), imdb.W1(), imdb.W2()} {
+		cost, err := GetPSchemaCost(ps, w, 1)
+		if err != nil {
+			t.Fatalf("GetPSchemaCost: %v", err)
+		}
+		if cost <= 0 {
+			t.Fatalf("cost = %g", cost)
+		}
+	}
+}
+
+func TestGreedySOConvergesOnLookup(t *testing.T) {
+	res, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+		Strategy: GreedySO,
+	})
+	if err != nil {
+		t.Fatalf("GreedySearch: %v", err)
+	}
+	if res.Best.Cost > res.InitialCost {
+		t.Fatalf("final cost %.1f worse than initial %.1f", res.Best.Cost, res.InitialCost)
+	}
+	// Costs must be monotonically non-increasing per iteration.
+	prev := res.InitialCost
+	for i, it := range res.Trace {
+		if it.Cost > prev {
+			t.Fatalf("iteration %d increased cost: %.1f -> %.1f", i, prev, it.Cost)
+		}
+		prev = it.Cost
+	}
+	if err := pschema.Check(res.Best.Schema); err != nil {
+		t.Fatalf("best schema not physical: %v", err)
+	}
+}
+
+func TestGreedySIConvergesOnPublish(t *testing.T) {
+	res, err := GreedySearch(imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
+		Strategy: GreedySI,
+	})
+	if err != nil {
+		t.Fatalf("GreedySearch: %v", err)
+	}
+	if res.Best.Cost > res.InitialCost {
+		t.Fatalf("final cost %.1f worse than initial %.1f", res.Best.Cost, res.InitialCost)
+	}
+	if err := pschema.Check(res.Best.Schema); err != nil {
+		t.Fatalf("best schema not physical: %v", err)
+	}
+}
+
+// TestGreedySOImprovesSubstantiallyOnLookup mirrors Figure 10: the fully
+// outlined starting point costs much more than the converged lookup
+// configuration.
+func TestGreedySOImprovesSubstantiallyOnLookup(t *testing.T) {
+	res, err := GreedySearch(imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
+		Strategy: GreedySO,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("greedy-so applied no inlining on the publish workload")
+	}
+	if res.Best.Cost >= res.InitialCost*0.9 {
+		t.Fatalf("expected substantial improvement: initial %.1f, final %.1f", res.InitialCost, res.Best.Cost)
+	}
+}
+
+func TestThresholdStopsEarlier(t *testing.T) {
+	full, err := GreedySearch(imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
+		Strategy: GreedySO,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := GreedySearch(imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
+		Strategy:  GreedySO,
+		Threshold: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut.Trace) > len(full.Trace) {
+		t.Fatalf("threshold search ran longer: %d vs %d iterations", len(cut.Trace), len(full.Trace))
+	}
+	if len(full.Trace) > 1 && len(cut.Trace) >= len(full.Trace) {
+		t.Logf("threshold did not cut iterations (%d vs %d); acceptable but unusual", len(cut.Trace), len(full.Trace))
+	}
+}
+
+func TestMaxIterationsBound(t *testing.T) {
+	res, err := GreedySearch(imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
+		Strategy:      GreedySO,
+		MaxIterations: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) > 2 {
+		t.Fatalf("trace = %d iterations, want ≤ 2", len(res.Trace))
+	}
+}
+
+func TestEmptyWorkloadRejected(t *testing.T) {
+	if _, err := GreedySearch(imdb.Schema(), &xquery.Workload{}, imdb.Stats(), Options{}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}
+
+func TestBothStrategiesConvergeToSimilarCosts(t *testing.T) {
+	// Section 5.2: "both strategies converge to similar costs". Allow a
+	// generous factor since the starting points differ in union handling.
+	so, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{Strategy: GreedySO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{Strategy: GreedySI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := so.Best.Cost, si.Best.Cost
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > 5*lo {
+		t.Fatalf("strategies diverge: greedy-so %.1f vs greedy-si %.1f", so.Best.Cost, si.Best.Cost)
+	}
+}
+
+func TestGreedyFullUsesRicherMoves(t *testing.T) {
+	res, err := GreedySearch(imdb.Schema(), imdb.W2(), imdb.Stats(), Options{
+		Strategy:       GreedyFull,
+		WildcardLabels: map[string]float64{"nyt": 0.25},
+		MaxIterations:  6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost > res.InitialCost {
+		t.Fatalf("full search worsened cost: %.1f -> %.1f", res.InitialCost, res.Best.Cost)
+	}
+}
+
+func TestCustomMoveSet(t *testing.T) {
+	res, err := GreedySearch(imdb.Schema(), imdb.W2(), imdb.Stats(), Options{
+		Strategy: GreedySI,
+		Kinds:    []transform.Kind{transform.KindUnionDistribute, transform.KindOutline},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}
+
+func TestInitialSchemaVariants(t *testing.T) {
+	s := imdb.AnnotatedSchema()
+	for _, st := range []Strategy{GreedySO, GreedySI, GreedyFull} {
+		ps, err := InitialSchema(s, st)
+		if err != nil {
+			t.Errorf("%v: %v", st, err)
+			continue
+		}
+		if err := pschema.Check(ps); err != nil {
+			t.Errorf("%v initial schema not physical: %v", st, err)
+		}
+	}
+}
+
+func TestSearchPreservesDocumentValidity(t *testing.T) {
+	// The best schema found by greedy-so (semantics-preserving moves on a
+	// strictly equivalent starting point) must accept the same documents
+	// as the original schema.
+	res, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{Strategy: GreedySO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := imdb.Generate(imdb.GenOptions{Shows: 15, Seed: 2})
+	if !res.Best.Schema.Valid(doc) {
+		t.Fatal("best schema rejects a valid IMDB document")
+	}
+	_ = xschema.Clone // keep import shape stable
+}
+
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	seq, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+		Strategy: GreedySO, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+		Strategy: GreedySO, Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Best.Cost != par.Best.Cost {
+		t.Fatalf("parallel search diverged: %.4f vs %.4f", seq.Best.Cost, par.Best.Cost)
+	}
+	if len(seq.Trace) != len(par.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(seq.Trace), len(par.Trace))
+	}
+	for i := range seq.Trace {
+		if seq.Trace[i].Applied != par.Trace[i].Applied {
+			t.Fatalf("iteration %d applied different moves: %s vs %s",
+				i, seq.Trace[i].Applied, par.Trace[i].Applied)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"legodb/internal/pschema"
+	"legodb/internal/xschema"
+)
+
+// Thin indirections over package pschema, named after their role in the
+// search strategies.
+
+func pschemaInitialOutlined(s *xschema.Schema) (*xschema.Schema, error) {
+	return pschema.InitialOutlined(s)
+}
+
+func pschemaAllInlined(s *xschema.Schema) (*xschema.Schema, error) {
+	return pschema.AllInlined(s)
+}
+
+func pschemaInitialInlined(s *xschema.Schema) (*xschema.Schema, error) {
+	return pschema.InitialInlined(s, pschema.InlineOptions{})
+}

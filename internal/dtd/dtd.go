@@ -1,0 +1,558 @@
+// Package dtd parses Document Type Definitions and converts them into
+// the XML Query Algebra schemas the rest of the system consumes. The
+// paper's Figure 2 contrasts a DTD with an XML Schema for the same
+// documents and builds its argument on the differences; this package
+// makes that comparison runnable:
+//
+//   - DTDs carry no data types, so every value imports as String (the
+//     paper's point 3 in Section 3.1) — storage is correspondingly less
+//     efficient than with a typed XML Schema;
+//   - DTDs do not separate elements from types, so the importer derives
+//     one named type per element declaration, the convention of the
+//     Shanmugasundaram et al. baseline;
+//   - ANY content imports as the recursive wildcard AnyElement type of
+//     Section 3.2.
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"legodb/internal/xschema"
+)
+
+// Parse reads a DTD (either bare declarations or wrapped in
+// <!DOCTYPE root [ ... ]>) and returns the equivalent schema. The root
+// type is the DOCTYPE name when present, else the first declared
+// element.
+func Parse(src string) (*xschema.Schema, error) {
+	p := &parser{src: src}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.build()
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *xschema.Schema {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// elementDecl is one <!ELEMENT> declaration with its attributes.
+type elementDecl struct {
+	name    string
+	content contentModel
+	attrs   []attrDecl
+}
+
+type attrDecl struct {
+	name     string
+	required bool
+}
+
+// contentModel is the parsed right-hand side of an ELEMENT declaration.
+type contentKind int
+
+const (
+	contentEmpty contentKind = iota
+	contentAny
+	contentPCData
+	contentMixed    // (#PCDATA | a | b)*
+	contentChildren // regular expression over element names
+)
+
+type contentModel struct {
+	kind     contentKind
+	mixed    []string // element names of a mixed model
+	children *particle
+}
+
+// particle is a node of a children content model.
+type particleKind int
+
+const (
+	particleName particleKind = iota
+	particleSeq
+	particleChoice
+)
+
+type particle struct {
+	kind     particleKind
+	name     string
+	parts    []*particle
+	min, max int // 1,1 default; ? = 0,1; * = 0,unbounded; + = 1,unbounded
+}
+
+type parser struct {
+	src      string
+	pos      int
+	root     string
+	order    []string
+	elements map[string]*elementDecl
+}
+
+func (p *parser) run() error {
+	p.elements = make(map[string]*elementDecl)
+	for {
+		start := strings.Index(p.src[p.pos:], "<!")
+		if start < 0 {
+			break
+		}
+		p.pos += start
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "<!--"):
+			end := strings.Index(p.src[p.pos:], "-->")
+			if end < 0 {
+				return fmt.Errorf("dtd: unterminated comment")
+			}
+			p.pos += end + 3
+		case strings.HasPrefix(p.src[p.pos:], "<!DOCTYPE"):
+			p.pos += len("<!DOCTYPE")
+			name, err := p.name()
+			if err != nil {
+				return fmt.Errorf("dtd: DOCTYPE: %w", err)
+			}
+			p.root = name
+			// Skip to the internal subset bracket or declaration end.
+			for p.pos < len(p.src) && p.src[p.pos] != '[' && p.src[p.pos] != '>' {
+				p.pos++
+			}
+			if p.pos < len(p.src) && p.src[p.pos] == '[' {
+				p.pos++
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!ELEMENT"):
+			p.pos += len("<!ELEMENT")
+			if err := p.elementDecl(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!ATTLIST"):
+			p.pos += len("<!ATTLIST")
+			if err := p.attlistDecl(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!ENTITY"), strings.HasPrefix(p.src[p.pos:], "<!NOTATION"):
+			end := strings.IndexByte(p.src[p.pos:], '>')
+			if end < 0 {
+				return fmt.Errorf("dtd: unterminated declaration")
+			}
+			p.pos += end + 1
+		default:
+			return fmt.Errorf("dtd: unexpected declaration at %q", snippet(p.src[p.pos:]))
+		}
+	}
+	if len(p.order) == 0 {
+		return fmt.Errorf("dtd: no element declarations found")
+	}
+	if p.root == "" {
+		p.root = p.order[0]
+	}
+	if _, ok := p.elements[p.root]; !ok {
+		return fmt.Errorf("dtd: root element %q is not declared", p.root)
+	}
+	return nil
+}
+
+func snippet(s string) string {
+	if len(s) > 30 {
+		return s[:30]
+	}
+	return s
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == ':' ||
+		unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (p *parser) name() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected name at %q", snippet(p.src[p.pos:]))
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) expect(lit string) error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], lit) {
+		return fmt.Errorf("dtd: expected %q at %q", lit, snippet(p.src[p.pos:]))
+	}
+	p.pos += len(lit)
+	return nil
+}
+
+func (p *parser) decl(name string) *elementDecl {
+	if d, ok := p.elements[name]; ok {
+		return d
+	}
+	d := &elementDecl{name: name}
+	p.elements[name] = d
+	p.order = append(p.order, name)
+	return d
+}
+
+func (p *parser) elementDecl() error {
+	name, err := p.name()
+	if err != nil {
+		return fmt.Errorf("dtd: ELEMENT: %w", err)
+	}
+	d := p.decl(name)
+	p.skipSpace()
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "EMPTY"):
+		p.pos += len("EMPTY")
+		d.content = contentModel{kind: contentEmpty}
+	case strings.HasPrefix(p.src[p.pos:], "ANY"):
+		p.pos += len("ANY")
+		d.content = contentModel{kind: contentAny}
+	default:
+		cm, err := p.contentModel()
+		if err != nil {
+			return fmt.Errorf("dtd: ELEMENT %s: %w", name, err)
+		}
+		d.content = cm
+	}
+	return p.expect(">")
+}
+
+// contentModel parses a parenthesized content specification.
+func (p *parser) contentModel() (contentModel, error) {
+	if err := p.expect("("); err != nil {
+		return contentModel{}, err
+	}
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], "#PCDATA") {
+		p.pos += len("#PCDATA")
+		var mixed []string
+		for {
+			p.skipSpace()
+			if p.pos < len(p.src) && p.src[p.pos] == '|' {
+				p.pos++
+				n, err := p.name()
+				if err != nil {
+					return contentModel{}, err
+				}
+				mixed = append(mixed, n)
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return contentModel{}, err
+		}
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '*' {
+			p.pos++
+		}
+		if len(mixed) == 0 {
+			return contentModel{kind: contentPCData}, nil
+		}
+		return contentModel{kind: contentMixed, mixed: mixed}, nil
+	}
+	part, err := p.groupBody()
+	if err != nil {
+		return contentModel{}, err
+	}
+	part = p.suffix(part)
+	return contentModel{kind: contentChildren, children: part}, nil
+}
+
+// groupBody parses the inside of '(' ... ')' as a sequence or choice,
+// consuming the closing parenthesis.
+func (p *parser) groupBody() (*particle, error) {
+	var parts []*particle
+	sep := byte(0)
+	for {
+		cp, err := p.cp()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, cp)
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("unterminated group")
+		}
+		switch p.src[p.pos] {
+		case ')':
+			p.pos++
+			group := &particle{min: 1, max: 1, parts: parts}
+			if sep == '|' {
+				group.kind = particleChoice
+			} else {
+				group.kind = particleSeq
+			}
+			if len(parts) == 1 && sep == 0 {
+				return parts[0], nil
+			}
+			return group, nil
+		case ',', '|':
+			if sep != 0 && p.src[p.pos] != sep {
+				return nil, fmt.Errorf("mixed ',' and '|' in one group")
+			}
+			sep = p.src[p.pos]
+			p.pos++
+		default:
+			return nil, fmt.Errorf("unexpected %q in group", p.src[p.pos])
+		}
+	}
+}
+
+// cp parses one content particle: a name or nested group with an
+// optional occurrence suffix.
+func (p *parser) cp() (*particle, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		inner, err := p.groupBody()
+		if err != nil {
+			return nil, err
+		}
+		return p.suffix(inner), nil
+	}
+	n, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	return p.suffix(&particle{kind: particleName, name: n, min: 1, max: 1}), nil
+}
+
+func (p *parser) suffix(part *particle) *particle {
+	if p.pos >= len(p.src) {
+		return part
+	}
+	switch p.src[p.pos] {
+	case '?':
+		p.pos++
+		return &particle{kind: particleSeq, parts: []*particle{part}, min: 0, max: 1}
+	case '*':
+		p.pos++
+		return &particle{kind: particleSeq, parts: []*particle{part}, min: 0, max: xschema.Unbounded}
+	case '+':
+		p.pos++
+		return &particle{kind: particleSeq, parts: []*particle{part}, min: 1, max: xschema.Unbounded}
+	}
+	return part
+}
+
+func (p *parser) attlistDecl() error {
+	elemName, err := p.name()
+	if err != nil {
+		return fmt.Errorf("dtd: ATTLIST: %w", err)
+	}
+	d := p.decl(elemName)
+	for {
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '>' {
+			p.pos++
+			return nil
+		}
+		attrName, err := p.name()
+		if err != nil {
+			return fmt.Errorf("dtd: ATTLIST %s: %w", elemName, err)
+		}
+		// Attribute type: CDATA, ID, IDREF(S), NMTOKEN(S), ENTITY|ies,
+		// or an enumeration — all import as String.
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '(' {
+			end := strings.IndexByte(p.src[p.pos:], ')')
+			if end < 0 {
+				return fmt.Errorf("dtd: ATTLIST %s: unterminated enumeration", elemName)
+			}
+			p.pos += end + 1
+		} else {
+			if _, err := p.name(); err != nil {
+				return fmt.Errorf("dtd: ATTLIST %s: %w", elemName, err)
+			}
+		}
+		// Default declaration.
+		p.skipSpace()
+		required := false
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "#REQUIRED"):
+			p.pos += len("#REQUIRED")
+			required = true
+		case strings.HasPrefix(p.src[p.pos:], "#IMPLIED"):
+			p.pos += len("#IMPLIED")
+		case strings.HasPrefix(p.src[p.pos:], "#FIXED"):
+			p.pos += len("#FIXED")
+			p.skipSpace()
+			p.skipQuoted()
+		default:
+			p.skipQuoted()
+		}
+		d.attrs = append(d.attrs, attrDecl{name: attrName, required: required})
+	}
+}
+
+func (p *parser) skipQuoted() {
+	if p.pos >= len(p.src) {
+		return
+	}
+	quote := p.src[p.pos]
+	if quote != '"' && quote != '\'' {
+		return
+	}
+	p.pos++
+	for p.pos < len(p.src) && p.src[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos < len(p.src) {
+		p.pos++
+	}
+}
+
+// build converts the parsed declarations into a schema: one named type
+// per element, Shanmugasundaram-style.
+func (p *parser) build() (*xschema.Schema, error) {
+	typeNames := make(map[string]string, len(p.order))
+	s := xschema.NewSchema("")
+	for _, name := range p.order {
+		typeNames[name] = s.FreshName(exportName(name))
+		s.Define(typeNames[name], &xschema.Empty{}) // placeholder, reserves the name
+	}
+	s.Root = typeNames[p.root]
+	needAny := false
+	for _, name := range p.order {
+		d := p.elements[name]
+		var items []xschema.Type
+		for _, a := range d.attrs {
+			attr := xschema.Type(&xschema.Attribute{Name: a.name, Content: &xschema.Scalar{}})
+			if !a.required {
+				attr = &xschema.Repeat{Inner: attr, Min: 0, Max: 1}
+			}
+			items = append(items, attr)
+		}
+		content, any, err := p.convertContent(d.content, typeNames)
+		if err != nil {
+			return nil, fmt.Errorf("dtd: element %s: %w", name, err)
+		}
+		needAny = needAny || any
+		if content != nil {
+			items = append(items, content)
+		}
+		var body xschema.Type
+		switch len(items) {
+		case 0:
+			body = &xschema.Empty{}
+		case 1:
+			body = items[0]
+		default:
+			body = &xschema.Sequence{Items: items}
+		}
+		s.Types[typeNames[name]] = xschema.Normalize(&xschema.Element{Name: name, Content: body})
+	}
+	if needAny {
+		s.Define("AnyElement", &xschema.Wildcard{Content: &xschema.Repeat{
+			Inner: &xschema.Choice{Alts: []xschema.Type{
+				&xschema.Ref{Name: "AnyElement"},
+				&xschema.Ref{Name: "AnyScalar"},
+			}},
+			Min: 0, Max: xschema.Unbounded,
+		}})
+		s.Define("AnyScalar", &xschema.Scalar{})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) convertContent(cm contentModel, typeNames map[string]string) (xschema.Type, bool, error) {
+	switch cm.kind {
+	case contentEmpty:
+		return nil, false, nil
+	case contentPCData:
+		return &xschema.Scalar{}, false, nil
+	case contentAny:
+		return &xschema.Repeat{
+			Inner: &xschema.Ref{Name: "AnyElement"},
+			Min:   0, Max: xschema.Unbounded,
+		}, true, nil
+	case contentMixed:
+		alts := make([]xschema.Type, 0, len(cm.mixed)+1)
+		for _, n := range cm.mixed {
+			tn, ok := typeNames[n]
+			if !ok {
+				return nil, false, fmt.Errorf("undeclared element %q in mixed content", n)
+			}
+			alts = append(alts, &xschema.Ref{Name: tn})
+		}
+		alts = append(alts, &xschema.Scalar{})
+		return &xschema.Repeat{
+			Inner: &xschema.Choice{Alts: alts},
+			Min:   0, Max: xschema.Unbounded,
+		}, false, nil
+	default:
+		t, err := p.convertParticle(cm.children, typeNames)
+		return t, false, err
+	}
+}
+
+func (p *parser) convertParticle(part *particle, typeNames map[string]string) (xschema.Type, error) {
+	var inner xschema.Type
+	switch part.kind {
+	case particleName:
+		tn, ok := typeNames[part.name]
+		if !ok {
+			return nil, fmt.Errorf("undeclared element %q in content model", part.name)
+		}
+		inner = &xschema.Ref{Name: tn}
+	case particleSeq:
+		items := make([]xschema.Type, len(part.parts))
+		for i, sub := range part.parts {
+			t, err := p.convertParticle(sub, typeNames)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = t
+		}
+		inner = &xschema.Sequence{Items: items}
+	case particleChoice:
+		alts := make([]xschema.Type, len(part.parts))
+		for i, sub := range part.parts {
+			t, err := p.convertParticle(sub, typeNames)
+			if err != nil {
+				return nil, err
+			}
+			alts[i] = t
+		}
+		inner = &xschema.Choice{Alts: alts}
+	}
+	if part.min == 1 && part.max == 1 {
+		return xschema.Normalize(inner), nil
+	}
+	return &xschema.Repeat{Inner: xschema.Normalize(inner), Min: part.min, Max: part.max}, nil
+}
+
+func exportName(name string) string {
+	clean := strings.Map(func(r rune) rune {
+		if r == '-' || r == '.' || r == ':' {
+			return '_'
+		}
+		return r
+	}, name)
+	if clean == "" {
+		return "T"
+	}
+	return strings.ToUpper(clean[:1]) + clean[1:]
+}

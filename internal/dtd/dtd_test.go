@@ -1,0 +1,232 @@
+package dtd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"legodb/internal/pschema"
+	"legodb/internal/relational"
+	"legodb/internal/xmltree"
+	"legodb/internal/xschema"
+)
+
+// figure2a is the paper's Figure 2(a) DTD for the IMDB subset.
+const figure2a = `
+<!DOCTYPE imdb [
+<!ELEMENT imdb (show*, director*, actor*)>
+<!ELEMENT show
+   (title, year, aka+, review*,
+    ((box_office, video_sales) | (seasons, description, episode*)))>
+<!ATTLIST show type CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT aka (#PCDATA)>
+<!ELEMENT review (#PCDATA)>
+<!ELEMENT box_office (#PCDATA)>
+<!ELEMENT video_sales (#PCDATA)>
+<!ELEMENT seasons (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT episode (name, guest_director)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT guest_director (#PCDATA)>
+<!ELEMENT director (name)>
+<!ELEMENT actor (name)>
+]>
+`
+
+func TestParseFigure2a(t *testing.T) {
+	s, err := Parse(figure2a)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Root != "Imdb" {
+		t.Fatalf("root = %q", s.Root)
+	}
+	show, ok := s.Lookup("Show")
+	if !ok {
+		t.Fatalf("Show missing; types = %v", s.Names)
+	}
+	el := show.(*xschema.Element)
+	seq := el.Content.(*xschema.Sequence)
+	// @type attribute first, then title, year, aka+, review*, union.
+	if _, isAttr := seq.Items[0].(*xschema.Attribute); !isAttr {
+		t.Fatalf("first item = %T", seq.Items[0])
+	}
+	last := seq.Items[len(seq.Items)-1]
+	if _, isChoice := last.(*xschema.Choice); !isChoice {
+		t.Fatalf("last item = %s", last)
+	}
+	// DTDs have no types: everything is a String scalar.
+	title, _ := s.Lookup("Title")
+	if sc, ok := title.(*xschema.Element).Content.(*xschema.Scalar); !ok || sc.Kind != xschema.StringKind {
+		t.Fatalf("title content = %s", title)
+	}
+}
+
+func TestDTDSchemaValidatesDocuments(t *testing.T) {
+	s := MustParse(figure2a)
+	doc, err := xmltree.ParseString(`<imdb>
+  <show type="Movie">
+    <title>Fugitive, The</title><year>1993</year>
+    <aka>Auf der Flucht</aka>
+    <review>Two thumbs up</review>
+    <box_office>183752965</box_office><video_sales>72450220</video_sales>
+  </show>
+  <director><name>Andrew Davis</name></director>
+  <actor><name>Harrison Ford</name></actor>
+</imdb>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateDocument(doc); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	bad, _ := xmltree.ParseString(`<imdb><show type="m"><title>x</title></show></imdb>`)
+	if s.Valid(bad) {
+		t.Fatal("document missing required children accepted")
+	}
+}
+
+func TestDTDFullPipeline(t *testing.T) {
+	// DTD -> schema -> p-schema -> relations -> documents round-trip.
+	s := MustParse(figure2a)
+	ps, err := pschema.AllInlined(s)
+	if err != nil {
+		t.Fatalf("AllInlined: %v", err)
+	}
+	cat, err := relational.Map(ps)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	show := cat.Table("Show")
+	if show == nil {
+		t.Fatalf("no Show table:\n%s", cat)
+	}
+	// Everything stringly-typed: year is a STRING column under a DTD.
+	if year := show.Column("year"); year == nil || year.Type == relational.IntCol {
+		t.Fatalf("year column = %+v (DTDs carry no integer types)", year)
+	}
+	g := xschema.NewGenerator(s, rand.New(rand.NewSource(4)))
+	for i := 0; i < 20; i++ {
+		doc, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ps.Valid(doc) {
+			t.Fatalf("p-schema rejects DTD-generated document:\n%s", doc)
+		}
+	}
+}
+
+func TestMixedContent(t *testing.T) {
+	s := MustParse(`
+<!ELEMENT para (#PCDATA | em | strong)*>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT strong (#PCDATA)>`)
+	doc, _ := xmltree.ParseString(`<para>hello <em>world</em></para>`)
+	// The xmltree model concatenates text; mixed validation accepts text
+	// plus element children in any arrangement.
+	if !s.Valid(doc) {
+		t.Fatal("mixed content rejected")
+	}
+}
+
+func TestAnyContent(t *testing.T) {
+	s := MustParse(`
+<!ELEMENT container ANY>
+<!ELEMENT other (#PCDATA)>`)
+	if _, ok := s.Lookup("AnyElement"); !ok {
+		t.Fatalf("AnyElement not synthesized; types = %v", s.Names)
+	}
+	doc, _ := xmltree.ParseString(`<container><whatever><deep>x</deep></whatever></container>`)
+	if !s.Valid(doc) {
+		t.Fatal("ANY content rejected arbitrary children")
+	}
+}
+
+func TestEmptyElement(t *testing.T) {
+	s := MustParse(`
+<!ELEMENT br EMPTY>
+<!ELEMENT doc (br*)>
+<!ATTLIST br kind CDATA #IMPLIED>`)
+	// DOCTYPE absent: first declared element is the root.
+	if s.Root != "Br" {
+		t.Fatalf("root = %q", s.Root)
+	}
+	doc, _ := xmltree.ParseString(`<br/>`)
+	if !s.Valid(doc) {
+		t.Fatal("empty element rejected")
+	}
+	withAttr, _ := xmltree.ParseString(`<br kind="page"/>`)
+	if !s.Valid(withAttr) {
+		t.Fatal("optional attribute rejected")
+	}
+}
+
+func TestAttributeDefaults(t *testing.T) {
+	s := MustParse(`
+<!ELEMENT e (#PCDATA)>
+<!ATTLIST e
+  req CDATA #REQUIRED
+  imp CDATA #IMPLIED
+  fix CDATA #FIXED "v"
+  def (a|b) "a">`)
+	e, _ := s.Lookup("E")
+	seq := e.(*xschema.Element).Content.(*xschema.Sequence)
+	if len(seq.Items) != 5 { // 4 attributes + scalar
+		t.Fatalf("items = %d: %s", len(seq.Items), e)
+	}
+	if _, ok := seq.Items[0].(*xschema.Attribute); !ok {
+		t.Fatalf("required attribute should be mandatory: %s", seq.Items[0])
+	}
+	for i := 1; i <= 3; i++ {
+		rep, ok := seq.Items[i].(*xschema.Repeat)
+		if !ok || rep.Min != 0 || rep.Max != 1 {
+			t.Fatalf("attribute %d should be optional: %s", i, seq.Items[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`<!ELEMENT a (b)>`,                       // undeclared child
+		`<!ELEMENT a (#PCDATA) <!ELEMENT b (a)>`, // missing '>'
+		`<!ELEMENT a (b, c | d)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)> <!ELEMENT d (#PCDATA)>`, // mixed separators
+		`<!DOCTYPE nope [ <!ELEMENT a (#PCDATA)> ]>`,                                                   // root not declared
+		`<!-- unterminated`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSkipsEntitiesAndComments(t *testing.T) {
+	s := MustParse(`
+<!-- a comment with <!ELEMENT fake (#PCDATA)> inside -->
+<!ENTITY % common "title">
+<!ELEMENT doc (#PCDATA)>`)
+	if _, ok := s.Lookup("Fake"); ok {
+		t.Fatal("declaration inside comment parsed")
+	}
+	if len(s.Names) != 1 {
+		t.Fatalf("types = %v", s.Names)
+	}
+}
+
+func TestNameSanitization(t *testing.T) {
+	s := MustParse(`<!ELEMENT x-y.z (#PCDATA)>`)
+	if _, ok := s.Lookup("X_y_z"); !ok {
+		t.Fatalf("types = %v", s.Names)
+	}
+	el := s.Types["X_y_z"].(*xschema.Element)
+	if el.Name != "x-y.z" {
+		t.Fatalf("element tag = %q", el.Name)
+	}
+	if !strings.Contains(s.String(), "x-y.z") {
+		t.Fatal("tag lost in rendering")
+	}
+}

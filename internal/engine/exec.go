@@ -1,0 +1,370 @@
+package engine
+
+import (
+	"fmt"
+
+	"legodb/internal/sqlast"
+)
+
+// Params binds the unbound parameters (c1, c2, ...) of a query to values
+// at execution time.
+type Params map[string]Value
+
+// ResultSet is the output of executing a query: the union of its blocks'
+// rows (columns follow the widest block; callers mostly count rows and
+// bytes).
+type ResultSet struct {
+	Columns []string
+	Rows    []Row
+}
+
+// Execute runs all blocks of a query and unions their results, counting
+// work in db.Stats.
+func (db *Database) Execute(q *sqlast.Query, params Params) (*ResultSet, error) {
+	out := &ResultSet{}
+	for _, b := range q.Blocks {
+		rs, err := db.ExecuteBlock(b, params)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", q.Name, err)
+		}
+		if len(rs.Columns) > len(out.Columns) {
+			out.Columns = rs.Columns
+		}
+		out.Rows = append(out.Rows, rs.Rows...)
+	}
+	db.Stats.TuplesOut += int64(len(out.Rows))
+	return out, nil
+}
+
+// binding is one intermediate tuple: row positions per bound alias.
+type binding map[string]int
+
+// ExecuteBlock runs one SPJ block: filtered scan of a start relation,
+// then index-nested-loop or hash joins along the join graph, then
+// projection.
+func (db *Database) ExecuteBlock(b *sqlast.Block, params Params) (*ResultSet, error) {
+	if len(b.Tables) == 0 {
+		return nil, fmt.Errorf("block has no tables")
+	}
+	tables := make(map[string]*Table, len(b.Tables))
+	order := make([]string, 0, len(b.Tables))
+	for _, tref := range b.Tables {
+		t := db.Table(tref.Table)
+		if t == nil {
+			return nil, fmt.Errorf("unknown table %q", tref.Table)
+		}
+		tables[tref.Alias] = t
+		order = append(order, tref.Alias)
+	}
+
+	constFilters := make(map[string][]sqlast.Filter)
+	var crossFilters []sqlast.Filter
+	for _, f := range b.Filters {
+		if f.RightCol != nil && f.RightCol.Alias != f.Col.Alias {
+			crossFilters = append(crossFilters, f)
+			continue
+		}
+		constFilters[f.Col.Alias] = append(constFilters[f.Col.Alias], f)
+	}
+
+	// Choose the start alias: prefer one with constant filters.
+	start := order[0]
+	for _, a := range order {
+		if len(constFilters[a]) > 0 {
+			start = a
+			break
+		}
+	}
+	current, err := db.scanFiltered(tables[start], start, constFilters[start], params)
+	if err != nil {
+		return nil, err
+	}
+	bound := map[string]bool{start: true}
+
+	type edge struct {
+		newAlias, newCol, oldAlias, oldCol string
+	}
+	pendingEdges := func() []edge {
+		var out []edge
+		for _, j := range b.Joins {
+			switch {
+			case bound[j.Left.Alias] && !bound[j.Right.Alias]:
+				out = append(out, edge{j.Right.Alias, j.Right.Column, j.Left.Alias, j.Left.Column})
+			case bound[j.Right.Alias] && !bound[j.Left.Alias]:
+				out = append(out, edge{j.Left.Alias, j.Left.Column, j.Right.Alias, j.Right.Column})
+			}
+		}
+		for _, f := range crossFilters {
+			if f.Op != sqlast.OpEq {
+				continue
+			}
+			switch {
+			case bound[f.Col.Alias] && !bound[f.RightCol.Alias]:
+				out = append(out, edge{f.RightCol.Alias, f.RightCol.Column, f.Col.Alias, f.Col.Column})
+			case bound[f.RightCol.Alias] && !bound[f.Col.Alias]:
+				out = append(out, edge{f.Col.Alias, f.Col.Column, f.RightCol.Alias, f.RightCol.Column})
+			}
+		}
+		return out
+	}
+
+	for len(bound) < len(order) {
+		edges := pendingEdges()
+		if len(edges) == 0 {
+			// Disconnected: cartesian with the next unbound alias.
+			next := ""
+			for _, a := range order {
+				if !bound[a] {
+					next = a
+					break
+				}
+			}
+			rows, err := db.scanFiltered(tables[next], next, constFilters[next], params)
+			if err != nil {
+				return nil, err
+			}
+			var merged []binding
+			for _, l := range current {
+				for _, r := range rows {
+					m := cloneBinding(l)
+					m[next] = r[next]
+					merged = append(merged, m)
+				}
+			}
+			current = merged
+			bound[next] = true
+			current, err = db.applyCrossFilters(current, tables, crossFilters, bound)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		e := edges[0]
+		newTable := tables[e.newAlias]
+		newColIdx := newTable.ColumnIndex(e.newCol)
+		if newColIdx < 0 {
+			return nil, fmt.Errorf("no column %s.%s", e.newAlias, e.newCol)
+		}
+		oldTable := tables[e.oldAlias]
+		oldColIdx := oldTable.ColumnIndex(e.oldCol)
+		if oldColIdx < 0 {
+			return nil, fmt.Errorf("no column %s.%s", e.oldAlias, e.oldCol)
+		}
+		filters := constFilters[e.newAlias]
+
+		_, hasIndex := newTable.indexes[e.newCol]
+		keyCol := newTable.Def.Column(e.newCol)
+		useINL := hasIndex && keyCol != nil && keyCol.Key
+		var joined []binding
+		if useINL {
+			// Index nested-loop join: only through the new relation's
+			// key, mirroring the optimizer's physical assumptions (FK
+			// hash indexes exist for the publisher, but query plans join
+			// FK edges with hash joins).
+			width := newTable.Def.RowBytes()
+			for _, l := range current {
+				v := oldTable.Rows[l[e.oldAlias]][oldColIdx]
+				positions, _ := newTable.Lookup(e.newCol, v)
+				db.Stats.Probes++
+				for _, pos := range positions {
+					db.Stats.TuplesRead++
+					db.Stats.BytesRead += width
+					row := newTable.Rows[pos]
+					if ok, err := db.passes(row, newTable, filters, params); err != nil {
+						return nil, err
+					} else if !ok {
+						continue
+					}
+					m := cloneBinding(l)
+					m[e.newAlias] = pos
+					joined = append(joined, m)
+				}
+			}
+		} else {
+			// Hash join: scan + build the new relation, probe current.
+			rows, err := db.scanFiltered(newTable, e.newAlias, filters, params)
+			if err != nil {
+				return nil, err
+			}
+			hash := make(map[Value][]int, len(rows))
+			for _, r := range rows {
+				pos := r[e.newAlias]
+				v := newTable.Rows[pos][newColIdx]
+				hash[v] = append(hash[v], pos)
+			}
+			for _, l := range current {
+				v := oldTable.Rows[l[e.oldAlias]][oldColIdx]
+				for _, pos := range hash[v] {
+					m := cloneBinding(l)
+					m[e.newAlias] = pos
+					joined = append(joined, m)
+				}
+			}
+		}
+		current = joined
+		bound[e.newAlias] = true
+
+		// Apply any cross filters whose aliases are now both bound (the
+		// equality ones already acted as join edges; apply the rest).
+		current, err = db.applyCrossFilters(current, tables, crossFilters, bound)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Projection.
+	rs := &ResultSet{}
+	projs := b.Projects
+	if len(projs) == 0 {
+		projs = []sqlast.ColumnRef{{Alias: order[0], Column: tables[order[0]].Def.Key()}}
+	}
+	for _, p := range projs {
+		rs.Columns = append(rs.Columns, p.Alias+"."+p.Column)
+	}
+	for _, l := range current {
+		row := make(Row, len(projs))
+		for i, p := range projs {
+			t := tables[p.Alias]
+			ci := t.ColumnIndex(p.Column)
+			if ci < 0 {
+				return nil, fmt.Errorf("no column %s.%s", p.Alias, p.Column)
+			}
+			row[i] = t.Rows[l[p.Alias]][ci]
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	return rs, nil
+}
+
+// scanFiltered scans a table, applying constant filters, and returns one
+// binding per passing row.
+func (db *Database) scanFiltered(t *Table, alias string, filters []sqlast.Filter, params Params) ([]binding, error) {
+	db.Stats.Scans++
+	db.Stats.TuplesRead += int64(len(t.Rows))
+	db.Stats.BytesRead += float64(len(t.Rows)) * t.Def.RowBytes()
+	var out []binding
+	for pos, row := range t.Rows {
+		if !t.Alive(pos) {
+			continue
+		}
+		ok, err := db.passes(row, t, filters, params)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, binding{alias: pos})
+		}
+	}
+	return out, nil
+}
+
+// passes evaluates constant (and same-alias) filters on one row.
+func (db *Database) passes(row Row, t *Table, filters []sqlast.Filter, params Params) (bool, error) {
+	for _, f := range filters {
+		li := t.ColumnIndex(f.Col.Column)
+		if li < 0 {
+			return false, fmt.Errorf("no column %s", f.Col.Column)
+		}
+		left := row[li]
+		var right Value
+		if f.RightCol != nil {
+			ri := t.ColumnIndex(f.RightCol.Column)
+			if ri < 0 {
+				return false, fmt.Errorf("no column %s", f.RightCol.Column)
+			}
+			right = row[ri]
+		} else {
+			var err error
+			right, err = literalValue(f.Value, params)
+			if err != nil {
+				return false, err
+			}
+		}
+		if !satisfies(left, f.Op, right) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (db *Database) applyCrossFilters(current []binding, tables map[string]*Table, crossFilters []sqlast.Filter, bound map[string]bool) ([]binding, error) {
+	for _, f := range crossFilters {
+		if f.Op == sqlast.OpEq {
+			continue // equality cross filters served as join edges
+		}
+		if !bound[f.Col.Alias] || !bound[f.RightCol.Alias] {
+			continue
+		}
+		lt, rt := tables[f.Col.Alias], tables[f.RightCol.Alias]
+		li, ri := lt.ColumnIndex(f.Col.Column), rt.ColumnIndex(f.RightCol.Column)
+		if li < 0 || ri < 0 {
+			return nil, fmt.Errorf("bad cross filter %s", f)
+		}
+		var kept []binding
+		for _, b := range current {
+			if satisfies(lt.Rows[b[f.Col.Alias]][li], f.Op, rt.Rows[b[f.RightCol.Alias]][ri]) {
+				kept = append(kept, b)
+			}
+		}
+		current = kept
+	}
+	return current, nil
+}
+
+func cloneBinding(b binding) binding {
+	m := make(binding, len(b)+1)
+	for k, v := range b {
+		m[k] = v
+	}
+	return m
+}
+
+func literalValue(l sqlast.Literal, params Params) (Value, error) {
+	if l.IsParam {
+		v, ok := params[l.Param]
+		if !ok {
+			return Null, fmt.Errorf("unbound parameter %q", l.Param)
+		}
+		return v, nil
+	}
+	if l.IsInt {
+		return IntVal(l.Int), nil
+	}
+	return StrVal(l.Str), nil
+}
+
+// satisfies evaluates a comparison; NULL never satisfies anything, and
+// integer/string values compare only with their own kind (an integer
+// literal against a CHAR column coerces by formatting, matching the
+// shredder's storage rules).
+func satisfies(left Value, op sqlast.CmpOp, right Value) bool {
+	if left.IsNull() || right.IsNull() {
+		return false
+	}
+	if left.Kind != right.Kind {
+		// Coerce integers to strings for mixed comparisons.
+		if left.Kind == IntValue {
+			left = StrVal(left.String())
+		}
+		if right.Kind == IntValue {
+			right = StrVal(right.String())
+		}
+	}
+	c := Compare(left, right)
+	switch op {
+	case sqlast.OpEq:
+		return c == 0
+	case sqlast.OpNe:
+		return c != 0
+	case sqlast.OpLt:
+		return c < 0
+	case sqlast.OpLe:
+		return c <= 0
+	case sqlast.OpGt:
+		return c > 0
+	case sqlast.OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}

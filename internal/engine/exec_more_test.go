@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"testing"
+
+	"legodb/internal/relational"
+	"legodb/internal/sqlast"
+	"legodb/internal/xschema"
+)
+
+// twoTableCatalog maps two unrelated child tables under one root, for
+// cartesian and cross-filter scenarios.
+func twoTableCatalog(t *testing.T) *relational.Catalog {
+	t.Helper()
+	s := xschema.MustParseSchema(`
+type R = r[ A*<#3>, B*<#3> ]
+type A = a[ x[ Integer ] ]
+type B = b[ y[ Integer ] ]`)
+	cat, err := relational.Map(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func loadAB(t *testing.T, db *Database) {
+	t.Helper()
+	for _, spec := range []struct {
+		table, col string
+		vals       []int64
+	}{{"A", "x", []int64{1, 2, 3}}, {"B", "y", []int64{2, 3, 4}}} {
+		tbl := db.Table(spec.table)
+		for _, v := range spec.vals {
+			row := make(Row, len(tbl.Def.Columns))
+			row[tbl.ColumnIndex(spec.table+"_id")] = IntVal(tbl.NextID())
+			row[tbl.ColumnIndex(spec.col)] = IntVal(v)
+			row[tbl.ColumnIndex("parent_R")] = IntVal(1)
+			if err := tbl.Insert(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestCartesianFallback(t *testing.T) {
+	db := NewDatabase(twoTableCatalog(t))
+	loadAB(t, db)
+	b := &sqlast.Block{}
+	b.AddTable("A", "a")
+	b.AddTable("B", "b")
+	b.Projects = []sqlast.ColumnRef{
+		{Alias: "a", Column: "x"},
+		{Alias: "b", Column: "y"},
+	}
+	rs, err := db.ExecuteBlock(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 9 {
+		t.Fatalf("cartesian rows = %d, want 9", len(rs.Rows))
+	}
+}
+
+func TestCrossFilterEqualityActsAsJoin(t *testing.T) {
+	db := NewDatabase(twoTableCatalog(t))
+	loadAB(t, db)
+	b := &sqlast.Block{}
+	b.AddTable("A", "a")
+	b.AddTable("B", "b")
+	right := sqlast.ColumnRef{Alias: "b", Column: "y"}
+	b.Filters = []sqlast.Filter{{
+		Col: sqlast.ColumnRef{Alias: "a", Column: "x"}, Op: sqlast.OpEq, RightCol: &right,
+	}}
+	b.Projects = []sqlast.ColumnRef{{Alias: "a", Column: "x"}}
+	rs, err := db.ExecuteBlock(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 { // x∈{2,3} match y∈{2,3}
+		t.Fatalf("value join rows = %v", rs.Rows)
+	}
+}
+
+func TestCrossFilterInequality(t *testing.T) {
+	db := NewDatabase(twoTableCatalog(t))
+	loadAB(t, db)
+	b := &sqlast.Block{}
+	b.AddTable("A", "a")
+	b.AddTable("B", "b")
+	right := sqlast.ColumnRef{Alias: "b", Column: "y"}
+	b.Filters = []sqlast.Filter{{
+		Col: sqlast.ColumnRef{Alias: "a", Column: "x"}, Op: sqlast.OpLt, RightCol: &right,
+	}}
+	b.Projects = []sqlast.ColumnRef{
+		{Alias: "a", Column: "x"},
+		{Alias: "b", Column: "y"},
+	}
+	rs, err := db.ExecuteBlock(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pairs with x < y: (1,2)(1,3)(1,4)(2,3)(2,4)(3,4) = 6
+	if len(rs.Rows) != 6 {
+		t.Fatalf("inequality rows = %d, want 6", len(rs.Rows))
+	}
+}
+
+func TestExecuteUnionTakesWidestColumns(t *testing.T) {
+	db := NewDatabase(twoTableCatalog(t))
+	loadAB(t, db)
+	narrow := &sqlast.Block{}
+	narrow.AddTable("A", "a")
+	narrow.Projects = []sqlast.ColumnRef{{Alias: "a", Column: "x"}}
+	wide := &sqlast.Block{}
+	wide.AddTable("B", "b")
+	wide.Projects = []sqlast.ColumnRef{
+		{Alias: "b", Column: "B_id"},
+		{Alias: "b", Column: "y"},
+	}
+	rs, err := db.Execute(&sqlast.Query{Blocks: []*sqlast.Block{narrow, wide}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Columns) != 2 {
+		t.Fatalf("columns = %v", rs.Columns)
+	}
+	if len(rs.Rows) != 6 {
+		t.Fatalf("union rows = %d", len(rs.Rows))
+	}
+	if db.Stats.TuplesOut != 6 {
+		t.Fatalf("TuplesOut = %d", db.Stats.TuplesOut)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{BytesRead: 10, TuplesRead: 2, Probes: 1, Scans: 1, TuplesOut: 3}
+	b := Counters{BytesRead: 5, TuplesRead: 1, Probes: 2, Scans: 1, TuplesOut: 1}
+	a.Add(b)
+	if a.BytesRead != 15 || a.TuplesRead != 3 || a.Probes != 3 || a.Scans != 2 || a.TuplesOut != 4 {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestRowCountAndString(t *testing.T) {
+	db := NewDatabase(twoTableCatalog(t))
+	loadAB(t, db)
+	if got := db.RowCount(); got != 6 {
+		t.Fatalf("RowCount = %d", got)
+	}
+	if db.String() == "" {
+		t.Fatal("empty summary")
+	}
+	if db.Table("NoSuch") != nil {
+		t.Fatal("phantom table")
+	}
+}
+
+func TestFilterOnUnknownColumn(t *testing.T) {
+	db := NewDatabase(twoTableCatalog(t))
+	loadAB(t, db)
+	b := &sqlast.Block{}
+	b.AddTable("A", "a")
+	b.Filters = []sqlast.Filter{{
+		Col: sqlast.ColumnRef{Alias: "a", Column: "nosuch"}, Op: sqlast.OpEq,
+		Value: sqlast.Literal{IsInt: true, Int: 1},
+	}}
+	if _, err := db.ExecuteBlock(b, nil); err == nil {
+		t.Fatal("unknown filter column accepted")
+	}
+}
+
+func TestValueStringAndNull(t *testing.T) {
+	if Null.String() != "NULL" || !Null.IsNull() {
+		t.Fatal("Null misbehaves")
+	}
+	if IntVal(5).String() != "5" || StrVal("x").String() != "x" {
+		t.Fatal("value rendering broken")
+	}
+}
+
+func TestMixedKindComparisonCoerces(t *testing.T) {
+	// A DTD-imported column stores digits as strings; integer literals
+	// coerce for comparison.
+	if !satisfies(StrVal("42"), sqlast.OpEq, IntVal(42)) {
+		t.Fatal("string/int equality failed")
+	}
+	if satisfies(StrVal("42"), sqlast.OpEq, IntVal(7)) {
+		t.Fatal("wrong match")
+	}
+}

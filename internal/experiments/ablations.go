@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"legodb/internal/core"
+	"legodb/internal/engine"
+	"legodb/internal/imdb"
+	"legodb/internal/optimizer"
+	"legodb/internal/relational"
+	"legodb/internal/shred"
+	"legodb/internal/xquery"
+	"legodb/internal/xstats"
+)
+
+// AblationThreshold quantifies the early-stopping optimization Section
+// 5.2 suggests ("stop the search as soon as the improvement falls below
+// a threshold"): iterations and final cost for several thresholds, on
+// both paper workloads with greedy-so.
+func AblationThreshold() (*Table, error) {
+	t := &Table{
+		Name:   "ablation-threshold",
+		Title:  "Greedy early-stopping: threshold vs iterations and final cost (greedy-so)",
+		Header: []string{"workload", "threshold", "iterations", "final cost", "vs converged"},
+	}
+	for _, wl := range []struct {
+		name string
+		w    *xquery.Workload
+	}{{"lookup", imdb.LookupWorkload()}, {"publish", imdb.PublishWorkload()}} {
+		converged := 0.0
+		for _, threshold := range []float64{0, 0.01, 0.05, 0.2} {
+			res, err := core.GreedySearch(imdb.Schema(), wl.w, imdb.Stats(), core.Options{
+				Strategy:  core.GreedySO,
+				Threshold: threshold,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if threshold == 0 {
+				converged = res.Best.Cost
+			}
+			t.AddRow(wl.name, fmt.Sprintf("%.2f", threshold),
+				fmt.Sprintf("%d", len(res.Trace)), f1(res.Best.Cost),
+				f2(res.Best.Cost/converged))
+		}
+	}
+	return t, nil
+}
+
+// AblationSIvsSO compares the two greedy starting points on both
+// workloads: iterations to converge and final cost (the paper observes
+// greedy-so converges faster on lookup, greedy-si on publish, and both
+// reach similar costs).
+func AblationSIvsSO() (*Table, error) {
+	t := &Table{
+		Name:   "ablation-si-vs-so",
+		Title:  "greedy-si vs greedy-so: convergence and final costs",
+		Header: []string{"workload", "strategy", "initial cost", "iterations", "final cost"},
+	}
+	for _, wl := range []struct {
+		name string
+		w    func() *xquery.Workload
+	}{{"lookup", imdb.LookupWorkload}, {"publish", imdb.PublishWorkload}} {
+		for _, st := range []core.Strategy{core.GreedySO, core.GreedySI} {
+			res, err := core.GreedySearch(imdb.Schema(), wl.w(), imdb.Stats(), core.Options{Strategy: st})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(wl.name, st.String(), f1(res.InitialCost),
+				fmt.Sprintf("%d", len(res.Trace)), f1(res.Best.Cost))
+		}
+	}
+	return t, nil
+}
+
+// AblationCostModel validates the cost model against the execution
+// engine, in the spirit of the paper's SQL-Server comparison: generated
+// IMDB data is shredded into the all-inlined configuration, the workload
+// queries are executed, and the measured work (converted with the same
+// cost constants) is compared with the optimizer's estimates. The claim
+// to check is agreement in *ranking* and rough magnitude, not identical
+// numbers.
+func AblationCostModel() (*Table, error) {
+	const shows = 400
+	doc := imdb.Generate(imdb.GenOptions{Shows: shows, Seed: 17})
+	s := imdb.Schema()
+	stats := xstats.Collect(doc)
+	if err := xstats.Annotate(s, stats); err != nil {
+		return nil, err
+	}
+	ps, err := storageMap1(s)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := relational.Map(ps)
+	if err != nil {
+		return nil, err
+	}
+	db := engine.NewDatabase(cat)
+	if err := shred.New(ps, cat, db).Shred(doc); err != nil {
+		return nil, err
+	}
+	opt := optimizer.New(cat)
+
+	title := doc.Path("show", "title")[0].Text
+	year := doc.Path("show", "year")[0].Text
+	gd := ""
+	if g := doc.Path("show", "episodes", "guest_director"); len(g) > 0 {
+		gd = g[0].Text
+	}
+	params := engine.Params{
+		"c1": engine.StrVal(title),
+		"c2": engine.StrVal(title),
+		"c4": engine.StrVal(gd),
+	}
+	queries := []struct {
+		name string
+		src  string
+	}{
+		{"lookup-title", `FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title, $v/year`},
+		{"lookup-year", `FOR $v IN imdb/show WHERE $v/year = ` + year + ` RETURN $v/title`},
+		{"episodes", `FOR $v IN imdb/show RETURN <r> $v/title FOR $e IN $v/episodes WHERE $e/guest_director = c4 RETURN $e/name </r>`},
+		{"publish-shows", `FOR $v IN imdb/show RETURN $v`},
+	}
+	t := &Table{
+		Name:   "ablation-costmodel",
+		Title:  fmt.Sprintf("Estimated vs engine-measured cost (all-inlined, %d shows)", shows),
+		Header: []string{"query", "estimated", "measured", "est/meas"},
+		Notes:  "measured = seeks+pages+tuples+probes of the engine, weighted with the model's constants",
+	}
+	m := opt.Model
+	for _, q := range queries {
+		parsed := xquery.MustParse(q.src)
+		parsed.Name = q.name
+		sq, err := xquery.Translate(parsed, ps, cat)
+		if err != nil {
+			return nil, err
+		}
+		est, err := opt.QueryCost(sq)
+		if err != nil {
+			return nil, err
+		}
+		before := db.Stats
+		if _, err := db.Execute(sq, params); err != nil {
+			return nil, err
+		}
+		d := db.Stats
+		d.BytesRead -= before.BytesRead
+		d.TuplesRead -= before.TuplesRead
+		d.Probes -= before.Probes
+		d.Scans -= before.Scans
+		measured := m.SeekCost*float64(d.Scans) +
+			d.BytesRead/m.PageSize*m.PageIOCost +
+			float64(d.TuplesRead)*m.CPUTupleCost +
+			float64(d.Probes)*m.ProbeCost
+		ratio := 0.0
+		if measured > 0 {
+			ratio = est.Cost / measured
+		}
+		t.AddRow(q.name, f1(est.Cost), f1(measured), f2(ratio))
+	}
+	return t, nil
+}

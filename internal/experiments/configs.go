@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"legodb/internal/core"
+	"legodb/internal/imdb"
+	"legodb/internal/pschema"
+	"legodb/internal/transform"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+	"legodb/internal/xstats"
+)
+
+// annotatedIMDB returns the IMDB schema annotated with (optionally
+// rescaled) statistics.
+func annotatedIMDB(adjust func(*xstats.Set)) (*xschema.Schema, error) {
+	s := imdb.Schema()
+	stats := imdb.Stats()
+	if adjust != nil {
+		adjust(stats)
+	}
+	if err := xstats.Annotate(s, stats); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// storageMap1 is Figure 4(a): everything inlined, unions flattened to
+// nullable columns.
+func storageMap1(annotated *xschema.Schema) (*xschema.Schema, error) {
+	return pschema.AllInlined(annotated)
+}
+
+// storageMap2 is Figure 4(b): map 1 with the review wildcard partitioned
+// into NYT reviews and the rest.
+func storageMap2(annotated *xschema.Schema, nytFraction float64) (*xschema.Schema, error) {
+	m1, err := storageMap1(annotated)
+	if err != nil {
+		return nil, err
+	}
+	cands := transform.Candidates(m1, transform.Options{
+		Kinds:          []transform.Kind{transform.KindWildcardMaterialize},
+		WildcardLabels: map[string]float64{"nyt": nytFraction},
+	})
+	for _, tr := range cands {
+		if tr.Loc.Type == "Reviews" {
+			return transform.Apply(m1, tr)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("no wildcard to materialize in map 1")
+	}
+	return transform.Apply(m1, cands[0])
+}
+
+// storageMap3 is Figure 4(c): unions kept and distributed over show, the
+// partition references inlined.
+func storageMap3(annotated *xschema.Schema) (*xschema.Schema, error) {
+	base, err := pschema.InitialInlined(annotated, pschema.InlineOptions{})
+	if err != nil {
+		return nil, err
+	}
+	cands := transform.Candidates(base, transform.Options{
+		Kinds: []transform.Kind{transform.KindUnionDistribute},
+	})
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("no union to distribute")
+	}
+	out, err := transform.Apply(base, cands[0])
+	if err != nil {
+		return nil, err
+	}
+	// Inline the Movie/TV branch references inside the partitions.
+	for guard := 0; guard < 100; guard++ {
+		inl := transform.Candidates(out, transform.Options{Kinds: []transform.Kind{transform.KindInline}})
+		if len(inl) == 0 {
+			break
+		}
+		out, err = transform.Apply(out, inl[0])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// costOn evaluates a single query's estimated cost on a configuration.
+func costOn(ps *xschema.Schema, q *xquery.Query) (float64, error) {
+	w := &xquery.Workload{}
+	w.Add(q, 1)
+	return core.GetPSchemaCost(ps, w, 1)
+}
+
+// workloadCostOn evaluates a workload's weighted cost on a configuration.
+func workloadCostOn(ps *xschema.Schema, w *xquery.Workload) (float64, error) {
+	return core.GetPSchemaCost(ps, w, 1)
+}

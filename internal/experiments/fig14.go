@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"legodb/internal/pschema"
+	"legodb/internal/transform"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+	"legodb/internal/xstats"
+)
+
+// fig14Schema gives every show at least one alternate title (Aka{1,10},
+// as in Figure 2(b)), the precondition of the repetition-split rewriting.
+const fig14Schema = `
+type IMDB = imdb [ Show{0,*} ]
+type Show = show [ @type[ String ],
+    title [ String ],
+    year [ Integer ],
+    Aka{1,10},
+    ( box_office [ Integer ], video_sales [ Integer ]
+    | seasons [ Integer ], description [ String ] ) ]
+type Aka = aka[ String ]
+`
+
+// Fig14 reproduces Figure 14: the cost of a lookup query (alternate
+// titles of a given show) and a publishing query (all information for
+// all shows) under the all-inlined and the repetition-split
+// configurations, as the total number of akas grows.
+//
+// The paper's observations to reproduce: the split configuration is
+// cheaper for both queries; the gain is larger for the publishing query;
+// and the gap narrows as the Aka table grows much larger than Show.
+func Fig14() (*Table, error) {
+	shows := 34798.0
+	lookup := xquery.MustParse(`FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title, $v/aka`)
+	lookup.Name = "lookup"
+	publish := xquery.MustParse(`FOR $v IN imdb/show RETURN $v`)
+	publish.Name = "publish"
+
+	t := &Table{
+		Name:   "fig14",
+		Title:  "All-inlined vs repetition-split vs total akas",
+		Header: []string{"total akas", "lookup/inlined", "lookup/split", "publish/inlined", "publish/split"},
+		Notes:  "split = aka{1,10} rewritten to aka, Aka{0,9} with the first occurrence inlined",
+	}
+	for _, mult := range []float64{1, 2, 4, 8, 16} {
+		totalAkas := shows * mult
+		base := xschema.MustParseSchema(fig14Schema)
+		stats := xstats.NewSet()
+		stats.SetCount(1, "imdb")
+		stats.SetCount(shows, "imdb", "show")
+		stats.SetSize(50, "imdb", "show", "title")
+		stats.SetBase(0, 0, int64(shows), "imdb", "show", "title")
+		stats.SetBase(1800, 2100, 300, "imdb", "show", "year")
+		stats.SetCount(totalAkas, "imdb", "show", "aka")
+		stats.SetSize(40, "imdb", "show", "aka")
+		stats.SetCount(7000.0/10500*shows, "imdb", "show", "box_office")
+		stats.SetCount(3500.0/10500*shows, "imdb", "show", "seasons")
+		stats.SetSize(120, "imdb", "show", "description")
+		if err := xstats.Annotate(base, stats); err != nil {
+			return nil, err
+		}
+		inlined, err := pschema.AllInlined(base)
+		if err != nil {
+			return nil, err
+		}
+		split, err := splitAndInlineAka(inlined)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%.0f", totalAkas)}
+		for _, q := range []*xquery.Query{lookup, publish} {
+			ci, err := costOn(inlined, q)
+			if err != nil {
+				return nil, err
+			}
+			cs, err := costOn(split, q)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f1(ci), f1(cs))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// splitAndInlineAka applies the repetition-split rewriting to the Aka
+// repetition and inlines the resulting mandatory first occurrence.
+func splitAndInlineAka(ps *xschema.Schema) (*xschema.Schema, error) {
+	cands := transform.Candidates(ps, transform.Options{Kinds: []transform.Kind{transform.KindRepetitionSplit}})
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("no repetition to split")
+	}
+	out, err := transform.Apply(ps, cands[0])
+	if err != nil {
+		return nil, err
+	}
+	inl := transform.Candidates(out, transform.Options{Kinds: []transform.Kind{transform.KindInline}})
+	if len(inl) == 0 {
+		return nil, fmt.Errorf("no inline candidate after split")
+	}
+	return transform.Apply(out, inl[0])
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"legodb/internal/imdb"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+)
+
+// Fig6 reproduces Figure 6: estimated costs of the Figure 5 queries
+// (Q1–Q4) and the workloads W1/W2 under the three storage mappings of
+// Figure 4, normalized by storage map 1 (all-inlined).
+//
+// Paper values for reference:
+//
+//	      Map1  Map2  Map3
+//	Q1    1.00  0.83  1.27
+//	Q2    1.00  0.50  0.48
+//	Q3    1.00  1.00  0.17
+//	Q4    1.00  1.19  0.40
+//	W1    1.00  0.75  0.75
+//	W2    1.00  1.01  0.40
+func Fig6() (*Table, error) {
+	annotated, err := annotatedIMDB(nil)
+	if err != nil {
+		return nil, err
+	}
+	m1, err := storageMap1(annotated)
+	if err != nil {
+		return nil, err
+	}
+	m2, err := storageMap2(annotated, 0.25)
+	if err != nil {
+		return nil, err
+	}
+	m3, err := storageMap3(annotated)
+	if err != nil {
+		return nil, err
+	}
+	maps := []*xschema.Schema{m1, m2, m3}
+
+	t := &Table{
+		Name:   "fig6",
+		Title:  "Estimated costs for queries and workloads (normalized by storage map 1)",
+		Header: []string{"", "Map1(4a)", "Map2(4b)", "Map3(4c)"},
+		Notes:  "Q1–Q4 are the Figure 5 queries; W1={.4,.4,.1,.1}, W2={.1,.1,.4,.4}",
+	}
+	queries := []struct {
+		label string
+		name  string
+	}{
+		{"Q1", "F1"}, {"Q2", "F2"}, {"Q3", "F3"}, {"Q4", "F4"},
+	}
+	for _, q := range queries {
+		base := 0.0
+		row := []string{q.label}
+		for i, m := range maps {
+			c, err := costOn(m, imdb.Query(q.name))
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = c
+			}
+			row = append(row, f2(c/base))
+		}
+		t.AddRow(row...)
+	}
+	for _, w := range []struct {
+		label string
+		wl    *xquery.Workload
+	}{{"W1", imdb.W1()}, {"W2", imdb.W2()}} {
+		base := 0.0
+		row := []string{w.label}
+		for i, m := range maps {
+			c, err := workloadCostOn(m, w.wl)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = c
+			}
+			row = append(row, f2(c/base))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

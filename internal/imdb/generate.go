@@ -1,0 +1,194 @@
+package imdb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"legodb/internal/xmltree"
+)
+
+// GenOptions scales the synthetic dataset. The defaults reproduce the
+// Appendix A ratios: per show there are ~0.75 directors and ~4.76 actors,
+// ~0.39 akas and ~0.32 reviews; 2/3 of typed shows are movies; TV shows
+// carry ~8.9 episodes; directors directed ~4 titles; actors played ~4
+// roles and ~12% have a biography.
+type GenOptions struct {
+	Shows int
+	// Seed makes generation reproducible.
+	Seed int64
+	// NYTFraction is the fraction of reviews from the New York Times
+	// (wildcard tag "nyt"); default 0.25.
+	NYTFraction float64
+	// AkasPerShow overrides the average akas per show when > 0.
+	AkasPerShow float64
+	// ReviewsPerShow overrides the average reviews per show when > 0.
+	ReviewsPerShow float64
+}
+
+// Generate builds a synthetic IMDB document valid under Schema() whose
+// statistics match Appendix A at the requested scale.
+func Generate(opts GenOptions) *xmltree.Node {
+	if opts.Shows <= 0 {
+		opts.Shows = 100
+	}
+	if opts.NYTFraction == 0 {
+		opts.NYTFraction = 0.25
+	}
+	akaAvg := 13641.0 / 34798
+	if opts.AkasPerShow > 0 {
+		akaAvg = opts.AkasPerShow
+	}
+	reviewAvg := 11250.0 / 34798
+	if opts.ReviewsPerShow > 0 {
+		reviewAvg = opts.ReviewsPerShow
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := &generator{rng: rng}
+
+	root := xmltree.NewElement("imdb")
+	titles := make([]string, opts.Shows)
+	movieFraction := 7000.0 / 10500 // box_office count vs typed shows
+
+	for i := 0; i < opts.Shows; i++ {
+		titles[i] = fmt.Sprintf("%s %s %d", g.word(), g.word(), i)
+		show := xmltree.NewElement("show")
+		isMovie := rng.Float64() < movieFraction
+		if isMovie {
+			show.SetAttr("type", "Movie")
+		} else {
+			show.SetAttr("type", "TVseries")
+		}
+		show.Append(
+			xmltree.NewText("title", titles[i]),
+			xmltree.NewText("year", fmt.Sprintf("%d", 1800+rng.Intn(301))),
+		)
+		for k := 0; k < g.count(akaAvg); k++ {
+			show.Append(xmltree.NewText("aka", g.word()+" "+g.word()))
+		}
+		for k := 0; k < g.count(reviewAvg); k++ {
+			source := "nyt"
+			if rng.Float64() >= opts.NYTFraction {
+				source = reviewSources[rng.Intn(len(reviewSources))]
+			}
+			show.Append(xmltree.NewElement("reviews").Append(
+				xmltree.NewText(source, g.sentence(8)),
+			))
+		}
+		if isMovie {
+			show.Append(
+				xmltree.NewText("box_office", fmt.Sprintf("%d", 10000+rng.Int63n(99990000))),
+				xmltree.NewText("video_sales", fmt.Sprintf("%d", 10000+rng.Int63n(99990000))),
+			)
+		} else {
+			show.Append(
+				xmltree.NewText("seasons", fmt.Sprintf("%d", 1+rng.Intn(60))),
+				xmltree.NewText("description", g.sentence(12)),
+			)
+			for k := 0; k < g.count(31250.0/3500); k++ {
+				show.Append(xmltree.NewElement("episodes").Append(
+					xmltree.NewText("name", g.word()+" "+g.word()),
+					xmltree.NewText("guest_director", g.personName()),
+				))
+			}
+		}
+		root.Append(show)
+	}
+
+	nDirectors := scaled(opts.Shows, 26251, 34798)
+	for i := 0; i < nDirectors; i++ {
+		d := xmltree.NewElement("director")
+		d.Append(xmltree.NewText("name", g.personName()))
+		for k := 0; k < g.count(105004.0/26251); k++ {
+			directed := xmltree.NewElement("directed").Append(
+				xmltree.NewText("title", titles[rng.Intn(len(titles))]),
+				xmltree.NewText("year", fmt.Sprintf("%d", 1800+rng.Intn(301))),
+			)
+			if rng.Float64() < 50000.0/105004 {
+				directed.Append(xmltree.NewText("info", g.sentence(4)))
+			}
+			d.Append(directed)
+		}
+		root.Append(d)
+	}
+
+	nActors := scaled(opts.Shows, 165786, 34798)
+	for i := 0; i < nActors; i++ {
+		a := xmltree.NewElement("actor")
+		a.Append(xmltree.NewText("name", g.personName()))
+		for k := 0; k < g.count(663144.0/165786); k++ {
+			played := xmltree.NewElement("played").Append(
+				xmltree.NewText("title", titles[rng.Intn(len(titles))]),
+				xmltree.NewText("year", fmt.Sprintf("%d", 1800+rng.Intn(301))),
+				xmltree.NewText("character", g.word()+" "+g.word()),
+				xmltree.NewText("order_of_appearance", fmt.Sprintf("%d", 1+rng.Intn(300))),
+			)
+			for aw := 0; aw < g.count(0.1) && aw < 5; aw++ {
+				played.Append(xmltree.NewElement("award").Append(
+					xmltree.NewText("result", "won"),
+					xmltree.NewText("award_name", g.word()+" award"),
+				))
+			}
+			a.Append(played)
+		}
+		if rng.Float64() < 20000.0/165786*8 { // biography presence
+			a.Append(xmltree.NewElement("biography").Append(
+				xmltree.NewText("birthday", fmt.Sprintf("19%02d-%02d-%02d", rng.Intn(100), 1+rng.Intn(12), 1+rng.Intn(28))),
+				xmltree.NewText("text", g.sentence(5)),
+			))
+		}
+		root.Append(a)
+	}
+	return root
+}
+
+func scaled(shows, num, den int) int {
+	n := shows * num / den
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+var reviewSources = []string{"suntimes", "variety", "guardian", "post"}
+
+var vocabulary = []string{
+	"fugitive", "files", "paranoia", "agent", "alien", "river", "shadow",
+	"summer", "ghost", "machine", "angel", "frontier", "network", "signal",
+	"harbor", "empire", "velvet", "cascade", "meridian", "atlas",
+}
+
+var firstNames = []string{"Roger", "Gillian", "David", "Harrison", "Jodie", "Larry", "Agnes", "Kiyoshi"}
+var lastNames = []string{"Ebert", "Anderson", "Duchovny", "Ford", "Foster", "Shaw", "Varda", "Kurosawa"}
+
+type generator struct {
+	rng *rand.Rand
+}
+
+func (g *generator) word() string {
+	return vocabulary[g.rng.Intn(len(vocabulary))]
+}
+
+func (g *generator) sentence(words int) string {
+	out := ""
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += g.word()
+	}
+	return out
+}
+
+func (g *generator) personName() string {
+	return firstNames[g.rng.Intn(len(firstNames))] + " " + lastNames[g.rng.Intn(len(lastNames))]
+}
+
+// count draws an occurrence count with the given average: the integer
+// part plus a Bernoulli fractional remainder.
+func (g *generator) count(avg float64) int {
+	n := int(avg)
+	if g.rng.Float64() < avg-float64(n) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,269 @@
+// Package imdb embeds the paper's experimental application: the IMDB
+// schema of Appendix B, the data statistics of Appendix A, the query
+// workloads of Appendix C and Figure 5, and a synthetic data generator
+// whose output matches the Appendix A statistics at a configurable scale
+// (the paper used data derived from the real Internet Movie Database,
+// which is substituted here — see DESIGN.md).
+package imdb
+
+import (
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+	"legodb/internal/xstats"
+)
+
+// SchemaText is the Appendix B schema in XML Query Algebra notation. Two
+// deviations from the appendix figure, both required by the appendix's
+// own statistics: aka repeats {0,*} (13,641 akas over 34,798 shows), and
+// info and the wildcard inside directed are optional (50,000 infos over
+// 105,004 directed entries).
+const SchemaText = `
+type IMDB = imdb [ Show{0,*}, Director{0,*}, Actor{0,*} ]
+type Show = show [ @type[ String ],
+    title [ String ],
+    year [ Integer ],
+    aka [ String ]{0,*},
+    reviews [ ~[ String ] ]{0,*},
+    ( box_office [ Integer ], video_sales [ Integer ]
+    | seasons [ Integer ], description [ String ],
+      episodes [ name[ String ], guest_director[ String ] ]{0,*} ) ]
+type Director = director [ name [ String ],
+    directed [ title[ String ], year[ Integer ],
+               info[ String ]?, (~[ String ])? ]{0,*} ]
+type Actor = actor [ name [ String ],
+    played [ title[ String ], year[ Integer ], character[ String ],
+             order_of_appearance[ Integer ],
+             award [ result[ String ], award_name[ String ] ]{0,5} ]{0,*},
+    biography [ birthday[ String ], text[ String ] ]? ]
+`
+
+// StatsText is the Appendix A statistics table, verbatim.
+const StatsText = `
+(["imdb"], STcnt(1));
+(["imdb";"director"], STcnt(26251));
+(["imdb";"director";"name"], STsize(40));
+(["imdb";"director";"directed"], STcnt(105004));
+(["imdb";"director";"directed";"title"], STsize(40));
+(["imdb";"director";"directed";"year"], STbase(1800,2100,300));
+(["imdb";"director";"directed";"info"], STcnt(50000));
+(["imdb";"director";"directed";"info"], STsize(100));
+(["imdb";"director";"directed";"TILDE"], STsize(255));
+(["imdb";"show"], STcnt(34798));
+(["imdb";"show";"title"], STsize(50));
+(["imdb";"show";"year"], STbase(1800,2100,300));
+(["imdb";"show";"aka"], STcnt(13641));
+(["imdb";"show";"aka"], STsize(40));
+(["imdb";"show";"type"], STsize(8));
+(["imdb";"show";"reviews"], STcnt(11250));
+(["imdb";"show";"reviews";"TILDE"], STsize(800));
+(["imdb";"show";"box_office"], STcnt(7000));
+(["imdb";"show";"box_office"], STbase(10000,100000000,7000));
+(["imdb";"show";"video_sales"], STcnt(7000));
+(["imdb";"show";"video_sales"], STbase(10000,100000000,7000));
+(["imdb";"show";"seasons"], STcnt(3500));
+(["imdb";"show";"description"], STsize(120));
+(["imdb";"show";"episodes"], STcnt(31250));
+(["imdb";"show";"episodes";"name"], STsize(40));
+(["imdb";"show";"episodes";"guest_director"], STsize(40));
+(["imdb";"actor"], STcnt(165786));
+(["imdb";"actor";"name"], STsize(40));
+(["imdb";"actor";"played"], STcnt(663144));
+(["imdb";"actor";"played";"title"], STsize(40));
+(["imdb";"actor";"played";"year"], STbase(1800,2100,200));
+(["imdb";"actor";"played";"character"], STsize(40));
+(["imdb";"actor";"played";"order_of_appearance"], STbase(1,300,300));
+(["imdb";"actor";"played";"award";"result"], STsize(3));
+(["imdb";"actor";"played";"award";"award_name"], STsize(40));
+(["imdb";"actor";"biography";"birthday"], STsize(10));
+(["imdb";"actor";"biography";"text"], STcnt(20000));
+(["imdb";"actor";"biography";"text"], STsize(30));
+`
+
+// supplementalStats adds distinct-value counts the appendix leaves
+// implicit but the selectivity model needs: titles and names are
+// near-unique, characters nearly so, and guest directors repeat. (For
+// string columns only the third STbase argument — the distinct count —
+// matters.)
+const supplementalStats = `
+(["imdb";"show";"title"], STbase(0,0,34798));
+(["imdb";"show";"seasons"], STbase(1,60,50));
+(["imdb";"show";"episodes";"name"], STbase(0,0,31250));
+(["imdb";"show";"episodes";"guest_director"], STbase(0,0,5000));
+(["imdb";"show";"aka"], STbase(0,0,13641));
+(["imdb";"show";"description"], STbase(0,0,3500));
+(["imdb";"show";"reviews";"TILDE"], STbase(0,0,11250));
+(["imdb";"director";"name"], STbase(0,0,26251));
+(["imdb";"director";"directed";"title"], STbase(0,0,34798));
+(["imdb";"director";"directed";"info"], STbase(0,0,50000));
+(["imdb";"actor";"name"], STbase(0,0,165786));
+(["imdb";"actor";"played";"title"], STbase(0,0,34798));
+(["imdb";"actor";"played";"character"], STbase(0,0,400000));
+(["imdb";"actor";"played";"award";"result"], STbase(0,0,3));
+(["imdb";"actor";"played";"award";"award_name"], STbase(0,0,200));
+(["imdb";"actor";"biography";"birthday"], STbase(0,0,40000));
+(["imdb";"actor";"biography";"text"], STbase(0,0,20000));
+(["imdb";"show";"type"], STbase(0,0,2));
+`
+
+// Schema parses the IMDB schema.
+func Schema() *xschema.Schema { return xschema.MustParseSchema(SchemaText) }
+
+// Stats parses the IMDB statistics: Appendix A plus the distinct counts
+// the selectivity model needs.
+func Stats() *xstats.Set {
+	return xstats.MustParse(StatsText + supplementalStats)
+}
+
+// AnnotatedSchema returns the IMDB schema with statistics pushed onto the
+// type tree.
+func AnnotatedSchema() *xschema.Schema {
+	s := Schema()
+	if err := xstats.Annotate(s, Stats()); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// queriesText holds Appendix C in this repository's XQuery subset, one
+// entry per query.
+var queriesText = map[string]string{
+	// C.1 Lookup queries.
+	"Q1": `FOR $v IN document("imdbdata")/imdb/show WHERE $v/title = c1
+	       RETURN $v/title, $v/year, $v/type`,
+	"Q2": `FOR $v IN document("imdbdata")/imdb/show WHERE $v/title = c1
+	       RETURN $v/title, $v/year`,
+	"Q3": `FOR $v IN document("imdbdata")/imdb/show WHERE $v/year = c1
+	       RETURN $v/title, $v/year`,
+	"Q4": `FOR $v IN document("imdbdata")/imdb/show WHERE $v/title = c1
+	       RETURN $v/title, $v/year, $v/description`,
+	"Q5": `FOR $v IN document("imdbdata")/imdb/show WHERE $v/title = c1
+	       RETURN $v/title, $v/year, $v/box_office`,
+	"Q6": `FOR $v IN document("imdbdata")/imdb/show WHERE $v/title = c1
+	       RETURN $v/title, $v/year, $v/box_office, $v/description`,
+	"Q7": `FOR $v IN document("imdbdata")/imdb/show
+	       RETURN <result> $v/title, $v/year
+	         FOR $e IN $v/episodes WHERE $e/guest_director = c1 RETURN $e/name
+	       </result>`,
+	"Q8": `FOR $v IN document("imdbdata")/imdb/actor WHERE $v/name = c1
+	       RETURN $v/biography/birthday`,
+	"Q9": `FOR $v IN document("imdbdata")/imdb/actor
+	       RETURN <result> $v/name
+	         FOR $b IN $v/biography WHERE $b/birthday = c1 RETURN $b/text
+	       </result>`,
+	"Q10": `FOR $v IN document("imdbdata")/imdb/actor
+	        RETURN <result> $v/name
+	          FOR $b IN $v/biography WHERE $b/birthday = c1 RETURN $b/text, $b/birthday
+	        </result>`,
+	"Q11": `FOR $v IN document("imdbdata")/imdb/actor
+	        RETURN <result> $v/name
+	          FOR $p IN $v/played WHERE $p/character = c1 RETURN $p/order_of_appearance
+	        </result>`,
+	"Q12": `FOR $i IN document("imdbdata")/imdb, $a IN $i/actor, $m1 IN $a/played,
+	            $d IN $i/director, $m2 IN $d/directed
+	        WHERE $a/name = $d/name AND $m1/title = $m2/title
+	        RETURN $a/name, $m1/title, $m1/year`,
+	"Q13": `FOR $i IN document("imdbdata")/imdb, $s IN $i/show, $a IN $i/actor,
+	            $m1 IN $a/played, $d IN $i/director, $m2 IN $d/directed
+	        WHERE $a/name = $d/name AND $m1/title = $m2/title AND $m1/title = $s/title
+	        RETURN <result> $a/name, $m1/title, $m1/year
+	          FOR $k IN $s/aka RETURN $k
+	        </result>`,
+	"Q14": `FOR $i IN document("imdbdata")/imdb, $a IN $i/actor, $m1 IN $a/played,
+	            $d IN $i/director, $m2 IN $d/directed
+	        WHERE $a/name = c1 AND $m1/title = $m2/title
+	        RETURN $d/name, $m1/title, $m1/year`,
+	// C.2 Publish queries.
+	"Q15": `FOR $a IN document("imdbdata")/imdb/actor RETURN $a`,
+	"Q16": `FOR $s IN document("imdbdata")/imdb/show RETURN $s`,
+	"Q17": `FOR $d IN document("imdbdata")/imdb/director RETURN $d`,
+	"Q18": `FOR $a IN document("imdbdata")/imdb/actor WHERE $a/name = c1 RETURN $a`,
+	"Q19": `FOR $s IN document("imdbdata")/imdb/show WHERE $s/title = c1 RETURN $s`,
+	"Q20": `FOR $d IN document("imdbdata")/imdb/director WHERE $d/name = c1 RETURN $d`,
+
+	// Figure 5 queries (Section 2's motivating workloads W1/W2).
+	"F1": `FOR $v IN imdb/show WHERE $v/year = 1999
+	       RETURN $v/title, $v/year, $v/reviews/nyt`,
+	"F2": `FOR $v IN imdb/show RETURN $v`,
+	"F3": `FOR $v IN imdb/show WHERE $v/title = c2 RETURN $v/description`,
+	"F4": `FOR $v IN imdb/show
+	       RETURN <result> $v/title, $v/year
+	         FOR $e IN $v/episodes WHERE $e/guest_director = c4 RETURN $e/name
+	       </result>`,
+}
+
+// Query returns a named workload query (Q1..Q20, F1..F4), parsed and
+// labeled. It panics on unknown names (the name set is fixed).
+func Query(name string) *xquery.Query {
+	src, ok := queriesText[name]
+	if !ok {
+		panic("imdb: unknown query " + name)
+	}
+	q := xquery.MustParse(src)
+	q.Name = name
+	return q
+}
+
+// QueryNames lists all embedded queries in order.
+func QueryNames() []string {
+	return []string{
+		"Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10",
+		"Q11", "Q12", "Q13", "Q14", "Q15", "Q16", "Q17", "Q18", "Q19", "Q20",
+		"F1", "F2", "F3", "F4",
+	}
+}
+
+// LookupWorkload is the Section 5.2 lookup workload: Q8, Q9, Q11, Q12,
+// Q13, equally weighted.
+func LookupWorkload() *xquery.Workload {
+	w := &xquery.Workload{}
+	for _, name := range []string{"Q8", "Q9", "Q11", "Q12", "Q13"} {
+		w.Add(Query(name), 1)
+	}
+	return w
+}
+
+// PublishWorkload is the Section 5.2 publish workload: Q15, Q16, Q17.
+func PublishWorkload() *xquery.Workload {
+	w := &xquery.Workload{}
+	for _, name := range []string{"Q15", "Q16", "Q17"} {
+		w.Add(Query(name), 1)
+	}
+	return w
+}
+
+// MixedWorkload blends lookup and publish queries in the ratio
+// k : (1-k), as in the Figure 11 sensitivity experiment.
+func MixedWorkload(k float64) *xquery.Workload {
+	w := &xquery.Workload{}
+	lookup := []string{"Q8", "Q9", "Q11", "Q12", "Q13"}
+	publish := []string{"Q15", "Q16", "Q17"}
+	for _, name := range lookup {
+		w.Add(Query(name), k/float64(len(lookup)))
+	}
+	for _, name := range publish {
+		w.Add(Query(name), (1-k)/float64(len(publish)))
+	}
+	return w
+}
+
+// W1 is the Section 2 publishing-heavy workload over the Figure 5
+// queries: {F1: 0.4, F2: 0.4, F3: 0.1, F4: 0.1}.
+func W1() *xquery.Workload {
+	w := &xquery.Workload{}
+	w.Add(Query("F1"), 0.4)
+	w.Add(Query("F2"), 0.4)
+	w.Add(Query("F3"), 0.1)
+	w.Add(Query("F4"), 0.1)
+	return w
+}
+
+// W2 is the Section 2 lookup-heavy workload:
+// {F1: 0.1, F2: 0.1, F3: 0.4, F4: 0.4}.
+func W2() *xquery.Workload {
+	w := &xquery.Workload{}
+	w.Add(Query("F1"), 0.1)
+	w.Add(Query("F2"), 0.1)
+	w.Add(Query("F3"), 0.4)
+	w.Add(Query("F4"), 0.4)
+	return w
+}

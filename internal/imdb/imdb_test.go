@@ -1,0 +1,178 @@
+package imdb
+
+import (
+	"testing"
+
+	"legodb/internal/pschema"
+	"legodb/internal/relational"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+	"legodb/internal/xstats"
+)
+
+func TestSchemaParsesAndStratifies(t *testing.T) {
+	s := Schema()
+	if s.Root != "IMDB" {
+		t.Fatalf("root = %q", s.Root)
+	}
+	ps, err := pschema.Stratify(s)
+	if err != nil {
+		t.Fatalf("Stratify: %v", err)
+	}
+	if _, err := relational.Map(ps); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+}
+
+func TestStatsParseAndAnnotate(t *testing.T) {
+	s := Schema()
+	stats := Stats()
+	if got := stats.Count("imdb", "show"); got != 34798 {
+		t.Fatalf("show count = %g", got)
+	}
+	if err := xstats.Annotate(s, stats); err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	// The annotated schema maps with paper-scale cardinalities.
+	ps, err := pschema.AllInlined(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := relational.Map(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	show := cat.Table("Show")
+	if show == nil {
+		t.Fatalf("no Show table:\n%s", cat)
+	}
+	if show.Rows < 34000 || show.Rows > 35500 {
+		t.Fatalf("Show rows = %g, want ~34798", show.Rows)
+	}
+	if c := show.Column("title"); c == nil || c.Distinct != 34798 {
+		t.Fatalf("title column = %+v", c)
+	}
+}
+
+func TestAllQueriesParseAndTranslate(t *testing.T) {
+	s := AnnotatedSchema()
+	for _, variant := range []struct {
+		name  string
+		build func(*xschema.Schema) (*xschema.Schema, error)
+	}{
+		{"all-inlined", pschema.AllInlined},
+		{"outlined", pschema.InitialOutlined},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			ps, err := variant.build(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cat, err := relational.Map(ps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range QueryNames() {
+				q := Query(name)
+				sq, err := xquery.Translate(q, ps, cat)
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+					continue
+				}
+				if len(sq.Blocks) == 0 {
+					t.Errorf("%s: no blocks", name)
+				}
+			}
+		})
+	}
+}
+
+func TestWorkloads(t *testing.T) {
+	if got := len(LookupWorkload().Entries); got != 5 {
+		t.Errorf("lookup workload size = %d", got)
+	}
+	if got := len(PublishWorkload().Entries); got != 3 {
+		t.Errorf("publish workload size = %d", got)
+	}
+	w := MixedWorkload(0.25)
+	if tw := w.TotalWeight(); tw < 0.999 || tw > 1.001 {
+		t.Errorf("mixed workload total weight = %g", tw)
+	}
+	if got := W1().TotalWeight(); got < 0.999 || got > 1.001 {
+		t.Errorf("W1 weight = %g", got)
+	}
+	if got := W2().TotalWeight(); got < 0.999 || got > 1.001 {
+		t.Errorf("W2 weight = %g", got)
+	}
+}
+
+func TestGenerateValidatesAgainstSchema(t *testing.T) {
+	doc := Generate(GenOptions{Shows: 40, Seed: 7})
+	s := Schema()
+	if err := s.ValidateDocument(doc); err != nil {
+		t.Fatalf("generated data invalid: %v", err)
+	}
+}
+
+func TestGenerateMatchesStatisticsShape(t *testing.T) {
+	doc := Generate(GenOptions{Shows: 400, Seed: 11})
+	collected := xstats.Collect(doc)
+	shows := collected.Count("imdb", "show")
+	if shows != 400 {
+		t.Fatalf("shows = %g", shows)
+	}
+	// Ratios should be near Appendix A: directors ~0.754x, actors ~4.76x.
+	directors := collected.Count("imdb", "director")
+	if ratio := directors / shows; ratio < 0.6 || ratio > 0.9 {
+		t.Errorf("director ratio = %g, want ~0.75", ratio)
+	}
+	actors := collected.Count("imdb", "actor")
+	if ratio := actors / shows; ratio < 4 || ratio > 5.5 {
+		t.Errorf("actor ratio = %g, want ~4.76", ratio)
+	}
+	akas := collected.Count("imdb", "show", "aka")
+	if ratio := akas / shows; ratio < 0.2 || ratio > 0.6 {
+		t.Errorf("aka ratio = %g, want ~0.39", ratio)
+	}
+	episodes := collected.Count("imdb", "show", "episodes")
+	seasons := collected.Count("imdb", "show", "seasons")
+	if seasons == 0 {
+		t.Fatal("no TV shows generated")
+	}
+	if ratio := episodes / seasons; ratio < 6 || ratio > 12 {
+		t.Errorf("episodes per TV show = %g, want ~8.9", ratio)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenOptions{Shows: 20, Seed: 5})
+	b := Generate(GenOptions{Shows: 20, Seed: 5})
+	if a.Size() != b.Size() {
+		t.Fatalf("same seed, different sizes: %d vs %d", a.Size(), b.Size())
+	}
+}
+
+func TestGenerateNYTFraction(t *testing.T) {
+	doc := Generate(GenOptions{Shows: 300, Seed: 3, ReviewsPerShow: 3, NYTFraction: 0.5})
+	nyt, other := 0, 0
+	for _, show := range doc.ChildrenNamed("show") {
+		for _, r := range show.ChildrenNamed("reviews") {
+			if len(r.Children) == 0 {
+				continue
+			}
+			if r.Children[0].Name == "nyt" {
+				nyt++
+			} else {
+				other++
+			}
+		}
+	}
+	total := nyt + other
+	if total < 500 {
+		t.Fatalf("too few reviews: %d", total)
+	}
+	frac := float64(nyt) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("nyt fraction = %g, want ~0.5", frac)
+	}
+}

@@ -1,0 +1,149 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"legodb/internal/relational"
+	"legodb/internal/sqlast"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+)
+
+func updateEnv(t *testing.T, src string) (*xschema.Schema, *Optimizer) {
+	t.Helper()
+	s := xschema.MustParseSchema(src)
+	cat, err := relational.Map(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, New(cat)
+}
+
+func TestUpdateCostInsertPaysPerRelation(t *testing.T) {
+	outlined, optOut := updateEnv(t, `
+type R = r[ X*<#100> ]
+type X = x[ A, B, C ]
+type A = a[ String<#10,#5> ]
+type B = b[ String<#10,#5> ]
+type C = c[ String<#10,#5> ]`)
+	inlined, optIn := updateEnv(t, `
+type R = r[ X*<#100> ]
+type X = x[ a[ String<#10,#5> ], b[ String<#10,#5> ], c[ String<#10,#5> ] ]`)
+	u := xquery.MustParseUpdate("INSERT r/x")
+	to, err := xquery.ResolveUpdate(u, outlined, optOut.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := optOut.UpdateCost(u, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti, err := xquery.ResolveUpdate(u, inlined, optIn.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := optIn.UpdateCost(u, ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co <= ci {
+		t.Fatalf("fragmented insert (%.2f) should cost more than inlined (%.2f)", co, ci)
+	}
+	// Roughly one extra seek + index per extra relation.
+	if co < ci+3*optOut.Model.SeekCost {
+		t.Fatalf("insert gap too small: %.2f vs %.2f", co, ci)
+	}
+}
+
+func TestUpdateCostModifyPaysWidth(t *testing.T) {
+	wide, optWide := updateEnv(t, `
+type R = r[ X*<#100> ]
+type X = x[ v[ String<#10,#5> ], pad[ String<#1000,#5> ] ]`)
+	narrow, optNarrow := updateEnv(t, `
+type R = r[ X*<#100> ]
+type X = x[ v[ String<#10,#5> ] ]`)
+	u := xquery.MustParseUpdate("MODIFY r/x/v")
+	tw, err := xquery.ResolveUpdate(u, wide, optWide.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := optWide.UpdateCost(u, tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := xquery.ResolveUpdate(u, narrow, optNarrow.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := optNarrow.UpdateCost(u, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw <= cn {
+		t.Fatalf("modifying a wide row (%.2f) should cost more than a narrow one (%.2f)", cw, cn)
+	}
+}
+
+func TestUpdateCostNoTargets(t *testing.T) {
+	_, opt := updateEnv(t, `type R = r[ x[ String ] ]`)
+	u := xquery.MustParseUpdate("INSERT r/x")
+	if _, err := opt.UpdateCost(u, nil); err == nil {
+		t.Fatal("empty targets accepted")
+	}
+}
+
+func TestUpdateKindStrings(t *testing.T) {
+	if xquery.InsertUpdate.String() != "INSERT" ||
+		xquery.DeleteUpdate.String() != "DELETE" ||
+		xquery.ModifyUpdate.String() != "MODIFY" {
+		t.Fatal("kind strings broken")
+	}
+}
+
+func TestTableSizesOutput(t *testing.T) {
+	_, opt := updateEnv(t, `
+type R = r[ X*<#100> ]
+type X = x[ a[ String<#10,#5> ] ]`)
+	out := opt.TableSizes()
+	if !strings.Contains(out, "X") || !strings.Contains(out, "100") {
+		t.Fatalf("TableSizes = %q", out)
+	}
+}
+
+func TestSelectivityBranches(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type R = r[ X*<#1000> ]
+type X = x[ v[ Integer<#4,#0,#100,#100> ], s[ String ] ]`)
+	cat, err := relational.Map(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := New(cat)
+	tbl := cat.Table("X")
+	sel := func(col string, op sqlast.CmpOp, val int64) float64 {
+		return opt.selectivity(tbl, sqlast.Filter{
+			Col:   sqlast.ColumnRef{Alias: "t", Column: col},
+			Op:    op,
+			Value: sqlast.Literal{IsInt: true, Int: val},
+		})
+	}
+	if got := sel("v", sqlast.OpEq, 50); got != 0.01 { // eq with distinct 100
+		t.Errorf("eq sel = %g", got)
+	}
+	if got := sel("v", sqlast.OpNe, 50); got != 0.99 { // ne
+		t.Errorf("ne sel = %g", got)
+	}
+	lt := sel("v", sqlast.OpLt, 25)
+	if lt < 0.2 || lt > 0.3 { // 25% of [0,100]
+		t.Errorf("lt sel = %g", lt)
+	}
+	gt := sel("v", sqlast.OpGt, 25)
+	if gt < 0.7 || gt > 0.8 {
+		t.Errorf("gt sel = %g", gt)
+	}
+	// Unknown distinct string column: defaults.
+	if got := sel("s", sqlast.OpEq, 0); got != opt.Model.DefaultEqSelectivity {
+		t.Errorf("default eq sel = %g", got)
+	}
+}

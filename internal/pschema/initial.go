@@ -1,0 +1,306 @@
+package pschema
+
+import (
+	"fmt"
+
+	"legodb/internal/xschema"
+)
+
+// Stratify rewrites an arbitrary schema into an equivalent physical
+// schema by introducing type names where the stratified grammar requires
+// them: under repetitions other than {0,1} and inside unions. This is the
+// constructive half of the paper's claim that "any XML Schema has an
+// equivalent physical schema". The input is not modified.
+func Stratify(s *xschema.Schema) (*xschema.Schema, error) {
+	out := s.Clone()
+	xschema.NormalizeSchema(out)
+	for guard := 0; ; guard++ {
+		if guard > 10000 {
+			return nil, fmt.Errorf("pschema: stratification did not converge")
+		}
+		repaired, err := repairOne(out)
+		if err != nil {
+			return nil, err
+		}
+		if !repaired {
+			break
+		}
+	}
+	if err := Check(out); err != nil {
+		return nil, fmt.Errorf("pschema: stratification left violations: %w", err)
+	}
+	return out, nil
+}
+
+// repairOne finds the first stratification violation and fixes it by
+// outlining or wrapping. It reports whether a repair was made.
+func repairOne(s *xschema.Schema) (bool, error) {
+	for _, name := range s.Names {
+		var fixLoc *Loc
+		var fixErr error
+		WalkBody(s.Types[name], func(path Path, t xschema.Type) bool {
+			if fixLoc != nil || fixErr != nil {
+				return false
+			}
+			switch t := t.(type) {
+			case *xschema.Repeat:
+				if t.Min == 0 && t.Max == 1 {
+					return true
+				}
+				if !IsNamedExpr(t.Inner) {
+					loc := Loc{Type: name, Path: append(path, 0)}
+					fixLoc = &loc
+					return false
+				}
+				return false // named expr below; nothing to visit
+			case *xschema.Choice:
+				if !IsNamedExpr(t) {
+					for i, alt := range t.Alts {
+						if !IsNamedExpr(alt) {
+							loc := Loc{Type: name, Path: append(path, i)}
+							fixLoc = &loc
+							return false
+						}
+					}
+				}
+				return false
+			}
+			return true
+		})
+		if fixErr != nil {
+			return false, fixErr
+		}
+		if fixLoc != nil {
+			if err := wrapAsNamed(s, *fixLoc); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// wrapAsNamed gives the node at loc its own named type: elements and
+// wildcards are outlined; sequences, choices and scalars are wrapped in a
+// fresh group type.
+func wrapAsNamed(s *xschema.Schema, loc Loc) error {
+	node, err := Resolve(s, loc)
+	if err != nil {
+		return err
+	}
+	switch node.(type) {
+	case *xschema.Element, *xschema.Wildcard:
+		_, err := Outline(s, loc)
+		return err
+	case *xschema.Ref:
+		return fmt.Errorf("pschema: node at %s is already a reference", loc)
+	default:
+		name := TypeNameFor(s, node)
+		if err := ReplaceAt(s, loc, &xschema.Ref{Name: name}); err != nil {
+			return err
+		}
+		s.Define(name, node)
+		return nil
+	}
+}
+
+// InitialOutlined builds the starting configuration of the greedy-so
+// search: a p-schema in which every element and wildcard has its own
+// named type (and therefore its own relation), except base types.
+func InitialOutlined(s *xschema.Schema) (*xschema.Schema, error) {
+	out, err := Stratify(s)
+	if err != nil {
+		return nil, err
+	}
+	for guard := 0; ; guard++ {
+		if guard > 100000 {
+			return nil, fmt.Errorf("pschema: outlining did not converge")
+		}
+		cands := OutlineCandidates(out)
+		if len(cands) == 0 {
+			break
+		}
+		if _, err := Outline(out, cands[0]); err != nil {
+			return nil, err
+		}
+	}
+	if err := Check(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InlineOptions controls InitialInlined.
+type InlineOptions struct {
+	// FlattenUnions additionally applies the union-to-options rewriting
+	// everywhere (Section 4.1, "From union to options"), inlining union
+	// branches as optional, null-able content. This reproduces the
+	// ALL-INLINED configuration of Figure 4(a). It widens the language of
+	// the schema (t1|t2 ⊂ t1?,t2?), as in the paper.
+	FlattenUnions bool
+}
+
+// InitialInlined builds the starting configuration of the greedy-si
+// search: a p-schema in which every element is inlined into its parent
+// except elements with multiple occurrences and recursive types.
+func InitialInlined(s *xschema.Schema, opts InlineOptions) (*xschema.Schema, error) {
+	out, err := Stratify(s)
+	if err != nil {
+		return nil, err
+	}
+	if opts.FlattenUnions {
+		if err := flattenUnions(out); err != nil {
+			return nil, err
+		}
+	}
+	for guard := 0; ; guard++ {
+		if guard > 100000 {
+			return nil, fmt.Errorf("pschema: inlining did not converge")
+		}
+		cands := InlineCandidates(out)
+		if len(cands) == 0 {
+			break
+		}
+		if _, err := Inline(out, cands[0]); err != nil {
+			return nil, err
+		}
+	}
+	out.GarbageCollect()
+	if err := Check(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AllInlined is shorthand for the paper's ALL-INLINED rule-of-thumb
+// configuration: inline as much as possible, flattening unions into
+// optional columns.
+func AllInlined(s *xschema.Schema) (*xschema.Schema, error) {
+	return InitialInlined(s, InlineOptions{FlattenUnions: true})
+}
+
+// flattenUnions rewrites every union whose branches can be inlined into a
+// sequence of optionals. Unions whose branches are recursive or whose
+// bodies are not physical content (e.g. wildcard partitions that must
+// stay separate types) are left alone.
+func flattenUnions(s *xschema.Schema) error {
+	for guard := 0; guard < 10000; guard++ {
+		loc, ok := findFlattenableUnion(s)
+		if !ok {
+			return nil
+		}
+		if err := FlattenUnionAt(s, loc); err != nil {
+			return err
+		}
+		s.GarbageCollect()
+	}
+	return fmt.Errorf("pschema: union flattening did not converge")
+}
+
+func findFlattenableUnion(s *xschema.Schema) (Loc, bool) {
+	for _, name := range s.Names {
+		var found *Loc
+		WalkBody(s.Types[name], func(path Path, t xschema.Type) bool {
+			if found != nil {
+				return false
+			}
+			if c, ok := t.(*xschema.Choice); ok {
+				// Only unions at unit positions (not under repetitions)
+				// can become optional columns.
+				if UnderRepetition(s.Types[name], path) {
+					return false
+				}
+				if Flattenable(s, c) {
+					loc := Loc{Type: name, Path: path}
+					found = &loc
+					return false
+				}
+			}
+			return true
+		})
+		if found != nil {
+			return *found, true
+		}
+	}
+	return Loc{}, false
+}
+
+// UnderRepetition reports whether the node at path sits inside a
+// repetition other than the optional {0,1}.
+func UnderRepetition(body xschema.Type, path Path) bool {
+	t := body
+	for _, i := range path {
+		if r, ok := t.(*xschema.Repeat); ok && !(r.Min == 0 && r.Max == 1) {
+			return true
+		}
+		var err error
+		t, err = Child(t, i)
+		if err != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Flattenable reports whether every branch of the union resolves to
+// physical content that can be made optional: no wildcards at top level
+// and no recursive references.
+func Flattenable(s *xschema.Schema, c *xschema.Choice) bool {
+	for _, alt := range c.Alts {
+		body := alt
+		if ref, ok := alt.(*xschema.Ref); ok {
+			def, found := s.Lookup(ref.Name)
+			if !found || Recursive(s, ref.Name) {
+				return false
+			}
+			body = def
+		}
+		switch body.(type) {
+		case *xschema.Element, *xschema.Sequence, *xschema.Attribute, *xschema.Empty:
+		default:
+			return false
+		}
+		if checkOptBody(body) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// FlattenUnionAt replaces the union at loc with a sequence of optionals,
+// one per branch, resolving branch references to their bodies.
+func FlattenUnionAt(s *xschema.Schema, loc Loc) error {
+	node, err := Resolve(s, loc)
+	if err != nil {
+		return err
+	}
+	c, ok := node.(*xschema.Choice)
+	if !ok {
+		return fmt.Errorf("pschema: node at %s is not a union", loc)
+	}
+	items := make([]xschema.Type, 0, len(c.Alts))
+	for i, alt := range c.Alts {
+		body := alt
+		if ref, isRef := alt.(*xschema.Ref); isRef {
+			def, found := s.Lookup(ref.Name)
+			if !found {
+				return fmt.Errorf("pschema: union branch references undefined %q", ref.Name)
+			}
+			body = xschema.Clone(def)
+		}
+		opt := &xschema.Repeat{Inner: body, Min: 0, Max: 1}
+		if len(c.Fractions) == len(c.Alts) {
+			opt.AvgCount = c.Fractions[i]
+		}
+		items = append(items, opt)
+	}
+	repl := xschema.Type(&xschema.Sequence{Items: items})
+	if len(items) == 1 {
+		repl = items[0]
+	}
+	if err := ReplaceAt(s, loc, repl); err != nil {
+		return err
+	}
+	s.Types[loc.Type] = xschema.Normalize(s.Types[loc.Type])
+	return nil
+}

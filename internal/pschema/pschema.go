@@ -1,0 +1,219 @@
+// Package pschema implements LegoDB's physical XML schemas (Section 3.1):
+// schemas whose named types follow the stratified grammar of Figure 9, so
+// that each type maps directly onto one relation. It provides
+//
+//   - Check, the stratification validator;
+//   - the inline/outline primitive rewritings (shared by the initial
+//     schema construction and the transformation search space);
+//   - InitialOutlined and InitialInlined, the two starting points of the
+//     greedy search (greedy-so and greedy-si in Section 5.2);
+//   - structural analyses used by the relational mapping (alias types,
+//     parent edges with cardinalities).
+package pschema
+
+import (
+	"fmt"
+	"strings"
+
+	"legodb/internal/xschema"
+)
+
+// Check verifies that every named type of the schema conforms to the
+// stratified physical grammar: type bodies are scalars or sequences of
+// "units", where a unit is an attribute, an element with physical
+// content, a wildcard, an optional over units, or a named-type expression
+// (type names combined with repetition and union only).
+func Check(s *xschema.Schema) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for _, name := range s.Names {
+		if err := checkTypeBody(s.Types[name]); err != nil {
+			return fmt.Errorf("pschema: type %s is not stratified: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// IsPhysical reports whether the schema is a valid p-schema.
+func IsPhysical(s *xschema.Schema) bool { return Check(s) == nil }
+
+func checkTypeBody(t xschema.Type) error {
+	if _, ok := t.(*xschema.Scalar); ok {
+		return nil
+	}
+	return checkOptBody(t)
+}
+
+// checkOptBody accepts a unit or a sequence of units.
+func checkOptBody(t xschema.Type) error {
+	if seq, ok := t.(*xschema.Sequence); ok {
+		for _, it := range seq.Items {
+			if err := checkUnit(it); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return checkUnit(t)
+}
+
+func checkUnit(t xschema.Type) error {
+	switch t := t.(type) {
+	case *xschema.Empty:
+		return nil
+	case *xschema.Attribute:
+		if _, ok := t.Content.(*xschema.Scalar); !ok {
+			return fmt.Errorf("attribute @%s content must be scalar", t.Name)
+		}
+		return nil
+	case *xschema.Element:
+		return checkElemContent(t.Content)
+	case *xschema.Wildcard:
+		return checkElemContent(t.Content)
+	case *xschema.Repeat:
+		if t.Min == 0 && t.Max == 1 {
+			// Optional layer: optionals over physical content are columns
+			// with nulls; optionals over named expressions are fine too.
+			if IsNamedExpr(t.Inner) {
+				return nil
+			}
+			return checkOptBody(t.Inner)
+		}
+		if !IsNamedExpr(t) {
+			return fmt.Errorf("repetition %s must contain only type names", t)
+		}
+		return nil
+	case *xschema.Choice:
+		if !IsNamedExpr(t) {
+			return fmt.Errorf("union %s must contain only type names", t)
+		}
+		return nil
+	case *xschema.Ref:
+		return nil
+	default:
+		return fmt.Errorf("%s cannot appear as a unit", t)
+	}
+}
+
+// checkElemContent accepts element content: a scalar or physical content.
+func checkElemContent(t xschema.Type) error {
+	if _, ok := t.(*xschema.Scalar); ok {
+		return nil
+	}
+	return checkOptBody(t)
+}
+
+// IsNamedExpr reports whether t belongs to the named-types layer: type
+// references combined only with repetition, union and sequencing.
+func IsNamedExpr(t xschema.Type) bool {
+	switch t := t.(type) {
+	case *xschema.Ref:
+		return true
+	case *xschema.Repeat:
+		return IsNamedExpr(t.Inner)
+	case *xschema.Choice:
+		for _, a := range t.Alts {
+			if !IsNamedExpr(a) {
+				return false
+			}
+		}
+		return true
+	case *xschema.Sequence:
+		for _, it := range t.Items {
+			if !IsNamedExpr(it) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// IsAlias reports whether a type body carries no physical content of its
+// own (it is purely a named-type expression). Alias types produce no
+// relation; their children attach to the alias's own parents. The Show
+// type after union distribution — type Show = (Show_Part1 | Show_Part2) —
+// is the canonical example.
+func IsAlias(t xschema.Type) bool {
+	switch t := t.(type) {
+	case *xschema.Ref:
+		return true
+	case *xschema.Repeat:
+		return IsAlias(t.Inner)
+	case *xschema.Choice:
+		for _, a := range t.Alts {
+			if !IsAlias(a) {
+				return false
+			}
+		}
+		return true
+	case *xschema.Sequence:
+		for _, it := range t.Items {
+			if !IsAlias(it) {
+				return false
+			}
+		}
+		return true
+	case *xschema.Empty:
+		return true
+	default:
+		return false
+	}
+}
+
+// Recursive reports whether the named type can reach itself through type
+// references.
+func Recursive(s *xschema.Schema, name string) bool {
+	seen := make(map[string]bool)
+	var reach func(from string) bool
+	reach = func(from string) bool {
+		def, ok := s.Types[from]
+		if !ok {
+			return false
+		}
+		found := false
+		xschema.Visit(def, func(t xschema.Type) {
+			if found {
+				return
+			}
+			if r, ok := t.(*xschema.Ref); ok {
+				if r.Name == name {
+					found = true
+					return
+				}
+				if !seen[r.Name] {
+					seen[r.Name] = true
+					if reach(r.Name) {
+						found = true
+					}
+				}
+			}
+		})
+		return found
+	}
+	return reach(name)
+}
+
+// TypeNameFor derives a readable fresh type name from an element tag:
+// "box_office" becomes "Box_office", wildcards become "Tilde".
+func TypeNameFor(s *xschema.Schema, t xschema.Type) string {
+	var base string
+	switch t := t.(type) {
+	case *xschema.Element:
+		base = capitalize(t.Name)
+	case *xschema.Wildcard:
+		base = "Tilde"
+	default:
+		base = "Group"
+	}
+	return s.FreshName(base)
+}
+
+func capitalize(name string) string {
+	if name == "" {
+		return "T"
+	}
+	return strings.ToUpper(name[:1]) + name[1:]
+}

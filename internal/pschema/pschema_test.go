@@ -1,0 +1,473 @@
+package pschema
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"legodb/internal/xschema"
+)
+
+// showSchema mirrors Figure 2(b) of the paper.
+const showSchema = `
+type Show = show [ @type[ String ],
+    title[ String ],
+    Year,
+    Aka{1,10},
+    Review*,
+    ( Movie | TV ) ]
+type Year = year[ Integer ]
+type Aka = aka[ String ]
+type Review = review[ ~[ String ] ]
+type Movie = box_office[ Integer ], video_sales[ Integer ]
+type TV = seasons[ Integer ], description[ String ], Episode*
+type Episode = episode[ name[ String ], guest_director[ String ] ]
+`
+
+func TestCheckAcceptsPaperSchema(t *testing.T) {
+	s := xschema.MustParseSchema(showSchema)
+	if err := Check(s); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestCheckRejectsUnstratified(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"element under star", `type A = a[ b[ String ]* ]`},
+		{"element in union", `type A = a[ ( b[String] | C ) ]
+type C = c[ String ]`},
+		{"sequence under plus", `type A = a[ (b[String], c[String])+ ]`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := xschema.MustParseSchema(c.src)
+			if err := Check(s); err == nil {
+				t.Fatalf("Check accepted unstratified schema:\n%s", c.src)
+			}
+		})
+	}
+}
+
+func TestCheckAcceptsOptionalLayer(t *testing.T) {
+	// Union-to-options output: optional sequences with nested collections.
+	s := xschema.MustParseSchema(`
+type Show = show[ title[String],
+    (box_office[Integer], video_sales[Integer])?,
+    (seasons[Integer], Episode*)? ]
+type Episode = episode[ name[String] ]`)
+	if err := Check(s); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestIsAlias(t *testing.T) {
+	cases := []struct {
+		src   string
+		alias bool
+	}{
+		{`( A | B )`, true},
+		{`A*`, true},
+		{`A, B`, true},
+		{`a[ String ]`, false},
+		{`@x[ String ]`, false},
+		{`A, b[ String ]`, false},
+		{`String`, false},
+	}
+	for _, c := range cases {
+		typ, err := xschema.ParseType(c.src)
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", c.src, err)
+		}
+		if got := IsAlias(typ); got != c.alias {
+			t.Errorf("IsAlias(%s) = %v, want %v", c.src, got, c.alias)
+		}
+	}
+}
+
+func TestRecursive(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type Any = ~[ (Any | Str)* ]
+type Str = String
+type Plain = p[ String ]`)
+	if !Recursive(s, "Any") {
+		t.Error("Any should be recursive")
+	}
+	if Recursive(s, "Str") || Recursive(s, "Plain") {
+		t.Error("non-recursive types reported recursive")
+	}
+	mutual := xschema.MustParseSchema(`
+type A = a[ B* ]
+type B = b[ A* ]`)
+	if !Recursive(mutual, "A") || !Recursive(mutual, "B") {
+		t.Error("mutual recursion not detected")
+	}
+}
+
+func TestOutlineInlineRoundTrip(t *testing.T) {
+	s := xschema.MustParseSchema(`type TV = tv[ seasons[ Integer ], description[ String ] ]`)
+	orig := s.Clone()
+	// Outline description (body -> content(0) -> sequence item 1).
+	name, err := Outline(s, Loc{Type: "TV", Path: Path{0, 1}})
+	if err != nil {
+		t.Fatalf("Outline: %v", err)
+	}
+	if name != "Description" {
+		t.Fatalf("outlined type name = %q", name)
+	}
+	def, ok := s.Lookup("Description")
+	if !ok {
+		t.Fatal("outlined type not defined")
+	}
+	if el, ok := def.(*xschema.Element); !ok || el.Name != "description" {
+		t.Fatalf("outlined body = %v", def)
+	}
+	if err := Check(s); err != nil {
+		t.Fatalf("outlined schema not physical: %v", err)
+	}
+	// Inline it back.
+	locs := InlineCandidates(s)
+	if len(locs) != 1 {
+		t.Fatalf("inline candidates = %v", locs)
+	}
+	mode, err := Inline(s, locs[0])
+	if err != nil {
+		t.Fatalf("Inline: %v", err)
+	}
+	if mode != InlineMoved {
+		t.Fatalf("mode = %v, want moved", mode)
+	}
+	if !xschema.DeepEqual(s.Types["TV"], orig.Types["TV"]) {
+		t.Fatalf("inline(outline(x)) != x:\n%s\nvs\n%s", s.Types["TV"], orig.Types["TV"])
+	}
+	if _, stillThere := s.Lookup("Description"); stillThere {
+		t.Fatal("moved type not removed")
+	}
+}
+
+func TestInlineSharedCopies(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type Show = show[ Aka, Aka{0,*} ]
+type Aka = aka[ String ]`)
+	// First Aka ref is singleton and inlinable even though Aka is shared.
+	cands := InlineCandidates(s)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %v (the starred ref must not be inlinable)", cands)
+	}
+	mode, err := Inline(s, cands[0])
+	if err != nil {
+		t.Fatalf("Inline: %v", err)
+	}
+	if mode != InlineCopied {
+		t.Fatalf("mode = %v, want copied", mode)
+	}
+	if _, ok := s.Lookup("Aka"); !ok {
+		t.Fatal("shared type removed on copy-inline")
+	}
+	if err := Check(s); err != nil {
+		t.Fatalf("result not physical: %v", err)
+	}
+}
+
+func TestInlineRestrictions(t *testing.T) {
+	s := xschema.MustParseSchema(showSchema)
+	// Refs inside unions are not inlinable.
+	for _, loc := range InlineCandidates(s) {
+		node, err := Resolve(s, loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := node.(*xschema.Ref)
+		if ref.Name == "Movie" || ref.Name == "TV" || ref.Name == "Aka" || ref.Name == "Review" {
+			t.Errorf("ref %s in collection/union reported inlinable", ref.Name)
+		}
+	}
+	// Recursive types are not inlinable.
+	rec := xschema.MustParseSchema(`
+type A = a[ B? ]
+type B = b[ A? ]`)
+	if got := InlineCandidates(rec); len(got) != 0 {
+		t.Errorf("recursive refs reported inlinable: %v", got)
+	}
+}
+
+func TestStratifyPaperAppendixSchema(t *testing.T) {
+	// Appendix B: elements directly under repetitions and unions of raw
+	// sequences.
+	src := `
+type IMDB = imdb [ Show{0,*} ]
+type Show = show [ @type[ String ],
+    title [ String ],
+    year[ Integer ],
+    aka [ String ]{0,*},
+    reviews[ ~[ String ] ]{0,*},
+    (box_office [ Integer ], video_sales [ Integer ]
+     | seasons[ Integer ], description [ String ],
+       episodes [ name[String], guest_director[ String ] ]{0,*}) ]`
+	s := xschema.MustParseSchema(src)
+	if Check(s) == nil {
+		t.Fatal("appendix schema should not already be physical")
+	}
+	ps, err := Stratify(s)
+	if err != nil {
+		t.Fatalf("Stratify: %v", err)
+	}
+	if err := Check(ps); err != nil {
+		t.Fatalf("stratified schema fails Check: %v", err)
+	}
+	if _, ok := ps.Lookup("Aka"); !ok {
+		t.Errorf("aka was not outlined; types: %v", ps.Names)
+	}
+}
+
+func TestStratifyPreservesValidity(t *testing.T) {
+	src := `
+type IMDB = imdb [ Show{0,*} ]
+type Show = show [ @type[ String ], title [ String ],
+    aka [ String ]{0,3},
+    (box_office [ Integer ] | seasons[ Integer ], episodes [ name[String] ]{0,2}) ]`
+	s := xschema.MustParseSchema(src)
+	ps, err := Stratify(s)
+	if err != nil {
+		t.Fatalf("Stratify: %v", err)
+	}
+	f := func(seed int64) bool {
+		g := xschema.NewGenerator(s, rand.New(rand.NewSource(seed)))
+		doc, err := g.Generate()
+		if err != nil {
+			return false
+		}
+		return ps.Valid(doc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Errorf("stratified schema rejects valid documents: %v", err)
+	}
+	// And the reverse: documents of the p-schema validate under the
+	// original.
+	g := func(seed int64) bool {
+		gen := xschema.NewGenerator(ps, rand.New(rand.NewSource(seed)))
+		doc, err := gen.Generate()
+		if err != nil {
+			return false
+		}
+		return s.Valid(doc)
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 80}); err != nil {
+		t.Errorf("original schema rejects p-schema documents: %v", err)
+	}
+}
+
+func TestInitialOutlined(t *testing.T) {
+	s := xschema.MustParseSchema(showSchema)
+	out, err := InitialOutlined(s)
+	if err != nil {
+		t.Fatalf("InitialOutlined: %v", err)
+	}
+	if err := Check(out); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	// Every element got a type: title, year, aka, review, box_office,
+	// video_sales, seasons, description, episode, name, guest_director...
+	if len(out.Names) < 12 {
+		t.Fatalf("expected a table per element, got %v", out.Names)
+	}
+	if len(OutlineCandidates(out)) != 0 {
+		t.Fatalf("outline candidates remain: %v", OutlineCandidates(out))
+	}
+}
+
+func TestInitialInlined(t *testing.T) {
+	s := xschema.MustParseSchema(showSchema)
+	out, err := InitialInlined(s, InlineOptions{})
+	if err != nil {
+		t.Fatalf("InitialInlined: %v", err)
+	}
+	if err := Check(out); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	// Year inlines into Show; Aka, Review stay (multi-occurrence); the
+	// union branches stay named (no flattening).
+	if _, ok := out.Lookup("Year"); ok {
+		t.Error("Year not inlined")
+	}
+	for _, want := range []string{"Show", "Aka", "Review", "Movie", "TV", "Episode"} {
+		if _, ok := out.Lookup(want); !ok {
+			t.Errorf("type %s missing; have %v", want, out.Names)
+		}
+	}
+	if len(InlineCandidates(out)) != 0 {
+		t.Fatalf("inline candidates remain: %v", InlineCandidates(out))
+	}
+}
+
+func TestAllInlinedFlattensUnions(t *testing.T) {
+	s := xschema.MustParseSchema(showSchema)
+	out, err := AllInlined(s)
+	if err != nil {
+		t.Fatalf("AllInlined: %v", err)
+	}
+	if err := Check(out); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if _, ok := out.Lookup("Movie"); ok {
+		t.Errorf("Movie survived flattening; types: %v", out.Names)
+	}
+	if _, ok := out.Lookup("TV"); ok {
+		t.Errorf("TV survived flattening; types: %v", out.Names)
+	}
+	// Episode must survive: it is multi-occurrence inside the TV branch.
+	if _, ok := out.Lookup("Episode"); !ok {
+		t.Errorf("Episode missing after flattening; types: %v", out.Names)
+	}
+	// A movie document (no seasons/description) must still validate:
+	// union widened to options.
+	movie := xschema.MustParseSchema(showSchema)
+	g := xschema.NewGenerator(movie, rand.New(rand.NewSource(3)))
+	for i := 0; i < 40; i++ {
+		doc, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Valid(doc) {
+			t.Fatalf("document valid under original rejected by ALL-INLINED:\n%s", doc)
+		}
+	}
+}
+
+func TestInitialSchemasOnRecursiveSchema(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type Any = ~[ (Any | Str)* ]
+type Str = String`)
+	out, err := InitialInlined(s, InlineOptions{FlattenUnions: true})
+	if err != nil {
+		t.Fatalf("InitialInlined: %v", err)
+	}
+	if err := Check(out); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if _, ok := out.Lookup("Any"); !ok {
+		t.Error("recursive type removed")
+	}
+}
+
+func TestResolveReplaceAt(t *testing.T) {
+	s := xschema.MustParseSchema(`type A = a[ b[ String ], c[ Integer ] ]`)
+	node, err := Resolve(s, Loc{Type: "A", Path: Path{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el, ok := node.(*xschema.Element); !ok || el.Name != "c" {
+		t.Fatalf("Resolve = %v", node)
+	}
+	if err := ReplaceAt(s, Loc{Type: "A", Path: Path{0, 1}}, &xschema.Ref{Name: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	node, _ = Resolve(s, Loc{Type: "A", Path: Path{0, 1}})
+	if _, ok := node.(*xschema.Ref); !ok {
+		t.Fatalf("ReplaceAt did not replace: %v", node)
+	}
+	if _, err := Resolve(s, Loc{Type: "A", Path: Path{0, 9}}); err == nil {
+		t.Fatal("bad path resolved")
+	}
+	if _, err := Resolve(s, Loc{Type: "Nope"}); err == nil {
+		t.Fatal("unknown type resolved")
+	}
+}
+
+// TestPropertyInitialSchemasAreEquivalent: random documents generated
+// from the original schema validate under both initial p-schemas (and
+// vice versa for the outlined one, which is strictly equivalent).
+func TestPropertyInitialSchemasAreEquivalent(t *testing.T) {
+	s := xschema.MustParseSchema(showSchema)
+	outlined, err := InitialOutlined(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlined, err := InitialInlined(s, InlineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		g := xschema.NewGenerator(s, rand.New(rand.NewSource(seed)))
+		doc, err := g.Generate()
+		if err != nil {
+			return false
+		}
+		return outlined.Valid(doc) && inlined.Valid(doc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	back := func(seed int64) bool {
+		g := xschema.NewGenerator(outlined, rand.New(rand.NewSource(seed)))
+		doc, err := g.Generate()
+		if err != nil {
+			return false
+		}
+		return s.Valid(doc)
+	}
+	if err := quick.Check(back, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChildAndSetChildErrors(t *testing.T) {
+	el := &xschema.Element{Name: "a", Content: &xschema.Scalar{}}
+	if _, err := Child(el, 1); err == nil {
+		t.Error("out-of-range Child accepted")
+	}
+	if err := SetChild(el, 5, &xschema.Empty{}); err == nil {
+		t.Error("out-of-range SetChild accepted")
+	}
+	if got := ChildCount(&xschema.Scalar{}); got != 0 {
+		t.Errorf("scalar child count = %d", got)
+	}
+	seq := &xschema.Sequence{Items: []xschema.Type{el, el}}
+	if got := ChildCount(seq); got != 2 {
+		t.Errorf("sequence child count = %d", got)
+	}
+}
+
+func TestTypeNameFor(t *testing.T) {
+	s := xschema.NewSchema("X")
+	s.Define("X", &xschema.Empty{})
+	el := &xschema.Element{Name: "box_office", Content: &xschema.Scalar{}}
+	if got := TypeNameFor(s, el); got != "Box_office" {
+		t.Errorf("TypeNameFor element = %q", got)
+	}
+	w := &xschema.Wildcard{Content: &xschema.Scalar{}}
+	if got := TypeNameFor(s, w); got != "Tilde" {
+		t.Errorf("TypeNameFor wildcard = %q", got)
+	}
+	if got := TypeNameFor(s, &xschema.Sequence{}); got != "Group" {
+		t.Errorf("TypeNameFor group = %q", got)
+	}
+}
+
+func TestOutlineErrors(t *testing.T) {
+	s := xschema.MustParseSchema(`type A = a[ b[ String ] ]`)
+	if _, err := Outline(s, Loc{Type: "A"}); err == nil {
+		t.Error("outlining the whole body accepted")
+	}
+	if _, err := Outline(s, Loc{Type: "A", Path: Path{0, 0}}); err == nil {
+		t.Error("outlining a scalar accepted")
+	}
+	if _, err := Outline(s, Loc{Type: "Nope", Path: Path{0}}); err == nil {
+		t.Error("outlining in unknown type accepted")
+	}
+}
+
+func TestInlineErrors(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type IMDB = imdb[ Show{0,*} ]
+type Show = show[ title[ String ] ]`)
+	// Inlining the root via a self-loc and inlining non-refs fail.
+	if err := CanInline(s, Loc{Type: "IMDB", Path: Path{0}}); err == nil {
+		t.Error("inlining a repetition node accepted")
+	}
+	if _, err := Inline(s, Loc{Type: "Show", Path: Path{0, 0}}); err == nil {
+		t.Error("inlining an element accepted")
+	}
+}

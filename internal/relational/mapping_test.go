@@ -1,0 +1,353 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+
+	"legodb/internal/pschema"
+	"legodb/internal/xschema"
+	"legodb/internal/xstats"
+)
+
+// figure3Schema is the fragment used in Figure 3 of the paper.
+const figure3Schema = `
+type IMDB = imdb[ Show{0,*}<#1000> ]
+type Show = show [ @type[ String<#8,#2> ],
+    title[ String<#50,#1000> ],
+    year[ Integer<#4,#1800,#2100,#300> ],
+    Aka{1,10}<#3> ]
+type Aka = aka[ String<#40,#900> ]
+`
+
+func mapSchema(t *testing.T, src string) *Catalog {
+	t.Helper()
+	s := xschema.MustParseSchema(src)
+	cat, err := Map(s)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	return cat
+}
+
+func TestFigure3Mapping(t *testing.T) {
+	cat := mapSchema(t, figure3Schema)
+	show := cat.Table("Show")
+	if show == nil {
+		t.Fatalf("no Show table; catalog:\n%s", cat)
+	}
+	for _, want := range []string{"Show_id", "type", "title", "year", "parent_IMDB"} {
+		if show.Column(want) == nil {
+			t.Errorf("Show lacks column %s; has %v", want, colNames(show))
+		}
+	}
+	aka := cat.Table("Aka")
+	if aka == nil {
+		t.Fatal("no Aka table")
+	}
+	for _, want := range []string{"Aka_id", "aka", "parent_Show"} {
+		if aka.Column(want) == nil {
+			t.Errorf("Aka lacks column %s; has %v", want, colNames(aka))
+		}
+	}
+	if fk := aka.Column("parent_Show"); fk.FKRef != "Show" {
+		t.Errorf("parent_Show FKRef = %q", fk.FKRef)
+	}
+}
+
+func colNames(t *Table) []string {
+	names := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+func TestCardinalityPropagation(t *testing.T) {
+	cat := mapSchema(t, figure3Schema)
+	if got := cat.Table("IMDB").Rows; got != 1 {
+		t.Errorf("IMDB rows = %g", got)
+	}
+	if got := cat.Table("Show").Rows; got != 1000 {
+		t.Errorf("Show rows = %g", got)
+	}
+	if got := cat.Table("Aka").Rows; got != 3000 {
+		t.Errorf("Aka rows = %g (3 per show)", got)
+	}
+	if e := cat.Table("Aka").Parents[0]; e.AvgPerParent != 3 {
+		t.Errorf("Aka fanout = %g", e.AvgPerParent)
+	}
+}
+
+func TestColumnStatistics(t *testing.T) {
+	cat := mapSchema(t, figure3Schema)
+	show := cat.Table("Show")
+	year := show.Column("year")
+	if year.Type != IntCol || year.Min != 1800 || year.Max != 2100 || year.Distinct != 300 {
+		t.Errorf("year column = %+v", year)
+	}
+	title := show.Column("title")
+	if title.Type != CharCol || title.Size != 50 || title.Distinct != 1000 {
+		t.Errorf("title column = %+v", title)
+	}
+	id := show.Column("Show_id")
+	if !id.Key || id.Distinct != 1000 {
+		t.Errorf("id column = %+v", id)
+	}
+	fk := cat.Table("Aka").Column("parent_Show")
+	if fk.Distinct != 1000 {
+		t.Errorf("fk distinct = %g, want 1000", fk.Distinct)
+	}
+}
+
+func TestAliasTypesProduceNoTable(t *testing.T) {
+	// Union distribution result: Show is an alias over two partitions.
+	cat := mapSchema(t, `
+type IMDB = imdb[ Show{0,*}<#100> ]
+type Show = ( Show_Part1 | Show_Part2 )
+type Show_Part1 = show[ title[ String<#50,#90> ], box_office[ Integer ] ]
+type Show_Part2 = show[ title[ String<#50,#10> ], seasons[ Integer ] ]
+`)
+	if _, ok := cat.Tables["Show"]; ok {
+		t.Fatal("alias type Show produced a table")
+	}
+	if cat.TableOf["Show"] != "" {
+		t.Fatalf("TableOf[Show] = %q", cat.TableOf["Show"])
+	}
+	p1 := cat.Table("Show_Part1")
+	if p1 == nil || p1.Column("parent_IMDB") == nil {
+		t.Fatalf("partition did not attach to grandparent: %v", cat)
+	}
+	// Without fractions, each branch gets half of the 100 shows.
+	if p1.Rows != 50 {
+		t.Errorf("partition rows = %g, want 50", p1.Rows)
+	}
+}
+
+func TestUnionFractionsSplitCardinality(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type IMDB = imdb[ Show{0,*} ]
+type Show = ( Movie | TV )
+type Movie = show[ box_office[ Integer ] ]
+type TV = show[ seasons[ Integer ] ]
+`)
+	stats := xstats.NewSet()
+	stats.SetCount(1, "imdb")
+	stats.SetCount(10000, "imdb", "show")
+	stats.SetCount(7000, "imdb", "show", "box_office")
+	stats.SetCount(3000, "imdb", "show", "seasons")
+	if err := xstats.Annotate(s, stats); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := Map(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fractions cannot be derived at the alias (both branches are <show>),
+	// so they fall back to equal split; verify the split sums to total.
+	total := cat.Table("Movie").Rows + cat.Table("TV").Rows
+	if total != 10000 {
+		t.Errorf("partition rows sum = %g, want 10000", total)
+	}
+}
+
+func TestOptionalContentNullable(t *testing.T) {
+	cat := mapSchema(t, `
+type Show = show[ title[ String<#50,#10> ],
+    (box_office[ Integer ], video_sales[ Integer ])?<#0.7>,
+    (seasons[ Integer ], description[ String<#120,#5> ])?<#0.3> ]`)
+	show := cat.Table("Show")
+	bo := show.Column("box_office")
+	if bo == nil || !bo.Nullable {
+		t.Fatalf("box_office = %+v", bo)
+	}
+	if bo.NullFraction < 0.29 || bo.NullFraction > 0.31 {
+		t.Errorf("box_office null fraction = %g, want 0.3", bo.NullFraction)
+	}
+	seasons := show.Column("seasons")
+	if seasons.NullFraction < 0.69 || seasons.NullFraction > 0.71 {
+		t.Errorf("seasons null fraction = %g, want 0.7", seasons.NullFraction)
+	}
+	if title := show.Column("title"); title.Nullable {
+		t.Error("title should not be nullable")
+	}
+}
+
+func TestWildcardMapping(t *testing.T) {
+	cat := mapSchema(t, `
+type Show = show[ title[ String ], Review*<#10> ]
+type Review = review[ ~[ String<#800,#100> ] ]`)
+	review := cat.Table("Review")
+	if review == nil {
+		t.Fatal("no Review table")
+	}
+	tilde := review.Column("tilde")
+	if tilde == nil || tilde.Type != CharCol {
+		t.Fatalf("tilde column = %+v", tilde)
+	}
+	data := review.Column("data")
+	if data == nil || data.Size != 800 {
+		t.Fatalf("data column = %+v", data)
+	}
+}
+
+func TestRootWildcardType(t *testing.T) {
+	cat := mapSchema(t, `
+type Show = show[ Tilde{0,*}<#4> ]
+type Tilde = ~[ String<#100,#7> ]`)
+	tl := cat.Table("Tilde")
+	if tl == nil {
+		t.Fatal("no Tilde table")
+	}
+	if tl.Column("tilde") == nil || tl.Column("data") == nil {
+		t.Fatalf("Tilde columns = %v", colNames(tl))
+	}
+	if got := tl.Column("tilde").XMLPath; len(got) != 1 || got[0] != "#tag" {
+		t.Errorf("tilde XMLPath = %v", got)
+	}
+}
+
+func TestNestedElementPrefixing(t *testing.T) {
+	cat := mapSchema(t, `
+type Actor = actor[ name[ String ],
+    biography[ birthday[ String ], text[ String ] ]? ]`)
+	actor := cat.Table("Actor")
+	for _, want := range []string{"name", "biography_birthday", "biography_text"} {
+		if actor.Column(want) == nil {
+			t.Errorf("missing column %s; have %v", want, colNames(actor))
+		}
+	}
+	bb := actor.Column("biography_birthday")
+	if !bb.Nullable {
+		t.Error("optional nested content should be nullable")
+	}
+	if got := strings.Join(bb.XMLPath, "/"); got != "biography/birthday" {
+		t.Errorf("XMLPath = %q", got)
+	}
+}
+
+func TestScalarTypeBody(t *testing.T) {
+	cat := mapSchema(t, `
+type Doc = d[ Value*<#5> ]
+type Value = String<#20,#9>`)
+	v := cat.Table("Value")
+	if v == nil {
+		t.Fatal("no Value table")
+	}
+	data := v.Column("data")
+	if data == nil || data.Size != 20 {
+		t.Fatalf("data column = %+v", data)
+	}
+	if got := data.XMLPath; len(got) != 1 || got[0] != "#text" {
+		t.Errorf("XMLPath = %v", got)
+	}
+}
+
+func TestRecursiveSchemaMapping(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type AnyElement = ~[ (AnyElement | AnyScalar)*<#0.5> ]
+type AnyScalar = String`)
+	cat, err := Map(s)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	any := cat.Table("AnyElement")
+	if any == nil {
+		t.Fatal("no AnyElement table")
+	}
+	// Recursive type references itself: FK to its own table.
+	foundSelf := false
+	for _, e := range any.Parents {
+		if e.Parent == "AnyElement" {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Errorf("AnyElement lacks self FK; parents = %+v", any.Parents)
+	}
+}
+
+func TestMultipleParents(t *testing.T) {
+	cat := mapSchema(t, `
+type Root = r[ A*, B* ]
+type A = a[ Shared? ]
+type B = b[ Shared? ]
+type Shared = s[ String ]`)
+	shared := cat.Table("Shared")
+	if len(shared.Parents) != 2 {
+		t.Fatalf("Shared parents = %+v", shared.Parents)
+	}
+	if shared.Column("parent_A") == nil || shared.Column("parent_B") == nil {
+		t.Fatalf("Shared columns = %v", colNames(shared))
+	}
+}
+
+func TestRejectsNonPhysicalSchema(t *testing.T) {
+	s := xschema.MustParseSchema(`type A = a[ b[ String ]* ]`)
+	if _, err := Map(s); err == nil {
+		t.Fatal("Map accepted unstratified schema")
+	}
+}
+
+func TestDDLOutput(t *testing.T) {
+	cat := mapSchema(t, figure3Schema)
+	ddl := cat.SQL()
+	for _, want := range []string{"TABLE Show", "Show_id INT", "title CHAR(50)", "parent_Show INT"} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+}
+
+func TestRowBytesAndTotal(t *testing.T) {
+	cat := mapSchema(t, figure3Schema)
+	show := cat.Table("Show")
+	w := show.RowBytes()
+	// id(4) + type(8) + title(50) + year(4) + fk(4) = 70 payload + 5
+	// presence bytes + 8 header = 83.
+	if w < 80 || w > 86 {
+		t.Errorf("Show row bytes = %g", w)
+	}
+	if cat.TotalBytes() <= 0 {
+		t.Error("TotalBytes not positive")
+	}
+}
+
+func TestInitialSchemasMapCleanly(t *testing.T) {
+	src := `
+type IMDB = imdb [ Show{0,*} ]
+type Show = show [ @type[ String ], title [ String ],
+    aka [ String ]{1,10},
+    reviews[ ~[ String ] ]{0,*},
+    (box_office [ Integer ], video_sales [ Integer ]
+     | seasons[ Integer ], description [ String ], episodes [ name[String] ]{0,*}) ]`
+	s := xschema.MustParseSchema(src)
+	for _, build := range []struct {
+		name string
+		fn   func(*xschema.Schema) (*xschema.Schema, error)
+	}{
+		{"outlined", pschema.InitialOutlined},
+		{"all-inlined", pschema.AllInlined},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			ps, err := build.fn(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cat, err := Map(ps)
+			if err != nil {
+				t.Fatalf("Map: %v", err)
+			}
+			if len(cat.Order) == 0 {
+				t.Fatal("empty catalog")
+			}
+			// FK targets must exist.
+			for _, name := range cat.Order {
+				for _, e := range cat.Tables[name].Parents {
+					if cat.Table(e.Parent) == nil {
+						t.Errorf("table %s references missing parent %s", name, e.Parent)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,223 @@
+// Package relational defines relational schemas (catalogs) and the fixed
+// mapping from physical XML schemas to relations described in Section 3.2
+// and Table 1 of the paper:
+//
+//   - one relation per named type (alias types — pure named-type
+//     expressions such as `type Show = (Show_Part1 | Show_Part2)` —
+//     produce no relation and are looked through);
+//   - a key column <Table>_id per relation;
+//   - a foreign key parent_<P> per (transitive, alias-collapsed) parent
+//     type P;
+//   - one column per physical subelement, attribute or wildcard, with
+//     nested elements prefix-joined (a_b) and optional content nullable.
+//
+// Statistics from the p-schema (scalar sizes/distributions, repetition
+// counts, union fractions) propagate into table cardinalities, row
+// widths, column distinct counts and null fractions — the relational
+// catalog the cost-based optimizer consumes.
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColumnType enumerates the SQL column types produced by the mapping.
+type ColumnType int
+
+const (
+	// IntCol is a 4-byte INTEGER.
+	IntCol ColumnType = iota
+	// CharCol is a fixed-size CHAR(n).
+	CharCol
+	// VarCharCol is a variable-size string with an estimated average
+	// width (used when the schema carries no size statistics).
+	VarCharCol
+)
+
+func (t ColumnType) String() string {
+	switch t {
+	case IntCol:
+		return "INT"
+	case CharCol:
+		return "CHAR"
+	case VarCharCol:
+		return "STRING"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", int(t))
+	}
+}
+
+// Column is one relational attribute with its statistics.
+type Column struct {
+	Name     string
+	Type     ColumnType
+	Size     int // average stored width in bytes
+	Nullable bool
+	// NullFraction is the estimated fraction of NULL values (optional
+	// content inlined from unions or ?-elements).
+	NullFraction float64
+	// Distinct is the estimated number of distinct non-null values
+	// (0 = unknown).
+	Distinct float64
+	// Min/Max bound integer columns when known.
+	Min, Max int64
+	// Hist, when present, is an equi-width histogram over [Min, Max]:
+	// the fraction of values per bucket (improves range selectivity on
+	// skewed data; an extension beyond the paper's uniform assumption).
+	Hist []float64
+	// Key marks the table's id column; FKRef names the referenced table
+	// for foreign keys.
+	Key   bool
+	FKRef string
+	// XMLPath records the element path of this column inside its type's
+	// content (used by the query translator and the shredder).
+	XMLPath []string
+}
+
+// SQL renders the column as a DDL fragment.
+func (c *Column) SQL() string {
+	var typ string
+	switch c.Type {
+	case IntCol:
+		typ = "INT"
+	case CharCol:
+		typ = fmt.Sprintf("CHAR(%d)", c.Size)
+	default:
+		typ = "STRING"
+	}
+	s := fmt.Sprintf("%s %s", c.Name, typ)
+	if c.Nullable {
+		s += " NULL"
+	}
+	return s
+}
+
+// Table is one relation produced by the mapping.
+type Table struct {
+	Name     string
+	TypeName string // originating p-schema type
+	Columns  []*Column
+	// Rows is the estimated cardinality.
+	Rows float64
+	// Parents lists FK edges to parent tables.
+	Parents []*Edge
+}
+
+// Edge is a parent-child relationship: rows of Child carry a foreign key
+// to rows of Parent.
+type Edge struct {
+	Child, Parent string // table names
+	FKColumn      string
+	// AvgPerParent is the average number of child rows per parent row
+	// along this edge.
+	AvgPerParent float64
+}
+
+// Key returns the table's id column name.
+func (t *Table) Key() string { return t.Name + "_id" }
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	for _, c := range t.Columns {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// RowBytes estimates the stored width of one row: column payloads plus a
+// per-column presence byte and a row header. Storage is fixed-width, as
+// in the paper's target system (SQL Server 6.5 CHAR columns): NULL values
+// still occupy their column's full width. This is what makes the
+// ALL-INLINED configuration's Show relation "wider than necessary"
+// (Section 2) — inlined union branches cost width in every row.
+func (t *Table) RowBytes() float64 {
+	const rowHeader = 8
+	total := float64(rowHeader)
+	for _, c := range t.Columns {
+		total += float64(c.Size) + 1
+	}
+	return total
+}
+
+// SQL renders a CREATE TABLE statement.
+func (t *Table) SQL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE %s (\n", t.Name)
+	for i, c := range t.Columns {
+		sep := ","
+		if i == len(t.Columns)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "  %s%s\n", c.SQL(), sep)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Catalog is a relational schema with statistics: the output of the fixed
+// mapping and the input of the optimizer.
+type Catalog struct {
+	Tables map[string]*Table
+	Order  []string // table creation order (stable)
+	// TableOf maps p-schema type names to table names; alias types map to
+	// "".
+	TableOf map[string]string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{Tables: make(map[string]*Table), TableOf: make(map[string]string)}
+}
+
+// Add registers a table.
+func (c *Catalog) Add(t *Table) {
+	if _, exists := c.Tables[t.Name]; !exists {
+		c.Order = append(c.Order, t.Name)
+	}
+	c.Tables[t.Name] = t
+	if t.TypeName != "" {
+		c.TableOf[t.TypeName] = t.Name
+	}
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table { return c.Tables[name] }
+
+// TotalBytes estimates the stored size of the whole database.
+func (c *Catalog) TotalBytes() float64 {
+	total := 0.0
+	for _, name := range c.Order {
+		t := c.Tables[name]
+		total += t.Rows * t.RowBytes()
+	}
+	return total
+}
+
+// SQL renders the whole catalog as DDL.
+func (c *Catalog) SQL() string {
+	var b strings.Builder
+	for _, name := range c.Order {
+		b.WriteString(c.Tables[name].SQL())
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}
+
+// String summarizes the catalog: one line per table with cardinality and
+// width.
+func (c *Catalog) String() string {
+	var b strings.Builder
+	for _, name := range c.Order {
+		t := c.Tables[name]
+		cols := make([]string, len(t.Columns))
+		for i, col := range t.Columns {
+			cols[i] = col.Name
+		}
+		fmt.Fprintf(&b, "%-24s rows=%-10.0f width=%-5.0f (%s)\n",
+			name, t.Rows, t.RowBytes(), strings.Join(cols, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+
+	"legodb/internal/xschema"
+)
+
+func TestColumnSQLVariants(t *testing.T) {
+	cases := []struct {
+		col  Column
+		want string
+	}{
+		{Column{Name: "a", Type: IntCol, Size: 4}, "a INT"},
+		{Column{Name: "b", Type: CharCol, Size: 50}, "b CHAR(50)"},
+		{Column{Name: "c", Type: VarCharCol, Size: 30}, "c STRING"},
+		{Column{Name: "d", Type: IntCol, Size: 4, Nullable: true}, "d INT NULL"},
+	}
+	for _, c := range cases {
+		if got := c.col.SQL(); got != c.want {
+			t.Errorf("SQL = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestColumnTypeStrings(t *testing.T) {
+	if IntCol.String() != "INT" || CharCol.String() != "CHAR" || VarCharCol.String() != "STRING" {
+		t.Fatal("type strings broken")
+	}
+	if got := ColumnType(42).String(); !strings.Contains(got, "42") {
+		t.Fatalf("unknown type = %q", got)
+	}
+}
+
+func TestDedupeColumnNames(t *testing.T) {
+	// Two union branches with equally-named fields flattened to options
+	// must not collide.
+	s := xschema.MustParseSchema(`
+type Show = show[ (info[ String<#10,#3> ])?, (info[ Integer ])? ]`)
+	cat, err := Map(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	show := cat.Table("Show")
+	names := map[string]bool{}
+	for _, c := range show.Columns {
+		if names[c.Name] {
+			t.Fatalf("duplicate column %q", c.Name)
+		}
+		names[c.Name] = true
+	}
+	if !names["info"] || !names["info_2"] {
+		t.Fatalf("columns = %v", names)
+	}
+}
+
+func TestSanitizeTypeNames(t *testing.T) {
+	s := xschema.NewSchema("Weird")
+	s.Define("Weird", &xschema.Element{Name: "weird", Content: &xschema.Scalar{}})
+	cat, err := Map(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Table("Weird") == nil {
+		t.Fatalf("catalog = %v", cat.Order)
+	}
+	if got := sanitize("a-b.c d"); got != "a_b_c_d" {
+		t.Fatalf("sanitize = %q", got)
+	}
+	if got := sanitize(""); got != "T" {
+		t.Fatalf("sanitize empty = %q", got)
+	}
+}
+
+func TestEffectiveCountDefaults(t *testing.T) {
+	cases := []struct {
+		rep  xschema.Repeat
+		want float64
+	}{
+		{xschema.Repeat{Min: 0, Max: 1}, 0.5},
+		{xschema.Repeat{Min: 0, Max: xschema.Unbounded}, 1},
+		{xschema.Repeat{Min: 2, Max: xschema.Unbounded}, 3},
+		{xschema.Repeat{Min: 2, Max: 6}, 4},
+		{xschema.Repeat{Min: 0, Max: 1, AvgCount: 0.9}, 0.9},
+	}
+	for _, c := range cases {
+		if got := effectiveCount(&c.rep); got != c.want {
+			t.Errorf("effectiveCount(%+v) = %g, want %g", c.rep, got, c.want)
+		}
+	}
+}
+
+func TestFKNullFractionOnPartitions(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type R = r[ Show{0,*}<#100> ]
+type Show = ( P1 | P2 )
+type P1 = show[ a[ String ], Kid* ]
+type P2 = show[ b[ String ], Kid* ]
+type Kid = kid[ String ]`)
+	// Give the union explicit fractions.
+	choice := s.Types["Show"].(*xschema.Choice)
+	choice.Fractions = []float64{0.75, 0.25}
+	cat, err := Map(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kid := cat.Table("Kid")
+	fk1 := kid.Column("parent_P1")
+	fk2 := kid.Column("parent_P2")
+	if fk1 == nil || fk2 == nil {
+		t.Fatalf("kid columns: %v", kid.Columns)
+	}
+	if fk1.NullFraction < 0.2 || fk1.NullFraction > 0.3 {
+		t.Errorf("parent_P1 null fraction = %g, want ~0.25", fk1.NullFraction)
+	}
+	if fk2.NullFraction < 0.7 || fk2.NullFraction > 0.8 {
+		t.Errorf("parent_P2 null fraction = %g, want ~0.75", fk2.NullFraction)
+	}
+}
+
+func TestCatalogHelpers(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type R = r[ X*<#10> ]
+type X = x[ a[ String<#5,#3> ] ]`)
+	cat, err := Map(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Table("Missing") != nil {
+		t.Fatal("phantom table")
+	}
+	if cat.TotalBytes() <= 0 {
+		t.Fatal("TotalBytes must be positive")
+	}
+	if !strings.Contains(cat.String(), "rows=") {
+		t.Fatalf("String = %q", cat.String())
+	}
+	// Re-adding a table keeps Order stable.
+	n := len(cat.Order)
+	cat.Add(cat.Table("X"))
+	if len(cat.Order) != n {
+		t.Fatal("Add duplicated the order entry")
+	}
+}
+
+func TestMapWithOptions(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type R = r[ X*<#10> ]
+type X = x[ a[ String ] ]`)
+	cat, err := MapWith(s, Options{RootCount: 5, DefaultStringSize: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.Table("R").Rows; got != 5 {
+		t.Fatalf("R rows = %g", got)
+	}
+	if got := cat.Table("X").Rows; got != 50 {
+		t.Fatalf("X rows = %g", got)
+	}
+	if got := cat.Table("X").Column("a").Size; got != 99 {
+		t.Fatalf("default string size = %d", got)
+	}
+}

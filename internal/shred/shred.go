@@ -1,0 +1,420 @@
+// Package shred loads XML documents into the relational image of a
+// physical schema (the document half of the fixed mapping, Section 3.2)
+// and reconstructs documents from that image (publishing). Together the
+// two directions give the round-trip property the tests rely on:
+// publish(shred(doc)) is the original document up to the interleaving
+// order of differently-typed siblings, which the relational image does
+// not record.
+package shred
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"legodb/internal/engine"
+	"legodb/internal/pschema"
+	"legodb/internal/relational"
+	"legodb/internal/xmltree"
+	"legodb/internal/xschema"
+)
+
+// Shredder maps documents of one physical schema into an engine database.
+type Shredder struct {
+	Schema *xschema.Schema
+	Cat    *relational.Catalog
+	DB     *engine.Database
+}
+
+// New builds a shredder over schema, catalog and database (all three must
+// derive from the same p-schema).
+func New(s *xschema.Schema, cat *relational.Catalog, db *engine.Database) *Shredder {
+	return &Shredder{Schema: s, Cat: cat, DB: db}
+}
+
+// Shred inserts one document. It can be called repeatedly to load
+// multiple documents into the same database.
+func (sh *Shredder) Shred(doc *xmltree.Node) error {
+	_, err := sh.shredInstance(sh.Schema.Root, doc, "", 0)
+	return err
+}
+
+// piece is one unit of a successful structural match: either a column
+// value (path non-empty) or a child-type instance.
+type piece struct {
+	// Column value, keyed by the XMLPath join.
+	path  string
+	value string
+	// Child instance of a named type.
+	refName string
+	node    *xmltree.Node // element/wildcard-bodied types
+	text    string        // scalar-bodied types
+	isText  bool
+	sub     []piece // group-bodied types: their columns and children
+	isGroup bool
+}
+
+type itemKind int
+
+const (
+	itemAttr itemKind = iota
+	itemElem
+	itemText
+)
+
+type item struct {
+	kind  itemKind
+	name  string
+	value string
+	node  *xmltree.Node
+}
+
+func itemsOf(n *xmltree.Node) []item {
+	items := make([]item, 0, len(n.Attrs)+len(n.Children)+1)
+	for _, a := range n.Attrs {
+		items = append(items, item{kind: itemAttr, name: a.Name, value: a.Value})
+	}
+	if n.Text != "" {
+		items = append(items, item{kind: itemText, value: n.Text})
+	}
+	for _, c := range n.Children {
+		items = append(items, item{kind: itemElem, name: c.Name, node: c})
+	}
+	return items
+}
+
+// mres is one partial match: the position reached and the pieces captured.
+type mres struct {
+	end    int
+	pieces []piece
+}
+
+// shredInstance inserts the row for one instance of a named type and
+// recursively shreds its children. It returns the new row's id.
+func (sh *Shredder) shredInstance(typeName string, node *xmltree.Node, parentTable string, parentID int64) (int64, error) {
+	body, ok := sh.Schema.Lookup(typeName)
+	if !ok {
+		return 0, fmt.Errorf("shred: undefined type %q", typeName)
+	}
+	var pieces []piece
+	switch b := body.(type) {
+	case *xschema.Element:
+		if b.Name != node.Name {
+			return 0, fmt.Errorf("shred: node <%s> does not instantiate type %s", node.Name, typeName)
+		}
+		if _, isScalar := b.Content.(*xschema.Scalar); isScalar {
+			pieces = []piece{{path: "#text", value: node.Text}}
+		} else {
+			p, ok := sh.matchContent(b.Content, node, nil)
+			if !ok {
+				return 0, fmt.Errorf("shred: content of <%s> does not match type %s", node.Name, typeName)
+			}
+			pieces = p
+		}
+	case *xschema.Wildcard:
+		pieces = []piece{{path: "#tag", value: node.Name}}
+		if _, isScalar := b.Content.(*xschema.Scalar); isScalar {
+			pieces = append(pieces, piece{path: "#text", value: node.Text})
+		} else {
+			p, ok := sh.matchContent(b.Content, node, nil)
+			if !ok {
+				return 0, fmt.Errorf("shred: wildcard content does not match type %s", typeName)
+			}
+			pieces = append(pieces, p...)
+		}
+	case *xschema.Scalar:
+		pieces = []piece{{path: "#text", value: node.Text}}
+	default:
+		p, ok := sh.matchContent(body, node, nil)
+		if !ok {
+			return 0, fmt.Errorf("shred: node <%s> does not match group type %s", node.Name, typeName)
+		}
+		pieces = p
+	}
+	return sh.insertRow(typeName, pieces, parentTable, parentID)
+}
+
+// matchContent matches all items of a node against a content type.
+func (sh *Shredder) matchContent(content xschema.Type, node *xmltree.Node, prefix []string) ([]piece, bool) {
+	items := itemsOf(node)
+	for _, r := range sh.match(content, items, 0, prefix) {
+		if r.end == len(items) {
+			return r.pieces, true
+		}
+	}
+	return nil, false
+}
+
+// match is the assignment-producing regular-expression matcher: like the
+// validator, but each successful alternative carries the pieces captured
+// along the way. Results are deduplicated by end position (first parse
+// wins, as in ordered alternation).
+func (sh *Shredder) match(t xschema.Type, items []item, i int, prefix []string) []mres {
+	switch t := t.(type) {
+	case *xschema.Empty:
+		return []mres{{end: i}}
+	case *xschema.Scalar:
+		if i < len(items) && items[i].kind == itemText {
+			if t.Kind == xschema.IntegerKind && !parsesInt(items[i].value) {
+				return nil
+			}
+			return []mres{{end: i + 1, pieces: []piece{{path: pathKey(prefix, "#text"), value: items[i].value}}}}
+		}
+		if t.Kind == xschema.StringKind {
+			return []mres{{end: i}}
+		}
+		return nil
+	case *xschema.Attribute:
+		if i < len(items) && items[i].kind == itemAttr && items[i].name == t.Name {
+			if sc, ok := t.Content.(*xschema.Scalar); ok && sc.Kind == xschema.IntegerKind && !parsesInt(items[i].value) {
+				return nil
+			}
+			return []mres{{end: i + 1, pieces: []piece{{path: pathKey(prefix, "@"+t.Name), value: items[i].value}}}}
+		}
+		return nil
+	case *xschema.Element:
+		if i >= len(items) || items[i].kind != itemElem || items[i].name != t.Name {
+			return nil
+		}
+		node := items[i].node
+		if sc, ok := t.Content.(*xschema.Scalar); ok {
+			if len(node.Children) > 0 {
+				return nil
+			}
+			if sc.Kind == xschema.IntegerKind && !parsesInt(node.Text) {
+				return nil
+			}
+			return []mres{{end: i + 1, pieces: []piece{{path: pathKey(prefix, t.Name), value: node.Text}}}}
+		}
+		sub, ok := sh.matchContent(t.Content, node, extend(prefix, t.Name))
+		if !ok {
+			return nil
+		}
+		return []mres{{end: i + 1, pieces: sub}}
+	case *xschema.Wildcard:
+		if i >= len(items) || items[i].kind != itemElem {
+			return nil
+		}
+		node := items[i].node
+		for _, ex := range t.Exclude {
+			if node.Name == ex {
+				return nil
+			}
+		}
+		tagPiece := piece{path: pathKey(extend(prefix, "~"), "#tag"), value: node.Name}
+		if _, ok := t.Content.(*xschema.Scalar); ok {
+			if len(node.Children) > 0 {
+				return nil
+			}
+			return []mres{{end: i + 1, pieces: []piece{
+				tagPiece,
+				{path: pathKey(extend(prefix, "~"), "#text"), value: node.Text},
+			}}}
+		}
+		sub, ok := sh.matchContent(t.Content, node, extend(prefix, "~"))
+		if !ok {
+			return nil
+		}
+		return []mres{{end: i + 1, pieces: append([]piece{tagPiece}, sub...)}}
+	case *xschema.Sequence:
+		results := []mres{{end: i}}
+		for _, part := range t.Items {
+			var next []mres
+			for _, r := range results {
+				for _, s := range sh.match(part, items, r.end, prefix) {
+					merged := mres{end: s.end, pieces: append(append([]piece(nil), r.pieces...), s.pieces...)}
+					next = addResult(next, merged)
+				}
+			}
+			if len(next) == 0 {
+				return nil
+			}
+			results = next
+		}
+		return results
+	case *xschema.Choice:
+		var out []mres
+		for _, alt := range t.Alts {
+			for _, r := range sh.match(alt, items, i, prefix) {
+				out = addResult(out, r)
+			}
+		}
+		return out
+	case *xschema.Repeat:
+		current := []mres{{end: i}}
+		var accepted []mres
+		if t.Min == 0 {
+			accepted = append(accepted, mres{end: i})
+		}
+		for count := 1; t.Max == xschema.Unbounded || count <= t.Max; count++ {
+			var next []mres
+			for _, r := range current {
+				for _, s := range sh.match(t.Inner, items, r.end, prefix) {
+					if s.end <= r.end {
+						continue // progress guard
+					}
+					merged := mres{end: s.end, pieces: append(append([]piece(nil), r.pieces...), s.pieces...)}
+					next = addResult(next, merged)
+				}
+			}
+			if len(next) == 0 {
+				break
+			}
+			if count >= t.Min {
+				for _, r := range next {
+					accepted = addResult(accepted, r)
+				}
+			}
+			current = next
+		}
+		return accepted
+	case *xschema.Ref:
+		def, ok := sh.Schema.Lookup(t.Name)
+		if !ok {
+			return nil
+		}
+		if pschema.IsAlias(def) {
+			return sh.match(def, items, i, prefix)
+		}
+		switch body := def.(type) {
+		case *xschema.Element, *xschema.Wildcard:
+			if i >= len(items) || items[i].kind != itemElem {
+				return nil
+			}
+			if !sh.Schema.MatchesType(body, items[i].node) {
+				return nil
+			}
+			return []mres{{end: i + 1, pieces: []piece{{refName: t.Name, node: items[i].node}}}}
+		case *xschema.Scalar:
+			if i < len(items) && items[i].kind == itemText {
+				if body.Kind == xschema.IntegerKind && !parsesInt(items[i].value) {
+					return nil
+				}
+				return []mres{{end: i + 1, pieces: []piece{{refName: t.Name, text: items[i].value, isText: true}}}}
+			}
+			return nil
+		default:
+			// Group type: its content splices into the parent element;
+			// the captured pieces become one row of the group's table.
+			var out []mres
+			for _, r := range sh.match(def, items, i, nil) {
+				out = addResult(out, mres{end: r.end, pieces: []piece{{refName: t.Name, sub: r.pieces, isGroup: true}}})
+			}
+			return out
+		}
+	default:
+		return nil
+	}
+}
+
+// addResult appends r unless a result with the same end already exists
+// (ordered alternation: first parse wins).
+func addResult(results []mres, r mres) []mres {
+	for _, existing := range results {
+		if existing.end == r.end {
+			return results
+		}
+	}
+	return append(results, r)
+}
+
+// insertRow materializes one instance: assigns an id, fills columns from
+// value pieces, sets the parent foreign key, and recurses into child
+// pieces.
+func (sh *Shredder) insertRow(typeName string, pieces []piece, parentTable string, parentID int64) (int64, error) {
+	tableName := sh.Cat.TableOf[typeName]
+	table := sh.DB.Table(tableName)
+	if table == nil {
+		return 0, fmt.Errorf("shred: no table for type %q", typeName)
+	}
+	id := table.NextID()
+	row := make(engine.Row, len(table.Def.Columns))
+	for ci, col := range table.Def.Columns {
+		switch {
+		case col.Key:
+			row[ci] = engine.IntVal(id)
+		case col.FKRef != "":
+			if col.FKRef == parentTable {
+				row[ci] = engine.IntVal(parentID)
+			} else {
+				row[ci] = engine.Null
+			}
+		default:
+			row[ci] = engine.Null
+		}
+	}
+	var children []piece
+	for _, p := range pieces {
+		if p.path == "" {
+			children = append(children, p)
+			continue
+		}
+		ci := columnFor(table.Def, p.path)
+		if ci < 0 {
+			return 0, fmt.Errorf("shred: type %s has no column for path %q", typeName, p.path)
+		}
+		v, err := coerce(table.Def.Columns[ci], p.value)
+		if err != nil {
+			return 0, fmt.Errorf("shred: %s.%s: %w", tableName, table.Def.Columns[ci].Name, err)
+		}
+		row[ci] = v
+	}
+	if err := table.Insert(row); err != nil {
+		return 0, err
+	}
+	for _, c := range children {
+		switch {
+		case c.isGroup:
+			if _, err := sh.insertRow(c.refName, c.sub, tableName, id); err != nil {
+				return 0, err
+			}
+		case c.isText:
+			if _, err := sh.insertRow(c.refName, []piece{{path: "#text", value: c.text}}, tableName, id); err != nil {
+				return 0, err
+			}
+		default:
+			if _, err := sh.shredInstance(c.refName, c.node, tableName, id); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return id, nil
+}
+
+func columnFor(def *relational.Table, path string) int {
+	for i, c := range def.Columns {
+		if strings.Join(c.XMLPath, "/") == path {
+			return i
+		}
+	}
+	return -1
+}
+
+func coerce(col *relational.Column, raw string) (engine.Value, error) {
+	if col.Type == relational.IntCol {
+		n, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
+		if err != nil {
+			return engine.Null, fmt.Errorf("value %q is not an integer", raw)
+		}
+		return engine.IntVal(n), nil
+	}
+	return engine.StrVal(raw), nil
+}
+
+func pathKey(prefix []string, last string) string {
+	if len(prefix) == 0 {
+		return last
+	}
+	return strings.Join(prefix, "/") + "/" + last
+}
+
+func extend(prefix []string, comp string) []string {
+	out := make([]string, 0, len(prefix)+1)
+	out = append(out, prefix...)
+	return append(out, comp)
+}
+
+func parsesInt(s string) bool {
+	_, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	return err == nil
+}

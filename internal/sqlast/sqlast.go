@@ -1,0 +1,202 @@
+// Package sqlast holds the logical SQL representation that the XQuery
+// translator emits and the cost-based optimizer consumes: a query is a
+// set of select-project-join blocks (publishing queries expand into one
+// block per reachable relation, in the style of SilkRoute's sorted outer
+// union; queries over union-partitioned types expand into one block per
+// partition combination). The total cost of a query is the sum of its
+// block costs.
+package sqlast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a union of SPJ blocks.
+type Query struct {
+	// Name labels the query for reports (e.g. "Q13").
+	Name   string
+	Blocks []*Block
+}
+
+// Block is one select-project-join block.
+type Block struct {
+	Tables   []TableRef
+	Joins    []Join
+	Filters  []Filter
+	Projects []ColumnRef
+}
+
+// TableRef is a FROM entry: a base table under a block-unique alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// ColumnRef names a column of an aliased table.
+type ColumnRef struct {
+	Alias  string
+	Column string
+}
+
+func (c ColumnRef) String() string { return c.Alias + "." + c.Column }
+
+// Join is an equi-join between two aliased columns (in the mapping's
+// schemas, always a key/foreign-key pair).
+type Join struct {
+	Left, Right ColumnRef
+}
+
+// CmpOp enumerates comparison operators in filters.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Literal is a constant operand. Unbound parameters (the paper's c1, c2,
+// ...) carry IsParam and estimate like an unknown equality constant.
+type Literal struct {
+	IsParam bool
+	Param   string
+	IsInt   bool
+	Int     int64
+	Str     string
+}
+
+func (l Literal) String() string {
+	switch {
+	case l.IsParam:
+		return ":" + l.Param
+	case l.IsInt:
+		return fmt.Sprintf("%d", l.Int)
+	default:
+		return "'" + strings.ReplaceAll(l.Str, "'", "''") + "'"
+	}
+}
+
+// Filter is a selection predicate: column op literal, or column op column
+// when RightCol is set.
+type Filter struct {
+	Col      ColumnRef
+	Op       CmpOp
+	Value    Literal
+	RightCol *ColumnRef
+}
+
+func (f Filter) String() string {
+	if f.RightCol != nil {
+		return fmt.Sprintf("%s %s %s", f.Col, f.Op, *f.RightCol)
+	}
+	return fmt.Sprintf("%s %s %s", f.Col, f.Op, f.Value)
+}
+
+// AddTable appends a FROM entry and returns its alias.
+func (b *Block) AddTable(table, alias string) string {
+	b.Tables = append(b.Tables, TableRef{Table: table, Alias: alias})
+	return alias
+}
+
+// HasTable reports whether the alias is already bound in the block.
+func (b *Block) HasTable(alias string) bool {
+	for _, t := range b.Tables {
+		if t.Alias == alias {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the block.
+func (b *Block) Clone() *Block {
+	cp := &Block{
+		Tables:   append([]TableRef(nil), b.Tables...),
+		Joins:    append([]Join(nil), b.Joins...),
+		Projects: append([]ColumnRef(nil), b.Projects...),
+	}
+	cp.Filters = make([]Filter, len(b.Filters))
+	for i, f := range b.Filters {
+		cp.Filters[i] = f
+		if f.RightCol != nil {
+			rc := *f.RightCol
+			cp.Filters[i].RightCol = &rc
+		}
+	}
+	return cp
+}
+
+// SQL renders the block as a SELECT statement.
+func (b *Block) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if len(b.Projects) == 0 {
+		sb.WriteString("*")
+	} else {
+		parts := make([]string, len(b.Projects))
+		for i, p := range b.Projects {
+			parts[i] = p.String()
+		}
+		sb.WriteString(strings.Join(parts, ", "))
+	}
+	sb.WriteString("\nFROM ")
+	tabs := make([]string, len(b.Tables))
+	for i, t := range b.Tables {
+		tabs[i] = fmt.Sprintf("%s %s", t.Table, t.Alias)
+	}
+	sb.WriteString(strings.Join(tabs, ", "))
+	var conds []string
+	for _, j := range b.Joins {
+		conds = append(conds, fmt.Sprintf("%s = %s", j.Left, j.Right))
+	}
+	for _, f := range b.Filters {
+		conds = append(conds, f.String())
+	}
+	if len(conds) > 0 {
+		sb.WriteString("\nWHERE ")
+		sb.WriteString(strings.Join(conds, "\n  AND "))
+	}
+	return sb.String()
+}
+
+// SQL renders the query: blocks separated by UNION ALL (the sorted outer
+// union skeleton of a publishing query).
+func (q *Query) SQL() string {
+	parts := make([]string, len(q.Blocks))
+	for i, b := range q.Blocks {
+		parts[i] = b.SQL()
+	}
+	return strings.Join(parts, "\nUNION ALL\n")
+}
+
+// String is SQL with the query name as a comment header.
+func (q *Query) String() string {
+	if q.Name == "" {
+		return q.SQL()
+	}
+	return "-- " + q.Name + "\n" + q.SQL()
+}

@@ -1,0 +1,124 @@
+package sqlast
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleBlock() *Block {
+	b := &Block{}
+	b.AddTable("Show", "s")
+	b.AddTable("Review", "r")
+	b.Joins = append(b.Joins, Join{
+		Left:  ColumnRef{Alias: "r", Column: "parent_Show"},
+		Right: ColumnRef{Alias: "s", Column: "Show_id"},
+	})
+	b.Filters = append(b.Filters,
+		Filter{Col: ColumnRef{Alias: "s", Column: "year"}, Op: OpEq, Value: Literal{IsInt: true, Int: 1999}},
+		Filter{Col: ColumnRef{Alias: "r", Column: "tilde"}, Op: OpEq, Value: Literal{Str: "nyt"}},
+	)
+	b.Projects = append(b.Projects,
+		ColumnRef{Alias: "s", Column: "title"},
+		ColumnRef{Alias: "r", Column: "data"},
+	)
+	return b
+}
+
+func TestBlockSQL(t *testing.T) {
+	sql := sampleBlock().SQL()
+	for _, want := range []string{
+		"SELECT s.title, r.data",
+		"FROM Show s, Review r",
+		"r.parent_Show = s.Show_id",
+		"s.year = 1999",
+		"r.tilde = 'nyt'",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestQuerySQLUnion(t *testing.T) {
+	q := &Query{Name: "Q", Blocks: []*Block{sampleBlock(), sampleBlock()}}
+	sql := q.SQL()
+	if strings.Count(sql, "UNION ALL") != 1 {
+		t.Fatalf("expected one UNION ALL:\n%s", sql)
+	}
+	if !strings.HasPrefix(q.String(), "-- Q\n") {
+		t.Fatalf("String() header missing: %q", q.String()[:20])
+	}
+}
+
+func TestEmptyProjectsRenderStar(t *testing.T) {
+	b := &Block{}
+	b.AddTable("Show", "s")
+	if !strings.Contains(b.SQL(), "SELECT *") {
+		t.Fatalf("SQL = %q", b.SQL())
+	}
+}
+
+func TestOperators(t *testing.T) {
+	cases := map[CmpOp]string{
+		OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", int(op), got, want)
+		}
+	}
+	if got := CmpOp(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown op = %q", got)
+	}
+}
+
+func TestLiteralRendering(t *testing.T) {
+	cases := []struct {
+		lit  Literal
+		want string
+	}{
+		{Literal{IsInt: true, Int: -5}, "-5"},
+		{Literal{Str: "abc"}, "'abc'"},
+		{Literal{Str: "o'brien"}, "'o''brien'"},
+		{Literal{IsParam: true, Param: "c1"}, ":c1"},
+	}
+	for _, c := range cases {
+		if got := c.lit.String(); got != c.want {
+			t.Errorf("Literal = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFilterColumnComparison(t *testing.T) {
+	right := ColumnRef{Alias: "d", Column: "name"}
+	f := Filter{Col: ColumnRef{Alias: "a", Column: "name"}, Op: OpEq, RightCol: &right}
+	if got := f.String(); got != "a.name = d.name" {
+		t.Fatalf("filter = %q", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	b := sampleBlock()
+	cp := b.Clone()
+	cp.Tables[0].Alias = "changed"
+	cp.Filters[0].Value.Int = 7
+	cp.Projects[0].Column = "changed"
+	if b.Tables[0].Alias != "s" || b.Filters[0].Value.Int != 1999 || b.Projects[0].Column != "title" {
+		t.Fatal("Clone shares state with original")
+	}
+	// RightCol pointers must not be shared either.
+	right := ColumnRef{Alias: "x", Column: "y"}
+	b2 := &Block{Filters: []Filter{{Col: ColumnRef{Alias: "a", Column: "b"}, RightCol: &right}}}
+	cp2 := b2.Clone()
+	cp2.Filters[0].RightCol.Column = "z"
+	if b2.Filters[0].RightCol.Column != "y" {
+		t.Fatal("Clone shares RightCol pointer")
+	}
+}
+
+func TestHasTable(t *testing.T) {
+	b := sampleBlock()
+	if !b.HasTable("s") || b.HasTable("nope") {
+		t.Fatal("HasTable broken")
+	}
+}

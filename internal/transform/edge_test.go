@@ -1,0 +1,204 @@
+package transform
+
+import (
+	"testing"
+
+	"legodb/internal/pschema"
+	"legodb/internal/xschema"
+)
+
+func TestFactorizeRejectsNonFactorable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"different tags", `
+type T = ( A | B )
+type A = a[ x[ String ] ]
+type B = b[ x[ String ] ]`},
+		{"shared partition", `
+type T = ( A | B )
+type R = r[ T, A ]
+type A = s[ x[ String ] ]
+type B = s[ y[ String ] ]`},
+		{"non-element partition", `
+type T = ( A | B )
+type A = x[ String ], y[ String ]
+type B = z[ String ], w[ String ]`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := xschema.MustParseSchema(c.src)
+			cands := unionFactorizeCandidates(s)
+			for _, loc := range cands {
+				if loc.Type == "T" {
+					t.Fatalf("T reported factorizable")
+				}
+			}
+			if _, err := Apply(s, Transformation{Kind: KindUnionFactorize, Loc: pschema.Loc{Type: "T"}}); err == nil {
+				t.Fatal("factorize applied to non-factorable union")
+			}
+		})
+	}
+}
+
+func TestFactorizeDegenerateMiddle(t *testing.T) {
+	// One branch's middle is empty after factoring the common prefix.
+	s := xschema.MustParseSchema(`
+type T = ( A | B )
+type A = s[ x[ String ] ]
+type B = s[ x[ String ], y[ String ] ]`)
+	out, err := Apply(s, Transformation{Kind: KindUnionFactorize, Loc: pschema.Loc{Type: "T"}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := pschema.Check(out); err != nil {
+		t.Fatalf("result not physical: %v", err)
+	}
+	body := out.Types["T"]
+	el, ok := body.(*xschema.Element)
+	if !ok || el.Name != "s" {
+		t.Fatalf("factorized body = %s", body)
+	}
+}
+
+func TestMergeRequiresMatchingSibling(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type T = e[ a[ String ], B{0,*} ]
+type B = b[ String ]`)
+	// The preceding sibling is a different element: no merge candidates.
+	if got := repetitionMergeCandidates(s); len(got) != 0 {
+		t.Fatalf("candidates = %v", got)
+	}
+	// Direct application errors.
+	tr := Transformation{Kind: KindRepetitionMerge, Loc: pschema.Loc{Type: "T", Path: pschema.Path{0, 1}}}
+	if _, err := Apply(s, tr); err == nil {
+		t.Fatal("merge applied with non-matching sibling")
+	}
+}
+
+func TestMergeAtSequenceStartRejected(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type T = e[ B{0,*}, a[ String ] ]
+type B = b[ String ]`)
+	tr := Transformation{Kind: KindRepetitionMerge, Loc: pschema.Loc{Type: "T", Path: pschema.Path{0, 0}}}
+	if _, err := Apply(s, tr); err == nil {
+		t.Fatal("merge applied without a preceding sibling")
+	}
+}
+
+func TestSplitBoundsArithmetic(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type T = e[ B{3,7}<#5> ]
+type B = b[ String ]`)
+	out, err := Apply(s, Transformation{Kind: KindRepetitionSplit, Loc: pschema.Loc{Type: "T", Path: pschema.Path{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := out.Types["T"].(*xschema.Element).Content.(*xschema.Sequence)
+	rep := seq.Items[1].(*xschema.Repeat)
+	if rep.Min != 2 || rep.Max != 6 {
+		t.Fatalf("bounds = {%d,%d}, want {2,6}", rep.Min, rep.Max)
+	}
+	if rep.AvgCount != 4 {
+		t.Fatalf("avg = %g, want 4", rep.AvgCount)
+	}
+}
+
+func TestSplitKnownZeroRemainder(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type T = e[ B{1,10}<#1> ]
+type B = b[ String ]`)
+	out, err := Apply(s, Transformation{Kind: KindRepetitionSplit, Loc: pschema.Loc{Type: "T", Path: pschema.Path{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := out.Types["T"].(*xschema.Element).Content.(*xschema.Sequence)
+	rep := seq.Items[1].(*xschema.Repeat)
+	if rep.AvgCount <= 0 || rep.AvgCount > 0.01 {
+		t.Fatalf("known-zero remainder should be epsilon, got %g", rep.AvgCount)
+	}
+}
+
+func TestDistributeRejectsUnionUnderRepetition(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type T = e[ (A | B)* ]
+type A = a[ String ]
+type B = b[ String ]`)
+	if got := unionDistributeCandidates(s); len(got) != 0 {
+		t.Fatalf("candidates under repetition = %v", got)
+	}
+}
+
+func TestDistributeThreeWayUnion(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type T = e[ x[ String ], (A | B | C) ]
+type A = a[ String ]
+type B = b[ String ]
+type C = c[ String ]`)
+	cands := unionDistributeCandidates(s)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	out, err := Apply(s, Transformation{Kind: KindUnionDistribute, Loc: cands[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []string{"T_Part1", "T_Part2", "T_Part3"} {
+		if _, ok := out.Lookup(part); !ok {
+			t.Errorf("%s missing; types = %v", part, out.Names)
+		}
+	}
+}
+
+func TestWildcardMaterializeTwice(t *testing.T) {
+	// Materializing nyt, then variety out of the remainder: chained
+	// partitioning with accumulated exclusions.
+	s := xschema.MustParseSchema(`type R = r[ ~[ String ] ]`)
+	first, err := Apply(s, Transformation{
+		Kind: KindWildcardMaterialize, Loc: pschema.Loc{Type: "R", Path: pschema.Path{0}},
+		Label: "nyt", LabelFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := Candidates(first, Options{
+		Kinds:          []Kind{KindWildcardMaterialize},
+		WildcardLabels: map[string]float64{"variety": 0.2},
+	})
+	if len(cands) != 1 {
+		t.Fatalf("second-round candidates = %v", cands)
+	}
+	second, err := Apply(first, cands[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, ok := second.Lookup("OtherVariety")
+	if !ok {
+		t.Fatalf("OtherVariety missing; types = %v", second.Names)
+	}
+	w := other.(*xschema.Wildcard)
+	if len(w.Exclude) != 2 {
+		t.Fatalf("exclusions = %v, want [nyt variety]", w.Exclude)
+	}
+	// Materializing an excluded label again must fail.
+	if _, err := Apply(second, Transformation{
+		Kind:  KindWildcardMaterialize,
+		Loc:   pschema.Loc{Type: "OtherVariety"},
+		Label: "nyt",
+	}); err == nil {
+		t.Fatal("re-materializing an excluded label succeeded")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range AllKinds {
+		if k.String() == "" || k.String()[0] == 'K' {
+			t.Errorf("kind %d renders as %q", int(k), k.String())
+		}
+	}
+	tr := Transformation{Kind: KindWildcardMaterialize, Loc: pschema.Loc{Type: "R"}, Label: "nyt"}
+	if got := tr.String(); got != `wildcard-materialize(R[], "nyt")` {
+		t.Errorf("transformation string = %q", got)
+	}
+}

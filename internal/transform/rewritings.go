@@ -1,0 +1,473 @@
+package transform
+
+import (
+	"fmt"
+	"strings"
+
+	"legodb/internal/pschema"
+	"legodb/internal/xschema"
+)
+
+// unionDistribute applies both distribution laws of Section 4.1 in one
+// step: for a union inside a type body, the host type becomes a union of
+// fresh partition types, each holding the body with the union replaced by
+// one alternative:
+//
+//	type Show = show[ c, (Movie|TV) ]
+//	  =>
+//	type Show = ( Show_Part1 | Show_Part2 )
+//	type Show_Part1 = show[ c, Movie ]
+//	type Show_Part2 = show[ c, TV ]
+//
+// This is the horizontal-partitioning rewriting behind Figure 4(c).
+func unionDistribute(s *xschema.Schema, loc pschema.Loc) error {
+	node, err := pschema.Resolve(s, loc)
+	if err != nil {
+		return err
+	}
+	choice, ok := node.(*xschema.Choice)
+	if !ok {
+		return fmt.Errorf("node at %s is not a union", loc)
+	}
+	if len(loc.Path) == 0 {
+		return fmt.Errorf("type %s is already a union of types", loc.Type)
+	}
+	if hasRepeatAncestor(s.Types[loc.Type], loc.Path) {
+		return fmt.Errorf("union at %s is inside a repetition", loc)
+	}
+	body := s.Types[loc.Type]
+	refs := make([]xschema.Type, len(choice.Alts))
+	for i, alt := range choice.Alts {
+		part := xschema.Clone(body)
+		tmp := s.Types[loc.Type]
+		s.Types[loc.Type] = part
+		if err := pschema.ReplaceAt(s, loc, xschema.Clone(alt)); err != nil {
+			s.Types[loc.Type] = tmp
+			return err
+		}
+		s.Types[loc.Type] = tmp
+		partName := s.FreshName(fmt.Sprintf("%s_Part%d", loc.Type, i+1))
+		s.Define(partName, xschema.Normalize(part))
+		refs[i] = &xschema.Ref{Name: partName}
+	}
+	s.Types[loc.Type] = &xschema.Choice{
+		Alts:      refs,
+		Fractions: append([]float64(nil), choice.Fractions...),
+	}
+	return nil
+}
+
+func hasRepeatAncestor(body xschema.Type, path pschema.Path) bool {
+	t := body
+	for _, i := range path {
+		if _, ok := t.(*xschema.Repeat); ok {
+			return true
+		}
+		var err error
+		t, err = pschema.Child(t, i)
+		if err != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func unionDistributeCandidates(s *xschema.Schema) []pschema.Loc {
+	var out []pschema.Loc
+	for _, name := range s.Names {
+		name := name
+		if pschema.IsAlias(s.Types[name]) {
+			continue
+		}
+		pschema.WalkBody(s.Types[name], func(path pschema.Path, t xschema.Type) bool {
+			if _, ok := t.(*xschema.Choice); ok && len(path) > 0 {
+				if !hasRepeatAncestor(s.Types[name], path) {
+					out = append(out, pschema.Loc{Type: name, Path: path})
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// unionFactorize is the inverse of unionDistribute: a type defined as a
+// union of single-use element types with the same tag is merged back into
+// one element whose content factors the common prefix and suffix and
+// keeps a union of the differing middles.
+func unionFactorize(s *xschema.Schema, loc pschema.Loc) error {
+	if len(loc.Path) != 0 {
+		return fmt.Errorf("factorization targets whole type bodies, got %s", loc)
+	}
+	body, ok := s.Lookup(loc.Type)
+	if !ok {
+		return fmt.Errorf("type %q not defined", loc.Type)
+	}
+	choice, ok := body.(*xschema.Choice)
+	if !ok {
+		return fmt.Errorf("type %s is not a union of types", loc.Type)
+	}
+	parts, tag, err := factorizableParts(s, choice)
+	if err != nil {
+		return err
+	}
+	contents := make([][]xschema.Type, len(parts))
+	for i, p := range parts {
+		contents[i] = sequenceItems(p.Content)
+	}
+	prefix := commonPrefix(contents)
+	suffix := commonSuffix(contents, prefix)
+	alts := make([]xschema.Type, len(contents))
+	for i, items := range contents {
+		middle := items[prefix : len(items)-suffix]
+		alt := xschema.Type(&xschema.Sequence{Items: cloneAll(middle)})
+		alt = xschema.Normalize(alt)
+		if pschema.IsNamedExpr(alt) {
+			if _, isSeq := alt.(*xschema.Sequence); !isSeq {
+				alts[i] = alt
+				continue
+			}
+		}
+		groupName := s.FreshName(fmt.Sprintf("%s_Group%d", loc.Type, i+1))
+		s.Define(groupName, alt)
+		alts[i] = &xschema.Ref{Name: groupName}
+	}
+	var items []xschema.Type
+	items = append(items, cloneAll(contents[0][:prefix])...)
+	if len(alts) > 0 {
+		items = append(items, &xschema.Choice{
+			Alts:      alts,
+			Fractions: append([]float64(nil), choice.Fractions...),
+		})
+	}
+	items = append(items, cloneAll(contents[0][len(contents[0])-suffix:])...)
+	for _, alt := range choice.Alts {
+		s.Remove(alt.(*xschema.Ref).Name)
+	}
+	s.Types[loc.Type] = xschema.Normalize(&xschema.Element{
+		Name:    tag,
+		Content: &xschema.Sequence{Items: items},
+	})
+	return nil
+}
+
+// factorizableParts verifies the union alternatives are references to
+// single-use element types sharing one tag and returns their bodies.
+func factorizableParts(s *xschema.Schema, choice *xschema.Choice) ([]*xschema.Element, string, error) {
+	refCounts := s.RefCounts()
+	var parts []*xschema.Element
+	tag := ""
+	for _, alt := range choice.Alts {
+		ref, ok := alt.(*xschema.Ref)
+		if !ok {
+			return nil, "", fmt.Errorf("union alternative %s is not a reference", alt)
+		}
+		if refCounts[ref.Name] != 1 {
+			return nil, "", fmt.Errorf("partition type %s is shared", ref.Name)
+		}
+		def, ok := s.Lookup(ref.Name)
+		if !ok {
+			return nil, "", fmt.Errorf("undefined type %q", ref.Name)
+		}
+		el, ok := def.(*xschema.Element)
+		if !ok {
+			return nil, "", fmt.Errorf("partition type %s is not an element", ref.Name)
+		}
+		if tag == "" {
+			tag = el.Name
+		} else if tag != el.Name {
+			return nil, "", fmt.Errorf("partitions have different tags %q and %q", tag, el.Name)
+		}
+		parts = append(parts, el)
+	}
+	return parts, tag, nil
+}
+
+func sequenceItems(t xschema.Type) []xschema.Type {
+	if seq, ok := t.(*xschema.Sequence); ok {
+		return seq.Items
+	}
+	return []xschema.Type{t}
+}
+
+func cloneAll(items []xschema.Type) []xschema.Type {
+	out := make([]xschema.Type, len(items))
+	for i, it := range items {
+		out[i] = xschema.Clone(it)
+	}
+	return out
+}
+
+func commonPrefix(contents [][]xschema.Type) int {
+	n := 0
+	for {
+		if len(contents[0]) <= n {
+			return n
+		}
+		probe := contents[0][n]
+		for _, items := range contents[1:] {
+			if len(items) <= n || !xschema.DeepEqual(items[n], probe) {
+				return n
+			}
+		}
+		n++
+	}
+}
+
+func commonSuffix(contents [][]xschema.Type, prefix int) int {
+	n := 0
+	for {
+		ok := true
+		for _, items := range contents {
+			if len(items)-n-1 < prefix {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return n
+		}
+		probe := contents[0][len(contents[0])-n-1]
+		for _, items := range contents[1:] {
+			if !xschema.DeepEqual(items[len(items)-n-1], probe) {
+				return n
+			}
+		}
+		n++
+	}
+}
+
+func unionFactorizeCandidates(s *xschema.Schema) []pschema.Loc {
+	var out []pschema.Loc
+	for _, name := range s.Names {
+		choice, ok := s.Types[name].(*xschema.Choice)
+		if !ok {
+			continue
+		}
+		if _, _, err := factorizableParts(s, choice); err == nil {
+			out = append(out, pschema.Loc{Type: name})
+		}
+	}
+	return out
+}
+
+// repetitionSplit applies a+ == a,a* (Section 4.1, Repetition Merge/
+// Split): the repetition at loc, with lower bound ≥ 1, is split into a
+// mandatory first occurrence followed by the shortened repetition. The
+// first occurrence can then be inlined as a column by the inline
+// rewriting.
+func repetitionSplit(s *xschema.Schema, loc pschema.Loc) error {
+	node, err := pschema.Resolve(s, loc)
+	if err != nil {
+		return err
+	}
+	rep, ok := node.(*xschema.Repeat)
+	if !ok {
+		return fmt.Errorf("node at %s is not a repetition", loc)
+	}
+	if rep.Min < 1 || rep.Max == 1 {
+		return fmt.Errorf("repetition %s cannot be split (needs min ≥ 1 and max > 1)", rep)
+	}
+	rest := &xschema.Repeat{
+		Inner: xschema.Clone(rep.Inner),
+		Min:   rep.Min - 1,
+	}
+	if rep.Max == xschema.Unbounded {
+		rest.Max = xschema.Unbounded
+	} else {
+		rest.Max = rep.Max - 1
+	}
+	// Statistics: the mandatory first occurrence absorbs one unit of the
+	// average count. A known-zero remainder is recorded as a tiny epsilon
+	// (AvgCount 0 means "unknown" elsewhere).
+	if rep.AvgCount > 0 {
+		rest.AvgCount = rep.AvgCount - 1
+		if rest.AvgCount <= 0 {
+			rest.AvgCount = 0.001
+		}
+	}
+	repl := &xschema.Sequence{Items: []xschema.Type{xschema.Clone(rep.Inner), rest}}
+	if err := pschema.ReplaceAt(s, loc, repl); err != nil {
+		return err
+	}
+	s.Types[loc.Type] = xschema.Normalize(s.Types[loc.Type])
+	return nil
+}
+
+func repetitionSplitCandidates(s *xschema.Schema) []pschema.Loc {
+	var out []pschema.Loc
+	for _, name := range s.Names {
+		name := name
+		pschema.WalkBody(s.Types[name], func(path pschema.Path, t xschema.Type) bool {
+			if rep, ok := t.(*xschema.Repeat); ok {
+				if rep.Min >= 1 && rep.Max != 1 && pschema.IsNamedExpr(rep.Inner) {
+					out = append(out, pschema.Loc{Type: name, Path: path})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// repetitionMerge is the inverse of repetitionSplit: a repetition
+// preceded by a sibling equal to its inner expression (either the same
+// reference, or an inlined copy of the referenced body) absorbs that
+// sibling, raising its bounds by one.
+func repetitionMerge(s *xschema.Schema, loc pschema.Loc) error {
+	if len(loc.Path) == 0 {
+		return fmt.Errorf("merge targets a repetition inside a sequence, got %s", loc)
+	}
+	idx := loc.Path[len(loc.Path)-1]
+	if idx == 0 {
+		return fmt.Errorf("repetition at %s has no preceding sibling", loc)
+	}
+	parent, err := pschema.Resolve(s, pschema.Loc{Type: loc.Type, Path: loc.Path[:len(loc.Path)-1]})
+	if err != nil {
+		return err
+	}
+	seq, ok := parent.(*xschema.Sequence)
+	if !ok {
+		return fmt.Errorf("parent of %s is not a sequence", loc)
+	}
+	rep, ok := seq.Items[idx].(*xschema.Repeat)
+	if !ok {
+		return fmt.Errorf("node at %s is not a repetition", loc)
+	}
+	if !mergeableSibling(s, seq.Items[idx-1], rep.Inner) {
+		return fmt.Errorf("sibling before %s does not match the repetition body", loc)
+	}
+	rep.Min++
+	if rep.Max != xschema.Unbounded {
+		rep.Max++
+	}
+	if rep.AvgCount > 0 {
+		rep.AvgCount++
+	}
+	seq.Items = append(seq.Items[:idx-1], seq.Items[idx:]...)
+	s.Types[loc.Type] = xschema.Normalize(s.Types[loc.Type])
+	return nil
+}
+
+// mergeableSibling reports whether prev is one occurrence of inner: the
+// identical expression, or an inlined copy of the type inner references.
+func mergeableSibling(s *xschema.Schema, prev, inner xschema.Type) bool {
+	if xschema.DeepEqual(prev, inner) {
+		return true
+	}
+	if ref, ok := inner.(*xschema.Ref); ok {
+		if def, found := s.Lookup(ref.Name); found && xschema.DeepEqual(prev, def) {
+			return true
+		}
+	}
+	return false
+}
+
+func repetitionMergeCandidates(s *xschema.Schema) []pschema.Loc {
+	var out []pschema.Loc
+	for _, name := range s.Names {
+		name := name
+		pschema.WalkBody(s.Types[name], func(path pschema.Path, t xschema.Type) bool {
+			seq, ok := t.(*xschema.Sequence)
+			if !ok {
+				return true
+			}
+			for i := 1; i < len(seq.Items); i++ {
+				rep, ok := seq.Items[i].(*xschema.Repeat)
+				if !ok || (rep.Min == 0 && rep.Max == 1) {
+					continue
+				}
+				if mergeableSibling(s, seq.Items[i-1], rep.Inner) {
+					out = append(out, pschema.Loc{Type: name, Path: append(path, i)})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// wildcardMaterialize partitions the wildcard at loc on a label:
+//
+//	~[ t ]  =>  ( Label | Other )   with
+//	type Label = label[ t ]
+//	type Other = (~!label)[ t ]
+//
+// following the wildcard rewriting of Section 4.1 (~ = nyt | ~!nyt).
+func wildcardMaterialize(s *xschema.Schema, loc pschema.Loc, label string, fraction float64) error {
+	if label == "" {
+		return fmt.Errorf("wildcard materialization needs a label")
+	}
+	node, err := pschema.Resolve(s, loc)
+	if err != nil {
+		return err
+	}
+	w, ok := node.(*xschema.Wildcard)
+	if !ok {
+		return fmt.Errorf("node at %s is not a wildcard", loc)
+	}
+	for _, ex := range w.Exclude {
+		if ex == label {
+			return fmt.Errorf("label %q is already excluded by the wildcard", label)
+		}
+	}
+	if fraction <= 0 || fraction >= 1 {
+		fraction = 0.5
+	}
+	labelName := s.FreshName(exportName(label))
+	otherName := s.FreshName("Other" + exportName(label))
+	s.Define(labelName, &xschema.Element{Name: label, Content: xschema.Clone(w.Content)})
+	s.Define(otherName, &xschema.Wildcard{
+		Exclude: append(append([]string(nil), w.Exclude...), label),
+		Content: xschema.Clone(w.Content),
+	})
+	choice := &xschema.Choice{
+		Alts:      []xschema.Type{&xschema.Ref{Name: labelName}, &xschema.Ref{Name: otherName}},
+		Fractions: []float64{fraction, 1 - fraction},
+	}
+	if err := pschema.ReplaceAt(s, loc, choice); err != nil {
+		return err
+	}
+	s.Types[loc.Type] = xschema.Normalize(s.Types[loc.Type])
+	return nil
+}
+
+func exportName(label string) string {
+	if label == "" {
+		return "T"
+	}
+	return strings.ToUpper(label[:1]) + label[1:]
+}
+
+func wildcardCandidates(s *xschema.Schema) []pschema.Loc {
+	var out []pschema.Loc
+	for _, name := range s.Names {
+		name := name
+		pschema.WalkBody(s.Types[name], func(path pschema.Path, t xschema.Type) bool {
+			if _, ok := t.(*xschema.Wildcard); ok {
+				out = append(out, pschema.Loc{Type: name, Path: path})
+				return false
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func unionToOptionsCandidates(s *xschema.Schema) []pschema.Loc {
+	var out []pschema.Loc
+	for _, name := range s.Names {
+		name := name
+		pschema.WalkBody(s.Types[name], func(path pschema.Path, t xschema.Type) bool {
+			if c, ok := t.(*xschema.Choice); ok {
+				if !pschema.UnderRepetition(s.Types[name], path) && pschema.Flattenable(s, c) {
+					out = append(out, pschema.Loc{Type: name, Path: path})
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,434 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"legodb/internal/pschema"
+	"legodb/internal/relational"
+	"legodb/internal/xschema"
+)
+
+// showSchema is the Figure 2(b) p-schema.
+const showSchema = `
+type Show = show [ @type[ String ],
+    title[ String ],
+    year[ Integer ],
+    Aka{1,10},
+    Review*,
+    ( Movie | TV ) ]
+type Aka = aka[ String ]
+type Review = review[ ~[ String ] ]
+type Movie = box_office[ Integer ], video_sales[ Integer ]
+type TV = seasons[ Integer ], description[ String ], Episode*
+type Episode = episode[ name[ String ], guest_director[ String ] ]
+`
+
+func parse(t *testing.T, src string) *xschema.Schema {
+	t.Helper()
+	s := xschema.MustParseSchema(src)
+	if err := pschema.Check(s); err != nil {
+		t.Fatalf("fixture not physical: %v", err)
+	}
+	return s
+}
+
+func findCandidate(t *testing.T, s *xschema.Schema, kind Kind, opts Options) Transformation {
+	t.Helper()
+	opts.Kinds = []Kind{kind}
+	cands := Candidates(s, opts)
+	if len(cands) == 0 {
+		t.Fatalf("no %v candidates in\n%s", kind, s)
+	}
+	return cands[0]
+}
+
+func TestUnionDistributeShow(t *testing.T) {
+	s := parse(t, showSchema)
+	tr := findCandidate(t, s, KindUnionDistribute, Options{})
+	out, err := Apply(s, tr)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	p1, ok1 := out.Lookup("Show_Part1")
+	p2, ok2 := out.Lookup("Show_Part2")
+	if !ok1 || !ok2 {
+		t.Fatalf("partitions missing; types = %v", out.Names)
+	}
+	if !pschema.IsAlias(out.Types["Show"]) {
+		t.Fatalf("Show should be an alias union, got %s", out.Types["Show"])
+	}
+	// Part1 contains Movie, Part2 contains TV (in place of the union).
+	if el := p1.(*xschema.Element); el.Name != "show" {
+		t.Fatalf("Part1 = %s", p1)
+	}
+	hasRef := func(body xschema.Type, name string) bool {
+		found := false
+		xschema.Visit(body, func(t xschema.Type) {
+			if r, ok := t.(*xschema.Ref); ok && r.Name == name {
+				found = true
+			}
+		})
+		return found
+	}
+	if !hasRef(p1, "Movie") || hasRef(p1, "TV") {
+		t.Errorf("Part1 should hold Movie only: %s", p1)
+	}
+	if !hasRef(p2, "TV") || hasRef(p2, "Movie") {
+		t.Errorf("Part2 should hold TV only: %s", p2)
+	}
+	// Relational mapping: no Show table, two partition tables (Fig 4(c)).
+	cat, err := relational.Map(out)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if cat.Table("Show") != nil {
+		t.Error("alias Show produced a table")
+	}
+	if cat.Table("Show_Part1") == nil || cat.Table("Show_Part2") == nil {
+		t.Errorf("partition tables missing:\n%s", cat)
+	}
+}
+
+func TestUnionDistributePreservesValidity(t *testing.T) {
+	s := parse(t, showSchema)
+	tr := findCandidate(t, s, KindUnionDistribute, Options{})
+	out, err := Apply(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameLanguage(t, s, out)
+}
+
+// checkSameLanguage verifies random documents of a validate under b and
+// vice versa.
+func checkSameLanguage(t *testing.T, a, b *xschema.Schema) {
+	t.Helper()
+	fwd := func(seed int64) bool {
+		g := xschema.NewGenerator(a, rand.New(rand.NewSource(seed)))
+		doc, err := g.Generate()
+		if err != nil {
+			return false
+		}
+		return b.Valid(doc)
+	}
+	if err := quick.Check(fwd, &quick.Config{MaxCount: 50}); err != nil {
+		t.Errorf("forward language check: %v", err)
+	}
+	back := func(seed int64) bool {
+		g := xschema.NewGenerator(b, rand.New(rand.NewSource(seed)))
+		doc, err := g.Generate()
+		if err != nil {
+			return false
+		}
+		return a.Valid(doc)
+	}
+	if err := quick.Check(back, &quick.Config{MaxCount: 50}); err != nil {
+		t.Errorf("backward language check: %v", err)
+	}
+}
+
+func TestUnionFactorizeInvertsDistribute(t *testing.T) {
+	s := parse(t, showSchema)
+	dist := findCandidate(t, s, KindUnionDistribute, Options{})
+	mid, err := Apply(s, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact := findCandidate(t, mid, KindUnionFactorize, Options{})
+	if fact.Loc.Type != "Show" {
+		t.Fatalf("factorize target = %v", fact.Loc)
+	}
+	back, err := Apply(mid, fact)
+	if err != nil {
+		t.Fatalf("Apply factorize: %v", err)
+	}
+	if pschema.IsAlias(back.Types["Show"]) {
+		t.Fatalf("Show still an alias: %s", back.Types["Show"])
+	}
+	checkSameLanguage(t, s, back)
+}
+
+func TestRepetitionSplitAka(t *testing.T) {
+	s := parse(t, showSchema)
+	tr := findCandidate(t, s, KindRepetitionSplit, Options{})
+	out, err := Apply(s, tr)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	// Show body now holds Aka, Aka{0,9}.
+	show := out.Types["Show"].(*xschema.Element)
+	seq := show.Content.(*xschema.Sequence)
+	first, ok := seq.Items[3].(*xschema.Ref)
+	if !ok || first.Name != "Aka" {
+		t.Fatalf("first occurrence = %v", seq.Items[3])
+	}
+	rest, ok := seq.Items[4].(*xschema.Repeat)
+	if !ok || rest.Min != 0 || rest.Max != 9 {
+		t.Fatalf("rest = %v", seq.Items[4])
+	}
+	checkSameLanguage(t, s, out)
+	// After splitting, the first occurrence can be inlined as a column.
+	inl := findInlineOf(t, out, "Aka")
+	out2, err := Apply(out, inl)
+	if err != nil {
+		t.Fatalf("inline after split: %v", err)
+	}
+	cat, err := relational.Map(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Table("Show").Column("aka") == nil {
+		t.Errorf("Show lacks inlined aka column:\n%s", cat)
+	}
+	if cat.Table("Aka") == nil {
+		t.Error("Aka table removed; the starred occurrences still need it")
+	}
+}
+
+func findInlineOf(t *testing.T, s *xschema.Schema, target string) Transformation {
+	t.Helper()
+	for _, tr := range Candidates(s, Options{Kinds: []Kind{KindInline}}) {
+		node, err := pschema.Resolve(s, tr.Loc)
+		if err != nil {
+			continue
+		}
+		if r, ok := node.(*xschema.Ref); ok && r.Name == target {
+			return tr
+		}
+	}
+	t.Fatalf("no inline candidate for %s", target)
+	return Transformation{}
+}
+
+func TestRepetitionMergeInvertsSplit(t *testing.T) {
+	s := parse(t, showSchema)
+	split := findCandidate(t, s, KindRepetitionSplit, Options{})
+	mid, err := Apply(s, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge := findCandidate(t, mid, KindRepetitionMerge, Options{})
+	back, err := Apply(mid, merge)
+	if err != nil {
+		t.Fatalf("Apply merge: %v", err)
+	}
+	if !xschema.DeepEqual(back.Types["Show"], s.Types["Show"]) {
+		t.Fatalf("merge(split(x)) != x:\n%s\nvs\n%s", back.Types["Show"], s.Types["Show"])
+	}
+}
+
+func TestRepetitionMergeAfterInline(t *testing.T) {
+	// Inline the first occurrence, then merge should still recognize the
+	// inlined element as one occurrence of Aka.
+	s := parse(t, showSchema)
+	mid, err := Apply(s, findCandidate(t, s, KindRepetitionSplit, Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid2, err := Apply(mid, findInlineOf(t, mid, "Aka"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge := findCandidate(t, mid2, KindRepetitionMerge, Options{})
+	back, err := Apply(mid2, merge)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	checkSameLanguage(t, s, back)
+}
+
+func TestWildcardMaterialize(t *testing.T) {
+	s := parse(t, showSchema)
+	opts := Options{WildcardLabels: map[string]float64{"nyt": 0.25}}
+	tr := findCandidate(t, s, KindWildcardMaterialize, opts)
+	out, err := Apply(s, tr)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	nyt, ok := out.Lookup("Nyt")
+	if !ok {
+		t.Fatalf("Nyt type missing; types = %v", out.Names)
+	}
+	if el := nyt.(*xschema.Element); el.Name != "nyt" {
+		t.Fatalf("Nyt = %s", nyt)
+	}
+	other, ok := out.Lookup("OtherNyt")
+	if !ok {
+		t.Fatalf("OtherNyt missing; types = %v", out.Names)
+	}
+	w := other.(*xschema.Wildcard)
+	if len(w.Exclude) != 1 || w.Exclude[0] != "nyt" {
+		t.Fatalf("exclusion = %v", w.Exclude)
+	}
+	// Review's content is now a union of the two partitions.
+	review := out.Types["Review"].(*xschema.Element)
+	choice, ok := review.Content.(*xschema.Choice)
+	if !ok {
+		t.Fatalf("Review content = %s", review.Content)
+	}
+	if choice.Fractions[0] != 0.25 || choice.Fractions[1] != 0.75 {
+		t.Fatalf("fractions = %v", choice.Fractions)
+	}
+	// Relational: NYT reviews land in their own table (Fig 4(b)).
+	cat, err := relational.Map(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Table("Nyt") == nil || cat.Table("OtherNyt") == nil {
+		t.Fatalf("partition tables missing:\n%s", cat)
+	}
+	checkSameLanguage(t, s, out)
+}
+
+func TestUnionToOptions(t *testing.T) {
+	s := parse(t, showSchema)
+	tr := findCandidate(t, s, KindUnionToOptions, Options{})
+	out, err := Apply(s, tr)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if _, ok := out.Lookup("Movie"); ok {
+		t.Errorf("Movie should be flattened away; types = %v", out.Names)
+	}
+	cat, err := relational.Map(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	show := cat.Table("Show")
+	bo := show.Column("box_office")
+	if bo == nil || !bo.Nullable {
+		t.Fatalf("box_office not a nullable column: %+v", bo)
+	}
+	// Union→options widens the language: originals remain valid.
+	fwd := func(seed int64) bool {
+		g := xschema.NewGenerator(s, rand.New(rand.NewSource(seed)))
+		doc, err := g.Generate()
+		if err != nil {
+			return false
+		}
+		return out.Valid(doc)
+	}
+	if err := quick.Check(fwd, &quick.Config{MaxCount: 50}); err != nil {
+		t.Errorf("widened schema rejects original documents: %v", err)
+	}
+}
+
+func TestInlineOutlineViaApply(t *testing.T) {
+	s := parse(t, showSchema)
+	out, err := Apply(s, findCandidate(t, s, KindOutline, Options{}))
+	if err != nil {
+		t.Fatalf("outline: %v", err)
+	}
+	if len(out.Names) != len(s.Names)+1 {
+		t.Fatalf("outline did not add a type: %v", out.Names)
+	}
+	checkSameLanguage(t, s, out)
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	s := parse(t, showSchema)
+	before := s.String()
+	for _, kind := range AllKinds {
+		opts := Options{Kinds: []Kind{kind}, WildcardLabels: map[string]float64{"nyt": 0.5}}
+		for _, tr := range Candidates(s, opts) {
+			if _, err := Apply(s, tr); err != nil {
+				t.Errorf("Apply(%s): %v", tr, err)
+			}
+		}
+	}
+	if s.String() != before {
+		t.Fatal("Apply mutated its input schema")
+	}
+}
+
+// TestPropertyAllTransformationsPreserveLanguage is the paper's central
+// invariant: every rewriting except union-to-options preserves the set of
+// valid documents exactly.
+func TestPropertyAllTransformationsPreserveLanguage(t *testing.T) {
+	s := parse(t, showSchema)
+	preserving := []Kind{
+		KindInline, KindOutline, KindUnionDistribute, KindUnionFactorize,
+		KindRepetitionSplit, KindRepetitionMerge, KindWildcardMaterialize,
+	}
+	for _, kind := range preserving {
+		opts := Options{Kinds: []Kind{kind}, WildcardLabels: map[string]float64{"nyt": 0.5}}
+		cands := Candidates(s, opts)
+		for i, tr := range cands {
+			if i >= 4 { // bound runtime; candidates per kind can be many
+				break
+			}
+			out, err := Apply(s, tr)
+			if err != nil {
+				t.Errorf("Apply(%s): %v", tr, err)
+				continue
+			}
+			f := func(seed int64) bool {
+				g := xschema.NewGenerator(s, rand.New(rand.NewSource(seed)))
+				doc, err := g.Generate()
+				if err != nil {
+					return false
+				}
+				return out.Valid(doc)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Errorf("%s does not preserve validity: %v", tr, err)
+			}
+		}
+	}
+}
+
+// TestPropertyTransformedSchemasStayPhysical verifies closure: applying
+// any candidate to a p-schema yields a p-schema (Apply checks this
+// internally; here we also re-map to relations).
+func TestPropertyTransformedSchemasStayPhysical(t *testing.T) {
+	s := parse(t, showSchema)
+	opts := Options{WildcardLabels: map[string]float64{"nyt": 0.5}}
+	for _, tr := range Candidates(s, opts) {
+		out, err := Apply(s, tr)
+		if err != nil {
+			t.Errorf("Apply(%s): %v", tr, err)
+			continue
+		}
+		if _, err := relational.Map(out); err != nil {
+			t.Errorf("mapping after %s: %v", tr, err)
+		}
+	}
+}
+
+func TestCandidateCounts(t *testing.T) {
+	s := parse(t, showSchema)
+	opts := Options{WildcardLabels: map[string]float64{"nyt": 0.5}}
+	byKind := make(map[Kind]int)
+	for _, tr := range Candidates(s, opts) {
+		byKind[tr.Kind]++
+	}
+	if byKind[KindUnionDistribute] != 1 {
+		t.Errorf("union-distribute candidates = %d, want 1", byKind[KindUnionDistribute])
+	}
+	if byKind[KindRepetitionSplit] != 1 {
+		t.Errorf("repetition-split candidates = %d, want 1 (Aka{1,10})", byKind[KindRepetitionSplit])
+	}
+	if byKind[KindWildcardMaterialize] != 1 {
+		t.Errorf("wildcard candidates = %d, want 1", byKind[KindWildcardMaterialize])
+	}
+	if byKind[KindOutline] == 0 || byKind[KindInline] != 0 {
+		t.Errorf("inline/outline candidates = %d/%d", byKind[KindInline], byKind[KindOutline])
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	s := parse(t, showSchema)
+	cases := []Transformation{
+		{Kind: KindInline, Loc: pschema.Loc{Type: "Nope"}},
+		{Kind: KindUnionDistribute, Loc: pschema.Loc{Type: "Show"}},
+		{Kind: KindWildcardMaterialize, Loc: pschema.Loc{Type: "Show", Path: pschema.Path{0, 0}}},
+		{Kind: KindRepetitionSplit, Loc: pschema.Loc{Type: "Show", Path: pschema.Path{0, 4}}}, // Review*: min 0
+	}
+	for _, tr := range cases {
+		if _, err := Apply(s, tr); err == nil {
+			t.Errorf("Apply(%s) succeeded, want error", tr)
+		}
+	}
+}

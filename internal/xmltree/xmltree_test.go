@@ -1,0 +1,215 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDoc = `<imdb>
+  <show type="Movie">
+    <title>Fugitive, The</title>
+    <year>1993</year>
+    <aka>Auf der Flucht</aka>
+    <aka>Fuggitivo, Il</aka>
+    <review>
+      <suntimes>
+        <reviewer>Roger Ebert</reviewer>
+        <rating>Two thumbs up!</rating>
+      </suntimes>
+    </review>
+    <box_office>183752965</box_office>
+  </show>
+</imdb>`
+
+func mustParse(t *testing.T, s string) *Node {
+	t.Helper()
+	n, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return n
+}
+
+func TestParseBasic(t *testing.T) {
+	root := mustParse(t, sampleDoc)
+	if root.Name != "imdb" {
+		t.Fatalf("root name = %q, want imdb", root.Name)
+	}
+	show := root.Child("show")
+	if show == nil {
+		t.Fatal("missing show child")
+	}
+	if v, ok := show.Attr("type"); !ok || v != "Movie" {
+		t.Fatalf("show/@type = %q, %v", v, ok)
+	}
+	if got := show.Child("title").Text; got != "Fugitive, The" {
+		t.Fatalf("title = %q", got)
+	}
+	if got := len(show.ChildrenNamed("aka")); got != 2 {
+		t.Fatalf("aka count = %d, want 2", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"unclosed", "<a><b></b>"},
+		{"garbage", "not xml at all < >"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseString(c.src); err == nil {
+				t.Fatalf("ParseString(%q) succeeded, want error", c.src)
+			}
+		})
+	}
+}
+
+func TestPath(t *testing.T) {
+	root := mustParse(t, sampleDoc)
+	titles := root.Path("show", "title")
+	if len(titles) != 1 || titles[0].Text != "Fugitive, The" {
+		t.Fatalf("Path(show,title) = %v", titles)
+	}
+	reviewers := root.Path("show", "review", "suntimes", "reviewer")
+	if len(reviewers) != 1 || reviewers[0].Text != "Roger Ebert" {
+		t.Fatalf("deep path = %v", reviewers)
+	}
+	if got := root.Path("show", "nosuch"); len(got) != 0 {
+		t.Fatalf("missing path returned %v", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	root := mustParse(t, sampleDoc)
+	reparsed := mustParse(t, root.String())
+	if !Equal(root, reparsed) {
+		t.Fatalf("serialize+parse is not identity:\n%s\nvs\n%s", root, reparsed)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	n := NewElement("note")
+	n.SetAttr("title", `a "quoted" <tag> & more`)
+	n.Text = "5 < 6 && 7 > 2"
+	reparsed := mustParse(t, n.String())
+	if v, _ := reparsed.Attr("title"); v != `a "quoted" <tag> & more` {
+		t.Fatalf("attr round trip = %q", v)
+	}
+	if reparsed.Text != "5 < 6 && 7 > 2" {
+		t.Fatalf("text round trip = %q", reparsed.Text)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	root := mustParse(t, sampleDoc)
+	cp := root.Clone()
+	if !Equal(root, cp) {
+		t.Fatal("clone differs from original")
+	}
+	cp.Child("show").Child("title").Text = "changed"
+	if root.Child("show").Child("title").Text == "changed" {
+		t.Fatal("clone shares nodes with original")
+	}
+}
+
+func TestEqualDistinguishes(t *testing.T) {
+	a := mustParse(t, sampleDoc)
+	b := mustParse(t, sampleDoc)
+	if !Equal(a, b) {
+		t.Fatal("identical parses not Equal")
+	}
+	b.Child("show").SetAttr("type", "TV series")
+	if Equal(a, b) {
+		t.Fatal("Equal ignored attribute difference")
+	}
+	c := mustParse(t, sampleDoc)
+	c.Child("show").Children = c.Child("show").Children[:3]
+	if Equal(a, c) {
+		t.Fatal("Equal ignored missing children")
+	}
+}
+
+func TestEqualAttrOrderInsensitive(t *testing.T) {
+	a := NewElement("e")
+	a.SetAttr("x", "1")
+	a.SetAttr("y", "2")
+	b := NewElement("e")
+	b.SetAttr("y", "2")
+	b.SetAttr("x", "1")
+	if !Equal(a, b) {
+		t.Fatal("Equal is attribute-order sensitive")
+	}
+}
+
+func TestSizeAndWalk(t *testing.T) {
+	root := mustParse(t, sampleDoc)
+	if got := root.Size(); got != 11 {
+		t.Fatalf("Size = %d, want 11", got)
+	}
+	var paths []string
+	root.Walk(func(path []string, n *Node) {
+		paths = append(paths, strings.Join(path, "/"))
+	})
+	if paths[0] != "imdb" || paths[1] != "imdb/show" {
+		t.Fatalf("walk order wrong: %v", paths[:2])
+	}
+	found := false
+	for _, p := range paths {
+		if p == "imdb/show/review/suntimes/reviewer" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("walk missed deep path; got %v", paths)
+	}
+}
+
+func TestMultipleRootsRejected(t *testing.T) {
+	if _, err := ParseString("<a/><b/>"); err == nil {
+		t.Fatal("multiple roots accepted")
+	}
+}
+
+func TestNewTextAndAppend(t *testing.T) {
+	n := NewElement("show").Append(NewText("title", "X Files"), NewText("year", "1993"))
+	if len(n.Children) != 2 || n.Children[0].Text != "X Files" {
+		t.Fatalf("Append/NewText produced %v", n)
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	a := mustParse(t, `<r><b>2</b><a>1</a><a>0</a></r>`)
+	b := mustParse(t, `<r><a>0</a><b>2</b><a>1</a></r>`)
+	if Equal(a, b) {
+		t.Fatal("differently ordered documents should not be Equal")
+	}
+	if !EqualCanonical(a, b) {
+		t.Fatal("EqualCanonical should ignore sibling order")
+	}
+	c := mustParse(t, `<r><a>0</a><b>3</b><a>1</a></r>`)
+	if EqualCanonical(a, c) {
+		t.Fatal("EqualCanonical ignored a content difference")
+	}
+	// Attributes sort too.
+	x := NewElement("e")
+	x.SetAttr("z", "1")
+	x.SetAttr("a", "2")
+	y := NewElement("e")
+	y.SetAttr("a", "2")
+	y.SetAttr("z", "1")
+	if !EqualCanonical(x, y) {
+		t.Fatal("attribute order should not matter")
+	}
+}
+
+func TestCanonicalizeDoesNotMutate(t *testing.T) {
+	a := mustParse(t, `<r><b>2</b><a>1</a></r>`)
+	_ = Canonicalize(a)
+	if a.Children[0].Name != "b" {
+		t.Fatal("Canonicalize mutated its input")
+	}
+}

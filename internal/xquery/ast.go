@@ -1,0 +1,202 @@
+// Package xquery implements the XQuery subset used by the paper's
+// workloads (Appendix C): FLWR expressions with multiple FOR bindings,
+// conjunctive WHERE clauses comparing paths to constants or other paths,
+// and RETURN lists of paths, element constructors and nested FLWR
+// expressions.
+//
+// Concrete syntax (keywords are case-insensitive):
+//
+//	FOR $v IN document("imdb")/imdb/show, $e IN $v/episode
+//	WHERE $v/year = 1999 AND $e/guest_director = c4
+//	RETURN $v/title, $v/year,
+//	       <result> $v/aka FOR $p IN $v/review RETURN $p/nyt </result>
+//
+// Bare identifiers in comparisons (c1, c2, ...) are unbound parameters,
+// as in the paper. `<tag>` immediately followed by a letter opens an
+// element constructor; `<` followed by space or digit is the less-than
+// operator.
+//
+// The Translate function binds paths against a physical schema and its
+// relational catalog, producing the logical SQL of package sqlast:
+// outlined steps become key/foreign-key joins, union-partitioned types
+// expand into one block per partition, wildcard steps become tag-column
+// filters, and whole-element returns expand into one block per reachable
+// relation (publishing).
+package xquery
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Path is a variable-rooted or document-rooted sequence of child steps.
+type Path struct {
+	// Var is the source variable; empty means the document root.
+	Var   string
+	Steps []string
+}
+
+func (p Path) String() string {
+	base := "doc"
+	if p.Var != "" {
+		base = "$" + p.Var
+	}
+	if len(p.Steps) == 0 {
+		return base
+	}
+	return base + "/" + strings.Join(p.Steps, "/")
+}
+
+// Binding is one FOR clause: the variable iterates over the nodes the
+// path reaches.
+type Binding struct {
+	Var  string
+	Path Path
+}
+
+// Operand is a comparison operand: a path or a literal.
+type Operand struct {
+	Path  *Path
+	IsInt bool
+	Int   int64
+	Str   string
+	// Param is a named unbound parameter (the paper's c1, c2...).
+	Param string
+}
+
+func (o Operand) String() string {
+	switch {
+	case o.Path != nil:
+		return o.Path.String()
+	case o.Param != "":
+		return o.Param
+	case o.IsInt:
+		return fmt.Sprintf("%d", o.Int)
+	default:
+		return "'" + o.Str + "'"
+	}
+}
+
+// Comparison is one conjunct of a WHERE clause.
+type Comparison struct {
+	Left  Path
+	Op    string // =, !=, <, <=, >, >=
+	Right Operand
+}
+
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// ReturnItem is a component of a RETURN clause: exactly one of the fields
+// is set.
+type ReturnItem struct {
+	// Path returns the nodes (or value) the path reaches.
+	Path *Path
+	// Element wraps nested items in a constructed element.
+	Element *ElementConstructor
+	// Nested is an embedded FLWR expression.
+	Nested *Query
+}
+
+// ElementConstructor is <tag> items </tag>.
+type ElementConstructor struct {
+	Tag   string
+	Items []ReturnItem
+}
+
+// Query is a FLWR expression.
+type Query struct {
+	Name     string // label for reports (Q1, Q2, ...)
+	Bindings []Binding
+	Where    []Comparison
+	Return   []ReturnItem
+}
+
+// String renders the query in the package's concrete syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	if q.Name != "" {
+		fmt.Fprintf(&b, "(: %s :) ", q.Name)
+	}
+	b.WriteString("FOR ")
+	for i, bind := range q.Bindings {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "$%s IN %s", bind.Var, bind.Path)
+	}
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range q.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	b.WriteString(" RETURN ")
+	writeItems(&b, q.Return)
+	return b.String()
+}
+
+func writeItems(b *strings.Builder, items []ReturnItem) {
+	for i, it := range items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Path != nil:
+			b.WriteString(it.Path.String())
+		case it.Element != nil:
+			fmt.Fprintf(b, "<%s> ", it.Element.Tag)
+			writeItems(b, it.Element.Items)
+			fmt.Fprintf(b, " </%s>", it.Element.Tag)
+		case it.Nested != nil:
+			b.WriteString(it.Nested.String())
+		}
+	}
+}
+
+// Workload is a weighted set of queries (and, as an extension of the
+// paper's future work, update operations), as in Section 2's W1/W2.
+type Workload struct {
+	Entries []WorkloadEntry
+	Updates []UpdateEntry
+}
+
+// WorkloadEntry pairs a query with its relative weight.
+type WorkloadEntry struct {
+	Query  *Query
+	Weight float64
+}
+
+// UpdateEntry pairs an update operation with its relative weight.
+type UpdateEntry struct {
+	Update *Update
+	Weight float64
+}
+
+// Add appends a weighted query and returns the workload for chaining.
+func (w *Workload) Add(q *Query, weight float64) *Workload {
+	w.Entries = append(w.Entries, WorkloadEntry{Query: q, Weight: weight})
+	return w
+}
+
+// AddUpdate appends a weighted update operation.
+func (w *Workload) AddUpdate(u *Update, weight float64) *Workload {
+	w.Updates = append(w.Updates, UpdateEntry{Update: u, Weight: weight})
+	return w
+}
+
+// TotalWeight sums the entry weights (queries and updates).
+func (w *Workload) TotalWeight() float64 {
+	total := 0.0
+	for _, e := range w.Entries {
+		total += e.Weight
+	}
+	for _, u := range w.Updates {
+		total += u.Weight
+	}
+	return total
+}

@@ -1,0 +1,170 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleLookup(t *testing.T) {
+	q, err := Parse(`FOR $v IN document("imdbdata")/imdb/show
+WHERE $v/title = c1
+RETURN $v/title, $v/year, $v/type`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Bindings) != 1 || q.Bindings[0].Var != "v" {
+		t.Fatalf("bindings = %+v", q.Bindings)
+	}
+	if got := strings.Join(q.Bindings[0].Path.Steps, "/"); got != "imdb/show" {
+		t.Fatalf("path = %q", got)
+	}
+	if len(q.Where) != 1 || q.Where[0].Right.Param != "c1" {
+		t.Fatalf("where = %+v", q.Where)
+	}
+	if len(q.Return) != 3 {
+		t.Fatalf("return = %+v", q.Return)
+	}
+}
+
+func TestParseWithoutDocumentWrapper(t *testing.T) {
+	q, err := Parse(`FOR $v IN imdb/show WHERE $v/year = 1999 RETURN $v/title`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := strings.Join(q.Bindings[0].Path.Steps, "/"); got != "imdb/show" {
+		t.Fatalf("path = %q", got)
+	}
+	w := q.Where[0]
+	if !w.Right.IsInt || w.Right.Int != 1999 {
+		t.Fatalf("where right = %+v", w.Right)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	for _, op := range []string{"=", "!=", "<", "<=", ">", ">="} {
+		q, err := Parse(`FOR $v IN imdb/show WHERE $v/year ` + op + ` 1999 RETURN $v/title`)
+		if err != nil {
+			t.Fatalf("op %q: %v", op, err)
+		}
+		if q.Where[0].Op != op {
+			t.Fatalf("op = %q, want %q", q.Where[0].Op, op)
+		}
+	}
+}
+
+func TestParseMultipleBindings(t *testing.T) {
+	q, err := Parse(`FOR $i IN document("imdbdata")/imdb,
+    $a IN $i/actor,
+    $m1 IN $a/played,
+    $d IN $i/director,
+    $m2 IN $d/directed
+WHERE $a/name = $d/name AND $m1/title = $m2/title
+RETURN $a/name, $m1/title, $m1/year`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Bindings) != 5 {
+		t.Fatalf("bindings = %d", len(q.Bindings))
+	}
+	if q.Bindings[2].Path.Var != "a" {
+		t.Fatalf("m1 source = %+v", q.Bindings[2].Path)
+	}
+	if q.Where[1].Right.Path == nil {
+		t.Fatalf("second cond should be path-path: %+v", q.Where[1])
+	}
+}
+
+func TestParseElementConstructorAndNested(t *testing.T) {
+	q, err := Parse(`FOR $v IN imdb/actor
+RETURN <result> $v/name
+  FOR $p IN $v/played WHERE $p/character = c1
+  RETURN $p/order_of_appearance
+</result>`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Return) != 1 || q.Return[0].Element == nil {
+		t.Fatalf("return = %+v", q.Return)
+	}
+	el := q.Return[0].Element
+	if el.Tag != "result" || len(el.Items) != 2 {
+		t.Fatalf("constructor = %+v", el)
+	}
+	nested := el.Items[1].Nested
+	if nested == nil || nested.Bindings[0].Var != "p" {
+		t.Fatalf("nested = %+v", el.Items[1])
+	}
+	if len(nested.Where) != 1 || len(nested.Return) != 1 {
+		t.Fatalf("nested body = %+v", nested)
+	}
+}
+
+func TestParsePublishWholeVariable(t *testing.T) {
+	q, err := Parse(`FOR $s IN imdb/show RETURN $s`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Return[0].Path == nil || len(q.Return[0].Path.Steps) != 0 {
+		t.Fatalf("return = %+v", q.Return[0])
+	}
+}
+
+func TestParseAttributeStep(t *testing.T) {
+	q, err := Parse(`FOR $v IN imdb/show RETURN $v/@type`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := q.Return[0].Path.Steps[0]; got != "@type" {
+		t.Fatalf("step = %q", got)
+	}
+}
+
+func TestParseStringConstant(t *testing.T) {
+	q, err := Parse(`FOR $v IN imdb/show WHERE $v/title = 'Fugitive, The' RETURN $v/year`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Where[0].Right.Str != "Fugitive, The" {
+		t.Fatalf("string const = %+v", q.Where[0].Right)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q, err := Parse(`(: Q3: shows of a year :)
+FOR $v IN imdb/show WHERE $v/year = c1 RETURN $v/title, $v/year`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Return) != 2 {
+		t.Fatalf("return = %+v", q.Return)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"RETURN $v",
+		"FOR v IN imdb/show RETURN $v",
+		"FOR $v IN imdb/show WHERE RETURN $v",
+		"FOR $v IN imdb/show",
+		"FOR $v IN imdb/show RETURN <result> $v",
+		"FOR $v IN imdb/show WHERE doc/imdb = 3 RETURN $v",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	src := `FOR $v IN imdb/show WHERE $v/year = 1999 AND $v/title = c2 RETURN $v/title, <r> $v/year </r>`
+	q := MustParse(src)
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", q.String(), err)
+	}
+	if len(q2.Where) != 2 || len(q2.Return) != 2 {
+		t.Fatalf("round trip lost structure: %s", q2)
+	}
+}

@@ -1,0 +1,327 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"legodb/internal/pschema"
+	"legodb/internal/relational"
+	"legodb/internal/sqlast"
+	"legodb/internal/transform"
+	"legodb/internal/xschema"
+)
+
+// fixture builds a p-schema and its catalog from algebra notation.
+func fixture(t *testing.T, src string) (*xschema.Schema, *relational.Catalog) {
+	t.Helper()
+	s := xschema.MustParseSchema(src)
+	if err := pschema.Check(s); err != nil {
+		t.Fatalf("fixture not physical: %v", err)
+	}
+	cat, err := relational.Map(s)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	return s, cat
+}
+
+const imdbFixture = `
+type IMDB = imdb[ Show{0,*}<#1000> ]
+type Show = show [ @type[ String<#8,#2> ],
+    title[ String<#50,#1000> ],
+    year[ Integer<#4,#1800,#2100,#300> ],
+    Aka{1,10}<#3>,
+    Review*<#2>,
+    ( Movie | TV ) ]
+type Aka = aka[ String<#40,#900> ]
+type Review = review[ ~[ String<#800,#500> ] ]
+type Movie = box_office[ Integer ], video_sales[ Integer ]
+type TV = seasons[ Integer ], description[ String<#120,#300> ], Episode*<#9>
+type Episode = episode[ name[ String<#40,#800> ], guest_director[ String<#40,#200> ] ]
+`
+
+func translate(t *testing.T, src, query string) *sqlast.Query {
+	t.Helper()
+	s, cat := fixture(t, imdbFixture)
+	_ = src
+	q := MustParse(query)
+	out, err := Translate(q, s, cat)
+	if err != nil {
+		t.Fatalf("Translate: %v\nquery: %s", err, query)
+	}
+	return out
+}
+
+func TestTranslateSimpleLookup(t *testing.T) {
+	out := translate(t, imdbFixture, `FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title, $v/year`)
+	if len(out.Blocks) != 1 {
+		t.Fatalf("blocks = %d\n%s", len(out.Blocks), out.SQL())
+	}
+	b := out.Blocks[0]
+	if len(b.Tables) != 2 { // IMDB + Show
+		t.Fatalf("tables = %+v", b.Tables)
+	}
+	if len(b.Filters) != 1 || b.Filters[0].Col.Column != "title" {
+		t.Fatalf("filters = %+v", b.Filters)
+	}
+	if len(b.Projects) != 2 {
+		t.Fatalf("projects = %+v", b.Projects)
+	}
+}
+
+func TestTranslateOutlinedStepAddsJoin(t *testing.T) {
+	out := translate(t, imdbFixture, `FOR $v IN imdb/show, $a IN $v/aka RETURN $a`)
+	if len(out.Blocks) != 1 {
+		t.Fatalf("blocks = %d", len(out.Blocks))
+	}
+	b := out.Blocks[0]
+	// IMDB -> Show -> Aka: two joins.
+	if len(b.Joins) != 2 {
+		t.Fatalf("joins = %+v", b.Joins)
+	}
+	sql := b.SQL()
+	if !strings.Contains(sql, "parent_Show") {
+		t.Fatalf("missing FK join:\n%s", sql)
+	}
+}
+
+func TestTranslateUnionExpansion(t *testing.T) {
+	// After union distribution, a query over show expands into one block
+	// per partition.
+	s := xschema.MustParseSchema(imdbFixture)
+	cands := transform.Candidates(s, transform.Options{Kinds: []transform.Kind{transform.KindUnionDistribute}})
+	if len(cands) != 1 {
+		t.Fatalf("distribute candidates = %v", cands)
+	}
+	dist, err := transform.Apply(s, cands[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := relational.Map(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParse(`FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title, $v/year`)
+	out, err := Translate(q, dist, cat)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	if len(out.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2 (one per partition)\n%s", len(out.Blocks), out.SQL())
+	}
+	sql := out.SQL()
+	if !strings.Contains(sql, "Show_Part1") || !strings.Contains(sql, "Show_Part2") {
+		t.Fatalf("partitions missing:\n%s", sql)
+	}
+}
+
+func TestTranslatePartitionPruning(t *testing.T) {
+	// Only TV shows have a description: after distribution, a query on
+	// description must touch only the TV partition (the paper's Q3/Q4
+	// effect, cost ratio 0.17).
+	s := xschema.MustParseSchema(imdbFixture)
+	dist, err := transform.Apply(s, transform.Candidates(s,
+		transform.Options{Kinds: []transform.Kind{transform.KindUnionDistribute}})[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := relational.Map(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParse(`FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/description`)
+	out, err := Translate(q, dist, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1 (movie partition pruned)\n%s", len(out.Blocks), out.SQL())
+	}
+	if !strings.Contains(out.SQL(), "Show_Part2") {
+		t.Fatalf("wrong partition:\n%s", out.SQL())
+	}
+}
+
+func TestTranslateWildcardTagFilter(t *testing.T) {
+	out := translate(t, imdbFixture, `FOR $v IN imdb/show WHERE $v/year = 1999 RETURN $v/title, $v/review/nyt`)
+	sql := out.SQL()
+	if !strings.Contains(sql, "tilde = 'nyt'") {
+		t.Fatalf("missing tag filter:\n%s", sql)
+	}
+	// The nyt item is a publish of the wildcard element: a block joining
+	// Show and Review with the tag filter.
+	found := false
+	for _, b := range out.Blocks {
+		hasReview := false
+		for _, tb := range b.Tables {
+			if tb.Table == "Review" {
+				hasReview = true
+			}
+		}
+		if hasReview {
+			for _, f := range b.Filters {
+				if f.Col.Column == "tilde" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no review block with tag filter:\n%s", sql)
+	}
+}
+
+func TestTranslatePublishShow(t *testing.T) {
+	out := translate(t, imdbFixture, `FOR $s IN imdb/show RETURN $s`)
+	// Publishing a show touches Show itself plus Aka, Review, Movie, TV,
+	// Episode: 6 blocks.
+	if len(out.Blocks) != 6 {
+		t.Fatalf("blocks = %d, want 6\n%s", len(out.Blocks), out.SQL())
+	}
+	// The Episode block must join through TV (its parent), giving a
+	// 4-table chain IMDB->Show->TV->Episode.
+	var episodeBlock *sqlast.Block
+	for _, b := range out.Blocks {
+		for _, tb := range b.Tables {
+			if tb.Table == "Episode" {
+				episodeBlock = b
+			}
+		}
+	}
+	if episodeBlock == nil {
+		t.Fatalf("no episode block:\n%s", out.SQL())
+	}
+	if len(episodeBlock.Tables) != 4 {
+		t.Fatalf("episode chain = %+v", episodeBlock.Tables)
+	}
+}
+
+func TestTranslateAttributeAccess(t *testing.T) {
+	out := translate(t, imdbFixture, `FOR $v IN imdb/show RETURN $v/@type, $v/type`)
+	b := out.Blocks[0]
+	if len(b.Projects) != 2 {
+		t.Fatalf("projects = %+v", b.Projects)
+	}
+	for _, p := range b.Projects {
+		if p.Column != "type" {
+			t.Fatalf("attribute column = %+v", p)
+		}
+	}
+}
+
+func TestTranslateInlinedNestedElement(t *testing.T) {
+	s, cat := fixture(t, `
+type Actor = actor[ name[ String<#40,#100> ],
+    biography[ birthday[ String<#10,#50> ], text[ String<#30,#90> ] ]? ]`)
+	q := MustParse(`FOR $a IN actor WHERE $a/biography/birthday = c1 RETURN $a/name`)
+	out, err := Translate(q, s, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := out.Blocks[0]
+	if len(b.Tables) != 1 {
+		t.Fatalf("inlined access should not join: %+v", b.Tables)
+	}
+	if b.Filters[0].Col.Column != "biography_birthday" {
+		t.Fatalf("filter column = %+v", b.Filters[0])
+	}
+}
+
+func TestTranslateNestedQuery(t *testing.T) {
+	out := translate(t, imdbFixture, `FOR $v IN imdb/show
+RETURN <result> $v/title, $v/year
+  FOR $e IN $v/episode WHERE $e/guest_director = c4 RETURN $e/name
+</result>`)
+	// Main block (title, year) + nested block (episode name with filter).
+	if len(out.Blocks) != 2 {
+		t.Fatalf("blocks = %d\n%s", len(out.Blocks), out.SQL())
+	}
+	nested := out.Blocks[1]
+	hasEpisode := false
+	for _, tb := range nested.Tables {
+		if tb.Table == "Episode" {
+			hasEpisode = true
+		}
+	}
+	if !hasEpisode {
+		t.Fatalf("nested block lacks Episode:\n%s", nested.SQL())
+	}
+	if len(nested.Filters) != 1 || !nested.Filters[0].Value.IsParam {
+		t.Fatalf("nested filter = %+v", nested.Filters)
+	}
+}
+
+func TestTranslateValueJoin(t *testing.T) {
+	s, cat := fixture(t, `
+type IMDB = imdb[ Actor*<#100>, Director*<#20> ]
+type Actor = actor[ name[ String<#40,#90> ] ]
+type Director = director[ name[ String<#40,#18> ] ]`)
+	q := MustParse(`FOR $i IN imdb, $a IN $i/actor, $d IN $i/director
+WHERE $a/name = $d/name RETURN $a/name`)
+	out, err := Translate(q, s, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := out.Blocks[0]
+	if len(b.Tables) != 3 {
+		t.Fatalf("tables = %+v", b.Tables)
+	}
+	var valueJoin bool
+	for _, f := range b.Filters {
+		if f.RightCol != nil && f.Col.Column == "name" && f.RightCol.Column == "name" {
+			valueJoin = true
+		}
+	}
+	if !valueJoin {
+		t.Fatalf("missing value join: %+v", b.Filters)
+	}
+}
+
+func TestTranslateMissingPathErrors(t *testing.T) {
+	s, cat := fixture(t, imdbFixture)
+	for _, src := range []string{
+		`FOR $v IN imdb/nosuch RETURN $v`,
+		`FOR $v IN imdb/show WHERE $v/nosuch = 1 RETURN $v/title`,
+		`FOR $v IN imdb/show RETURN $v/nosuch`,
+	} {
+		q := MustParse(src)
+		if _, err := Translate(q, s, cat); err == nil {
+			t.Errorf("Translate(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestTranslateAllInlinedConfiguration(t *testing.T) {
+	// The ALL-INLINED configuration stores movie/TV fields as nullable
+	// columns; queries touch a single wide table.
+	s := xschema.MustParseSchema(imdbFixture)
+	flat, err := pschema.AllInlined(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := relational.Map(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParse(`FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/description, $v/box_office`)
+	out, err := Translate(q, flat, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Blocks) != 1 {
+		t.Fatalf("blocks = %d\n%s", len(out.Blocks), out.SQL())
+	}
+	if len(out.Blocks[0].Tables) != 2 { // IMDB + Show only
+		t.Fatalf("tables = %+v", out.Blocks[0].Tables)
+	}
+}
+
+func TestTranslateSQLRendering(t *testing.T) {
+	out := translate(t, imdbFixture, `FOR $v IN imdb/show WHERE $v/year = 1999 RETURN $v/title`)
+	sql := out.SQL()
+	for _, want := range []string{"SELECT", "FROM", "WHERE", "year = 1999", "title"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package xquery
+
+import (
+	"testing"
+
+	"legodb/internal/pschema"
+	"legodb/internal/relational"
+	"legodb/internal/transform"
+	"legodb/internal/xschema"
+)
+
+func TestParseUpdate(t *testing.T) {
+	u, err := ParseUpdate("INSERT imdb/show/aka")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Kind != InsertUpdate || len(u.Path.Steps) != 3 {
+		t.Fatalf("update = %+v", u)
+	}
+	if u.String() != "INSERT doc/imdb/show/aka" {
+		t.Fatalf("String = %q", u.String())
+	}
+	if _, err := ParseUpdate("UPSERT a/b"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := ParseUpdate("INSERT"); err == nil {
+		t.Fatal("missing path accepted")
+	}
+	for _, kind := range []string{"delete", "Modify"} {
+		if _, err := ParseUpdate(kind + " imdb/show"); err != nil {
+			t.Errorf("case-insensitive kind %q rejected: %v", kind, err)
+		}
+	}
+}
+
+func TestResolveUpdateOutlined(t *testing.T) {
+	s, cat := fixture(t, imdbFixture)
+	u := MustParseUpdate("INSERT imdb/show/aka")
+	targets, err := ResolveUpdate(u, s, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("targets = %+v", targets)
+	}
+	if targets[0].Table != "Aka" || targets[0].Inlined {
+		t.Fatalf("target = %+v", targets[0])
+	}
+	if len(targets[0].Subtree) != 0 {
+		t.Fatalf("aka has no descendants: %+v", targets[0].Subtree)
+	}
+}
+
+func TestResolveUpdateSubtree(t *testing.T) {
+	s, cat := fixture(t, imdbFixture)
+	u := MustParseUpdate("INSERT imdb/show")
+	targets, err := ResolveUpdate(u, s, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("targets = %+v", targets)
+	}
+	tgt := targets[0]
+	if tgt.Table != "Show" {
+		t.Fatalf("target = %+v", tgt)
+	}
+	// A show's subtree spans Aka, Review, Movie, TV, Episode.
+	if len(tgt.Subtree) != 5 {
+		t.Fatalf("subtree = %v", tgt.Subtree)
+	}
+}
+
+func TestResolveUpdateInlinedValue(t *testing.T) {
+	base := xschema.MustParseSchema(imdbFixture)
+	flat, err := pschema.AllInlined(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := relational.Map(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := MustParseUpdate("MODIFY imdb/show/description")
+	targets, err := ResolveUpdate(u, flat, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 || !targets[0].Inlined || targets[0].Table != "Show" {
+		t.Fatalf("targets = %+v", targets)
+	}
+}
+
+func TestResolveUpdatePartitioned(t *testing.T) {
+	base := xschema.MustParseSchema(imdbFixture)
+	dist, err := transform.Apply(base, transform.Candidates(base,
+		transform.Options{Kinds: []transform.Kind{transform.KindUnionDistribute}})[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := relational.Map(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := MustParseUpdate("INSERT imdb/show")
+	targets, err := ResolveUpdate(u, dist, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 2 {
+		t.Fatalf("partitioned insert should have 2 targets: %+v", targets)
+	}
+}
+
+func TestResolveUpdateUnknownPath(t *testing.T) {
+	s, cat := fixture(t, imdbFixture)
+	u := MustParseUpdate("DELETE imdb/nosuch")
+	if _, err := ResolveUpdate(u, s, cat); err == nil {
+		t.Fatal("unknown path resolved")
+	}
+}

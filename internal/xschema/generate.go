@@ -1,0 +1,280 @@
+package xschema
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"legodb/internal/xmltree"
+)
+
+// Generator produces random documents valid under a schema. It is the
+// engine behind the property-based tests ("a random valid document stays
+// valid under every semantics-preserving transformation") and the
+// synthetic data generators.
+type Generator struct {
+	Schema *Schema
+	Rand   *rand.Rand
+	// MaxDepth bounds recursion through named types; past this depth the
+	// generator picks minimal expansions (Min occurrences, cheapest
+	// choice alternative).
+	MaxDepth int
+	// MaxRepeat caps how many occurrences an unbounded repetition may
+	// produce (default 3).
+	MaxRepeat int
+
+	depthCost map[string]int
+}
+
+// NewGenerator returns a generator over the schema using the given
+// pseudo-random source.
+func NewGenerator(s *Schema, r *rand.Rand) *Generator {
+	g := &Generator{Schema: s, Rand: r, MaxDepth: 12, MaxRepeat: 3}
+	g.depthCost = computeDepthCosts(s)
+	return g
+}
+
+// Generate produces a random document valid under the schema root.
+func (g *Generator) Generate() (*xmltree.Node, error) {
+	root, ok := g.Schema.Types[g.Schema.Root]
+	if !ok {
+		return nil, fmt.Errorf("xschema: root type %q not defined", g.Schema.Root)
+	}
+	nodes, _, _, err := g.gen(root, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) != 1 {
+		return nil, fmt.Errorf("xschema: root type %q does not describe a single element", g.Schema.Root)
+	}
+	return nodes[0], nil
+}
+
+// gen expands a type into content contributions: element children,
+// attributes and text. minimal forces minimal expansions to guarantee
+// termination under recursion.
+func (g *Generator) gen(t Type, depth int, minimal bool) (nodes []*xmltree.Node, attrs []xmltree.Attr, text string, err error) {
+	if depth > 4*g.MaxDepth {
+		return nil, nil, "", fmt.Errorf("xschema: generation exceeded recursion budget (schema requires unbounded nesting?)")
+	}
+	if depth > g.MaxDepth {
+		minimal = true
+	}
+	switch t := t.(type) {
+	case *Empty:
+		return nil, nil, "", nil
+	case *Scalar:
+		return nil, nil, g.genScalar(t), nil
+	case *Attribute:
+		sc, ok := t.Content.(*Scalar)
+		if !ok {
+			return nil, nil, "", fmt.Errorf("xschema: attribute @%s without scalar content", t.Name)
+		}
+		return nil, []xmltree.Attr{{Name: t.Name, Value: g.genScalar(sc)}}, "", nil
+	case *Element:
+		n := xmltree.NewElement(t.Name)
+		kids, kattrs, ktext, err := g.gen(t.Content, depth+1, minimal)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		n.Children = kids
+		n.Attrs = kattrs
+		n.Text = ktext
+		return []*xmltree.Node{n}, nil, "", nil
+	case *Wildcard:
+		name := g.wildcardName(t)
+		n := xmltree.NewElement(name)
+		kids, kattrs, ktext, err := g.gen(t.Content, depth+1, minimal)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		n.Children = kids
+		n.Attrs = kattrs
+		n.Text = ktext
+		return []*xmltree.Node{n}, nil, "", nil
+	case *Sequence:
+		for _, part := range t.Items {
+			kn, ka, kt, err := g.gen(part, depth, minimal)
+			if err != nil {
+				return nil, nil, "", err
+			}
+			nodes = append(nodes, kn...)
+			attrs = append(attrs, ka...)
+			text += kt
+		}
+		return nodes, attrs, text, nil
+	case *Choice:
+		alt := g.pickAlternative(t, minimal)
+		return g.gen(alt, depth, minimal)
+	case *Repeat:
+		count := t.Min
+		if !minimal {
+			max := t.Max
+			if max == Unbounded {
+				max = t.Min + g.MaxRepeat
+			}
+			if max > t.Min+g.MaxRepeat {
+				max = t.Min + g.MaxRepeat
+			}
+			if max > count {
+				count += g.Rand.Intn(max - count + 1)
+			}
+		}
+		for k := 0; k < count; k++ {
+			kn, ka, kt, err := g.gen(t.Inner, depth+1, minimal)
+			if err != nil {
+				return nil, nil, "", err
+			}
+			nodes = append(nodes, kn...)
+			attrs = append(attrs, ka...)
+			text += kt
+		}
+		return nodes, attrs, text, nil
+	case *Ref:
+		def, ok := g.Schema.Types[t.Name]
+		if !ok {
+			return nil, nil, "", fmt.Errorf("xschema: undefined type %q", t.Name)
+		}
+		return g.gen(def, depth+1, minimal)
+	default:
+		return nil, nil, "", fmt.Errorf("xschema: cannot generate from %T", t)
+	}
+}
+
+var words = []string{
+	"fugitive", "files", "paranoia", "agent", "alien", "river", "shadow",
+	"summer", "ghost", "machine", "angel", "frontier", "network", "signal",
+}
+
+func (g *Generator) genScalar(s *Scalar) string {
+	switch s.Kind {
+	case IntegerKind:
+		lo, hi := s.Min, s.Max
+		if hi <= lo {
+			lo, hi = 0, 10000
+		}
+		return fmt.Sprintf("%d", lo+g.Rand.Int63n(hi-lo+1))
+	default:
+		n := 1 + g.Rand.Intn(3)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[g.Rand.Intn(len(words))]
+		}
+		return strings.Join(parts, " ")
+	}
+}
+
+var wildcardNames = []string{"nyt", "suntimes", "variety", "guardian", "post"}
+
+func (g *Generator) wildcardName(w *Wildcard) string {
+	excluded := make(map[string]bool, len(w.Exclude))
+	for _, e := range w.Exclude {
+		excluded[e] = true
+	}
+	for tries := 0; tries < 50; tries++ {
+		name := wildcardNames[g.Rand.Intn(len(wildcardNames))]
+		if !excluded[name] {
+			return name
+		}
+	}
+	return "anonelem"
+}
+
+// pickAlternative selects a choice branch; under minimal expansion it
+// prefers the branch with the lowest recursion cost so that recursive
+// schemas (like AnyElement) terminate.
+func (g *Generator) pickAlternative(c *Choice, minimal bool) Type {
+	if !minimal {
+		if len(c.Fractions) == len(c.Alts) {
+			r := g.Rand.Float64()
+			acc := 0.0
+			for i, f := range c.Fractions {
+				acc += f
+				if r < acc {
+					return c.Alts[i]
+				}
+			}
+		}
+		return c.Alts[g.Rand.Intn(len(c.Alts))]
+	}
+	best := c.Alts[0]
+	bestCost := g.cost(best)
+	for _, alt := range c.Alts[1:] {
+		if cost := g.cost(alt); cost < bestCost {
+			best, bestCost = alt, cost
+		}
+	}
+	return best
+}
+
+const infiniteCost = 1 << 20
+
+// cost estimates the minimal expansion depth of a type under the current
+// depth-cost table.
+func (g *Generator) cost(t Type) int {
+	switch t := t.(type) {
+	case *Empty, *Scalar, *Attribute:
+		return 0
+	case *Element:
+		return 1 + g.cost(t.Content)
+	case *Wildcard:
+		return 1 + g.cost(t.Content)
+	case *Sequence:
+		total := 0
+		for _, it := range t.Items {
+			c := g.cost(it)
+			if c >= infiniteCost {
+				return infiniteCost
+			}
+			if c > total {
+				total = c
+			}
+		}
+		return total
+	case *Choice:
+		best := infiniteCost
+		for _, a := range t.Alts {
+			if c := g.cost(a); c < best {
+				best = c
+			}
+		}
+		return best
+	case *Repeat:
+		if t.Min == 0 {
+			return 0
+		}
+		return g.cost(t.Inner)
+	case *Ref:
+		if c, ok := g.depthCost[t.Name]; ok {
+			return c
+		}
+		return infiniteCost
+	default:
+		return infiniteCost
+	}
+}
+
+// computeDepthCosts runs a fixpoint over the schema computing the minimal
+// expansion depth of each named type; truly non-terminating types keep
+// infiniteCost.
+func computeDepthCosts(s *Schema) map[string]int {
+	costs := make(map[string]int, len(s.Names))
+	for _, n := range s.Names {
+		costs[n] = infiniteCost
+	}
+	g := &Generator{Schema: s, depthCost: costs}
+	for iter := 0; iter < len(s.Names)+2; iter++ {
+		changed := false
+		for _, n := range s.Names {
+			c := g.cost(s.Types[n])
+			if c < costs[n] {
+				costs[n] = c
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return costs
+}

@@ -1,0 +1,618 @@
+package xschema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseSchema parses a schema written in the paper's XML Query Algebra
+// notation, e.g.
+//
+//	type Show = show [ @type[ String ], title[ String<#50,#34798> ],
+//	                   Aka{1,10}, Review*<#10>, ( Movie | TV ) ]
+//	type Aka = aka[ String ]
+//	...
+//
+// The first defined type becomes the schema root. Statistics annotations
+// (<#...>) are optional everywhere.
+func ParseSchema(src string) (*Schema, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var schema *Schema
+	for p.tok.kind != tokEOF {
+		if p.tok.kind != tokIdent || p.tok.text != "type" {
+			return nil, p.errorf("expected 'type', got %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokIdent {
+			return nil, p.errorf("expected type name, got %q", p.tok.text)
+		}
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokEquals); err != nil {
+			return nil, err
+		}
+		body, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if schema == nil {
+			schema = NewSchema(name)
+		}
+		if _, dup := schema.Types[name]; dup {
+			return nil, fmt.Errorf("xschema: duplicate type definition %q", name)
+		}
+		schema.Define(name, body)
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("xschema: empty schema source")
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	return schema, nil
+}
+
+// MustParseSchema is ParseSchema that panics on error; for tests and
+// embedded schema literals.
+func MustParseSchema(src string) *Schema {
+	s, err := ParseSchema(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ParseType parses a single type expression in algebra notation.
+func ParseType(src string) (Type, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("trailing input %q", p.tok.text)
+	}
+	return t, nil
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokEquals   // =
+	tokLBracket // [
+	tokRBracket // ]
+	tokLParen   // (
+	tokRParen   // )
+	tokLBrace   // {
+	tokRBrace   // }
+	tokComma    // ,
+	tokPipe     // |
+	tokStar     // *
+	tokPlus     // +
+	tokQuestion // ?
+	tokAt       // @
+	tokTilde    // ~
+	tokBang     // !
+	tokLAngle   // <
+	tokRAngle   // >
+	tokHash     // #
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// Line comments with //.
+		if c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	single := map[byte]tokKind{
+		'=': tokEquals, '[': tokLBracket, ']': tokRBracket,
+		'(': tokLParen, ')': tokRParen, '{': tokLBrace, '}': tokRBrace,
+		',': tokComma, '|': tokPipe, '*': tokStar, '+': tokPlus,
+		'?': tokQuestion, '@': tokAt, '~': tokTilde, '!': tokBang,
+		'<': tokLAngle, '>': tokRAngle, '#': tokHash,
+	}
+	if kind, ok := single[c]; ok {
+		l.pos++
+		return token{kind: kind, text: string(c), pos: start}, nil
+	}
+	if isIdentStart(rune(c)) {
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	}
+	if c == '-' || (c >= '0' && c <= '9') {
+		l.pos++
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	}
+	return token{}, fmt.Errorf("xschema: unexpected character %q at offset %d", c, start)
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokKind) error {
+	if p.tok.kind != kind {
+		return p.errorf("unexpected token %q", p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("xschema: parse error at offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+// parseType parses a full type expression (choice level).
+func (p *parser) parseType() (Type, error) {
+	first, err := p.parseSequence()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokPipe {
+		return first, nil
+	}
+	alts := []Type{first}
+	for p.tok.kind == tokPipe {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		alt, err := p.parseSequence()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, alt)
+	}
+	return &Choice{Alts: alts}, nil
+}
+
+func (p *parser) parseSequence() (Type, error) {
+	first, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokComma {
+		return first, nil
+	}
+	items := []Type{first}
+	for p.tok.kind == tokComma {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		item, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+	}
+	return &Sequence{Items: items}, nil
+}
+
+func (p *parser) parsePostfix() (Type, error) {
+	t, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var min, max int
+		switch p.tok.kind {
+		case tokStar:
+			min, max = 0, Unbounded
+		case tokPlus:
+			min, max = 1, Unbounded
+		case tokQuestion:
+			min, max = 0, 1
+		case tokLBrace:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokNumber {
+				return nil, p.errorf("expected repetition lower bound")
+			}
+			min, err = strconv.Atoi(p.tok.text)
+			if err != nil {
+				return nil, p.errorf("bad repetition bound %q", p.tok.text)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+			switch p.tok.kind {
+			case tokStar:
+				max = Unbounded
+			case tokNumber:
+				max, err = strconv.Atoi(p.tok.text)
+				if err != nil {
+					return nil, p.errorf("bad repetition bound %q", p.tok.text)
+				}
+			default:
+				return nil, p.errorf("expected repetition upper bound")
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokRBrace {
+				return nil, p.errorf("expected '}'")
+			}
+		default:
+			return t, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rep := &Repeat{Inner: t, Min: min, Max: max}
+		if p.tok.kind == tokLAngle {
+			nums, err := p.parseAnnotation()
+			if err != nil {
+				return nil, err
+			}
+			if len(nums) > 0 {
+				rep.AvgCount = nums[0]
+			}
+		}
+		t = rep
+	}
+}
+
+func (p *parser) parsePrimary() (Type, error) {
+	switch p.tok.kind {
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Empty sequence: ().
+		if p.tok.kind == tokRParen {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &Empty{}, nil
+		}
+		// Parenthesized wildcards: (~!a)[ t ] and (~[ t ]).
+		if p.tok.kind == tokTilde {
+			w, err := p.parseWildcardName()
+			if err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tokLBracket {
+				t, err := p.parseWildcardBody(w)
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(tokRParen); err != nil {
+					return nil, err
+				}
+				return t, nil
+			}
+			if err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return p.parseWildcardBody(w)
+		}
+		inner, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case tokTilde:
+		w, err := p.parseWildcardName()
+		if err != nil {
+			return nil, err
+		}
+		return p.parseWildcardBody(w)
+	case tokAt:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokIdent {
+			return nil, p.errorf("expected attribute name")
+		}
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokLBracket); err != nil {
+			return nil, err
+		}
+		content, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		return &Attribute{Name: name, Content: content}, nil
+	case tokIdent:
+		name := p.tok.text
+		if name == "String" || name == "Integer" {
+			return p.parseScalar(name)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokLBracket {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			content, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			return &Element{Name: name, Content: content}, nil
+		}
+		return &Ref{Name: name}, nil
+	default:
+		return nil, p.errorf("unexpected token %q", p.tok.text)
+	}
+}
+
+// parseWildcardName consumes '~' with an optional '!name' exclusion list.
+func (p *parser) parseWildcardName() (*Wildcard, error) {
+	if err := p.advance(); err != nil { // consume ~
+		return nil, err
+	}
+	w := &Wildcard{}
+	for p.tok.kind == tokBang {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokIdent {
+			return nil, p.errorf("expected excluded element name after ~!")
+		}
+		w.Exclude = append(w.Exclude, p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokComma {
+			break
+		}
+		// peek: ',!' continues the exclusion list; a plain ',' belongs to
+		// the enclosing sequence and is not consumed here.
+		save := *p.lex
+		saveTok := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokBang {
+			*p.lex = save
+			p.tok = saveTok
+			break
+		}
+	}
+	return w, nil
+}
+
+func (p *parser) parseWildcardBody(w *Wildcard) (Type, error) {
+	if err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	content, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	w.Content = content
+	return w, nil
+}
+
+func (p *parser) parseScalar(kindName string) (Type, error) {
+	s := &Scalar{}
+	if kindName == "Integer" {
+		s.Kind = IntegerKind
+		s.Size = 4
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokLAngle {
+		nums, err := p.parseAnnotation()
+		if err != nil {
+			return nil, err
+		}
+		switch s.Kind {
+		case StringKind:
+			if len(nums) > 0 {
+				s.Size = int(nums[0])
+			}
+			if len(nums) > 1 {
+				s.Distinct = int64(nums[1])
+			}
+		case IntegerKind:
+			if len(nums) > 0 {
+				s.Size = int(nums[0])
+			}
+			if len(nums) > 2 {
+				s.Min, s.Max = int64(nums[1]), int64(nums[2])
+			}
+			if len(nums) > 3 {
+				s.Distinct = int64(nums[3])
+			}
+		}
+	}
+	return s, nil
+}
+
+// parseAnnotation parses a statistics annotation <#n,#n,...> and returns
+// the numbers in order.
+func (p *parser) parseAnnotation() ([]float64, error) {
+	if err := p.expect(tokLAngle); err != nil {
+		return nil, err
+	}
+	var nums []float64
+	for {
+		if err := p.expect(tokHash); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokNumber {
+			return nil, p.errorf("expected number in statistics annotation")
+		}
+		n, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", p.tok.text)
+		}
+		nums = append(nums, n)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expect(tokRAngle); err != nil {
+		return nil, err
+	}
+	return nums, nil
+}
+
+// Normalize simplifies a type tree: single-item sequences/choices are
+// unwrapped, nested sequences are flattened, Empty items are dropped from
+// sequences, and Repeat{1,1} is unwrapped. It never changes the language
+// of the type.
+func Normalize(t Type) Type {
+	switch t := t.(type) {
+	case *Element:
+		t.Content = Normalize(t.Content)
+		return t
+	case *Attribute:
+		t.Content = Normalize(t.Content)
+		return t
+	case *Wildcard:
+		t.Content = Normalize(t.Content)
+		return t
+	case *Sequence:
+		var items []Type
+		for _, it := range t.Items {
+			it = Normalize(it)
+			if _, ok := it.(*Empty); ok {
+				continue
+			}
+			if seq, ok := it.(*Sequence); ok {
+				items = append(items, seq.Items...)
+				continue
+			}
+			items = append(items, it)
+		}
+		switch len(items) {
+		case 0:
+			return &Empty{}
+		case 1:
+			return items[0]
+		default:
+			t.Items = items
+			return t
+		}
+	case *Choice:
+		for i, a := range t.Alts {
+			t.Alts[i] = Normalize(a)
+		}
+		if len(t.Alts) == 1 {
+			return t.Alts[0]
+		}
+		return t
+	case *Repeat:
+		t.Inner = Normalize(t.Inner)
+		if t.Min == 1 && t.Max == 1 {
+			return t.Inner
+		}
+		return t
+	default:
+		return t
+	}
+}
+
+// NormalizeSchema applies Normalize to every definition in place.
+func NormalizeSchema(s *Schema) {
+	for _, name := range s.Names {
+		s.Types[name] = Normalize(s.Types[name])
+	}
+}
+
+// ParsePath splits a slash-separated path expression like
+// "imdb/show/title" into its steps. Leading "document(...)" wrappers and
+// leading slashes are ignored.
+var _ = strings.TrimPrefix // keep strings imported for ParsePath below
+
+// ParsePath parses "a/b/c" into []string{"a","b","c"}.
+func ParsePath(s string) []string {
+	s = strings.TrimSpace(s)
+	if i := strings.Index(s, ")"); strings.HasPrefix(s, "document(") && i >= 0 {
+		s = s[i+1:]
+	}
+	s = strings.TrimPrefix(s, "/")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "/")
+}

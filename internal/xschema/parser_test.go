@@ -1,0 +1,262 @@
+package xschema
+
+import (
+	"strings"
+	"testing"
+)
+
+// imdbAlgebra is the paper's Appendix B schema in algebra notation.
+const imdbAlgebra = `
+type IMDB = imdb [ Show{0,*}, Director{0,*}, Actor{0,*} ]
+type Show = show [ @type[ String ],
+    title [ String ],
+    year[ Integer ],
+    aka [ String ]{0,*},
+    reviews[ ~[ String ] ]{0,*},
+    (box_office [ Integer ], video_sales [ Integer ]
+     | seasons[ Integer ], description [ String ],
+       episodes [ name[String], guest_director[ String ] ]{0,*}) ]
+type Director = director [ name [String],
+    directed [ title[ String ], year[ Integer ], info[ String ], ~[ String ] ]{0,*} ]
+type Actor = actor [ name [String],
+    played[ title[ String ], year[ Integer ], character[String],
+            order_of_appearance[Integer],
+            award[ result [String], award_name[String] ]{0,5} ]{0,*},
+    biography[ birthday[ String ], text[String] ]? ]
+`
+
+func TestParseIMDBSchema(t *testing.T) {
+	s, err := ParseSchema(imdbAlgebra)
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	if s.Root != "IMDB" {
+		t.Fatalf("root = %q, want IMDB", s.Root)
+	}
+	if len(s.Names) != 4 {
+		t.Fatalf("types = %v, want 4", s.Names)
+	}
+	show, ok := s.Lookup("Show")
+	if !ok {
+		t.Fatal("Show not defined")
+	}
+	el, ok := show.(*Element)
+	if !ok || el.Name != "show" {
+		t.Fatalf("Show body = %T %v", show, show)
+	}
+	seq, ok := el.Content.(*Sequence)
+	if !ok {
+		t.Fatalf("Show content = %T", el.Content)
+	}
+	if _, ok := seq.Items[0].(*Attribute); !ok {
+		t.Fatalf("first item should be attribute, got %T", seq.Items[0])
+	}
+	last := seq.Items[len(seq.Items)-1]
+	if _, ok := last.(*Choice); !ok {
+		t.Fatalf("last item should be union, got %T", last)
+	}
+}
+
+func TestParseStatsAnnotations(t *testing.T) {
+	src := `type Show = show [ @type[ String<#8,#2> ],
+	    year[ Integer<#4,#1800,#2100,#300> ],
+	    title[ String<#50,#34798> ],
+	    Review*<#10> ]
+	type Review = review[ String<#800> ]`
+	s, err := ParseSchema(src)
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	show := s.Types["Show"].(*Element)
+	seq := show.Content.(*Sequence)
+	year := seq.Items[1].(*Element).Content.(*Scalar)
+	if year.Kind != IntegerKind || year.Size != 4 || year.Min != 1800 || year.Max != 2100 || year.Distinct != 300 {
+		t.Fatalf("year stats = %+v", year)
+	}
+	title := seq.Items[2].(*Element).Content.(*Scalar)
+	if title.Size != 50 || title.Distinct != 34798 {
+		t.Fatalf("title stats = %+v", title)
+	}
+	rep := seq.Items[3].(*Repeat)
+	if rep.AvgCount != 10 {
+		t.Fatalf("review avg count = %v", rep.AvgCount)
+	}
+	if _, ok := rep.Inner.(*Ref); !ok {
+		t.Fatalf("review inner = %T", rep.Inner)
+	}
+}
+
+func TestParseWildcards(t *testing.T) {
+	s, err := ParseSchema(`
+type Reviews = review[ (NYTReview | OtherReview)* ]
+type NYTReview = nyt[ String ]
+type OtherReview = (~!nyt) [ String ]`)
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	other := s.Types["OtherReview"].(*Wildcard)
+	if len(other.Exclude) != 1 || other.Exclude[0] != "nyt" {
+		t.Fatalf("exclusion = %v", other.Exclude)
+	}
+	bare, err := ParseType(`~[ String ]`)
+	if err != nil {
+		t.Fatalf("ParseType: %v", err)
+	}
+	if w, ok := bare.(*Wildcard); !ok || len(w.Exclude) != 0 {
+		t.Fatalf("bare wildcard = %#v", bare)
+	}
+}
+
+func TestParseRecursiveAnyElement(t *testing.T) {
+	s, err := ParseSchema(`
+type AnyElement = ~[ (AnyElement | AnyScalar)* ]
+type AnyScalar = Integer | String`)
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestParseRepetitionForms(t *testing.T) {
+	cases := []struct {
+		src      string
+		min, max int
+	}{
+		{"A*", 0, Unbounded},
+		{"A+", 1, Unbounded},
+		{"A?", 0, 1},
+		{"A{1,10}", 1, 10},
+		{"A{2,*}", 2, Unbounded},
+	}
+	for _, c := range cases {
+		t.Run(c.src, func(t *testing.T) {
+			typ, err := ParseType(c.src)
+			if err != nil {
+				t.Fatalf("ParseType(%q): %v", c.src, err)
+			}
+			r, ok := typ.(*Repeat)
+			if !ok {
+				t.Fatalf("got %T", typ)
+			}
+			if r.Min != c.min || r.Max != c.max {
+				t.Fatalf("bounds = {%d,%d}, want {%d,%d}", r.Min, r.Max, c.min, c.max)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"type = show[String]",
+		"type A = ",
+		"type A = a[ String",
+		"type A = a[ Undefined ]",
+		"type A = a[ String ]{3,1}",
+		"type A = a[ String ] type A = b[ String ]",
+		"type A = @attr[ b[ String ] ]",
+	}
+	for _, src := range cases {
+		if _, err := ParseSchema(src); err == nil {
+			t.Errorf("ParseSchema(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	s := MustParseSchema(imdbAlgebra)
+	printed := s.String()
+	s2, err := ParseSchema(printed)
+	if err != nil {
+		t.Fatalf("reparse printed schema: %v\n%s", err, printed)
+	}
+	for _, name := range s.Names {
+		if !DeepEqual(s.Types[name], s2.Types[name]) {
+			t.Fatalf("type %s changed after print+parse:\n%s\nvs\n%s", name, s.Types[name], s2.Types[name])
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	typ, err := ParseType("(a[String])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := Normalize(typ)
+	if _, ok := n.(*Element); !ok {
+		t.Fatalf("normalized paren elem = %T", n)
+	}
+	seq := &Sequence{Items: []Type{
+		&Empty{},
+		&Sequence{Items: []Type{&Ref{Name: "A"}, &Ref{Name: "B"}}},
+		&Repeat{Inner: &Ref{Name: "C"}, Min: 1, Max: 1},
+	}}
+	n = Normalize(seq)
+	got, ok := n.(*Sequence)
+	if !ok || len(got.Items) != 3 {
+		t.Fatalf("normalize = %v", n)
+	}
+	if r, ok := got.Items[2].(*Ref); !ok || r.Name != "C" {
+		t.Fatalf("Repeat{1,1} not unwrapped: %v", got.Items[2])
+	}
+}
+
+func TestFreshName(t *testing.T) {
+	s := NewSchema("A")
+	s.Define("A", &Empty{})
+	s.Define("A2", &Empty{})
+	if got := s.FreshName("A"); got != "A3" {
+		t.Fatalf("FreshName = %q", got)
+	}
+	if got := s.FreshName("B"); got != "B" {
+		t.Fatalf("FreshName = %q", got)
+	}
+}
+
+func TestRefCountsAndParents(t *testing.T) {
+	s := MustParseSchema(`
+type IMDB = imdb[ Show{0,*} ]
+type Show = show[ title[String], Review* ]
+type Review = review[ String ]`)
+	counts := s.RefCounts()
+	if counts["Show"] != 1 || counts["Review"] != 1 || counts["IMDB"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	parents := s.Parents()
+	if len(parents["Show"]) != 1 || parents["Show"][0] != "IMDB" {
+		t.Fatalf("parents[Show] = %v", parents["Show"])
+	}
+	if len(parents["Review"]) != 1 || parents["Review"][0] != "Show" {
+		t.Fatalf("parents[Review] = %v", parents["Review"])
+	}
+}
+
+func TestGarbageCollect(t *testing.T) {
+	s := MustParseSchema(`
+type IMDB = imdb[ Show{0,*} ]
+type Show = show[ title[String] ]`)
+	s.Define("Orphan", &Element{Name: "x", Content: &Scalar{}})
+	s.GarbageCollect()
+	if _, ok := s.Lookup("Orphan"); ok {
+		t.Fatal("orphan survived GC")
+	}
+	if _, ok := s.Lookup("Show"); !ok {
+		t.Fatal("reachable type collected")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := MustParseSchema(`type A = a[ b[String], C* ]
+type C = c[ Integer ]`)
+	cp := s.Clone()
+	el := cp.Types["A"].(*Element)
+	el.Name = "changed"
+	if s.Types["A"].(*Element).Name != "a" {
+		t.Fatal("clone shares nodes")
+	}
+	if !strings.Contains(s.String(), "a[") {
+		t.Fatal("original mutated")
+	}
+}

@@ -1,0 +1,404 @@
+// Package xsd imports W3C XML Schema documents (the notation of the
+// paper's Appendix B) into the XML Query Algebra schemas the system
+// consumes. The paper's interface "takes as input XML queries, schemas
+// and statistics ... represented using XML standards"; this package
+// covers the XSD subset those schemas use:
+//
+//   - global xs:element declarations with named or anonymous types;
+//   - named xs:complexType with xs:sequence / xs:choice groups,
+//     minOccurs / maxOccurs, nested groups and element refs by type;
+//   - xs:attribute with use="required|optional";
+//   - simple content: xs:string, xs:integer (and common aliases such as
+//     xs:int, xs:long, xs:decimal, xs:number);
+//   - xs:any as the algebra's wildcard.
+//
+// Features outside the paper's usage (substitution groups, facets, keys,
+// namespaces beyond the xs prefix) are rejected or ignored, as the paper
+// itself abstracts them away ("the distinction between groups and
+// complexTypes, local vs global declarations, etc").
+package xsd
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"legodb/internal/xschema"
+)
+
+// Parse reads an XML Schema document and returns the equivalent algebra
+// schema. The root type comes from the first global element declaration.
+func Parse(src string) (*xschema.Schema, error) {
+	var doc schemaDoc
+	dec := xml.NewDecoder(strings.NewReader(src))
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xsd: %w", err)
+	}
+	if len(doc.Elements) == 0 {
+		return nil, fmt.Errorf("xsd: no global element declarations")
+	}
+	c := &converter{
+		doc:   &doc,
+		types: make(map[string]*complexType, len(doc.ComplexTypes)),
+	}
+	for i := range doc.ComplexTypes {
+		ct := &doc.ComplexTypes[i]
+		if ct.Name == "" {
+			return nil, fmt.Errorf("xsd: global complexType without a name")
+		}
+		c.types[ct.Name] = ct
+	}
+	return c.build()
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *xschema.Schema {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// --- document model (encoding/xml) ---
+
+type schemaDoc struct {
+	XMLName      xml.Name      `xml:"schema"`
+	Elements     []elementDecl `xml:"element"`
+	ComplexTypes []complexType `xml:"complexType"`
+}
+
+type elementDecl struct {
+	Name      string       `xml:"name,attr"`
+	Type      string       `xml:"type,attr"`
+	MinOccurs string       `xml:"minOccurs,attr"`
+	MaxOccurs string       `xml:"maxOccurs,attr"`
+	Complex   *complexType `xml:"complexType"`
+}
+
+type complexType struct {
+	Name       string      `xml:"name,attr"`
+	Sequence   *group      `xml:"sequence"`
+	Choice     *group      `xml:"choice"`
+	Attributes []attribute `xml:"attribute"`
+}
+
+type group struct {
+	MinOccurs string        `xml:"minOccurs,attr"`
+	MaxOccurs string        `xml:"maxOccurs,attr"`
+	Elements  []elementDecl `xml:"element"`
+	Sequences []group       `xml:"sequence"`
+	Choices   []group       `xml:"choice"`
+	Anys      []anyDecl     `xml:"any"`
+	// order restores document order of the children above.
+	order []groupChild
+}
+
+type anyDecl struct {
+	MinOccurs string `xml:"minOccurs,attr"`
+	MaxOccurs string `xml:"maxOccurs,attr"`
+}
+
+type attribute struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+	Use  string `xml:"use,attr"`
+}
+
+// groupChild tags one ordered child of a group.
+type groupChild struct {
+	kind int // 0 element, 1 sequence, 2 choice, 3 any
+	idx  int
+}
+
+// UnmarshalXML keeps the document order of group children, which
+// encoding/xml's per-field slices would otherwise lose.
+func (g *group) UnmarshalXML(d *xml.Decoder, start xml.StartElement) error {
+	for _, a := range start.Attr {
+		switch a.Name.Local {
+		case "minOccurs":
+			g.MinOccurs = a.Value
+		case "maxOccurs":
+			g.MaxOccurs = a.Value
+		}
+	}
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "element":
+				var e elementDecl
+				if err := d.DecodeElement(&e, &t); err != nil {
+					return err
+				}
+				g.order = append(g.order, groupChild{kind: 0, idx: len(g.Elements)})
+				g.Elements = append(g.Elements, e)
+			case "sequence":
+				var s group
+				if err := d.DecodeElement(&s, &t); err != nil {
+					return err
+				}
+				g.order = append(g.order, groupChild{kind: 1, idx: len(g.Sequences)})
+				g.Sequences = append(g.Sequences, s)
+			case "choice":
+				var c group
+				if err := d.DecodeElement(&c, &t); err != nil {
+					return err
+				}
+				g.order = append(g.order, groupChild{kind: 2, idx: len(g.Choices)})
+				g.Choices = append(g.Choices, c)
+			case "any":
+				var a anyDecl
+				if err := d.DecodeElement(&a, &t); err != nil {
+					return err
+				}
+				g.order = append(g.order, groupChild{kind: 3, idx: len(g.Anys)})
+				g.Anys = append(g.Anys, a)
+			default:
+				if err := d.Skip(); err != nil {
+					return err
+				}
+			}
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+// --- conversion ---
+
+type converter struct {
+	doc     *schemaDoc
+	types   map[string]*complexType
+	out     *xschema.Schema
+	visited map[string]bool
+}
+
+func (c *converter) build() (*xschema.Schema, error) {
+	c.out = xschema.NewSchema("")
+	c.visited = make(map[string]bool)
+	// Global complex types become named types.
+	for _, ct := range c.doc.ComplexTypes {
+		name := exportName(ct.Name)
+		c.out.Define(name, &xschema.Empty{}) // reserve
+	}
+	for _, ct := range c.doc.ComplexTypes {
+		body, err := c.convertComplexBody(&ct)
+		if err != nil {
+			return nil, fmt.Errorf("xsd: complexType %s: %w", ct.Name, err)
+		}
+		c.out.Types[exportName(ct.Name)] = body
+	}
+	// Global elements: element name + type. The first becomes the root.
+	for i, e := range c.doc.Elements {
+		t, err := c.convertElement(&e)
+		if err != nil {
+			return nil, fmt.Errorf("xsd: element %s: %w", e.Name, err)
+		}
+		name := c.out.FreshName(exportName(e.Name) + "Element")
+		// When the element's type is a named complex type, wrap the type
+		// body so the element tag applies.
+		c.out.Define(name, t)
+		if i == 0 {
+			c.out.Root = name
+		}
+	}
+	xschema.NormalizeSchema(c.out)
+	if err := c.out.Validate(); err != nil {
+		return nil, err
+	}
+	c.out.GarbageCollect()
+	return c.out, nil
+}
+
+// convertElement yields the element's full type (tag + content).
+func (c *converter) convertElement(e *elementDecl) (xschema.Type, error) {
+	if e.Name == "" {
+		return nil, fmt.Errorf("element without a name")
+	}
+	content, err := c.elementContent(e)
+	if err != nil {
+		return nil, err
+	}
+	return &xschema.Element{Name: e.Name, Content: content}, nil
+}
+
+func (c *converter) elementContent(e *elementDecl) (xschema.Type, error) {
+	switch {
+	case e.Complex != nil:
+		return c.convertComplexBody(e.Complex)
+	case e.Type != "":
+		if sc, ok := scalarFor(e.Type); ok {
+			return sc, nil
+		}
+		local := stripPrefix(e.Type)
+		if _, ok := c.types[local]; ok {
+			// The element's content is the named complex type's body.
+			return &xschema.Ref{Name: exportName(local)}, nil
+		}
+		return nil, fmt.Errorf("unknown type %q", e.Type)
+	default:
+		// No type: any content, following the paper's AnyElement reading.
+		return &xschema.Scalar{}, nil
+	}
+}
+
+func stripPrefix(name string) string {
+	if i := strings.LastIndexByte(name, ':'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func scalarFor(typeName string) (xschema.Type, bool) {
+	switch stripPrefix(typeName) {
+	case "string", "anyURI", "date", "token", "normalizedString", "ID", "IDREF":
+		return &xschema.Scalar{Kind: xschema.StringKind}, true
+	case "integer", "int", "long", "short", "decimal", "number",
+		"nonNegativeInteger", "positiveInteger":
+		return &xschema.Scalar{Kind: xschema.IntegerKind, Size: 4}, true
+	default:
+		return nil, false
+	}
+}
+
+// convertComplexBody converts a complexType's content (attributes first,
+// then the particle) into algebra content.
+func (c *converter) convertComplexBody(ct *complexType) (xschema.Type, error) {
+	var items []xschema.Type
+	for _, a := range ct.Attributes {
+		sc, ok := scalarFor(a.Type)
+		if !ok {
+			sc = &xschema.Scalar{}
+		}
+		var attr xschema.Type = &xschema.Attribute{Name: a.Name, Content: sc.(*xschema.Scalar)}
+		if a.Use != "required" {
+			attr = &xschema.Repeat{Inner: attr, Min: 0, Max: 1}
+		}
+		items = append(items, attr)
+	}
+	switch {
+	case ct.Sequence != nil:
+		t, err := c.convertGroup(ct.Sequence, false)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, t)
+	case ct.Choice != nil:
+		t, err := c.convertGroup(ct.Choice, true)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, t)
+	}
+	switch len(items) {
+	case 0:
+		return &xschema.Empty{}, nil
+	case 1:
+		return items[0], nil
+	default:
+		return &xschema.Sequence{Items: items}, nil
+	}
+}
+
+// convertGroup converts an xs:sequence or xs:choice with its occurrence
+// bounds.
+func (c *converter) convertGroup(g *group, choice bool) (xschema.Type, error) {
+	var parts []xschema.Type
+	for _, child := range g.order {
+		var t xschema.Type
+		var err error
+		var min, max int
+		switch child.kind {
+		case 0:
+			e := g.Elements[child.idx]
+			t, err = c.convertElement(&e)
+			if err != nil {
+				return nil, err
+			}
+			min, max, err = occurs(e.MinOccurs, e.MaxOccurs)
+		case 1:
+			sub := g.Sequences[child.idx]
+			t, err = c.convertGroup(&sub, false)
+			if err != nil {
+				return nil, err
+			}
+			min, max, err = occurs(sub.MinOccurs, sub.MaxOccurs)
+		case 2:
+			sub := g.Choices[child.idx]
+			t, err = c.convertGroup(&sub, true)
+			if err != nil {
+				return nil, err
+			}
+			min, max, err = occurs(sub.MinOccurs, sub.MaxOccurs)
+		case 3:
+			a := g.Anys[child.idx]
+			t = &xschema.Wildcard{Content: &xschema.Scalar{}}
+			min, max, err = occurs(a.MinOccurs, a.MaxOccurs)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !(min == 1 && max == 1) {
+			t = &xschema.Repeat{Inner: t, Min: min, Max: max}
+		}
+		parts = append(parts, t)
+	}
+	if len(parts) == 0 {
+		return &xschema.Empty{}, nil
+	}
+	if choice {
+		if len(parts) == 1 {
+			return parts[0], nil
+		}
+		return &xschema.Choice{Alts: parts}, nil
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &xschema.Sequence{Items: parts}, nil
+}
+
+func occurs(minAttr, maxAttr string) (int, int, error) {
+	min, max := 1, 1
+	if minAttr != "" {
+		v, err := strconv.Atoi(minAttr)
+		if err != nil || v < 0 {
+			return 0, 0, fmt.Errorf("bad minOccurs %q", minAttr)
+		}
+		min = v
+	}
+	switch {
+	case maxAttr == "":
+	case maxAttr == "unbounded":
+		max = xschema.Unbounded
+	default:
+		v, err := strconv.Atoi(maxAttr)
+		if err != nil || v < 0 {
+			return 0, 0, fmt.Errorf("bad maxOccurs %q", maxAttr)
+		}
+		max = v
+	}
+	if max != xschema.Unbounded && max < min {
+		return 0, 0, fmt.Errorf("maxOccurs %d below minOccurs %d", max, min)
+	}
+	return min, max, nil
+}
+
+func exportName(name string) string {
+	clean := strings.Map(func(r rune) rune {
+		if r == '-' || r == '.' || r == ':' {
+			return '_'
+		}
+		return r
+	}, name)
+	if clean == "" {
+		return "T"
+	}
+	return strings.ToUpper(clean[:1]) + clean[1:]
+}

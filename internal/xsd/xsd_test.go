@@ -1,0 +1,267 @@
+package xsd
+
+import (
+	"math/rand"
+	"testing"
+
+	"legodb/internal/pschema"
+	"legodb/internal/relational"
+	"legodb/internal/xmltree"
+	"legodb/internal/xschema"
+)
+
+// appendixB is a faithful transcription of the paper's Appendix B XML
+// Schema for the IMDB subset (with the obvious typos of the figure
+// repaired).
+const appendixB = `
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <element name="imdb" type="IMDB"/>
+  <complexType name="IMDB">
+    <sequence>
+      <element name="show" type="Show" minOccurs="0" maxOccurs="unbounded"/>
+      <element name="director" type="Director" minOccurs="0" maxOccurs="unbounded"/>
+      <element name="actor" type="Actor" minOccurs="0" maxOccurs="unbounded"/>
+    </sequence>
+  </complexType>
+  <complexType name="Show">
+    <sequence>
+      <element name="title" type="xsd:string"/>
+      <element name="year" type="xsd:integer"/>
+      <element name="aka" type="xsd:string" minOccurs="0" maxOccurs="unbounded"/>
+      <element name="reviews" minOccurs="0" maxOccurs="unbounded">
+        <complexType>
+          <sequence>
+            <any/>
+          </sequence>
+        </complexType>
+      </element>
+      <choice>
+        <sequence>
+          <element name="box_office" type="xsd:integer"/>
+          <element name="video_sales" type="xsd:integer"/>
+        </sequence>
+        <sequence>
+          <element name="seasons" type="xsd:integer"/>
+          <element name="description" type="xsd:string"/>
+          <element name="episodes" minOccurs="0" maxOccurs="unbounded">
+            <complexType>
+              <sequence>
+                <element name="name" type="xsd:string"/>
+                <element name="guest_director" type="xsd:string"/>
+              </sequence>
+            </complexType>
+          </element>
+        </sequence>
+      </choice>
+    </sequence>
+    <attribute name="type" type="xsd:string" use="required"/>
+  </complexType>
+  <complexType name="Director">
+    <sequence>
+      <element name="name" type="xsd:string"/>
+      <element name="directed" minOccurs="0" maxOccurs="unbounded">
+        <complexType>
+          <sequence>
+            <element name="title" type="xsd:string"/>
+            <element name="year" type="xsd:integer"/>
+            <element name="info" type="xsd:string" minOccurs="0"/>
+          </sequence>
+        </complexType>
+      </element>
+    </sequence>
+  </complexType>
+  <complexType name="Actor">
+    <sequence>
+      <element name="name" type="xsd:string"/>
+      <element name="played" minOccurs="0" maxOccurs="unbounded">
+        <complexType>
+          <sequence>
+            <element name="title" type="xsd:string"/>
+            <element name="year" type="xsd:integer"/>
+            <element name="character" type="xsd:string"/>
+            <element name="order_of_appearance" type="xsd:integer"/>
+            <element name="award" minOccurs="0" maxOccurs="5">
+              <complexType>
+                <sequence>
+                  <element name="result" type="xsd:string"/>
+                  <element name="award_name" type="xsd:string"/>
+                </sequence>
+              </complexType>
+            </element>
+          </sequence>
+        </complexType>
+      </element>
+      <element name="biography" minOccurs="0">
+        <complexType>
+          <sequence>
+            <element name="birthday" type="xsd:string"/>
+            <element name="text" type="xsd:string"/>
+          </sequence>
+        </complexType>
+      </element>
+    </sequence>
+  </complexType>
+</xsd:schema>
+`
+
+func TestParseAppendixB(t *testing.T) {
+	s, err := Parse(appendixB)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Root != "ImdbElement" {
+		t.Fatalf("root = %q", s.Root)
+	}
+	show, ok := s.Lookup("Show")
+	if !ok {
+		t.Fatalf("Show missing; types = %v", s.Names)
+	}
+	found := false
+	xschema.Visit(show, func(tp xschema.Type) {
+		if c, ok := tp.(*xschema.Choice); ok && len(c.Alts) == 2 {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatalf("Show union lost: %s", show)
+	}
+}
+
+func TestXSDTypedColumns(t *testing.T) {
+	s := MustParse(appendixB)
+	ps, err := pschema.AllInlined(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := relational.Map(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var show *relational.Table
+	for _, name := range cat.Order {
+		tbl := cat.Tables[name]
+		if tbl.Column("year") != nil && tbl.Column("title") != nil {
+			show = tbl
+			break
+		}
+	}
+	if show == nil {
+		t.Fatalf("no show table:\n%s", cat)
+	}
+	// Unlike the DTD import, XSD carries types: year is INT.
+	if show.Column("year").Type != relational.IntCol {
+		t.Fatalf("year column = %+v", show.Column("year"))
+	}
+}
+
+func TestXSDValidatesPaperSample(t *testing.T) {
+	s := MustParse(appendixB)
+	doc, err := xmltree.ParseString(`<imdb>
+  <show type="Movie">
+    <title>Fugitive, The</title><year>1993</year>
+    <aka>Auf der Flucht</aka>
+    <reviews><suntimes>Two thumbs up!</suntimes></reviews>
+    <box_office>183752965</box_office><video_sales>72450220</video_sales>
+  </show>
+  <director><name>Andrew Davis</name>
+    <directed><title>Fugitive, The</title><year>1993</year></directed>
+  </director>
+  <actor><name>Harrison Ford</name>
+    <played><title>Fugitive, The</title><year>1993</year>
+      <character>Richard Kimble</character><order_of_appearance>1</order_of_appearance>
+    </played>
+    <biography><birthday>1942-07-13</birthday><text>bio</text></biography>
+  </actor>
+</imdb>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateDocument(doc); err != nil {
+		t.Fatalf("paper-style document rejected: %v", err)
+	}
+	bad, _ := xmltree.ParseString(`<imdb><show type="m"><year>1993</year></show></imdb>`)
+	if s.Valid(bad) {
+		t.Fatal("document missing title accepted")
+	}
+}
+
+func TestXSDGeneratedDocumentsValidate(t *testing.T) {
+	s := MustParse(appendixB)
+	g := xschema.NewGenerator(s, rand.New(rand.NewSource(8)))
+	for i := 0; i < 30; i++ {
+		doc, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Valid(doc) {
+			t.Fatalf("generated document invalid:\n%s", doc)
+		}
+	}
+}
+
+func TestOccursParsing(t *testing.T) {
+	cases := []struct {
+		min, max string
+		wantMin  int
+		wantMax  int
+		wantErr  bool
+	}{
+		{"", "", 1, 1, false},
+		{"0", "1", 0, 1, false},
+		{"0", "unbounded", 0, xschema.Unbounded, false},
+		{"2", "5", 2, 5, false},
+		{"3", "1", 0, 0, true},
+		{"x", "", 0, 0, true},
+		{"", "y", 0, 0, true},
+	}
+	for _, c := range cases {
+		min, max, err := occurs(c.min, c.max)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("occurs(%q,%q) succeeded", c.min, c.max)
+			}
+			continue
+		}
+		if err != nil || min != c.wantMin || max != c.wantMax {
+			t.Errorf("occurs(%q,%q) = %d,%d,%v", c.min, c.max, min, max, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`<schema/>`,
+		`<schema><element name="e" type="Missing"/></schema>`,
+		`<schema><element type="xsd:string"/></schema>`,
+		`<schema><element name="e" type="xsd:string"/><complexType><sequence/></complexType></schema>`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestScalarAliases(t *testing.T) {
+	s := MustParse(`<schema>
+  <element name="e" type="E"/>
+  <complexType name="E">
+    <sequence>
+      <element name="a" type="xs:int"/>
+      <element name="b" type="xsd:decimal"/>
+      <element name="c" type="string"/>
+      <element name="d" type="xs:date"/>
+    </sequence>
+  </complexType>
+</schema>`)
+	e, _ := s.Lookup("E")
+	seq := e.(*xschema.Sequence)
+	wantKinds := []xschema.ScalarKind{xschema.IntegerKind, xschema.IntegerKind, xschema.StringKind, xschema.StringKind}
+	for i, want := range wantKinds {
+		sc := seq.Items[i].(*xschema.Element).Content.(*xschema.Scalar)
+		if sc.Kind != want {
+			t.Errorf("item %d kind = %v, want %v", i, sc.Kind, want)
+		}
+	}
+}

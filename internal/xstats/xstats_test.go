@@ -1,0 +1,256 @@
+package xstats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"legodb/internal/xmltree"
+	"legodb/internal/xschema"
+)
+
+const appendixSample = `
+(["imdb"], STcnt(1));
+(["imdb";"show"], STcnt(34798));
+(["imdb";"show";"title"], STsize(50));
+(["imdb";"show";"year"], STbase(1800,2100,300));
+(["imdb";"show";"aka"], STcnt(13641));
+(["imdb";"show";"aka"], STsize(40));
+(["imdb";"show";"type"], STsize(8));
+(["imdb";"show";"reviews"], STcnt(11250));
+(["imdb";"show";"reviews";"TILDE"], STsize(800));
+(["imdb";"show";"box_office"], STcnt(7000));
+(["imdb";"show";"box_office"], STbase(10000,100000000,7000));
+(["imdb";"show";"seasons"], STcnt(3500));
+`
+
+func TestParseAppendixNotation(t *testing.T) {
+	set, err := Parse(appendixSample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := set.Count("imdb", "show"); got != 34798 {
+		t.Fatalf("show count = %g", got)
+	}
+	aka := set.Lookup("imdb", "show", "aka")
+	if aka == nil || aka.Count != 13641 || aka.Size != 40 {
+		t.Fatalf("aka merged stat = %+v", aka)
+	}
+	bo := set.Lookup("imdb", "show", "box_office")
+	if bo.Min != 10000 || bo.Max != 100000000 || bo.Distinct != 7000 {
+		t.Fatalf("box_office base = %+v", bo)
+	}
+	year := set.Lookup("imdb", "show", "year")
+	if year.Min != 1800 || year.Max != 2100 || year.Distinct != 300 {
+		t.Fatalf("year base = %+v", year)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"no entries here",
+		`(["a"], STcnt(x));`,
+		`(["a"], STbase(1,2));`,
+		`(["a"], STweird(1));`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	set := MustParse(appendixSample)
+	printed := set.String()
+	set2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if got := set2.Count("imdb", "show"); got != 34798 {
+		t.Fatalf("count lost in round trip: %g", got)
+	}
+	if got := set2.Lookup("imdb", "show", "year"); got.Max != 2100 {
+		t.Fatalf("base lost in round trip: %+v", got)
+	}
+}
+
+func TestScaleCounts(t *testing.T) {
+	set := MustParse(appendixSample)
+	set.ScaleCounts(10, "imdb", "show", "reviews")
+	if got := set.Count("imdb", "show", "reviews"); got != 112500 {
+		t.Fatalf("scaled reviews = %g", got)
+	}
+	if got := set.Count("imdb", "show"); got != 34798 {
+		t.Fatalf("sibling count changed: %g", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	set := MustParse(appendixSample)
+	cp := set.Clone()
+	cp.SetCount(1, "imdb", "show")
+	if set.Count("imdb", "show") != 34798 {
+		t.Fatal("Clone shares stats")
+	}
+}
+
+func TestCollectFromDocument(t *testing.T) {
+	doc, err := xmltree.ParseString(`<imdb>
+	  <show type="Movie"><title>A</title><year>1993</year><aka>x</aka><aka>y</aka></show>
+	  <show type="Movie"><title>B</title><year>1995</year><aka>z</aka></show>
+	</imdb>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Collect(doc)
+	if got := set.Count("imdb", "show"); got != 2 {
+		t.Fatalf("show count = %g", got)
+	}
+	if got := set.Count("imdb", "show", "aka"); got != 3 {
+		t.Fatalf("aka count = %g", got)
+	}
+	year := set.Lookup("imdb", "show", "year")
+	if year.Min != 1993 || year.Max != 1995 || year.Distinct != 2 {
+		t.Fatalf("year stats = %+v", year)
+	}
+	typ := set.Lookup("imdb", "show", "type")
+	if typ == nil || typ.Count != 2 || typ.Distinct != 1 {
+		t.Fatalf("attr stats = %+v", typ)
+	}
+	title := set.Lookup("imdb", "show", "title")
+	if title.Size != 1 {
+		t.Fatalf("title avg size = %d", title.Size)
+	}
+}
+
+const showSchema = `
+type Show = show [ @type[ String ],
+    title[ String ],
+    year[ Integer ],
+    Aka{1,10},
+    Review*,
+    ( Movie | TV ) ]
+type Aka = aka[ String ]
+type Review = review[ ~[ String ] ]
+type Movie = box_office[ Integer ], video_sales[ Integer ]
+type TV = seasons[ Integer ], description[ String ]
+`
+
+func TestAnnotateSchema(t *testing.T) {
+	s := xschema.MustParseSchema(showSchema)
+	set := MustParse(`
+(["show"], STcnt(1000));
+(["show";"type"], STsize(8));
+(["show";"title"], STsize(50));
+(["show";"year"], STbase(1800,2100,300));
+(["show";"aka"], STcnt(4000));
+(["show";"aka"], STsize(40));
+(["show";"review"], STcnt(10000));
+(["show";"review";"TILDE"], STsize(800));
+(["show";"box_office"], STcnt(700));
+(["show";"seasons"], STcnt(300));
+`)
+	if err := Annotate(s, set); err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	show := s.Types["Show"].(*xschema.Element)
+	seq := show.Content.(*xschema.Sequence)
+	title := seq.Items[1].(*xschema.Element).Content.(*xschema.Scalar)
+	if title.Size != 50 {
+		t.Fatalf("title size = %d", title.Size)
+	}
+	year := seq.Items[2].(*xschema.Element).Content.(*xschema.Scalar)
+	if year.Min != 1800 || year.Max != 2100 || year.Distinct != 300 {
+		t.Fatalf("year = %+v", year)
+	}
+	akaRep := seq.Items[3].(*xschema.Repeat)
+	if akaRep.AvgCount != 4 {
+		t.Fatalf("aka avg = %g", akaRep.AvgCount)
+	}
+	reviewRep := seq.Items[4].(*xschema.Repeat)
+	if reviewRep.AvgCount != 10 {
+		t.Fatalf("review avg = %g", reviewRep.AvgCount)
+	}
+	choice := seq.Items[5].(*xschema.Choice)
+	if len(choice.Fractions) != 2 || choice.Fractions[0] != 0.7 || choice.Fractions[1] != 0.3 {
+		t.Fatalf("fractions = %v", choice.Fractions)
+	}
+	// Scalar inside the wildcard gets the TILDE-path size.
+	review := s.Types["Review"].(*xschema.Element)
+	wc := review.Content.(*xschema.Wildcard)
+	if sc := wc.Content.(*xschema.Scalar); sc.Size != 800 {
+		t.Fatalf("wildcard content size = %d", sc.Size)
+	}
+}
+
+func TestAnnotateWildcardAggregation(t *testing.T) {
+	// No TILDE entry: the annotator aggregates concrete children counts.
+	s := xschema.MustParseSchema(`type Review = review[ Tilde{0,*} ]
+type Tilde = ~[ String ]`)
+	set := NewSet()
+	set.SetCount(100, "review")
+	set.SetCount(300, "review", "nyt")
+	set.SetCount(500, "review", "suntimes")
+	if err := Annotate(s, set); err != nil {
+		t.Fatal(err)
+	}
+	review := s.Types["Review"].(*xschema.Element)
+	rep := review.Content.(*xschema.Repeat)
+	if rep.AvgCount != 8 { // (300+500)/100
+		t.Fatalf("aggregated wildcard avg = %g", rep.AvgCount)
+	}
+}
+
+func TestCollectThenAnnotateFromGeneratedData(t *testing.T) {
+	s := xschema.MustParseSchema(showSchema)
+	g := xschema.NewGenerator(s, rand.New(rand.NewSource(42)))
+	var docs []*xmltree.Node
+	for i := 0; i < 50; i++ {
+		d, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+	set := Collect(docs...)
+	if set.Count("show") != 50 {
+		t.Fatalf("collected %g shows", set.Count("show"))
+	}
+	if err := Annotate(s, set); err != nil {
+		t.Fatal(err)
+	}
+	show := s.Types["Show"].(*xschema.Element)
+	seq := show.Content.(*xschema.Sequence)
+	akaRep := seq.Items[3].(*xschema.Repeat)
+	if akaRep.AvgCount < 1 || akaRep.AvgCount > 10 {
+		t.Fatalf("aka avg out of schema bounds: %g", akaRep.AvgCount)
+	}
+	choice := seq.Items[5].(*xschema.Choice)
+	if len(choice.Fractions) == 2 {
+		sum := choice.Fractions[0] + choice.Fractions[1]
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("fractions do not sum to 1: %v", choice.Fractions)
+		}
+	}
+}
+
+func TestAnnotateRecursiveSchemaTerminates(t *testing.T) {
+	s := xschema.MustParseSchema(`type Any = ~[ (Any | String)* ]`)
+	set := NewSet()
+	set.SetCount(10, Tilde)
+	if err := Annotate(s, set); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatStringFormat(t *testing.T) {
+	set := NewSet()
+	set.SetCount(5, "a", "b")
+	set.SetSize(40, "a", "b")
+	out := set.String()
+	if !strings.Contains(out, "STcnt(5)") || !strings.Contains(out, "STsize(40)") {
+		t.Fatalf("format = %q", out)
+	}
+}

@@ -1,0 +1,276 @@
+// Package legodb is a cost-based XML-to-relational storage mapping
+// engine, reproducing "From XML Schema to Relations: A Cost-Based
+// Approach to XML Storage" (Bohannon, Freire, Roy, Siméon; ICDE 2002).
+//
+// Given an XML Schema (in XML Query Algebra notation), data statistics
+// and an XQuery workload, LegoDB searches a space of schema rewritings —
+// inlining/outlining, union distribution, repetition splitting, wildcard
+// materialization — mapping each rewritten physical schema to a
+// relational configuration and costing the translated workload with a
+// relational optimizer. The cheapest configuration found can then be
+// instantiated as an in-memory relational store that shreds documents,
+// answers the XQuery workload, and publishes documents back.
+//
+//	eng, _ := legodb.New(schemaText)
+//	eng.SetStatisticsText(statsText)
+//	eng.AddQuery("Q1", `FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/year`, 1)
+//	advice, _ := eng.Advise(legodb.AdviseOptions{})
+//	fmt.Println(advice.DDL())
+//	store, _ := advice.Open()
+//	store.Load(doc)
+//	rows, _ := store.Query(`FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/year`,
+//	    legodb.Params{"c1": "Fugitive, The"})
+package legodb
+
+import (
+	"fmt"
+
+	"legodb/internal/core"
+	"legodb/internal/dtd"
+	"legodb/internal/optimizer"
+	"legodb/internal/pschema"
+	"legodb/internal/transform"
+	"legodb/internal/xmltree"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+	"legodb/internal/xsd"
+	"legodb/internal/xstats"
+)
+
+// Engine holds an application description: schema, statistics and
+// workload.
+type Engine struct {
+	schema   *xschema.Schema
+	stats    *xstats.Set
+	workload *xquery.Workload
+}
+
+// New parses an XML Schema in algebra notation and returns an engine for
+// it.
+func New(schemaText string) (*Engine, error) {
+	s, err := xschema.ParseSchema(schemaText)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{schema: s, workload: &xquery.Workload{}}, nil
+}
+
+// NewFromDTD imports a Document Type Definition instead of an XML
+// Schema. DTDs carry no data types, so every value is stored as a
+// string — the storage-efficiency gap the paper's Section 3.1 points
+// out; supplying statistics is especially important here.
+func NewFromDTD(dtdText string) (*Engine, error) {
+	s, err := dtd.Parse(dtdText)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{schema: s, workload: &xquery.Workload{}}, nil
+}
+
+// NewFromXSD imports a W3C XML Schema document (the notation of the
+// paper's Appendix B), covering the subset the paper's schemas use:
+// global elements and complex types, sequences/choices with occurrence
+// bounds, attributes, xs:string/xs:integer simple types and xs:any
+// wildcards.
+func NewFromXSD(xsdText string) (*Engine, error) {
+	s, err := xsd.Parse(xsdText)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{schema: s, workload: &xquery.Workload{}}, nil
+}
+
+// Schema returns the engine's schema rendered in algebra notation.
+func (e *Engine) Schema() string { return e.schema.String() }
+
+// SetStatisticsText parses statistics in the Appendix A notation
+// (STcnt/STsize/STbase entries) and attaches them to the engine.
+func (e *Engine) SetStatisticsText(text string) error {
+	set, err := xstats.Parse(text)
+	if err != nil {
+		return err
+	}
+	e.stats = set
+	return nil
+}
+
+// CollectStatistics derives statistics from example documents instead of
+// an explicit statistics table.
+func (e *Engine) CollectStatistics(docs ...*xmltree.Node) {
+	e.stats = xstats.Collect(docs...)
+}
+
+// AddQuery parses an XQuery and adds it to the workload with a weight.
+func (e *Engine) AddQuery(name, text string, weight float64) error {
+	q, err := xquery.Parse(text)
+	if err != nil {
+		return err
+	}
+	q.Name = name
+	e.workload.Add(q, weight)
+	return nil
+}
+
+// AddUpdate adds an update operation ("INSERT imdb/show/aka",
+// "DELETE imdb/show", "MODIFY imdb/show/description") to the workload
+// with a weight. Updates price against the chosen configuration too:
+// inserts and deletes pay per relation written, modifies pay the width
+// of the rewritten row. (An extension of the paper's future work.)
+func (e *Engine) AddUpdate(name, text string, weight float64) error {
+	u, err := xquery.ParseUpdate(text)
+	if err != nil {
+		return err
+	}
+	u.Name = name
+	e.workload.AddUpdate(u, weight)
+	return nil
+}
+
+// Strategy selects a search strategy for Advise.
+type Strategy = core.Strategy
+
+// Search strategies.
+const (
+	// GreedySO starts fully outlined and inlines greedily.
+	GreedySO = core.GreedySO
+	// GreedySI starts fully inlined and outlines greedily.
+	GreedySI = core.GreedySI
+	// GreedyFull searches with the complete rewriting repertoire.
+	GreedyFull = core.GreedyFull
+)
+
+// AdviseOptions tunes the search; the zero value runs greedy-so over the
+// inline/outline moves, as in the paper's prototype.
+type AdviseOptions struct {
+	Strategy Strategy
+	// Threshold stops early when an iteration improves the cost by less
+	// than this fraction.
+	Threshold float64
+	// MaxIterations bounds the greedy loop (0 = until convergence).
+	MaxIterations int
+	// WildcardLabels lists element names worth materializing out of
+	// wildcards, with their estimated instance fractions.
+	WildcardLabels map[string]float64
+	// Documents is the number of documents that will be stored
+	// (default 1).
+	Documents float64
+	// BeamWidth switches the search from the paper's greedy loop to a
+	// beam search keeping this many configurations per level (0 or 1 =
+	// greedy). An extension of the paper's future work on richer search
+	// strategies.
+	BeamWidth int
+}
+
+// Advice is the outcome of a search: the chosen configuration and the
+// search trace.
+type Advice struct {
+	result *core.Result
+	stats  *xstats.Set
+}
+
+// Advise searches for an efficient storage configuration for the
+// engine's schema, statistics and workload.
+func (e *Engine) Advise(opts AdviseOptions) (*Advice, error) {
+	if len(e.workload.Entries) == 0 && len(e.workload.Updates) == 0 {
+		return nil, fmt.Errorf("legodb: add at least one workload query before Advise")
+	}
+	copts := core.Options{
+		Strategy:       opts.Strategy,
+		Threshold:      opts.Threshold,
+		MaxIterations:  opts.MaxIterations,
+		WildcardLabels: opts.WildcardLabels,
+		RootCount:      opts.Documents,
+	}
+	var res *core.Result
+	var err error
+	if opts.BeamWidth > 1 {
+		res, err = core.BeamSearch(e.schema, e.workload, e.stats, core.BeamOptions{
+			Options: copts, Width: opts.BeamWidth,
+		})
+	} else {
+		res, err = core.GreedySearch(e.schema, e.workload, e.stats, copts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Advice{result: res, stats: e.stats}, nil
+}
+
+// EvaluateFixed costs a fixed named configuration ("all-inlined" or
+// "all-outlined") without searching; useful as a baseline.
+func (e *Engine) EvaluateFixed(config string) (*Advice, error) {
+	annotated := e.schema.Clone()
+	if e.stats != nil {
+		if err := xstats.Annotate(annotated, e.stats); err != nil {
+			return nil, err
+		}
+	}
+	var ps *xschema.Schema
+	var err error
+	switch config {
+	case "all-inlined":
+		ps, err = pschema.AllInlined(annotated)
+	case "all-outlined":
+		ps, err = pschema.InitialOutlined(annotated)
+	default:
+		return nil, fmt.Errorf("legodb: unknown fixed configuration %q", config)
+	}
+	if err != nil {
+		return nil, err
+	}
+	eval := &core.Evaluator{Workload: e.workload, RootCount: 1}
+	cfg, err := eval.Evaluate(ps)
+	if err != nil {
+		return nil, err
+	}
+	return &Advice{result: &core.Result{Best: cfg, InitialCost: cfg.Cost}}, nil
+}
+
+// Cost is the estimated workload cost of the chosen configuration.
+func (a *Advice) Cost() float64 { return a.result.Best.Cost }
+
+// InitialCost is the cost of the search's starting configuration.
+func (a *Advice) InitialCost() float64 { return a.result.InitialCost }
+
+// PSchema renders the chosen physical schema in algebra notation.
+func (a *Advice) PSchema() string { return a.result.Best.Schema.String() }
+
+// DDL renders the chosen relational configuration as CREATE TABLE
+// statements.
+func (a *Advice) DDL() string { return a.result.Best.Catalog.SQL() }
+
+// SQL renders the translated workload queries for the chosen
+// configuration.
+func (a *Advice) SQL() string {
+	out := ""
+	for _, q := range a.result.Best.Queries {
+		out += q.String() + ";\n\n"
+	}
+	return out
+}
+
+// Trace returns the per-iteration costs of the greedy search, starting
+// with the initial configuration's cost.
+func (a *Advice) Trace() []float64 {
+	out := []float64{a.result.InitialCost}
+	for _, it := range a.result.Trace {
+		out = append(out, it.Cost)
+	}
+	return out
+}
+
+// Explain summarizes the search: iterations, moves and costs.
+func (a *Advice) Explain() string {
+	out := fmt.Sprintf("initial cost: %.1f\n", a.result.InitialCost)
+	for i, it := range a.result.Trace {
+		out += fmt.Sprintf("iteration %d: %-40s cost %.1f\n", i+1, it.Applied, it.Cost)
+	}
+	out += fmt.Sprintf("final cost: %.1f\n", a.result.Best.Cost)
+	return out
+}
+
+// TransformKind re-exports the rewriting families for advanced use.
+type TransformKind = transform.Kind
+
+// CostModel re-exports the optimizer's cost model constants.
+type CostModel = optimizer.CostModel

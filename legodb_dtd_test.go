@@ -1,0 +1,97 @@
+package legodb
+
+import (
+	"strings"
+	"testing"
+)
+
+const catalogDTD = `
+<!DOCTYPE catalog [
+<!ELEMENT catalog (product*)>
+<!ELEMENT product (name, price, review*)>
+<!ATTLIST product sku CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT review (#PCDATA)>
+]>
+`
+
+func TestNewFromDTDEndToEnd(t *testing.T) {
+	eng, err := NewFromDTD(catalogDTD)
+	if err != nil {
+		t.Fatalf("NewFromDTD: %v", err)
+	}
+	if !strings.Contains(eng.Schema(), "product") {
+		t.Fatalf("schema = %q", eng.Schema())
+	}
+	if err := eng.AddQuery("q", `FOR $p IN catalog/product WHERE $p/name = c1 RETURN $p/price`, 1); err != nil {
+		t.Fatal(err)
+	}
+	advice, err := eng.Advise(AdviseOptions{Strategy: GreedySI})
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	// DTDs have no types: the price column must be a string.
+	if !strings.Contains(advice.DDL(), "price STRING") && !strings.Contains(advice.DDL(), "price CHAR") {
+		t.Fatalf("price not stringly typed:\n%s", advice.DDL())
+	}
+	store, err := advice.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = store.LoadXML(strings.NewReader(`<catalog>
+  <product sku="A1"><name>widget</name><price>42</price><review>fine</review></product>
+  <product sku="B2"><name>gadget</name><price>7</price></product>
+</catalog>`))
+	if err != nil {
+		t.Fatalf("LoadXML: %v", err)
+	}
+	res, err := store.Query(`FOR $p IN catalog/product WHERE $p/name = c1 RETURN $p/price`, Params{"c1": "widget"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "42" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestNewFromDTDRejectsBadInput(t *testing.T) {
+	if _, err := NewFromDTD("<!ELEMENT a (undeclared)>"); err == nil {
+		t.Fatal("bad DTD accepted")
+	}
+}
+
+func TestBeamAdviseViaFacade(t *testing.T) {
+	eng := newEngine(t)
+	if err := eng.AddQuery("q", `FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title`, 1); err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := eng.Advise(AdviseOptions{Strategy: GreedySO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beam, err := eng.Advise(AdviseOptions{Strategy: GreedySO, BeamWidth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beam.Cost() > greedy.Cost()*1.0001 {
+		t.Fatalf("beam (%.1f) worse than greedy (%.1f)", beam.Cost(), greedy.Cost())
+	}
+}
+
+func TestUpdateWorkloadViaFacade(t *testing.T) {
+	eng := newEngine(t)
+	if err := eng.AddUpdate("ins", "INSERT imdb/show", 1); err != nil {
+		t.Fatal(err)
+	}
+	advice, err := eng.Advise(AdviseOptions{Strategy: GreedySO})
+	if err != nil {
+		t.Fatalf("update-only workload: %v", err)
+	}
+	if advice.Cost() <= 0 {
+		t.Fatal("non-positive update cost")
+	}
+	if err := eng.AddUpdate("bad", "FROB imdb/show", 1); err == nil {
+		t.Fatal("bad update kind accepted")
+	}
+}

@@ -1,0 +1,255 @@
+package legodb
+
+import (
+	"strings"
+	"testing"
+
+	"legodb/internal/imdb"
+	"legodb/internal/xmltree"
+)
+
+const tinySchema = `
+type IMDB = imdb[ Show{0,*} ]
+type Show = show [ @type[ String ],
+    title[ String ],
+    year[ Integer ],
+    Aka{0,*},
+    ( Movie | TV ) ]
+type Aka = aka[ String ]
+type Movie = box_office[ Integer ], video_sales[ Integer ]
+type TV = seasons[ Integer ], description[ String ] ]
+`
+
+const tinyStats = `
+(["imdb"], STcnt(1));
+(["imdb";"show"], STcnt(1000));
+(["imdb";"show";"title"], STsize(50) STbase(0,0,1000));
+(["imdb";"show";"year"], STbase(1800,2100,300));
+(["imdb";"show";"aka"], STcnt(400) STsize(40));
+(["imdb";"show";"box_office"], STcnt(700));
+(["imdb";"show";"seasons"], STcnt(300));
+(["imdb";"show";"description"], STsize(120));
+`
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(strings.Replace(tinySchema, "description[ String ] ]", "description[ String ]", 1))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := e.SetStatisticsText(tinyStats); err != nil {
+		t.Fatalf("SetStatisticsText: %v", err)
+	}
+	return e
+}
+
+func TestEngineAdviseEndToEnd(t *testing.T) {
+	e := newEngine(t)
+	if err := e.AddQuery("lookup", `FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title, $v/year`, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddQuery("publish", `FOR $v IN imdb/show RETURN $v`, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	advice, err := e.Advise(AdviseOptions{Strategy: GreedySO})
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	if advice.Cost() <= 0 || advice.Cost() > advice.InitialCost() {
+		t.Fatalf("cost = %g (initial %g)", advice.Cost(), advice.InitialCost())
+	}
+	if !strings.Contains(advice.DDL(), "TABLE") {
+		t.Fatalf("DDL = %q", advice.DDL())
+	}
+	if !strings.Contains(advice.PSchema(), "type") {
+		t.Fatalf("PSchema = %q", advice.PSchema())
+	}
+	if !strings.Contains(advice.SQL(), "SELECT") {
+		t.Fatalf("SQL = %q", advice.SQL())
+	}
+	if tr := advice.Trace(); len(tr) < 1 || tr[0] != advice.InitialCost() {
+		t.Fatalf("trace = %v", tr)
+	}
+	if !strings.Contains(advice.Explain(), "final cost") {
+		t.Fatalf("Explain = %q", advice.Explain())
+	}
+}
+
+const sampleXML = `<imdb>
+  <show type="Movie">
+    <title>Fugitive, The</title><year>1993</year>
+    <aka>Auf der Flucht</aka>
+    <box_office>183752965</box_office><video_sales>72450220</video_sales>
+  </show>
+  <show type="TVseries">
+    <title>X Files, The</title><year>1994</year>
+    <seasons>10</seasons><description>paranoia and aliens</description>
+  </show>
+</imdb>`
+
+func TestStoreLoadQueryPublish(t *testing.T) {
+	e := newEngine(t)
+	if err := e.AddQuery("lookup", `FOR $v IN imdb/show WHERE $v/year = c1 RETURN $v/title`, 1); err != nil {
+		t.Fatal(err)
+	}
+	advice, err := e.Advise(AdviseOptions{Strategy: GreedySI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := advice.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.LoadXML(strings.NewReader(sampleXML)); err != nil {
+		t.Fatalf("LoadXML: %v", err)
+	}
+	res, err := store.Query(`FOR $v IN imdb/show WHERE $v/year = c1 RETURN $v/title`, Params{"c1": "1994"})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "X Files, The" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// String-parameter query.
+	res, err = store.Query(`FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/year`, Params{"c1": "Fugitive, The"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "1993" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	docs, err := store.Publish()
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	orig, _ := xmltree.ParseString(sampleXML)
+	if len(docs) != 1 || !xmltree.EqualCanonical(orig, docs[0]) {
+		t.Fatalf("publish round trip differs:\n%s", docs[0])
+	}
+	if c := store.Measured(); c.TuplesRead == 0 {
+		t.Fatalf("no execution counters recorded: %+v", c)
+	}
+	if store.TableRows(store.Tables()[0]) < 0 {
+		t.Fatal("TableRows failed on first table")
+	}
+	if out, err := store.ExplainQuery(`FOR $v IN imdb/show RETURN $v/title`); err != nil || !strings.Contains(out, "estimated cost") {
+		t.Fatalf("ExplainQuery = %q, %v", out, err)
+	}
+}
+
+func TestEvaluateFixedBaselines(t *testing.T) {
+	e := newEngine(t)
+	if err := e.AddQuery("publish", `FOR $v IN imdb/show RETURN $v`, 1); err != nil {
+		t.Fatal(err)
+	}
+	inlined, err := e.EvaluateFixed("all-inlined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outlined, err := e.EvaluateFixed("all-outlined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inlined.Cost() >= outlined.Cost() {
+		t.Fatalf("all-inlined publish (%.1f) should beat all-outlined (%.1f)", inlined.Cost(), outlined.Cost())
+	}
+	if _, err := e.EvaluateFixed("nonsense"); err == nil {
+		t.Fatal("unknown fixed config accepted")
+	}
+}
+
+func TestAdviseRequiresWorkload(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Advise(AdviseOptions{}); err == nil {
+		t.Fatal("Advise without workload accepted")
+	}
+}
+
+func TestCollectStatisticsPath(t *testing.T) {
+	e, err := New(strings.Replace(tinySchema, "description[ String ] ]", "description[ String ]", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.ParseString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.CollectStatistics(doc)
+	if err := e.AddQuery("q", `FOR $v IN imdb/show RETURN $v/title`, 1); err != nil {
+		t.Fatal(err)
+	}
+	advice, err := e.Advise(AdviseOptions{Strategy: GreedySI})
+	if err != nil {
+		t.Fatalf("Advise with collected stats: %v", err)
+	}
+	if advice.Cost() <= 0 {
+		t.Fatal("non-positive cost")
+	}
+}
+
+// TestIMDBWorkloadAnswersMatchDocument is the full-pipeline correctness
+// check: load generated IMDB data into the advised store and verify query
+// answers against values computed directly on the XML tree.
+func TestIMDBWorkloadAnswersMatchDocument(t *testing.T) {
+	eng, err := New(imdb.SchemaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetStatisticsText(imdb.StatsText); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddQuery("Q3", `FOR $v IN imdb/show WHERE $v/year = c1 RETURN $v/title, $v/year`, 1); err != nil {
+		t.Fatal(err)
+	}
+	advice, err := eng.Advise(AdviseOptions{Strategy: GreedySI, MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := advice.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := imdb.Generate(imdb.GenOptions{Shows: 60, Seed: 21})
+	if err := store.Load(doc); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// Ground truth from the XML tree.
+	wantYear := doc.Path("show", "year")[0].Text
+	want := 0
+	for _, y := range doc.Path("show", "year") {
+		if y.Text == wantYear {
+			want++
+		}
+	}
+	res, err := store.Query(`FOR $v IN imdb/show WHERE $v/year = c1 RETURN $v/title, $v/year`, Params{"c1": wantYear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != want {
+		t.Fatalf("query returned %d rows, document has %d shows of year %s", len(res.Rows), want, wantYear)
+	}
+}
+
+func TestPreparedQueryReuse(t *testing.T) {
+	store, doc := advisedStore(t)
+	p, err := store.Prepare(`FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/year`)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if !strings.Contains(p.SQL(), "SELECT") {
+		t.Fatalf("SQL = %q", p.SQL())
+	}
+	titles := doc.Path("show", "title")
+	for i := 0; i < 3 && i < len(titles); i++ {
+		res, err := p.Run(Params{"c1": titles[i].Text})
+		if err != nil {
+			t.Fatalf("Run %d: %v", i, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("no rows for %q", titles[i].Text)
+		}
+	}
+	if _, err := store.Prepare(`FOR $v IN imdb/nosuch RETURN $v`); err == nil {
+		t.Fatal("bad query prepared")
+	}
+}

@@ -1,0 +1,88 @@
+package legodb
+
+import (
+	"fmt"
+	"strings"
+
+	"legodb/internal/xmltree"
+	"legodb/internal/xquery"
+)
+
+// Executable mutations over a store: deletes with subtree cascade and
+// child inserts. These complement the advisory update costing
+// (Engine.AddUpdate): a workload can be both priced and run.
+
+// DeleteWhere removes every element instance matched by a target query —
+// a FLWR expression whose RETURN is a single whole-element path — along
+// with its entire subtree. It returns the number of rows removed across
+// all relations.
+//
+//	n, err := store.DeleteWhere(
+//	    `FOR $s IN imdb/show WHERE $s/title = c1 RETURN $s`,
+//	    legodb.Params{"c1": "Fugitive, The"})
+func (s *Store) DeleteWhere(text string, params Params) (int, error) {
+	q, err := xquery.Parse(text)
+	if err != nil {
+		return 0, err
+	}
+	targets, err := xquery.TranslateTargets(q, s.schema, s.catalog)
+	if err != nil {
+		return 0, err
+	}
+	deleted := 0
+	for _, tgt := range targets {
+		rs, err := s.db.ExecuteBlock(tgt.Block, params.toEngine())
+		if err != nil {
+			return deleted, err
+		}
+		for _, row := range rs.Rows {
+			pos := s.shredder.FindRowByID(tgt.TypeName, row[0].Int)
+			if pos < 0 {
+				continue // already cascaded away by an earlier target
+			}
+			n, err := s.shredder.DeleteInstance(tgt.TypeName, pos)
+			if err != nil {
+				return deleted, err
+			}
+			deleted += n
+		}
+	}
+	return deleted, nil
+}
+
+// InsertChild shreds an XML fragment as a new child of every element
+// matched by the parent query (a FLWR expression whose RETURN is a
+// single whole-element path). It returns the number of parents extended.
+//
+//	n, err := store.InsertChild(
+//	    `FOR $s IN imdb/show WHERE $s/title = c1 RETURN $s`,
+//	    legodb.Params{"c1": "Fugitive, The"},
+//	    `<aka>Le Fugitif</aka>`)
+func (s *Store) InsertChild(parentQuery string, params Params, fragmentXML string) (int, error) {
+	fragment, err := xmltree.Parse(strings.NewReader(fragmentXML))
+	if err != nil {
+		return 0, fmt.Errorf("legodb: fragment: %w", err)
+	}
+	q, err := xquery.Parse(parentQuery)
+	if err != nil {
+		return 0, err
+	}
+	targets, err := xquery.TranslateTargets(q, s.schema, s.catalog)
+	if err != nil {
+		return 0, err
+	}
+	inserted := 0
+	for _, tgt := range targets {
+		rs, err := s.db.ExecuteBlock(tgt.Block, params.toEngine())
+		if err != nil {
+			return inserted, err
+		}
+		for _, row := range rs.Rows {
+			if _, err := s.shredder.InsertChild(tgt.TypeName, row[0].Int, fragment.Clone()); err != nil {
+				return inserted, fmt.Errorf("legodb: %w", err)
+			}
+			inserted++
+		}
+	}
+	return inserted, nil
+}

@@ -1,0 +1,155 @@
+package legodb
+
+import (
+	"bytes"
+	"testing"
+
+	"legodb/internal/imdb"
+)
+
+func TestDeleteWhereCascades(t *testing.T) {
+	store, doc := advisedStore(t)
+	title := doc.Path("show", "title")[0].Text
+	before := 0
+	for _, tbl := range store.Tables() {
+		before += store.TableRows(tbl)
+	}
+	n, err := store.DeleteWhere(
+		`FOR $s IN imdb/show WHERE $s/title = c1 RETURN $s`, Params{"c1": title})
+	if err != nil {
+		t.Fatalf("DeleteWhere: %v", err)
+	}
+	if n < 1 {
+		t.Fatalf("deleted %d rows", n)
+	}
+	// The show is gone from query results.
+	res, err := store.Query(`FOR $s IN imdb/show WHERE $s/title = c1 RETURN $s/title`, Params{"c1": title})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("deleted show still queryable: %v", res.Rows)
+	}
+	// The published document no longer holds the show, and stays valid.
+	docs, err := store.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range docs[0].Path("show", "title") {
+		if s.Text == title {
+			t.Fatal("deleted show resurrected by publish")
+		}
+	}
+	after := 0
+	for _, tbl := range store.Tables() {
+		after += store.TableRows(tbl)
+	}
+	if after != before-n {
+		t.Fatalf("row accounting off: %d - %d != %d", before, n, after)
+	}
+}
+
+func TestDeleteWholeDocumentSubtree(t *testing.T) {
+	store, _ := advisedStore(t)
+	n, err := store.DeleteWhere(`FOR $i IN imdb RETURN $i`, nil)
+	if err != nil {
+		t.Fatalf("DeleteWhere root: %v", err)
+	}
+	if n < 100 {
+		t.Fatalf("cascade deleted only %d rows", n)
+	}
+	for _, tbl := range store.Tables() {
+		if got := store.TableRows(tbl); got != 0 {
+			t.Errorf("table %s still holds %d rows", tbl, got)
+		}
+	}
+	docs, err := store.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 0 {
+		t.Fatalf("published %d documents from emptied store", len(docs))
+	}
+}
+
+func TestInsertChild(t *testing.T) {
+	store, doc := advisedStore(t)
+	title := doc.Path("show", "title")[0].Text
+	n, err := store.InsertChild(
+		`FOR $s IN imdb/show WHERE $s/title = c1 RETURN $s`,
+		Params{"c1": title},
+		`<aka>Le Fugitif</aka>`)
+	if err != nil {
+		t.Fatalf("InsertChild: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("inserted into %d parents", n)
+	}
+	res, err := store.Query(
+		`FOR $s IN imdb/show, $a IN $s/aka WHERE $s/title = c1 RETURN $a`,
+		Params{"c1": title})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range res.Rows {
+		for _, cell := range row {
+			if cell == "Le Fugitif" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("inserted aka not queryable: %v", res.Rows)
+	}
+	// The published document carries the new aka and stays schema-valid.
+	docs, err := store.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !imdb.Schema().Valid(docs[0]) {
+		t.Fatal("document invalid after insert")
+	}
+}
+
+func TestInsertChildRejectsForeignFragment(t *testing.T) {
+	store, doc := advisedStore(t)
+	title := doc.Path("show", "title")[0].Text
+	if _, err := store.InsertChild(
+		`FOR $s IN imdb/show WHERE $s/title = c1 RETURN $s`,
+		Params{"c1": title},
+		`<bogus>x</bogus>`); err == nil {
+		t.Fatal("foreign fragment accepted")
+	}
+}
+
+func TestDeleteWhereRejectsScalarTarget(t *testing.T) {
+	store, _ := advisedStore(t)
+	if _, err := store.DeleteWhere(`FOR $s IN imdb/show RETURN $s/title, $s/year`, nil); err == nil {
+		t.Fatal("multi-item target accepted")
+	}
+}
+
+func TestSnapshotCompactsTombstones(t *testing.T) {
+	store, doc := advisedStore(t)
+	title := doc.Path("show", "title")[0].Text
+	if _, err := store.DeleteWhere(
+		`FOR $s IN imdb/show WHERE $s/title = c1 RETURN $s`, Params{"c1": title}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := restored.Query(`FOR $s IN imdb/show WHERE $s/title = c1 RETURN $s/title`, Params{"c1": title})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatal("tombstoned row resurrected through a snapshot")
+	}
+}

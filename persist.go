@@ -1,0 +1,126 @@
+package legodb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"legodb/internal/engine"
+	"legodb/internal/relational"
+	"legodb/internal/xschema"
+)
+
+// Store persistence: a snapshot carries the physical schema (from which
+// the catalog re-derives via the fixed mapping) and every relation's
+// rows, so an advised-and-loaded store can be saved and reopened without
+// re-running the search or re-shredding documents.
+
+// storeSnapshot is the gob-encoded on-disk form.
+type storeSnapshot struct {
+	// SchemaText is the p-schema in algebra notation (statistics
+	// annotations included).
+	SchemaText string
+	Tables     []tableSnapshot
+}
+
+type tableSnapshot struct {
+	Name    string
+	Columns []string
+	Rows    []engine.Row
+	NextID  int64
+}
+
+// Save writes the store (schema and all rows) to w.
+func (s *Store) Save(w io.Writer) error {
+	snap := storeSnapshot{SchemaText: s.schema.String()}
+	for _, name := range s.catalog.Order {
+		t := s.db.Table(name)
+		cols := make([]string, len(t.Def.Columns))
+		for i, c := range t.Def.Columns {
+			cols[i] = c.Name
+		}
+		// Tombstoned rows compact away in the snapshot.
+		rows := make([]engine.Row, 0, t.LiveRows())
+		for pos, row := range t.Rows {
+			if t.Alive(pos) {
+				rows = append(rows, row)
+			}
+		}
+		snap.Tables = append(snap.Tables, tableSnapshot{
+			Name:    name,
+			Columns: cols,
+			Rows:    rows,
+			NextID:  t.PeekNextID(),
+		})
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// SaveFile writes the store to a file.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenStore reads a snapshot written by Save and reconstructs the store:
+// the schema is re-parsed, the catalog re-derived through the fixed
+// mapping, and the rows restored with their indexes rebuilt.
+func OpenStore(r io.Reader) (*Store, error) {
+	var snap storeSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("legodb: read snapshot: %w", err)
+	}
+	ps, err := xschema.ParseSchema(snap.SchemaText)
+	if err != nil {
+		return nil, fmt.Errorf("legodb: snapshot schema: %w", err)
+	}
+	cat, err := relational.Map(ps)
+	if err != nil {
+		return nil, fmt.Errorf("legodb: snapshot mapping: %w", err)
+	}
+	store, err := openStore(ps, cat)
+	if err != nil {
+		return nil, err
+	}
+	for _, ts := range snap.Tables {
+		t := store.db.Table(ts.Name)
+		if t == nil {
+			return nil, fmt.Errorf("legodb: snapshot table %q not in the re-derived catalog", ts.Name)
+		}
+		if len(ts.Columns) != len(t.Def.Columns) {
+			return nil, fmt.Errorf("legodb: snapshot table %q has %d columns, catalog has %d",
+				ts.Name, len(ts.Columns), len(t.Def.Columns))
+		}
+		for i, c := range t.Def.Columns {
+			if ts.Columns[i] != c.Name {
+				return nil, fmt.Errorf("legodb: snapshot table %q column %d is %q, catalog has %q",
+					ts.Name, i, ts.Columns[i], c.Name)
+			}
+		}
+		for _, row := range ts.Rows {
+			if err := t.Insert(row); err != nil {
+				return nil, fmt.Errorf("legodb: snapshot table %q: %w", ts.Name, err)
+			}
+		}
+		t.SetNextID(ts.NextID)
+	}
+	return store, nil
+}
+
+// OpenStoreFile reads a snapshot file.
+func OpenStoreFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return OpenStore(f)
+}

@@ -1,0 +1,114 @@
+package legodb
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"legodb/internal/imdb"
+	"legodb/internal/xmltree"
+)
+
+func advisedStore(t *testing.T) (*Store, *xmltree.Node) {
+	t.Helper()
+	eng, err := New(imdb.SchemaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetStatisticsText(imdb.Stats().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddQuery("q", `FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title, $v/year`, 1); err != nil {
+		t.Fatal(err)
+	}
+	advice, err := eng.Advise(AdviseOptions{Strategy: GreedySI, MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := advice.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := imdb.Generate(imdb.GenOptions{Shows: 40, Seed: 13})
+	if err := store.Load(doc); err != nil {
+		t.Fatal(err)
+	}
+	return store, doc
+}
+
+func TestSaveAndOpenStore(t *testing.T) {
+	store, doc := advisedStore(t)
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored, err := OpenStore(&buf)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	// Row counts survive.
+	for _, name := range store.Tables() {
+		if got, want := restored.TableRows(name), store.TableRows(name); got != want {
+			t.Errorf("table %s: %d rows restored, want %d", name, got, want)
+		}
+	}
+	// Queries answer identically.
+	title := doc.Path("show", "title")[0].Text
+	q := `FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title, $v/year`
+	orig, err := store.Query(q, Params{"c1": title})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := restored.Query(q, Params{"c1": title})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig.Rows) == 0 || len(orig.Rows) != len(back.Rows) {
+		t.Fatalf("rows: %d vs %d", len(orig.Rows), len(back.Rows))
+	}
+	// Publishing still round-trips.
+	docs, err := restored.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.EqualCanonical(doc, docs[0]) {
+		t.Fatal("restored store publishes a different document")
+	}
+	// Inserts after restore continue the id sequence without collision.
+	extra := imdb.Generate(imdb.GenOptions{Shows: 3, Seed: 99})
+	if err := restored.Load(extra); err != nil {
+		t.Fatalf("Load after restore: %v", err)
+	}
+	docs, err = restored.Publish()
+	if err != nil {
+		t.Fatalf("Publish after post-restore load: %v", err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("documents after second load = %d", len(docs))
+	}
+}
+
+func TestSaveFileRoundTrip(t *testing.T) {
+	store, _ := advisedStore(t)
+	path := filepath.Join(t.TempDir(), "store.legodb")
+	if err := store.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	restored, err := OpenStoreFile(path)
+	if err != nil {
+		t.Fatalf("OpenStoreFile: %v", err)
+	}
+	if restored.DDL() != store.DDL() {
+		t.Fatal("DDL changed across the file round trip")
+	}
+}
+
+func TestOpenStoreRejectsGarbage(t *testing.T) {
+	if _, err := OpenStore(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	if _, err := OpenStoreFile("/nonexistent/path"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

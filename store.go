@@ -1,0 +1,176 @@
+package legodb
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"legodb/internal/engine"
+	"legodb/internal/optimizer"
+	"legodb/internal/relational"
+	"legodb/internal/shred"
+	"legodb/internal/sqlast"
+	"legodb/internal/xmltree"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+)
+
+// Store is an instantiated storage configuration: an in-memory relational
+// database following the chosen mapping, with document loading, XQuery
+// execution and publishing.
+type Store struct {
+	schema    *xschema.Schema
+	catalog   *relational.Catalog
+	db        *engine.Database
+	shredder  *shred.Shredder
+	publisher *shred.Publisher
+	opt       *optimizer.Optimizer
+}
+
+// Open instantiates the advised configuration as an empty store.
+func (a *Advice) Open() (*Store, error) {
+	return openStore(a.result.Best.Schema, a.result.Best.Catalog)
+}
+
+func openStore(ps *xschema.Schema, cat *relational.Catalog) (*Store, error) {
+	db := engine.NewDatabase(cat)
+	return &Store{
+		schema:    ps,
+		catalog:   cat,
+		db:        db,
+		shredder:  shred.New(ps, cat, db),
+		publisher: shred.NewPublisher(ps, cat, db),
+		opt:       optimizer.New(cat),
+	}, nil
+}
+
+// Load shreds a document into the store. Documents must validate against
+// the engine's schema.
+func (s *Store) Load(doc *xmltree.Node) error {
+	return s.shredder.Shred(doc)
+}
+
+// LoadXML parses and loads an XML document from a reader.
+func (s *Store) LoadXML(r io.Reader) error {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return err
+	}
+	return s.Load(doc)
+}
+
+// Params binds query parameters (c1, c2, ...) to values. Values that
+// parse as integers bind as integers.
+type Params map[string]string
+
+func (p Params) toEngine() engine.Params {
+	out := make(engine.Params, len(p))
+	for k, v := range p {
+		if n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64); err == nil {
+			out[k] = engine.IntVal(n)
+		} else {
+			out[k] = engine.StrVal(v)
+		}
+	}
+	return out
+}
+
+// Result is a query result: column headers and stringified rows.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Query parses, translates and executes an XQuery against the store.
+func (s *Store) Query(text string, params Params) (*Result, error) {
+	p, err := s.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(params)
+}
+
+// PreparedQuery is a parsed and translated query, reusable with
+// different parameters; repeated executions skip parsing and
+// translation.
+type PreparedQuery struct {
+	store *Store
+	sql   *sqlast.Query
+}
+
+// Prepare parses and translates an XQuery once for repeated execution.
+func (s *Store) Prepare(text string) (*PreparedQuery, error) {
+	q, err := xquery.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	sq, err := xquery.Translate(q, s.schema, s.catalog)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{store: s, sql: sq}, nil
+}
+
+// SQL returns the prepared query's translated SQL.
+func (p *PreparedQuery) SQL() string { return p.sql.SQL() }
+
+// Run executes the prepared query with the given parameters.
+func (p *PreparedQuery) Run(params Params) (*Result, error) {
+	rs, err := p.store.db.Execute(p.sql, params.toEngine())
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Columns: rs.Columns}
+	for _, row := range rs.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	return out, nil
+}
+
+// ExplainQuery translates an XQuery and returns its SQL together with the
+// optimizer's cost estimate.
+func (s *Store) ExplainQuery(text string) (string, error) {
+	q, err := xquery.Parse(text)
+	if err != nil {
+		return "", err
+	}
+	sq, err := xquery.Translate(q, s.schema, s.catalog)
+	if err != nil {
+		return "", err
+	}
+	est, err := s.opt.QueryCost(sq)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s\n-- estimated cost: %.1f, rows: %.0f\n", sq.SQL(), est.Cost, est.Rows), nil
+}
+
+// Publish reconstructs all loaded documents.
+func (s *Store) Publish() ([]*xmltree.Node, error) {
+	return s.publisher.PublishAll()
+}
+
+// DDL returns the store's relational schema.
+func (s *Store) DDL() string { return s.catalog.SQL() }
+
+// TableRows reports the number of live rows stored in a relation (-1
+// when the relation does not exist).
+func (s *Store) TableRows(name string) int {
+	t := s.db.Table(name)
+	if t == nil {
+		return -1
+	}
+	return t.LiveRows()
+}
+
+// Tables lists the store's relations in creation order.
+func (s *Store) Tables() []string { return append([]string(nil), s.catalog.Order...) }
+
+// Measured returns the engine's accumulated execution counters (bytes
+// read, tuples, probes) since the store was opened.
+func (s *Store) Measured() engine.Counters { return s.db.Stats }
