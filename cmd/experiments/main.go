@@ -21,22 +21,33 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "output format: text, csv, markdown")
+	nocache := flag.Bool("nocache", false, "disable the shared cost cache (every configuration pays a full evaluation)")
+	maxiter := flag.Int("maxiter", 0, "bound search iterations per experiment (0 = until convergence); for smoke runs")
+	cachestats := flag.Bool("cachestats", false, "print cost-cache hit/miss counters to stderr after each experiment")
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
 		return
 	}
+	experiments.EnableCache(!*nocache)
+	experiments.MaxIterations = *maxiter
 	names := flag.Args()
 	if len(names) == 0 {
 		names = experiments.Names()
 	}
 	failed := false
 	for _, name := range names {
+		before := experiments.CacheStats()
 		tbl, err := experiments.Run(name)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			failed = true
 			continue
+		}
+		if *cachestats {
+			st := experiments.CacheStats().Sub(before)
+			fmt.Fprintf(os.Stderr, "experiments: %s: cache %d hits, %d misses (%.0f%% hit rate), %d entries total\n",
+				name, st.Hits, st.Misses, hitRate(st.Hits, st.Misses), st.Entries)
 		}
 		switch *format {
 		case "csv":
@@ -51,4 +62,11 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
 }

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"legodb/internal/transform"
@@ -17,6 +20,11 @@ import (
 // per level (Algorithm 4.1), the search keeps the Width cheapest distinct
 // configurations and expands them all, escaping local minima the greedy
 // loop can fall into.
+//
+// Distinctness is decided by xschema.Fingerprint — the canonical
+// structural hash also used as the cost-cache key — so configurations
+// reached along different transformation paths are expanded (and costed)
+// once.
 
 // BeamOptions configures BeamSearch. Width 1 degenerates to the greedy
 // algorithm.
@@ -30,7 +38,9 @@ type BeamOptions struct {
 
 // BeamSearch explores the transformation space keeping the Width best
 // configurations per level. The result's trace records the best cost at
-// each level.
+// each level. Candidate configurations of one level are evaluated by the
+// same Workers-bounded pool as the greedy search, with deterministic
+// outcome (level candidates sort stably by cost in generation order).
 func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set, opts BeamOptions) (*Result, error) {
 	if len(wkld.Entries) == 0 && len(wkld.Updates) == 0 {
 		return nil, fmt.Errorf("core: empty workload")
@@ -55,8 +65,10 @@ func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set
 	if rootCount == 0 {
 		rootCount = 1
 	}
-	eval := &Evaluator{Workload: wkld, RootCount: rootCount, Model: opts.Model}
-	initial, err := eval.Evaluate(ps)
+	cache := opts.searchCache()
+	eval := &Evaluator{Workload: wkld, RootCount: rootCount, Model: opts.Model, Cache: cache}
+	cacheStart := cache.Stats()
+	initial, _, err := eval.EvaluateCached(ps)
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluate initial schema: %w", err)
 	}
@@ -65,35 +77,40 @@ func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set
 
 	beam := []Config{initial}
 	best := initial
-	seen := map[string]bool{fingerprint(initial.Schema): true}
+	seen := map[xschema.Fingerprint]bool{ps.Fingerprint(): true}
 
 	for level := 0; level < opts.MaxLevels; level++ {
 		start := time.Now()
-		var candidates []Config
-		expansions := 0
+		// Expand the beam: apply every transformation, deduplicate by
+		// canonical fingerprint, then cost the distinct schemas in
+		// parallel.
+		var nextSchemas []*xschema.Schema
 		for _, cfg := range beam {
 			for _, tr := range transform.Candidates(cfg.Schema, tropts) {
 				next, err := transform.Apply(cfg.Schema, tr)
 				if err != nil {
 					continue
 				}
-				fp := fingerprint(next)
+				fp := next.Fingerprint()
 				if seen[fp] {
 					continue
 				}
 				seen[fp] = true
-				nc, err := eval.Evaluate(next)
-				if err != nil {
-					continue
-				}
-				expansions++
-				candidates = append(candidates, nc)
+				nextSchemas = append(nextSchemas, next)
+			}
+		}
+		results, hits, misses := evaluateSchemas(nextSchemas, eval, opts.Workers)
+		var candidates []Config
+		for _, cfg := range results {
+			if cfg != nil {
+				candidates = append(candidates, *cfg)
 			}
 		}
 		if len(candidates) == 0 {
 			break
 		}
-		sort.Slice(candidates, func(i, j int) bool { return candidates[i].Cost < candidates[j].Cost })
+		expansions := len(candidates)
+		sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].Cost < candidates[j].Cost })
 		if len(candidates) > opts.Width {
 			candidates = candidates[:opts.Width]
 		}
@@ -102,10 +119,12 @@ func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set
 			prev := best.Cost
 			best = candidates[0]
 			result.Trace = append(result.Trace, Iteration{
-				Cost:       best.Cost,
-				Applied:    fmt.Sprintf("beam level %d (%d expansions)", level+1, expansions),
-				Candidates: expansions,
-				Elapsed:    time.Since(start),
+				Cost:        best.Cost,
+				Applied:     fmt.Sprintf("beam level %d (%d expansions)", level+1, expansions),
+				Candidates:  expansions,
+				Elapsed:     time.Since(start),
+				CacheHits:   hits,
+				CacheMisses: misses,
 			})
 			if opts.Threshold > 0 && (prev-best.Cost)/prev < opts.Threshold {
 				break
@@ -119,11 +138,61 @@ func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set
 		}
 		beam = candidates
 	}
-	result.Best = best
+	// Cache hits carry only schema and cost; derive the winning catalog.
+	result.Best, err = eval.Materialize(best)
+	if err != nil {
+		return nil, fmt.Errorf("core: materialize best: %w", err)
+	}
+	result.Cache = cache.Stats().Sub(cacheStart)
+	result.Evals = eval.Evals()
 	return result, nil
 }
 
-// fingerprint canonically identifies a schema's structure (statistics
-// annotations included, so equivalent rewrites with different stats
-// remain distinct).
-func fingerprint(s *xschema.Schema) string { return s.String() }
+// evaluateSchemas costs a batch of already-applied schemas, fanning out
+// across workers like evaluateCandidates. Unanswerable schemas are nil in
+// the indexed result slice.
+func evaluateSchemas(schemas []*xschema.Schema, eval *Evaluator, workers int) ([]*Config, int, int) {
+	results := make([]*Config, len(schemas))
+	var hits, misses atomic.Int64
+	evalAt := func(i int) {
+		cfg, hit, err := eval.EvaluateCached(schemas[i])
+		if err != nil {
+			return
+		}
+		if hit {
+			hits.Add(1)
+		} else {
+			misses.Add(1)
+		}
+		results[i] = &cfg
+	}
+	if workers == 1 || len(schemas) <= 1 {
+		for i := range schemas {
+			evalAt(i)
+		}
+		return results, int(hits.Load()), int(misses.Load())
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(schemas) {
+		workers = len(schemas)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				evalAt(i)
+			}
+		}()
+	}
+	for i := range schemas {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results, int(hits.Load()), int(misses.Load())
+}

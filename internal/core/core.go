@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"legodb/internal/optimizer"
@@ -74,6 +75,26 @@ type Options struct {
 	// per iteration (0 = GOMAXPROCS, 1 = sequential). The outcome is
 	// deterministic regardless: ties break on candidate order.
 	Workers int
+	// Cache memoizes configuration costs across iterations. When nil, the
+	// search creates a private cache (still deduplicating re-visited
+	// configurations within the run); pass a shared cache to also reuse
+	// costs across the greedy/beam strategy variants and repeated runs.
+	Cache *CostCache
+	// DisableCache turns memoization off entirely (every candidate pays a
+	// full evaluator pipeline run, as the paper's prototype did); it is
+	// ignored when Cache is non-nil.
+	DisableCache bool
+}
+
+// searchCache resolves the cache the search should use (possibly nil).
+func (o *Options) searchCache() *CostCache {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	if o.DisableCache {
+		return nil
+	}
+	return NewCostCache(0)
 }
 
 func (o *Options) kinds() []transform.Kind {
@@ -105,6 +126,13 @@ type Iteration struct {
 	Applied    string
 	Candidates int
 	Elapsed    time.Duration
+	// CacheHits and CacheMisses count how many of this iteration's
+	// candidate costings were answered from the cost cache versus paid a
+	// full evaluator pipeline run. (With Workers > 1 two workers may race
+	// to fill the same entry, so the split can vary slightly between
+	// runs; costs and choices never do.)
+	CacheHits   int
+	CacheMisses int
 }
 
 // Result is the outcome of a search.
@@ -113,6 +141,12 @@ type Result struct {
 	InitialCost float64
 	Trace       []Iteration
 	Strategy    Strategy
+	// Cache is the cost-cache activity observed during this search (the
+	// delta when the cache is shared with other searches).
+	Cache CacheStats
+	// Evals counts full evaluator pipeline runs (relational mapping +
+	// translation + optimizer costing) performed by this search.
+	Evals uint64
 }
 
 // Evaluator costs physical schemas against a fixed workload. It is the
@@ -121,12 +155,34 @@ type Evaluator struct {
 	Workload  *xquery.Workload
 	RootCount float64
 	Model     *optimizer.CostModel
+	// Cache, when non-nil, memoizes workload costs keyed by the schema's
+	// canonical fingerprint (plus workload and cost-model digests).
+	Cache *CostCache
+
+	keyOnce    sync.Once
+	workloadID uint64
+	modelID    uint64
+	evals      atomic.Uint64
+}
+
+// Evals returns how many full (uncached) evaluations this evaluator ran.
+func (e *Evaluator) Evals() uint64 { return e.evals.Load() }
+
+// cacheKey builds the cache key for a p-schema, computing the workload
+// and model digests once per evaluator.
+func (e *Evaluator) cacheKey(ps *xschema.Schema) CacheKey {
+	e.keyOnce.Do(func() {
+		e.workloadID = WorkloadID(e.Workload, e.RootCount)
+		e.modelID = ModelID(e.Model)
+	})
+	return CacheKey{Schema: ps.Fingerprint(), Workload: e.workloadID, Model: e.modelID}
 }
 
 // Evaluate maps the p-schema to relations, translates the workload and
 // returns the weighted-average estimated cost together with the derived
 // configuration.
 func (e *Evaluator) Evaluate(ps *xschema.Schema) (Config, error) {
+	e.evals.Add(1)
 	cat, err := relational.MapWith(ps, relational.Options{RootCount: e.RootCount})
 	if err != nil {
 		return Config{}, err
@@ -173,10 +229,48 @@ func (e *Evaluator) Evaluate(ps *xschema.Schema) (Config, error) {
 	return Config{Schema: ps, Catalog: cat, Queries: queries, Cost: total / wsum}, nil
 }
 
+// EvaluateCached costs a p-schema through the evaluator's cache. On a
+// hit the returned Config carries only the schema and its cost (Catalog
+// and Queries are nil — derive them with Evaluate when the configuration
+// is actually chosen); on a miss it runs the full pipeline, memoizes the
+// cost, and returns the complete configuration. The boolean reports a
+// hit. With a nil cache it degenerates to Evaluate.
+func (e *Evaluator) EvaluateCached(ps *xschema.Schema) (Config, bool, error) {
+	if e.Cache == nil {
+		cfg, err := e.Evaluate(ps)
+		return cfg, false, err
+	}
+	key := e.cacheKey(ps)
+	if cost, ok := e.Cache.Get(key); ok {
+		return Config{Schema: ps, Cost: cost}, true, nil
+	}
+	cfg, err := e.Evaluate(ps)
+	if err != nil {
+		return Config{}, false, err
+	}
+	e.Cache.Put(key, cfg.Cost)
+	return cfg, false, nil
+}
+
+// Materialize completes a configuration whose catalog and translated
+// queries were skipped by a cache hit.
+func (e *Evaluator) Materialize(cfg Config) (Config, error) {
+	if cfg.Catalog != nil {
+		return cfg, nil
+	}
+	return e.Evaluate(cfg.Schema)
+}
+
 // GetPSchemaCost returns just the estimated workload cost of a p-schema.
 func GetPSchemaCost(ps *xschema.Schema, wkld *xquery.Workload, rootCount float64) (float64, error) {
-	e := &Evaluator{Workload: wkld, RootCount: rootCount}
-	cfg, err := e.Evaluate(ps)
+	return GetPSchemaCostWith(ps, wkld, rootCount, nil, nil)
+}
+
+// GetPSchemaCostWith is GetPSchemaCost with an explicit cost model
+// (nil = default) and cost cache (nil = uncached).
+func GetPSchemaCostWith(ps *xschema.Schema, wkld *xquery.Workload, rootCount float64, model *optimizer.CostModel, cache *CostCache) (float64, error) {
+	e := &Evaluator{Workload: wkld, RootCount: rootCount, Model: model, Cache: cache}
+	cfg, _, err := e.EvaluateCached(ps)
 	if err != nil {
 		return 0, err
 	}
@@ -218,8 +312,10 @@ func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.S
 	if rootCount == 0 {
 		rootCount = 1
 	}
-	eval := &Evaluator{Workload: wkld, RootCount: rootCount, Model: opts.Model}
-	best, err := eval.Evaluate(ps)
+	cache := opts.searchCache()
+	eval := &Evaluator{Workload: wkld, RootCount: rootCount, Model: opts.Model, Cache: cache}
+	cacheStart := cache.Stats()
+	best, _, err := eval.EvaluateCached(ps)
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluate initial schema: %w", err)
 	}
@@ -229,7 +325,7 @@ func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.S
 	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
 		start := time.Now()
 		cands := transform.Candidates(best.Schema, tropts)
-		results := evaluateCandidates(best.Schema, cands, eval, opts.Workers)
+		results, hits, misses := evaluateCandidates(best.Schema, cands, eval, opts.Workers)
 		var bestCand Config
 		bestCand.Cost = best.Cost
 		applied := ""
@@ -242,33 +338,50 @@ func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.S
 		if applied == "" {
 			break
 		}
+		// The winner's catalog may have been skipped by a cache hit;
+		// derive it now (one pipeline run instead of one per candidate).
+		bestCand, err = eval.Materialize(bestCand)
+		if err != nil {
+			return nil, fmt.Errorf("core: materialize %s: %w", applied, err)
+		}
 		improvement := (best.Cost - bestCand.Cost) / best.Cost
 		best = bestCand
 		result.Trace = append(result.Trace, Iteration{
-			Cost:       best.Cost,
-			Applied:    applied,
-			Candidates: len(cands),
-			Elapsed:    time.Since(start),
+			Cost:        best.Cost,
+			Applied:     applied,
+			Candidates:  len(cands),
+			Elapsed:     time.Since(start),
+			CacheHits:   hits,
+			CacheMisses: misses,
 		})
 		if opts.Threshold > 0 && improvement < opts.Threshold {
 			break
 		}
 	}
-	result.Best = best
+	// The best configuration's catalog may still be missing when the
+	// initial evaluation hit the cache and no iteration improved on it.
+	result.Best, err = eval.Materialize(best)
+	if err != nil {
+		return nil, fmt.Errorf("core: materialize best: %w", err)
+	}
+	result.Cache = cache.Stats().Sub(cacheStart)
+	result.Evals = eval.Evals()
 	return result, nil
 }
 
 // evaluateCandidates applies and costs every candidate transformation of
 // one schema, fanning out across workers. The result slice is indexed
 // like cands; inapplicable or unanswerable candidates are nil (skipped,
-// as the paper's engine does).
-func evaluateCandidates(base *xschema.Schema, cands []transform.Transformation, eval *Evaluator, workers int) []*Config {
+// as the paper's engine does). It also reports how many costings were
+// cache hits and misses.
+func evaluateCandidates(base *xschema.Schema, cands []transform.Transformation, eval *Evaluator, workers int) ([]*Config, int, int) {
 	results := make([]*Config, len(cands))
+	var hits, misses atomic.Int64
 	if workers == 1 || len(cands) <= 1 {
-		for i, tr := range cands {
-			results[i] = evaluateOne(base, tr, eval)
+		for i := range cands {
+			results[i] = evaluateOne(base, cands[i], eval, &hits, &misses)
 		}
-		return results
+		return results, int(hits.Load()), int(misses.Load())
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -283,7 +396,7 @@ func evaluateCandidates(base *xschema.Schema, cands []transform.Transformation, 
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = evaluateOne(base, cands[i], eval)
+				results[i] = evaluateOne(base, cands[i], eval, &hits, &misses)
 			}
 		}()
 	}
@@ -292,17 +405,22 @@ func evaluateCandidates(base *xschema.Schema, cands []transform.Transformation, 
 	}
 	close(next)
 	wg.Wait()
-	return results
+	return results, int(hits.Load()), int(misses.Load())
 }
 
-func evaluateOne(base *xschema.Schema, tr transform.Transformation, eval *Evaluator) *Config {
+func evaluateOne(base *xschema.Schema, tr transform.Transformation, eval *Evaluator, hits, misses *atomic.Int64) *Config {
 	nextSchema, err := transform.Apply(base, tr)
 	if err != nil {
 		return nil
 	}
-	cfg, err := eval.Evaluate(nextSchema)
+	cfg, hit, err := eval.EvaluateCached(nextSchema)
 	if err != nil {
 		return nil
+	}
+	if hit {
+		hits.Add(1)
+	} else {
+		misses.Add(1)
 	}
 	return &cfg
 }

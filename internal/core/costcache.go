@@ -1,0 +1,194 @@
+package core
+
+import (
+	"hash/fnv"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"legodb/internal/optimizer"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+)
+
+// CacheKey identifies one costed configuration: the canonical fingerprint
+// of the p-schema plus digests of the workload (queries, updates, weights,
+// root count) and of the optimizer cost model. Costs depend on nothing
+// else, so entries are safe to share across search iterations, across the
+// greedy/beam strategy variants, and across Advise calls of one engine.
+type CacheKey struct {
+	Schema   xschema.Fingerprint
+	Workload uint64
+	Model    uint64
+}
+
+// CacheStats is a point-in-time snapshot of cache activity. All counters
+// are cumulative; Result carries the delta observed during one search.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// Sub returns the counter deltas s minus start (Entries is kept from s).
+func (s CacheStats) Sub(start CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      s.Hits - start.Hits,
+		Misses:    s.Misses - start.Misses,
+		Evictions: s.Evictions - start.Evictions,
+		Entries:   s.Entries,
+	}
+}
+
+const cacheShards = 16
+
+// CostCache memoizes workload costs of evaluated configurations across
+// an entire search (and, when shared, across searches). It is sharded
+// and safe for concurrent use by the candidate-evaluation worker pool.
+// Entries are small (one key and one float64), so the default capacity
+// comfortably covers every configuration the IMDB searches visit; when a
+// shard fills up, the oldest entries in that shard are evicted first
+// (deterministic FIFO, so repeated runs behave identically).
+//
+// A nil *CostCache is valid and never hits: Get misses, Put is a no-op.
+type CostCache struct {
+	perShard  int
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	shards    [cacheShards]costShard
+}
+
+type costShard struct {
+	mu      sync.Mutex
+	entries map[CacheKey]float64
+	order   []CacheKey // insertion order, for deterministic eviction
+}
+
+// NewCostCache returns a cache bounded to roughly capacity entries
+// (0 selects the default of 64k entries, ~2 MB).
+func NewCostCache(capacity int) *CostCache {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	perShard := capacity / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &CostCache{perShard: perShard}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[CacheKey]float64)
+	}
+	return c
+}
+
+func (c *CostCache) shardFor(k CacheKey) *costShard {
+	// The fingerprint bytes are FNV output, already uniform.
+	return &c.shards[(uint64(k.Schema[0])^k.Workload^k.Model)%cacheShards]
+}
+
+// Get returns the memoized cost for the key, counting a hit or miss.
+func (c *CostCache) Get(k CacheKey) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	cost, ok := s.entries[k]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return cost, ok
+}
+
+// Put memoizes the cost for the key, evicting the shard's oldest entries
+// when it is full.
+func (c *CostCache) Put(k CacheKey, cost float64) {
+	if c == nil {
+		return
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if _, exists := s.entries[k]; !exists {
+		s.entries[k] = cost
+		s.order = append(s.order, k)
+		for len(s.entries) > c.perShard {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.entries, oldest)
+			c.evictions.Add(1)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Stats snapshots the cache counters and current entry count.
+func (c *CostCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// WorkloadID digests a workload and root count into a cache-key
+// component: query and update texts with their weights. Two workloads
+// with the same digest cost every configuration identically.
+func WorkloadID(w *xquery.Workload, rootCount float64) uint64 {
+	h := fnv.New64a()
+	hashFloat(h, rootCount)
+	for _, e := range w.Entries {
+		io.WriteString(h, "q")
+		io.WriteString(h, e.Query.String())
+		hashFloat(h, e.Weight)
+	}
+	for _, u := range w.Updates {
+		io.WriteString(h, "u")
+		io.WriteString(h, u.Update.String())
+		hashFloat(h, u.Weight)
+	}
+	return h.Sum64()
+}
+
+// ModelID digests a cost model into a cache-key component; nil denotes
+// the default model and digests identically to it.
+func ModelID(m *optimizer.CostModel) uint64 {
+	if m == nil {
+		d := optimizer.DefaultModel()
+		m = &d
+	}
+	h := fnv.New64a()
+	for _, v := range []float64{
+		m.PageSize, m.SeekCost, m.PageIOCost, m.RandomIOPenalty,
+		m.ProbeCost, m.CPUTupleCost, m.HashCost, m.OutputByteCost,
+		m.DefaultEqSelectivity, m.DefaultRangeSelectivity,
+		m.WriteByteCost, m.IndexWriteCost,
+	} {
+		hashFloat(h, v)
+	}
+	return h.Sum64()
+}
+
+func hashFloat(w io.Writer, v float64) {
+	var b [8]byte
+	bits := math.Float64bits(v)
+	for i := range b {
+		b[i] = byte(bits >> (8 * i))
+	}
+	w.Write(b[:])
+}

@@ -29,10 +29,9 @@ func AblationThreshold() (*Table, error) {
 	}{{"lookup", imdb.LookupWorkload()}, {"publish", imdb.PublishWorkload()}} {
 		converged := 0.0
 		for _, threshold := range []float64{0, 0.01, 0.05, 0.2} {
-			res, err := core.GreedySearch(imdb.Schema(), wl.w, imdb.Stats(), core.Options{
-				Strategy:  core.GreedySO,
-				Threshold: threshold,
-			})
+			opts := searchOptions(core.GreedySO)
+			opts.Threshold = threshold
+			res, err := core.GreedySearch(imdb.Schema(), wl.w, imdb.Stats(), opts)
 			if err != nil {
 				return nil, err
 			}
@@ -62,7 +61,7 @@ func AblationSIvsSO() (*Table, error) {
 		w    func() *xquery.Workload
 	}{{"lookup", imdb.LookupWorkload}, {"publish", imdb.PublishWorkload}} {
 		for _, st := range []core.Strategy{core.GreedySO, core.GreedySI} {
-			res, err := core.GreedySearch(imdb.Schema(), wl.w(), imdb.Stats(), core.Options{Strategy: st})
+			res, err := core.GreedySearch(imdb.Schema(), wl.w(), imdb.Stats(), searchOptions(st))
 			if err != nil {
 				return nil, err
 			}

@@ -12,6 +12,52 @@ import (
 	"legodb/internal/xstats"
 )
 
+// sharedCache memoizes configuration costs across every experiment run
+// in this process: the fig10/fig11 sweeps and the ablations re-search
+// overlapping configuration spaces (the same workloads, the same
+// greedy/beam trajectories), so later runs answer most costings from the
+// cache instead of re-running the evaluator pipeline. Keys include the
+// workload and cost-model digests, so experiments with different
+// workloads never collide. Disable with EnableCache(false) (or
+// cmd/experiments -nocache) to measure the uncached baseline.
+var sharedCache = core.NewCostCache(1 << 16)
+
+// cacheEnabled gates all memoization in this package (searches fall back
+// to fully uncached evaluation when false, as the paper's prototype ran).
+var cacheEnabled = true
+
+// EnableCache switches the package-wide cost memoization on or off.
+func EnableCache(on bool) { cacheEnabled = on }
+
+// CacheStats snapshots the shared cache's hit/miss/eviction counters.
+func CacheStats() core.CacheStats { return sharedCache.Stats() }
+
+// MaxIterations, when positive, bounds every search's greedy loop /
+// beam levels — used by CI smoke runs to keep wall-clock short.
+var MaxIterations int
+
+// searchOptions builds the core search options every experiment uses:
+// the requested strategy plus the package-wide cache and iteration
+// budget.
+func searchOptions(strategy core.Strategy) core.Options {
+	opts := core.Options{Strategy: strategy, MaxIterations: MaxIterations}
+	if cacheEnabled {
+		opts.Cache = sharedCache
+	} else {
+		opts.DisableCache = true
+	}
+	return opts
+}
+
+// costCache returns the cache plain costings should use (nil when
+// disabled).
+func costCache() *core.CostCache {
+	if cacheEnabled {
+		return sharedCache
+	}
+	return nil
+}
+
 // annotatedIMDB returns the IMDB schema annotated with (optionally
 // rescaled) statistics.
 func annotatedIMDB(adjust func(*xstats.Set)) (*xschema.Schema, error) {
@@ -89,10 +135,10 @@ func storageMap3(annotated *xschema.Schema) (*xschema.Schema, error) {
 func costOn(ps *xschema.Schema, q *xquery.Query) (float64, error) {
 	w := &xquery.Workload{}
 	w.Add(q, 1)
-	return core.GetPSchemaCost(ps, w, 1)
+	return core.GetPSchemaCostWith(ps, w, 1, nil, costCache())
 }
 
 // workloadCostOn evaluates a workload's weighted cost on a configuration.
 func workloadCostOn(ps *xschema.Schema, w *xquery.Workload) (float64, error) {
-	return core.GetPSchemaCost(ps, w, 1)
+	return core.GetPSchemaCostWith(ps, w, 1, nil, costCache())
 }

@@ -24,7 +24,7 @@ func AblationBeam() (*Table, error) {
 		name string
 		w    func() *xquery.Workload
 	}{{"lookup", imdb.LookupWorkload}, {"publish", imdb.PublishWorkload}} {
-		greedy, err := core.GreedySearch(imdb.Schema(), wl.w(), imdb.Stats(), core.Options{Strategy: core.GreedySO})
+		greedy, err := core.GreedySearch(imdb.Schema(), wl.w(), imdb.Stats(), searchOptions(core.GreedySO))
 		if err != nil {
 			return nil, err
 		}
@@ -35,7 +35,7 @@ func AblationBeam() (*Table, error) {
 		t.AddRow(wl.name, "greedy", f1(greedy.Best.Cost), "1.00", fmt.Sprintf("%d", gEvals))
 		for _, width := range []int{2, 4} {
 			beam, err := core.BeamSearch(imdb.Schema(), wl.w(), imdb.Stats(), core.BeamOptions{
-				Options: core.Options{Strategy: core.GreedySO},
+				Options: searchOptions(core.GreedySO),
 				Width:   width,
 			})
 			if err != nil {
@@ -69,14 +69,14 @@ func AblationUpdates() (*Table, error) {
 			w.AddUpdate(xquery.MustParseUpdate("INSERT imdb/show"), weight)
 			w.AddUpdate(xquery.MustParseUpdate("INSERT imdb/actor"), weight)
 		}
-		res, err := core.GreedySearch(imdb.Schema(), w, imdb.Stats(), core.Options{Strategy: core.GreedySO})
+		res, err := core.GreedySearch(imdb.Schema(), w, imdb.Stats(), searchOptions(core.GreedySO))
 		if err != nil {
 			return nil, err
 		}
 		// Estimate the share of the weighted cost coming from updates by
 		// re-costing the queries alone on the chosen schema.
 		queriesOnly := imdb.LookupWorkload()
-		qCost, err := core.GetPSchemaCost(res.Best.Schema, queriesOnly, 1)
+		qCost, err := core.GetPSchemaCostWith(res.Best.Schema, queriesOnly, 1, nil, costCache())
 		if err != nil {
 			return nil, err
 		}

@@ -36,7 +36,7 @@ func Fig10() (*Table, error) {
 	var traces [][]float64
 	maxLen := 0
 	for _, r := range runs {
-		res, err := core.GreedySearch(imdb.Schema(), r.wl, imdb.Stats(), core.Options{Strategy: r.strategy})
+		res, err := core.GreedySearch(imdb.Schema(), r.wl, imdb.Stats(), searchOptions(r.strategy))
 		if err != nil {
 			return nil, err
 		}

@@ -21,7 +21,7 @@ import (
 func Fig11() (*Table, error) {
 	search := func(k float64) (*xschema.Schema, error) {
 		res, err := core.GreedySearch(imdb.Schema(), imdb.MixedWorkload(k), imdb.Stats(),
-			core.Options{Strategy: core.GreedySI})
+			searchOptions(core.GreedySI))
 		if err != nil {
 			return nil, err
 		}

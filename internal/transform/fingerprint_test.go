@@ -1,0 +1,105 @@
+package transform_test
+
+import (
+	"testing"
+
+	"legodb/internal/imdb"
+	"legodb/internal/pschema"
+	"legodb/internal/transform"
+	"legodb/internal/xschema"
+)
+
+// TestTransformsMoveTheFingerprint is the search-side contract of the
+// cost cache: applying a transformation changes the canonical fingerprint
+// exactly when it changes the schema. If a rewriting ever produced an
+// Equivalent schema under a different fingerprint, the cache would cost
+// it twice (wasteful); the converse — a different schema under the same
+// fingerprint — would serve a wrong cost (incorrect).
+func TestTransformsMoveTheFingerprint(t *testing.T) {
+	annotated := imdb.AnnotatedSchema()
+	starts := map[string]func(*xschema.Schema) (*xschema.Schema, error){
+		"outlined": pschema.InitialOutlined,
+		"inlined":  pschema.AllInlined,
+		"initial":  func(s *xschema.Schema) (*xschema.Schema, error) { return pschema.InitialInlined(s, pschema.InlineOptions{}) },
+	}
+	opts := transform.Options{
+		Kinds:          transform.AllKinds,
+		WildcardLabels: map[string]float64{"nyt": 0.25},
+	}
+	total := 0
+	for name, init := range starts {
+		base, err := init(annotated.Clone())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		baseFP := base.Fingerprint()
+		for _, tr := range transform.Candidates(base, opts) {
+			next, err := transform.Apply(base, tr)
+			if err != nil {
+				// Inapplicable candidates are skipped by the search too.
+				continue
+			}
+			total++
+			changed := next.Fingerprint() != baseFP
+			equivalent := xschema.Equivalent(base, next)
+			if changed == equivalent {
+				t.Errorf("%s: %s: fingerprint changed=%v but Equivalent=%v\nbefore:\n%s\nafter:\n%s",
+					name, tr, changed, equivalent, base, next)
+			}
+			// Apply must not mutate its input.
+			if base.Fingerprint() != baseFP {
+				t.Fatalf("%s: %s mutated the input schema", name, tr)
+			}
+		}
+	}
+	if total < 10 {
+		t.Fatalf("only %d applicable transformations exercised; expected a rich candidate set", total)
+	}
+}
+
+// TestSecondLevelTransformsMoveTheFingerprint walks one level deeper:
+// distinct two-step rewriting paths that reconverge to the same schema
+// must fingerprint identically (this is what lets the beam search and
+// the cost cache deduplicate them), and paths that do not reconverge
+// must not collide.
+func TestSecondLevelTransformsMoveTheFingerprint(t *testing.T) {
+	base, err := pschema.InitialOutlined(imdb.AnnotatedSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := transform.Options{Kinds: []transform.Kind{transform.KindInline}}
+	type reached struct {
+		schema *xschema.Schema
+		path   string
+	}
+	byFP := map[xschema.Fingerprint]reached{}
+	checked := 0
+	for _, tr1 := range transform.Candidates(base, opts) {
+		mid, err := transform.Apply(base, tr1)
+		if err != nil {
+			continue
+		}
+		for _, tr2 := range transform.Candidates(mid, opts) {
+			next, err := transform.Apply(mid, tr2)
+			if err != nil {
+				continue
+			}
+			fp := next.Fingerprint()
+			path := tr1.String() + " ; " + tr2.String()
+			if prev, ok := byFP[fp]; ok {
+				if !xschema.Equivalent(prev.schema, next) {
+					t.Fatalf("fingerprint collision between inequivalent schemas:\npath A: %s\npath B: %s", prev.path, path)
+				}
+				checked++
+				continue
+			}
+			byFP[fp] = reached{next, path}
+		}
+	}
+	if checked == 0 {
+		t.Log("no reconverging two-step paths found (collision check vacuous)")
+	}
+	if len(byFP) < 5 {
+		t.Fatalf("only %d distinct two-step outcomes; expected a rich space", len(byFP))
+	}
+}

@@ -1,0 +1,342 @@
+package xschema
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+)
+
+// Fingerprint is a 128-bit canonical structural hash of a schema. Two
+// schemas receive the same fingerprint exactly when they are Equivalent:
+// same reachable structure and statistics annotations, regardless of how
+// the named types are called or in which order they are defined. It is
+// the cache key of the search-wide cost memoization (core.CostCache) —
+// workload cost depends only on the structure and statistics of a
+// p-schema, never on its type names, so alpha-equivalent configurations
+// may share one cache entry.
+type Fingerprint [16]byte
+
+// String renders the fingerprint as hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// CanonicalOrder returns the named types reachable from the root in
+// first-visit preorder: the root first, then referenced types in the
+// order their references appear in already-visited bodies. The order
+// depends only on the schema's structure — not on definition order or on
+// what the types are called — which is what makes the fingerprint
+// canonical.
+func (s *Schema) CanonicalOrder() []string {
+	order := make([]string, 0, len(s.Names))
+	seen := make(map[string]bool, len(s.Names))
+	var visitName func(name string)
+	visitName = func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		order = append(order, name)
+		t, ok := s.Types[name]
+		if !ok {
+			return
+		}
+		Visit(t, func(t Type) {
+			if r, ok := t.(*Ref); ok {
+				visitName(r.Name)
+			}
+		})
+	}
+	visitName(s.Root)
+	return order
+}
+
+// Fingerprint computes the schema's canonical fingerprint in one pass:
+// each reachable named type's body is hashed in canonical order, with Ref
+// nodes encoded as canonical indices (name-insensitive) and wildcard
+// exclusion lists sorted (order-normalized). Statistics annotations
+// (scalar sizes/bounds/distincts/histograms, repetition counts, choice
+// fractions) are part of the hash, so equivalent rewrites with different
+// statistics remain distinct. Cost is O(size of the reachable schema);
+// no intermediate serialization is built (unlike the former
+// fingerprint(s) = s.String() approach).
+func (s *Schema) Fingerprint() Fingerprint {
+	order := s.CanonicalOrder()
+	canon := make(map[string]int, len(order))
+	for i, n := range order {
+		canon[n] = i
+	}
+	h := fnv.New128a()
+	var w hashWriter
+	w.w = h
+	for _, name := range order {
+		w.byte('T')
+		if t, ok := s.Types[name]; ok {
+			w.hashType(t, canon)
+		} else {
+			// Dangling root/ref in a not-yet-validated schema.
+			w.byte('?')
+			w.str(name)
+		}
+	}
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
+// hashWriter serializes type trees into a hash state with an unambiguous
+// tagged encoding (every node writes a kind byte, every variable-length
+// field a length prefix).
+type hashWriter struct {
+	w   io.Writer
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (w *hashWriter) byte(b byte) {
+	w.buf[0] = b
+	w.w.Write(w.buf[:1])
+}
+
+func (w *hashWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.w.Write(w.buf[:n])
+}
+
+func (w *hashWriter) varint(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.w.Write(w.buf[:n])
+}
+
+func (w *hashWriter) float(v float64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], math.Float64bits(v))
+	w.w.Write(w.buf[:8])
+}
+
+func (w *hashWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	io.WriteString(w.w, s)
+}
+
+func (w *hashWriter) hashType(t Type, canon map[string]int) {
+	switch t := t.(type) {
+	case *Scalar:
+		w.byte('S')
+		w.uvarint(uint64(t.Kind))
+		w.varint(int64(t.Size))
+		w.varint(t.Min)
+		w.varint(t.Max)
+		w.varint(t.Distinct)
+		w.uvarint(uint64(len(t.Hist)))
+		for _, b := range t.Hist {
+			w.float(b)
+		}
+	case *Element:
+		w.byte('E')
+		w.str(t.Name)
+		w.hashType(t.Content, canon)
+	case *Attribute:
+		w.byte('A')
+		w.str(t.Name)
+		w.hashType(t.Content, canon)
+	case *Wildcard:
+		w.byte('W')
+		excl := append([]string(nil), t.Exclude...)
+		sort.Strings(excl)
+		w.uvarint(uint64(len(excl)))
+		for _, e := range excl {
+			w.str(e)
+		}
+		w.hashType(t.Content, canon)
+	case *Sequence:
+		// Sequence composition is associative — (a, (b, c)) has the same
+		// content model, printing and relational mapping as (a, b, c) — so
+		// nested sequences are flattened and singletons unwrapped before
+		// hashing.
+		flat := flattenSeqItems(t.Items, nil)
+		if len(flat) == 1 {
+			w.hashType(flat[0], canon)
+			return
+		}
+		w.byte('Q')
+		w.uvarint(uint64(len(flat)))
+		for _, it := range flat {
+			w.hashType(it, canon)
+		}
+	case *Choice:
+		w.byte('C')
+		w.uvarint(uint64(len(t.Alts)))
+		for _, a := range t.Alts {
+			w.hashType(a, canon)
+		}
+		w.uvarint(uint64(len(t.Fractions)))
+		for _, f := range t.Fractions {
+			w.float(f)
+		}
+	case *Repeat:
+		w.byte('R')
+		w.varint(int64(t.Min))
+		w.varint(int64(t.Max))
+		w.float(t.AvgCount)
+		w.hashType(t.Inner, canon)
+	case *Ref:
+		if idx, ok := canon[t.Name]; ok {
+			w.byte('F')
+			w.uvarint(uint64(idx))
+		} else {
+			// Undefined reference: fall back to the raw name.
+			w.byte('U')
+			w.str(t.Name)
+		}
+	case *Empty:
+		w.byte('Z')
+	}
+}
+
+// Equivalent reports whether two schemas have identical reachable
+// structure and statistics, up to renaming of the named types and up to
+// definition order — exactly the relation Fingerprint captures (two
+// schemas fingerprint equal iff they are Equivalent, modulo hash
+// collisions).
+func Equivalent(a, b *Schema) bool {
+	ao, bo := a.CanonicalOrder(), b.CanonicalOrder()
+	if len(ao) != len(bo) {
+		return false
+	}
+	amap := make(map[string]int, len(ao))
+	bmap := make(map[string]int, len(bo))
+	for i := range ao {
+		amap[ao[i]] = i
+		bmap[bo[i]] = i
+	}
+	for i := range ao {
+		at, aok := a.Types[ao[i]]
+		bt, bok := b.Types[bo[i]]
+		if aok != bok {
+			return false
+		}
+		if aok && !equalCanonical(at, bt, amap, bmap) {
+			return false
+		}
+	}
+	return true
+}
+
+// flattenSeqItems appends items to out, expanding nested sequences.
+func flattenSeqItems(items []Type, out []Type) []Type {
+	for _, it := range items {
+		if sq, ok := it.(*Sequence); ok {
+			out = flattenSeqItems(sq.Items, out)
+		} else {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// normalizeSeq collapses sequence nesting (and singleton sequences) the
+// same way hashType does, so Equivalent matches Fingerprint.
+func normalizeSeq(t Type) Type {
+	sq, ok := t.(*Sequence)
+	if !ok {
+		return t
+	}
+	flat := flattenSeqItems(sq.Items, nil)
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &Sequence{Items: flat}
+}
+
+// equalCanonical compares two type trees including statistics, with Ref
+// targets compared by canonical index (so type names do not matter) and
+// sequence nesting normalized.
+func equalCanonical(a, b Type, amap, bmap map[string]int) bool {
+	a, b = normalizeSeq(a), normalizeSeq(b)
+	switch a := a.(type) {
+	case *Scalar:
+		b, ok := b.(*Scalar)
+		if !ok || a.Kind != b.Kind || a.Size != b.Size || a.Min != b.Min ||
+			a.Max != b.Max || a.Distinct != b.Distinct || len(a.Hist) != len(b.Hist) {
+			return false
+		}
+		for i := range a.Hist {
+			if math.Float64bits(a.Hist[i]) != math.Float64bits(b.Hist[i]) {
+				return false
+			}
+		}
+		return true
+	case *Element:
+		b, ok := b.(*Element)
+		return ok && a.Name == b.Name && equalCanonical(a.Content, b.Content, amap, bmap)
+	case *Attribute:
+		b, ok := b.(*Attribute)
+		return ok && a.Name == b.Name && equalCanonical(a.Content, b.Content, amap, bmap)
+	case *Wildcard:
+		b, ok := b.(*Wildcard)
+		if !ok || len(a.Exclude) != len(b.Exclude) {
+			return false
+		}
+		ae := append([]string(nil), a.Exclude...)
+		be := append([]string(nil), b.Exclude...)
+		sort.Strings(ae)
+		sort.Strings(be)
+		for i := range ae {
+			if ae[i] != be[i] {
+				return false
+			}
+		}
+		return equalCanonical(a.Content, b.Content, amap, bmap)
+	case *Sequence:
+		b, ok := b.(*Sequence)
+		if !ok || len(a.Items) != len(b.Items) {
+			return false
+		}
+		for i := range a.Items {
+			if !equalCanonical(a.Items[i], b.Items[i], amap, bmap) {
+				return false
+			}
+		}
+		return true
+	case *Choice:
+		b, ok := b.(*Choice)
+		if !ok || len(a.Alts) != len(b.Alts) || len(a.Fractions) != len(b.Fractions) {
+			return false
+		}
+		for i := range a.Alts {
+			if !equalCanonical(a.Alts[i], b.Alts[i], amap, bmap) {
+				return false
+			}
+		}
+		for i := range a.Fractions {
+			if math.Float64bits(a.Fractions[i]) != math.Float64bits(b.Fractions[i]) {
+				return false
+			}
+		}
+		return true
+	case *Repeat:
+		b, ok := b.(*Repeat)
+		return ok && a.Min == b.Min && a.Max == b.Max &&
+			math.Float64bits(a.AvgCount) == math.Float64bits(b.AvgCount) &&
+			equalCanonical(a.Inner, b.Inner, amap, bmap)
+	case *Ref:
+		b, ok := b.(*Ref)
+		if !ok {
+			return false
+		}
+		ai, aok := amap[a.Name]
+		bi, bok := bmap[b.Name]
+		if aok != bok {
+			return false
+		}
+		if !aok {
+			return a.Name == b.Name
+		}
+		return ai == bi
+	case *Empty:
+		_, ok := b.(*Empty)
+		return ok
+	default:
+		return false
+	}
+}

@@ -1,0 +1,186 @@
+package xschema
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// renameTypes returns a copy of s with every named type renamed by fn,
+// Ref targets and the root included.
+func renameTypes(s *Schema, fn func(string) string) *Schema {
+	out := NewSchema(fn(s.Root))
+	for _, name := range s.Names {
+		body := Clone(s.Types[name])
+		Visit(body, func(t Type) {
+			if r, ok := t.(*Ref); ok {
+				r.Name = fn(r.Name)
+			}
+		})
+		out.Define(fn(name), body)
+	}
+	return out
+}
+
+// permuteDefs returns a copy of s with the definition order permuted.
+func permuteDefs(s *Schema, r *rand.Rand) *Schema {
+	names := append([]string(nil), s.Names...)
+	r.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	out := NewSchema(s.Root)
+	for _, name := range names {
+		out.Define(name, Clone(s.Types[name]))
+	}
+	return out
+}
+
+func TestFingerprintInvariantUnderRenamingAndReordering(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := RandomSchema(r, 6)
+		fp := s.Fingerprint()
+		renamed := renameTypes(s, func(n string) string { return "Renamed_" + n + "_x" })
+		permuted := permuteDefs(s, r)
+		clone := s.Clone()
+		if renamed.Fingerprint() != fp || !Equivalent(s, renamed) {
+			t.Logf("alpha-renaming changed fingerprint of:\n%s", s)
+			return false
+		}
+		if permuted.Fingerprint() != fp || !Equivalent(s, permuted) {
+			t.Logf("definition reordering changed fingerprint of:\n%s", s)
+			return false
+		}
+		if clone.Fingerprint() != fp {
+			t.Logf("clone changed fingerprint of:\n%s", s)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFingerprintEqualityMatchesEquivalence is the central property:
+// random schema pairs fingerprint equal exactly when they are Equivalent
+// (independent pairs are almost always different; derived pairs are
+// equivalent by construction and exercised above).
+func TestFingerprintEqualityMatchesEquivalence(t *testing.T) {
+	property := func(seedA, seedB int64) bool {
+		a := RandomSchema(rand.New(rand.NewSource(seedA)), 5)
+		b := RandomSchema(rand.New(rand.NewSource(seedB)), 5)
+		return Equivalent(a, b) == (a.Fingerprint() == b.Fingerprint())
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFingerprintSensitivity flips individual structural and statistical
+// details and requires the fingerprint to move.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := MustParseSchema(`
+type Imdb = imdb [ Show* ]
+type Show = show [ @type[ String ], title[ String<#50,#100> ], year[ Integer<#4,#1900,#2050,#150> ], Aka{1,10}, ( Movie | TV ) ]
+type Aka = aka [ String<#20> ]
+type Movie = movie [ box_office[ Integer ] ]
+type TV = tv [ seasons[ Integer ] ]
+`)
+	fp := base.Fingerprint()
+	mutations := []struct {
+		name string
+		mut  func(s *Schema)
+	}{
+		{"element name", func(s *Schema) {
+			s.Types["Aka"].(*Element).Name = "alias"
+		}},
+		{"scalar size", func(s *Schema) {
+			s.Types["Aka"].(*Element).Content.(*Scalar).Size = 21
+		}},
+		{"scalar distinct", func(s *Schema) {
+			show := s.Types["Show"].(*Element).Content.(*Sequence)
+			show.Items[1].(*Element).Content.(*Scalar).Distinct = 101
+		}},
+		{"repeat bounds", func(s *Schema) {
+			show := s.Types["Show"].(*Element).Content.(*Sequence)
+			show.Items[3].(*Repeat).Max = 11
+		}},
+		{"repeat avg count", func(s *Schema) {
+			show := s.Types["Show"].(*Element).Content.(*Sequence)
+			show.Items[3].(*Repeat).AvgCount = 2.5
+		}},
+		{"choice fractions", func(s *Schema) {
+			show := s.Types["Show"].(*Element).Content.(*Sequence)
+			show.Items[4].(*Choice).Fractions = []float64{0.8, 0.2}
+		}},
+		{"swap choice alternatives", func(s *Schema) {
+			show := s.Types["Show"].(*Element).Content.(*Sequence)
+			alts := show.Items[4].(*Choice).Alts
+			alts[0], alts[1] = alts[1], alts[0]
+		}},
+		{"drop a definition use", func(s *Schema) {
+			show := s.Types["Show"].(*Element).Content.(*Sequence)
+			show.Items = show.Items[:4]
+		}},
+	}
+	for _, m := range mutations {
+		s := base.Clone()
+		m.mut(s)
+		if s.Fingerprint() == fp {
+			t.Errorf("mutation %q did not change the fingerprint", m.name)
+		}
+		if Equivalent(base, s) {
+			t.Errorf("mutation %q left schema Equivalent", m.name)
+		}
+	}
+}
+
+// TestFingerprintIgnoresUnreachable: garbage definitions do not affect
+// the fingerprint (the relational mapping never sees them either).
+func TestFingerprintIgnoresUnreachable(t *testing.T) {
+	s := MustParseSchema(`
+type Root = root [ Item* ]
+type Item = item [ String ]
+`)
+	fp := s.Fingerprint()
+	withGarbage := s.Clone()
+	withGarbage.Define("Orphan", &Element{Name: "orphan", Content: &Empty{}})
+	if withGarbage.Fingerprint() != fp {
+		t.Fatal("unreachable definition changed the fingerprint")
+	}
+	if !Equivalent(s, withGarbage) {
+		t.Fatal("unreachable definition broke equivalence")
+	}
+}
+
+// TestFingerprintDistinguishesSharingFromCopies: two references to one
+// named type map to one relation; two identical but distinct named types
+// map to two — the fingerprints must differ.
+func TestFingerprintDistinguishesSharingFromCopies(t *testing.T) {
+	shared := MustParseSchema(`
+type Root = root [ A, A ]
+type A = a [ String ]
+`)
+	copied := MustParseSchema(`
+type Root = root [ A, B ]
+type A = a [ String ]
+type B = a [ String ]
+`)
+	if shared.Fingerprint() == copied.Fingerprint() {
+		t.Fatal("shared-reference and copied-definition schemas fingerprint equal")
+	}
+}
+
+func TestCanonicalOrderRootFirstAndReachableOnly(t *testing.T) {
+	s := MustParseSchema(`
+type B = b [ C ]
+type C = c [ String ]
+type A = a [ B ]
+`)
+	// Parser makes the first definition (B) the root.
+	order := s.CanonicalOrder()
+	want := []string{"B", "C"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("CanonicalOrder = %v, want %v", order, want)
+	}
+}

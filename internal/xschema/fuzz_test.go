@@ -1,0 +1,66 @@
+package xschema_test
+
+import (
+	"testing"
+
+	"legodb/internal/imdb"
+	"legodb/internal/xschema"
+)
+
+// FuzzParseSchema drives the algebra-notation parser with arbitrary
+// inputs. Three guarantees are checked on every input the parser
+// accepts:
+//
+//  1. no panic anywhere in parse → validate → print → fingerprint;
+//  2. the printed form re-parses (String is a faithful serialization);
+//  3. the re-parsed schema fingerprints identically — the canonical
+//     fingerprint used as the cost-cache key survives a round trip.
+func FuzzParseSchema(f *testing.F) {
+	seeds := []string{
+		imdb.SchemaText,
+		`type A = a [ String ]`,
+		`type Root = root [ Item* ]
+type Item = item [ String ]`,
+		`type Show = show [ @type[ String<#8,#2> ],
+    year[ Integer<#4,#1800,#2100,#300> ],
+    title[ String<#50,#34798> ],
+    Review*<#10> ]
+type Review = review[ String<#800> ]`,
+		`type Reviews = review[ (NYTReview | OtherReview)* ]
+type NYTReview = nyt[ String ]
+type OtherReview = (~!nyt) [ String ]`,
+		`type AnyElement = ~[ (AnyElement | AnyScalar)* ]
+type AnyScalar = Integer | String`,
+		`type A = a [ B{2,*} ]
+type B = b [ Integer | String ]`,
+		// Near-miss inputs steer the fuzzer toward error paths.
+		`type A = a[ String`,
+		`type A = a[ Undefined ]`,
+		`type = show[String]`,
+		`type A = a[ String ]{3,1}`,
+		`type A = a [ ~!x!y [ String ]? ]`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := xschema.ParseSchema(src)
+		if err != nil {
+			return // rejected input; only panics count as failures
+		}
+		if err := s.Validate(); err != nil {
+			// The parser resolves references and checks bounds itself, so
+			// anything it accepts must validate.
+			t.Fatalf("parsed schema fails Validate: %v\ninput: %q", err, src)
+		}
+		fp := s.Fingerprint()
+		printed := s.String()
+		s2, err := xschema.ParseSchema(printed)
+		if err != nil {
+			t.Fatalf("printed schema does not re-parse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		if s2.Fingerprint() != fp {
+			t.Fatalf("fingerprint not stable across print/re-parse\ninput: %q\nprinted: %q", src, printed)
+		}
+	})
+}

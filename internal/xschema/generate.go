@@ -254,6 +254,111 @@ func (g *Generator) cost(t Type) int {
 	}
 }
 
+// RandomSchema produces a random valid schema (Validate passes) with up
+// to maxTypes named type definitions, for property-based tests of
+// fingerprinting and transformations. Bodies are depth-bounded random
+// type trees that may reference any named type (including cycles);
+// statistics annotations are generated with positive probability so the
+// fingerprint's stats-sensitivity is exercised.
+func RandomSchema(r *rand.Rand, maxTypes int) *Schema {
+	if maxTypes < 1 {
+		maxTypes = 1
+	}
+	n := 1 + r.Intn(maxTypes)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("T%d", i)
+	}
+	s := NewSchema(names[0])
+	for _, name := range names {
+		s.Define(name, randomType(r, names, 0))
+	}
+	return s
+}
+
+var randomLabels = []string{"show", "title", "year", "review", "aka", "name", "box", "text"}
+
+func randomType(r *rand.Rand, names []string, depth int) Type {
+	if depth >= 4 {
+		// Leaves only, so trees stay small.
+		switch r.Intn(3) {
+		case 0:
+			return randomScalar(r)
+		case 1:
+			return &Ref{Name: names[r.Intn(len(names))]}
+		default:
+			return &Empty{}
+		}
+	}
+	switch r.Intn(9) {
+	case 0:
+		return randomScalar(r)
+	case 1:
+		return &Element{Name: randomLabels[r.Intn(len(randomLabels))], Content: randomType(r, names, depth+1)}
+	case 2:
+		return &Attribute{Name: randomLabels[r.Intn(len(randomLabels))], Content: randomScalar(r)}
+	case 3:
+		var excl []string
+		for _, l := range randomLabels[:r.Intn(3)] {
+			excl = append(excl, l)
+		}
+		return &Wildcard{Exclude: excl, Content: randomType(r, names, depth+1)}
+	case 4:
+		items := make([]Type, 1+r.Intn(3))
+		for i := range items {
+			items[i] = randomType(r, names, depth+1)
+		}
+		return &Sequence{Items: items}
+	case 5:
+		alts := make([]Type, 2+r.Intn(2))
+		for i := range alts {
+			alts[i] = randomType(r, names, depth+1)
+		}
+		c := &Choice{Alts: alts}
+		if r.Intn(2) == 0 {
+			c.Fractions = make([]float64, len(alts))
+			for i := range c.Fractions {
+				c.Fractions[i] = 1 / float64(len(alts))
+			}
+		}
+		return c
+	case 6:
+		min := r.Intn(3)
+		max := min + r.Intn(4)
+		if r.Intn(3) == 0 {
+			max = Unbounded
+		}
+		rep := &Repeat{Inner: randomType(r, names, depth+1), Min: min, Max: max}
+		if r.Intn(2) == 0 {
+			rep.AvgCount = float64(1+r.Intn(20)) / 2
+		}
+		return rep
+	case 7:
+		return &Ref{Name: names[r.Intn(len(names))]}
+	default:
+		return &Empty{}
+	}
+}
+
+func randomScalar(r *rand.Rand) *Scalar {
+	s := &Scalar{Kind: ScalarKind(r.Intn(2))}
+	if r.Intn(2) == 0 {
+		s.Size = 1 + r.Intn(100)
+	}
+	if s.Kind == IntegerKind && r.Intn(2) == 0 {
+		s.Min = int64(r.Intn(100))
+		s.Max = s.Min + int64(r.Intn(10000))
+		s.Distinct = 1 + int64(r.Intn(1000))
+		if r.Intn(3) == 0 {
+			s.Hist = make([]float64, 4)
+			for i := range s.Hist {
+				s.Hist[i] = 0.25
+			}
+		}
+	}
+	return s
+}
+
 // computeDepthCosts runs a fixpoint over the schema computing the minimal
 // expansion depth of each named type; truly non-terminating types keep
 // infiniteCost.

@@ -477,22 +477,24 @@ func (p *parser) parseScalar(kindName string) (Type, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Zero annotation values mean "unspecified" and normalize to the
+		// defaults, and Integer min/max travel only with a distinct count —
+		// the printed form cannot represent the other combinations, and
+		// parse → print → parse must not lose statistics.
 		switch s.Kind {
 		case StringKind:
-			if len(nums) > 0 {
+			if len(nums) > 0 && nums[0] > 0 {
 				s.Size = int(nums[0])
 			}
-			if len(nums) > 1 {
+			if len(nums) > 1 && nums[1] > 0 {
 				s.Distinct = int64(nums[1])
 			}
 		case IntegerKind:
-			if len(nums) > 0 {
+			if len(nums) > 0 && nums[0] > 0 {
 				s.Size = int(nums[0])
 			}
-			if len(nums) > 2 {
+			if len(nums) > 3 && nums[3] > 0 {
 				s.Min, s.Max = int64(nums[1]), int64(nums[2])
-			}
-			if len(nums) > 3 {
 				s.Distinct = int64(nums[3])
 			}
 		}

@@ -14,6 +14,7 @@ package xschema
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -176,7 +177,9 @@ func (r *Repeat) String() string {
 	}
 	var count string
 	if r.AvgCount > 0 {
-		count = fmt.Sprintf("<#%g>", r.AvgCount)
+		// Plain decimal, never scientific notation — the printed schema
+		// must re-parse, and the annotation lexer reads only digits.
+		count = "<#" + strconv.FormatFloat(r.AvgCount, 'f', -1, 64) + ">"
 	}
 	switch {
 	case r.Min == 0 && r.Max == 1:

@@ -38,11 +38,20 @@ import (
 )
 
 // Engine holds an application description: schema, statistics and
-// workload.
+// workload, plus a cost cache shared by every Advise call on the engine
+// (so re-advising after a workload tweak, or comparing greedy and beam
+// strategies, reuses the costs of configurations already seen; keys
+// include workload and statistics digests, so stale hits are
+// impossible).
 type Engine struct {
 	schema   *xschema.Schema
 	stats    *xstats.Set
 	workload *xquery.Workload
+	cache    *core.CostCache
+}
+
+func engineFor(s *xschema.Schema) *Engine {
+	return &Engine{schema: s, workload: &xquery.Workload{}, cache: core.NewCostCache(0)}
 }
 
 // New parses an XML Schema in algebra notation and returns an engine for
@@ -52,7 +61,7 @@ func New(schemaText string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{schema: s, workload: &xquery.Workload{}}, nil
+	return engineFor(s), nil
 }
 
 // NewFromDTD imports a Document Type Definition instead of an XML
@@ -64,7 +73,7 @@ func NewFromDTD(dtdText string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{schema: s, workload: &xquery.Workload{}}, nil
+	return engineFor(s), nil
 }
 
 // NewFromXSD imports a W3C XML Schema document (the notation of the
@@ -77,7 +86,7 @@ func NewFromXSD(xsdText string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{schema: s, workload: &xquery.Workload{}}, nil
+	return engineFor(s), nil
 }
 
 // Schema returns the engine's schema rendered in algebra notation.
@@ -159,6 +168,13 @@ type AdviseOptions struct {
 	// greedy). An extension of the paper's future work on richer search
 	// strategies.
 	BeamWidth int
+	// Workers bounds the goroutines costing candidate configurations per
+	// iteration (0 = GOMAXPROCS, 1 = sequential); the chosen
+	// configuration is the same either way.
+	Workers int
+	// DisableCache turns off the engine-wide cost memoization for this
+	// call (every candidate pays a full evaluator pipeline run).
+	DisableCache bool
 }
 
 // Advice is the outcome of a search: the chosen configuration and the
@@ -180,6 +196,11 @@ func (e *Engine) Advise(opts AdviseOptions) (*Advice, error) {
 		MaxIterations:  opts.MaxIterations,
 		WildcardLabels: opts.WildcardLabels,
 		RootCount:      opts.Documents,
+		Workers:        opts.Workers,
+		DisableCache:   opts.DisableCache,
+	}
+	if !opts.DisableCache {
+		copts.Cache = e.cache
 	}
 	var res *core.Result
 	var err error
@@ -218,9 +239,15 @@ func (e *Engine) EvaluateFixed(config string) (*Advice, error) {
 	if err != nil {
 		return nil, err
 	}
-	eval := &core.Evaluator{Workload: e.workload, RootCount: 1}
-	cfg, err := eval.Evaluate(ps)
+	// Evaluate through the engine cache: a later Advise revisiting this
+	// fixed configuration (or a repeated baseline evaluation) costs it
+	// for free.
+	eval := &core.Evaluator{Workload: e.workload, RootCount: 1, Cache: e.cache}
+	cfg, _, err := eval.EvaluateCached(ps)
 	if err != nil {
+		return nil, err
+	}
+	if cfg, err = eval.Materialize(cfg); err != nil {
 		return nil, err
 	}
 	return &Advice{result: &core.Result{Best: cfg, InitialCost: cfg.Cost}}, nil
@@ -266,11 +293,29 @@ func (a *Advice) Explain() string {
 		out += fmt.Sprintf("iteration %d: %-40s cost %.1f\n", i+1, it.Applied, it.Cost)
 	}
 	out += fmt.Sprintf("final cost: %.1f\n", a.result.Best.Cost)
+	if st := a.result.Cache; st.Hits+st.Misses > 0 {
+		out += fmt.Sprintf("cost cache: %d hits, %d misses, %d full evaluations\n",
+			st.Hits, st.Misses, a.result.Evals)
+	}
 	return out
 }
+
+// CacheStats reports the cost-cache activity of this search: how many
+// candidate costings were answered from the engine's memoization layer
+// versus paid a full evaluator pipeline run.
+func (a *Advice) CacheStats() CacheStats { return a.result.Cache }
+
+// EvaluatorCalls is the number of full cost-evaluation pipeline runs
+// (relational mapping + workload translation + optimizer costing) the
+// search performed.
+func (a *Advice) EvaluatorCalls() uint64 { return a.result.Evals }
 
 // TransformKind re-exports the rewriting families for advanced use.
 type TransformKind = transform.Kind
 
 // CostModel re-exports the optimizer's cost model constants.
 type CostModel = optimizer.CostModel
+
+// CacheStats re-exports the cost-cache counters (hits, misses,
+// evictions, entries).
+type CacheStats = core.CacheStats
