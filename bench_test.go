@@ -43,13 +43,14 @@ func BenchmarkFig6StorageMaps(b *testing.B) { benchExperiment(b, "fig6") }
 // iteration, either against one cost cache shared across the whole
 // benchmark or fully uncached, and reports the evaluator traffic:
 // evals/op counts full cost-pipeline runs, hits/op the candidate
-// costings answered from memory.
-func benchGreedy(b *testing.B, strategy core.Strategy, cache *core.CostCache) {
+// costings answered from memory, translations/op the per-query
+// translate+cost runs the incremental layer could not avoid.
+func benchGreedy(b *testing.B, strategy core.Strategy, cache *core.CostCache, incremental bool) {
 	b.Helper()
-	var evals, hits uint64
+	var evals, hits, translations, qhits, qmisses uint64
 	for i := 0; i < b.N; i++ {
 		for _, wl := range []*xquery.Workload{imdb.LookupWorkload(), imdb.PublishWorkload()} {
-			opts := core.Options{Strategy: strategy}
+			opts := core.Options{Strategy: strategy, DisableIncremental: !incremental}
 			if cache != nil {
 				opts.Cache = cache
 			} else {
@@ -64,10 +65,17 @@ func benchGreedy(b *testing.B, strategy core.Strategy, cache *core.CostCache) {
 			}
 			evals += res.Evals
 			hits += res.Cache.Hits
+			translations += res.Translations
+			qhits += res.QueryCacheHits
+			qmisses += res.QueryCacheMisses
 		}
 	}
 	b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
 	b.ReportMetric(float64(hits)/float64(b.N), "hits/op")
+	b.ReportMetric(float64(translations)/float64(b.N), "translations/op")
+	if qhits+qmisses > 0 {
+		b.ReportMetric(100*float64(qhits)/float64(qhits+qmisses), "qcache-hit-%")
+	}
 }
 
 // BenchmarkFig10GreedySO regenerates the greedy-so convergence series of
@@ -75,19 +83,35 @@ func benchGreedy(b *testing.B, strategy core.Strategy, cache *core.CostCache) {
 // with the cost cache shared across iterations — after the first search
 // warms it, later runs pay only the per-iteration winner
 // materializations.
-func BenchmarkFig10GreedySO(b *testing.B) { benchGreedy(b, core.GreedySO, core.NewCostCache(0)) }
+func BenchmarkFig10GreedySO(b *testing.B) {
+	benchGreedy(b, core.GreedySO, core.NewCostCache(0), true)
+}
+
+// BenchmarkFig10GreedySOFullEval turns the incremental layers off (every
+// evaluation re-translates the whole workload) but keeps the cost cache.
+func BenchmarkFig10GreedySOFullEval(b *testing.B) {
+	benchGreedy(b, core.GreedySO, core.NewCostCache(0), false)
+}
 
 // BenchmarkFig10GreedySOUncached is the memoization-off baseline: every
 // candidate pays a full evaluator pipeline run, as the paper's prototype
 // did.
-func BenchmarkFig10GreedySOUncached(b *testing.B) { benchGreedy(b, core.GreedySO, nil) }
+func BenchmarkFig10GreedySOUncached(b *testing.B) { benchGreedy(b, core.GreedySO, nil, false) }
 
 // BenchmarkFig10GreedySI regenerates the greedy-si convergence series of
 // Figure 10 (cached; see the SO variants for the cache setup).
-func BenchmarkFig10GreedySI(b *testing.B) { benchGreedy(b, core.GreedySI, core.NewCostCache(0)) }
+func BenchmarkFig10GreedySI(b *testing.B) {
+	benchGreedy(b, core.GreedySI, core.NewCostCache(0), true)
+}
+
+// BenchmarkFig10GreedySIFullEval is greedy-si with the incremental
+// layers off.
+func BenchmarkFig10GreedySIFullEval(b *testing.B) {
+	benchGreedy(b, core.GreedySI, core.NewCostCache(0), false)
+}
 
 // BenchmarkFig10GreedySIUncached is greedy-si with memoization off.
-func BenchmarkFig10GreedySIUncached(b *testing.B) { benchGreedy(b, core.GreedySI, nil) }
+func BenchmarkFig10GreedySIUncached(b *testing.B) { benchGreedy(b, core.GreedySI, nil, false) }
 
 // benchFig11 regenerates the Figure 11 sweep with the experiments
 // package's shared cache on or off, reporting its hit/miss traffic.

@@ -1,0 +1,234 @@
+// Command bench measures the search hot path — the fig10 and fig11
+// searches — with incremental candidate evaluation on and off, and
+// writes the metrics as JSON (ns/op, evals/op, translations/op,
+// per-query cache hit rate, cost-cache traffic). CI archives the output
+// as a non-gating artifact so regressions in translations/op are visible
+// across commits.
+//
+// Usage:
+//
+//	bench [-o BENCH_search.json] [-runs 3]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"legodb/internal/core"
+	"legodb/internal/imdb"
+	"legodb/internal/xquery"
+)
+
+// metrics aggregates one scenario's counters across its searches.
+type metrics struct {
+	elapsed      time.Duration
+	searches     int
+	evals        uint64
+	translations uint64
+	qhits        uint64
+	qmisses      uint64
+	cacheHits    uint64
+	cacheMisses  uint64
+}
+
+func (m *metrics) add(res *core.Result, d time.Duration) {
+	m.elapsed += d
+	m.searches++
+	m.evals += res.Evals
+	m.translations += res.Translations
+	m.qhits += res.QueryCacheHits
+	m.qmisses += res.QueryCacheMisses
+	m.cacheHits += res.Cache.Hits
+	m.cacheMisses += res.Cache.Misses
+}
+
+// scenarioResult is the JSON row for one (scenario, incremental) pair.
+// Per-op means per full scenario run (all of its searches once).
+type scenarioResult struct {
+	Name              string  `json:"name"`
+	Incremental       bool    `json:"incremental"`
+	Runs              int     `json:"runs"`
+	Searches          int     `json:"searches_per_op"`
+	NsPerOp           float64 `json:"ns_per_op"`
+	EvalsPerOp        float64 `json:"evals_per_op"`
+	TranslationsPerOp float64 `json:"translations_per_op"`
+	QueryCacheHitRate float64 `json:"query_cache_hit_rate"`
+	CostCacheHits     float64 `json:"cost_cache_hits_per_op"`
+	CostCacheMisses   float64 `json:"cost_cache_misses_per_op"`
+}
+
+type report struct {
+	Scenarios []scenarioResult   `json:"scenarios"`
+	Summary   map[string]float64 `json:"summary"`
+}
+
+// scenario is a named bundle of searches sharing one fresh cost cache
+// per run (mirroring how cmd/experiments runs them).
+type scenario struct {
+	name string
+	run  func(m *metrics, incremental bool) error
+}
+
+func searchOnce(m *metrics, wl *xquery.Workload, strategy core.Strategy, cache *core.CostCache, incremental bool) error {
+	start := time.Now()
+	res, err := core.GreedySearch(imdb.Schema(), wl, imdb.Stats(), core.Options{
+		Strategy: strategy, Cache: cache, DisableIncremental: !incremental,
+	})
+	if err != nil {
+		return err
+	}
+	m.add(res, time.Since(start))
+	return nil
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		{
+			// Figure 10: greedy-so and greedy-si on the lookup and
+			// publish workloads, one shared cache.
+			name: "fig10",
+			run: func(m *metrics, incremental bool) error {
+				cache := core.NewCostCache(0)
+				for _, wl := range []func() *xquery.Workload{imdb.LookupWorkload, imdb.PublishWorkload} {
+					for _, strategy := range []core.Strategy{core.GreedySO, core.GreedySI} {
+						if err := searchOnce(m, wl(), strategy, cache, incremental); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			// Figure 11: the C[k] configuration searches plus the OPT
+			// sweep — 14 greedy-si searches over overlapping mixed
+			// workloads, one shared cache.
+			name: "fig11",
+			run: func(m *metrics, incremental bool) error {
+				cache := core.NewCostCache(0)
+				ks := []float64{0.25, 0.5, 0.75, 0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+				for _, k := range ks {
+					if err := searchOnce(m, imdb.MixedWorkload(k), core.GreedySI, cache, incremental); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			// Beam search (width 3) on the lookup workload.
+			name: "beam-lookup",
+			run: func(m *metrics, incremental bool) error {
+				start := time.Now()
+				res, err := core.BeamSearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), core.BeamOptions{
+					Options: core.Options{
+						Strategy: core.GreedySO, Cache: core.NewCostCache(0), DisableIncremental: !incremental,
+					},
+					Width: 3,
+				})
+				if err != nil {
+					return err
+				}
+				m.add(res, time.Since(start))
+				return nil
+			},
+		},
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_search.json", "output file ('-' for stdout)")
+	runs := flag.Int("runs", 3, "runs per scenario (metrics are averaged)")
+	only := flag.String("only", "", "run only the named scenario")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := report{Summary: map[string]float64{}}
+	perOp := map[string]map[bool]scenarioResult{}
+	for _, sc := range scenarios() {
+		if *only != "" && sc.name != *only {
+			continue
+		}
+		perOp[sc.name] = map[bool]scenarioResult{}
+		for _, incremental := range []bool{false, true} {
+			var m metrics
+			for r := 0; r < *runs; r++ {
+				if err := sc.run(&m, incremental); err != nil {
+					fmt.Fprintf(os.Stderr, "bench: %s: %v\n", sc.name, err)
+					os.Exit(1)
+				}
+			}
+			n := float64(*runs)
+			res := scenarioResult{
+				Name:              sc.name,
+				Incremental:       incremental,
+				Runs:              *runs,
+				Searches:          m.searches / *runs,
+				NsPerOp:           float64(m.elapsed.Nanoseconds()) / n,
+				EvalsPerOp:        float64(m.evals) / n,
+				TranslationsPerOp: float64(m.translations) / n,
+				CostCacheHits:     float64(m.cacheHits) / n,
+				CostCacheMisses:   float64(m.cacheMisses) / n,
+			}
+			if m.qhits+m.qmisses > 0 {
+				res.QueryCacheHitRate = float64(m.qhits) / float64(m.qhits+m.qmisses)
+			}
+			rep.Scenarios = append(rep.Scenarios, res)
+			perOp[sc.name][incremental] = res
+		}
+	}
+	var fullT, incT float64
+	for name, pair := range perOp {
+		full, inc := pair[false], pair[true]
+		fullT += full.TranslationsPerOp
+		incT += inc.TranslationsPerOp
+		if inc.TranslationsPerOp > 0 {
+			rep.Summary[name+"_translation_reduction"] = full.TranslationsPerOp / inc.TranslationsPerOp
+		}
+		if inc.NsPerOp > 0 {
+			rep.Summary[name+"_speedup"] = full.NsPerOp / inc.NsPerOp
+		}
+	}
+	if incT > 0 {
+		rep.Summary["combined_translation_reduction"] = fullT / incT
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	for _, sc := range rep.Scenarios {
+		fmt.Printf("%-12s incremental=%-5v %8.1fms/op %7.0f translations/op %5.1f%% qcache hits\n",
+			sc.Name, sc.Incremental, sc.NsPerOp/1e6, sc.TranslationsPerOp, 100*sc.QueryCacheHitRate)
+	}
+	fmt.Printf("combined translation reduction: %.2fx (written to %s)\n",
+		rep.Summary["combined_translation_reduction"], *out)
+}

@@ -13,24 +13,79 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"legodb/internal/experiments"
 )
 
 func main() {
+	// run carries the exit code out so deferred cleanups (profile and
+	// cache-file writers) execute before os.Exit.
+	os.Exit(run())
+}
+
+func run() int {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "output format: text, csv, markdown")
 	nocache := flag.Bool("nocache", false, "disable the shared cost cache (every configuration pays a full evaluation)")
+	noincremental := flag.Bool("noincremental", false, "disable incremental candidate evaluation (delta re-mapping, per-query cost reuse, catalog caching)")
 	maxiter := flag.Int("maxiter", 0, "bound search iterations per experiment (0 = until convergence); for smoke runs")
 	cachestats := flag.Bool("cachestats", false, "print cost-cache hit/miss counters to stderr after each experiment")
+	cachefile := flag.String("cachefile", "", "cost-cache snapshot file: loaded before the runs, saved back after")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
-		return
+		return 0
 	}
 	experiments.EnableCache(!*nocache)
+	experiments.EnableIncremental(!*noincremental)
 	experiments.MaxIterations = *maxiter
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+			}
+		}()
+	}
+	if *cachefile != "" {
+		n, err := experiments.LoadCacheFile(*cachefile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cachefile: %v\n", err)
+			return 1
+		}
+		if *cachestats && n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: loaded %d cached costs from %s\n", n, *cachefile)
+		}
+		defer func() {
+			if err := experiments.SaveCacheFile(*cachefile); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -cachefile: %v\n", err)
+			}
+		}()
+	}
 	names := flag.Args()
 	if len(names) == 0 {
 		names = experiments.Names()
@@ -60,8 +115,9 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func hitRate(hits, misses uint64) float64 {

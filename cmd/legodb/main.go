@@ -46,6 +46,7 @@ func main() {
 		loadPath   = flag.String("load", "", "XML document to shred into the chosen configuration")
 		queryText  = flag.String("query", "", "XQuery to execute against the loaded store")
 		paramList  = flag.String("params", "", "query parameters: c1=value,c2=value")
+		cacheFile  = flag.String("cachefile", "", "cost-cache snapshot file: loaded before the search, saved back after")
 	)
 	flag.Parse()
 
@@ -53,6 +54,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "legodb:", err)
 		os.Exit(1)
+	}
+	if *cacheFile != "" {
+		if err := loadCacheFile(eng, *cacheFile); err != nil {
+			fmt.Fprintln(os.Stderr, "legodb:", err)
+			os.Exit(1)
+		}
 	}
 	opts := legodb.AdviseOptions{Threshold: *threshold, MaxIterations: *maxIter, BeamWidth: *beam}
 	switch *strategy {
@@ -71,6 +78,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "legodb:", err)
 		os.Exit(1)
+	}
+	if *cacheFile != "" {
+		if err := saveCacheFile(eng, *cacheFile); err != nil {
+			fmt.Fprintln(os.Stderr, "legodb:", err)
+			os.Exit(1)
+		}
 	}
 	if *showTrace {
 		fmt.Println("-- search --")
@@ -92,6 +105,43 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// loadCacheFile warms the engine's cost cache from a snapshot written by
+// an earlier run; a missing file is fine (this run will create it).
+func loadCacheFile(eng *legodb.Engine, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	if _, err := eng.LoadCostCache(f); err != nil {
+		return fmt.Errorf("cachefile %s: %w", path, err)
+	}
+	return nil
+}
+
+// saveCacheFile writes the engine's cost cache back to the snapshot file
+// (atomically, via a sibling temp file).
+func saveCacheFile(eng *legodb.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := eng.SaveCostCache(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // runStore instantiates the advised configuration, loads a document and

@@ -66,7 +66,8 @@ func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set
 		rootCount = 1
 	}
 	cache := opts.searchCache()
-	eval := &Evaluator{Workload: wkld, RootCount: rootCount, Model: opts.Model, Cache: cache}
+	eval := &Evaluator{Workload: wkld, RootCount: rootCount, Model: opts.Model, Cache: cache,
+		DisableIncremental: opts.DisableIncremental}
 	cacheStart := cache.Stats()
 	initial, _, err := eval.EvaluateCached(ps)
 	if err != nil {
@@ -145,6 +146,8 @@ func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set
 	}
 	result.Cache = cache.Stats().Sub(cacheStart)
 	result.Evals = eval.Evals()
+	result.Translations = eval.Translations()
+	result.QueryCacheHits, result.QueryCacheMisses = eval.QueryCacheStats()
 	return result, nil
 }
 

@@ -84,6 +84,21 @@ type Options struct {
 	// full evaluator pipeline run, as the paper's prototype did); it is
 	// ignored when Cache is non-nil.
 	DisableCache bool
+	// DisableIncremental turns off the evaluator's incremental layers
+	// (delta re-mapping, per-query cost reuse, materialized-configuration
+	// reuse): every evaluation then re-maps the schema and re-translates
+	// and re-costs the whole workload. Results are byte-identical either
+	// way; the flag exists for benchmarking and differential testing.
+	DisableIncremental bool
+	// Reannotate re-derives statistics annotations on every candidate
+	// schema after its transformation is applied, via the incremental
+	// delta annotation (xstats.AnnotateDelta): only types that can reach
+	// the rewritten definition are re-walked. Off by default — the
+	// rewritings maintain their own statistics, and re-annotation can
+	// (intentionally) change costs where a rewriting's estimate differs
+	// from the measured statistics (e.g. wildcard-materialize label
+	// fractions). Greedy search only.
+	Reannotate bool
 }
 
 // searchCache resolves the cache the search should use (possibly nil).
@@ -147,6 +162,15 @@ type Result struct {
 	// Evals counts full evaluator pipeline runs (relational mapping +
 	// translation + optimizer costing) performed by this search.
 	Evals uint64
+	// Translations counts per-query translate+cost pipeline runs (one
+	// per workload slot that missed the per-query cost cache; with
+	// incremental evaluation disabled, one per slot per evaluation).
+	Translations uint64
+	// QueryCacheHits and QueryCacheMisses count the per-query cost
+	// cache's traffic during this search (both zero when incremental
+	// evaluation is disabled).
+	QueryCacheHits   uint64
+	QueryCacheMisses uint64
 }
 
 // Evaluator costs physical schemas against a fixed workload. It is the
@@ -158,15 +182,42 @@ type Evaluator struct {
 	// Cache, when non-nil, memoizes workload costs keyed by the schema's
 	// canonical fingerprint (plus workload and cost-model digests).
 	Cache *CostCache
+	// DisableIncremental turns off the incremental reuse layers (delta
+	// re-mapping, per-query cost cache, materialized-configuration
+	// cache); every Evaluate then pays the full pipeline. Costs, queries
+	// and catalogs are byte-identical either way.
+	DisableIncremental bool
 
 	keyOnce    sync.Once
 	workloadID uint64
 	modelID    uint64
 	evals      atomic.Uint64
+
+	// Incremental-layer state (see incremental.go).
+	translations   atomic.Uint64
+	qhits, qmisses atomic.Uint64
+	mapperOnce     sync.Once
+	mapper         *relational.Mapper
+	qdigOnce       sync.Once
+	qdigests       []uint64
+	localQueries   queryStore
+	matMu          sync.Mutex
+	matCache       map[xschema.Fingerprint]*Config
+	matOrder       []xschema.Fingerprint
 }
 
 // Evals returns how many full (uncached) evaluations this evaluator ran.
 func (e *Evaluator) Evals() uint64 { return e.evals.Load() }
+
+// Translations returns how many per-query translate+cost pipeline runs
+// this evaluator paid (per-query cache hits skip them).
+func (e *Evaluator) Translations() uint64 { return e.translations.Load() }
+
+// QueryCacheStats returns the per-query cost cache's hit and miss
+// counts (zero when incremental evaluation is disabled).
+func (e *Evaluator) QueryCacheStats() (hits, misses uint64) {
+	return e.qhits.Load(), e.qmisses.Load()
+}
 
 // cacheKey builds the cache key for a p-schema, computing the workload
 // and model digests once per evaluator.
@@ -180,9 +231,21 @@ func (e *Evaluator) cacheKey(ps *xschema.Schema) CacheKey {
 
 // Evaluate maps the p-schema to relations, translates the workload and
 // returns the weighted-average estimated cost together with the derived
-// configuration.
+// configuration. By default the incremental layers reuse unchanged
+// per-definition column templates and per-query costs from earlier
+// evaluations of this evaluator (byte-identical outcome, see
+// incremental.go); DisableIncremental selects the full pipeline.
 func (e *Evaluator) Evaluate(ps *xschema.Schema) (Config, error) {
 	e.evals.Add(1)
+	if e.DisableIncremental {
+		return e.evaluateFull(ps)
+	}
+	return e.evaluateIncremental(ps)
+}
+
+// evaluateFull is the non-incremental pipeline: re-map, re-translate
+// and re-cost everything.
+func (e *Evaluator) evaluateFull(ps *xschema.Schema) (Config, error) {
 	cat, err := relational.MapWith(ps, relational.Options{RootCount: e.RootCount})
 	if err != nil {
 		return Config{}, err
@@ -208,6 +271,7 @@ func (e *Evaluator) Evaluate(ps *xschema.Schema) (Config, error) {
 		if err != nil {
 			return Config{}, err
 		}
+		e.translations.Add(1)
 		total += est.Cost * weights[i]
 		wsum += weights[i]
 	}
@@ -220,6 +284,7 @@ func (e *Evaluator) Evaluate(ps *xschema.Schema) (Config, error) {
 		if err != nil {
 			return Config{}, err
 		}
+		e.translations.Add(1)
 		total += c * ue.Weight
 		wsum += ue.Weight
 	}
@@ -253,10 +318,17 @@ func (e *Evaluator) EvaluateCached(ps *xschema.Schema) (Config, bool, error) {
 }
 
 // Materialize completes a configuration whose catalog and translated
-// queries were skipped by a cache hit.
+// queries were skipped by a cache hit. With incremental evaluation on,
+// configurations this evaluator fully evaluated before are returned
+// from the materialization cache without re-running the pipeline.
 func (e *Evaluator) Materialize(cfg Config) (Config, error) {
 	if cfg.Catalog != nil {
 		return cfg, nil
+	}
+	if !e.DisableIncremental {
+		if hit := e.lookupConfig(cfg.Schema); hit != nil {
+			return *hit, nil
+		}
 	}
 	return e.Evaluate(cfg.Schema)
 }
@@ -313,7 +385,17 @@ func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.S
 		rootCount = 1
 	}
 	cache := opts.searchCache()
-	eval := &Evaluator{Workload: wkld, RootCount: rootCount, Model: opts.Model, Cache: cache}
+	eval := &Evaluator{Workload: wkld, RootCount: rootCount, Model: opts.Model, Cache: cache,
+		DisableIncremental: opts.DisableIncremental}
+	// Reannotate mode: keep candidate schemas' statistics exact by
+	// re-annotating after every transformation, incrementally via the
+	// memo of the previous full annotation.
+	var memo *xstats.Memo
+	if opts.Reannotate && stats != nil {
+		if memo, err = xstats.AnnotateMemo(ps, stats); err != nil {
+			return nil, fmt.Errorf("core: annotate initial schema: %w", err)
+		}
+	}
 	cacheStart := cache.Stats()
 	best, _, err := eval.EvaluateCached(ps)
 	if err != nil {
@@ -325,7 +407,7 @@ func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.S
 	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
 		start := time.Now()
 		cands := transform.Candidates(best.Schema, tropts)
-		results, hits, misses := evaluateCandidates(best.Schema, cands, eval, opts.Workers)
+		results, hits, misses := evaluateCandidates(best.Schema, cands, eval, opts.Workers, stats, memo)
 		var bestCand Config
 		bestCand.Cost = best.Cost
 		applied := ""
@@ -343,6 +425,13 @@ func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.S
 		bestCand, err = eval.Materialize(bestCand)
 		if err != nil {
 			return nil, fmt.Errorf("core: materialize %s: %w", applied, err)
+		}
+		if memo != nil {
+			// Rebuild the memo on the winner (a full walk once per
+			// iteration; the per-candidate walks above were deltas).
+			if memo, err = xstats.AnnotateMemo(bestCand.Schema, stats); err != nil {
+				return nil, fmt.Errorf("core: annotate %s: %w", applied, err)
+			}
 		}
 		improvement := (best.Cost - bestCand.Cost) / best.Cost
 		best = bestCand
@@ -366,6 +455,8 @@ func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.S
 	}
 	result.Cache = cache.Stats().Sub(cacheStart)
 	result.Evals = eval.Evals()
+	result.Translations = eval.Translations()
+	result.QueryCacheHits, result.QueryCacheMisses = eval.QueryCacheStats()
 	return result, nil
 }
 
@@ -373,13 +464,14 @@ func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.S
 // one schema, fanning out across workers. The result slice is indexed
 // like cands; inapplicable or unanswerable candidates are nil (skipped,
 // as the paper's engine does). It also reports how many costings were
-// cache hits and misses.
-func evaluateCandidates(base *xschema.Schema, cands []transform.Transformation, eval *Evaluator, workers int) ([]*Config, int, int) {
+// cache hits and misses. A non-nil memo switches on per-candidate
+// re-annotation (Options.Reannotate) using xstats.AnnotateDelta.
+func evaluateCandidates(base *xschema.Schema, cands []transform.Transformation, eval *Evaluator, workers int, stats *xstats.Set, memo *xstats.Memo) ([]*Config, int, int) {
 	results := make([]*Config, len(cands))
 	var hits, misses atomic.Int64
 	if workers == 1 || len(cands) <= 1 {
 		for i := range cands {
-			results[i] = evaluateOne(base, cands[i], eval, &hits, &misses)
+			results[i] = evaluateOne(base, cands[i], eval, &hits, &misses, stats, memo)
 		}
 		return results, int(hits.Load()), int(misses.Load())
 	}
@@ -396,7 +488,7 @@ func evaluateCandidates(base *xschema.Schema, cands []transform.Transformation, 
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = evaluateOne(base, cands[i], eval, &hits, &misses)
+				results[i] = evaluateOne(base, cands[i], eval, &hits, &misses, stats, memo)
 			}
 		}()
 	}
@@ -408,10 +500,17 @@ func evaluateCandidates(base *xschema.Schema, cands []transform.Transformation, 
 	return results, int(hits.Load()), int(misses.Load())
 }
 
-func evaluateOne(base *xschema.Schema, tr transform.Transformation, eval *Evaluator, hits, misses *atomic.Int64) *Config {
+func evaluateOne(base *xschema.Schema, tr transform.Transformation, eval *Evaluator, hits, misses *atomic.Int64, stats *xstats.Set, memo *xstats.Memo) *Config {
 	nextSchema, err := transform.Apply(base, tr)
 	if err != nil {
 		return nil
+	}
+	if memo != nil {
+		// Reannotate mode: refresh statistics on the transformed schema.
+		// The memo is read-only here, so concurrent workers may share it.
+		if _, err := xstats.AnnotateDelta(nextSchema, stats, memo); err != nil {
+			return nil
+		}
 	}
 	cfg, hit, err := eval.EvaluateCached(nextSchema)
 	if err != nil {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/gob"
+	"fmt"
 	"hash/fnv"
 	"io"
 	"math"
@@ -59,6 +61,11 @@ type CostCache struct {
 	misses    atomic.Uint64
 	evictions atomic.Uint64
 	shards    [cacheShards]costShard
+	// queries memoizes per-query translate+cost outcomes so searches
+	// sharing this cache reuse each other's translations (see
+	// incremental.go; not persisted by Save — entries carry live SQL
+	// ASTs).
+	queries queryStore
 }
 
 type costShard struct {
@@ -125,6 +132,78 @@ func (c *CostCache) Put(k CacheKey, cost float64) {
 		}
 	}
 	s.mu.Unlock()
+}
+
+// cacheSnapshotVersion tags the persisted cache format; Load rejects
+// snapshots written by an incompatible version.
+const cacheSnapshotVersion = 1
+
+// cacheEntry is one persisted cache entry.
+type cacheEntry struct {
+	Key  CacheKey
+	Cost float64
+}
+
+// cacheSnapshot is the gob-encoded on-disk form of a CostCache.
+type cacheSnapshot struct {
+	Version int
+	Entries []cacheEntry
+}
+
+// Save writes the cache's entries to w (gob-encoded). Entries are
+// emitted in shard-then-insertion order, so saving the same cache twice
+// produces identical bytes. Keys are pure digests (no schema or query
+// text), so snapshots leak no workload content.
+func (c *CostCache) Save(w io.Writer) error {
+	snap := cacheSnapshot{Version: cacheSnapshotVersion}
+	if c != nil {
+		for i := range c.shards {
+			s := &c.shards[i]
+			s.mu.Lock()
+			for _, k := range s.order {
+				if cost, ok := s.entries[k]; ok {
+					snap.Entries = append(snap.Entries, cacheEntry{Key: k, Cost: cost})
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load merges a snapshot written by Save into the cache, preserving the
+// saved insertion order (so capacity eviction stays deterministic across
+// a save/load round trip). Existing entries win over loaded ones. It
+// returns the number of entries inserted.
+func (c *CostCache) Load(r io.Reader) (int, error) {
+	var snap cacheSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("core: decode cost cache: %w", err)
+	}
+	if snap.Version != cacheSnapshotVersion {
+		return 0, fmt.Errorf("core: cost cache snapshot version %d, want %d", snap.Version, cacheSnapshotVersion)
+	}
+	if c == nil {
+		return 0, nil
+	}
+	n := 0
+	for _, e := range snap.Entries {
+		s := c.shardFor(e.Key)
+		s.mu.Lock()
+		if _, exists := s.entries[e.Key]; !exists {
+			s.entries[e.Key] = e.Cost
+			s.order = append(s.order, e.Key)
+			n++
+			for len(s.entries) > c.perShard {
+				oldest := s.order[0]
+				s.order = s.order[1:]
+				delete(s.entries, oldest)
+				c.evictions.Add(1)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n, nil
 }
 
 // Stats snapshots the cache counters and current entry count.

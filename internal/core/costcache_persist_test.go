@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"legodb/internal/imdb"
+)
+
+// TestCostCacheSaveLoadRoundTrip: a cache saved and loaded into a fresh
+// instance must answer the same keys, and saving twice must produce
+// identical bytes (deterministic snapshot order).
+func TestCostCacheSaveLoadRoundTrip(t *testing.T) {
+	src := NewCostCache(0)
+	res, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+		Strategy: GreedySO, Cache: src,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Stats().Entries == 0 {
+		t.Fatal("search left the cache empty")
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := src.Save(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("two saves of the same cache produced different bytes")
+	}
+
+	dst := NewCostCache(0)
+	n, err := dst.Load(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != src.Stats().Entries {
+		t.Fatalf("loaded %d entries, cache had %d", n, src.Stats().Entries)
+	}
+	// A rerun against the loaded cache must reproduce the search without
+	// a single schema-level cache miss.
+	warm, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+		Strategy: GreedySO, Cache: dst,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.Misses != 0 {
+		t.Fatalf("warm run against loaded cache missed %d times", warm.Cache.Misses)
+	}
+	if resultSignature(res) != resultSignature(warm) {
+		t.Fatal("search against loaded cache diverged from the original run")
+	}
+}
+
+// TestCostCacheLoadRejectsGarbage: loading a corrupt snapshot must fail
+// cleanly and leave the cache usable.
+func TestCostCacheLoadRejectsGarbage(t *testing.T) {
+	c := NewCostCache(0)
+	if _, err := c.Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("corrupt snapshot loaded without error")
+	}
+	c.Put(CacheKey{Workload: 1}, 42)
+	if got, ok := c.Get(CacheKey{Workload: 1}); !ok || got != 42 {
+		t.Fatal("cache unusable after failed load")
+	}
+}
+
+// TestCostCacheSaveNilAndEmpty: nil and empty caches must save loadable
+// snapshots.
+func TestCostCacheSaveNilAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	var nilCache *CostCache
+	if err := nilCache.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := NewCostCache(0).Load(bytes.NewReader(buf.Bytes())); err != nil || n != 0 {
+		t.Fatalf("empty snapshot: n=%d err=%v", n, err)
+	}
+	if n, err := nilCache.Load(bytes.NewReader(buf.Bytes())); err != nil || n != 0 {
+		t.Fatalf("nil target: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"legodb/internal/optimizer"
+	"legodb/internal/relational"
+	"legodb/internal/sqlast"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+)
+
+// Incremental evaluation (the per-evaluator reuse layers).
+//
+// A greedy move rewrites exactly one named type, yet the baseline
+// pipeline re-maps the whole p-schema and re-translates and re-costs the
+// whole workload per candidate. The layers here exploit the locality:
+//
+//   - delta re-mapping: the evaluator's relational.Mapper memoizes
+//     column templates per shallow definition digest, so an unchanged
+//     definition's columns are reused by pointer (see relational.Mapper);
+//   - per-query cost reuse: each workload slot memoizes its recent
+//     translate+cost outcomes keyed by the dependency state the
+//     translation actually read (queryCacheKey below), so queries
+//     untouched by a transformation skip xquery.Translate and
+//     optimizer.QueryCost entirely;
+//   - materialized-configuration reuse: every full evaluation is
+//     remembered under the schema's name-sensitive digest, so a
+//     cost-cache hit that wins an iteration no longer pays a
+//     re-evaluation just to recover its catalog and DDL.
+//
+// Hard invariant: incremental and full evaluation produce bit-identical
+// costs (cached floats are the stored outputs of an identical
+// computation, and the weighted summation order never changes),
+// byte-identical traces and byte-identical DDL (the materialization
+// cache keys on a name-sensitive schema digest, which pins type and
+// table names).
+
+const (
+	// queryVariantsCap bounds the memoized outcomes per dependency group
+	// (greedy neighborhoods revisit a bounded set of dependency states).
+	queryVariantsCap = 16
+	// queryGroupsCap bounds the distinct dependency lists per workload
+	// slot. Successive candidates mostly reuse a few lists (a rewrite
+	// far from the query's path leaves its dependency list intact), but
+	// inlining and outlining near the path rename the examined types, so
+	// a search accumulates dozens of lists per query.
+	queryGroupsCap = 64
+	// matCacheCap bounds the materialized-configuration cache.
+	matCacheCap = 256
+)
+
+// queryVariant is one memoized translate+cost outcome for a workload
+// query: the key its dependency state hashed to, and the outputs.
+type queryVariant struct {
+	key   uint64
+	cost  float64
+	query *sqlast.Query // nil for update slots
+}
+
+// depsGroup collects the variants whose translations examined the same
+// named types. Grouping makes lookups cheap: the dependency-state key is
+// a pure function of (root, deps, digests, catalog), so one hash per
+// group decides every variant in it — a lookup costs one hash per
+// distinct dependency list plus uint64 compares, not one hash per
+// stored variant.
+type depsGroup struct {
+	deps     []string
+	variants []queryVariant
+}
+
+// queryStore holds memoized translate+cost outcomes grouped by query
+// digest. It lives inside a shared CostCache when the evaluator has one
+// (so searches over the same queries reuse each other's translations),
+// falling back to an evaluator-local store otherwise. Races store
+// identical values (the key determines the outputs), so last-write-wins
+// is sound.
+//
+// Mutation is copy-on-write on the group slice: put reassigns m[qdig]
+// with a fresh header and never shrinks or rewrites array elements a
+// concurrent snapshot can see (appends past a reader's len are
+// invisible; evictions copy), so snapshots are scanned without the lock.
+type queryStore struct {
+	mu sync.Mutex
+	m  map[uint64][]depsGroup
+}
+
+// snapshot returns the dependency groups stored under a query digest.
+func (qs *queryStore) snapshot(qdig uint64) []depsGroup {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	return qs.m[qdig]
+}
+
+// put stores a variant under a query digest and its dependency list,
+// evicting the oldest variant (or group) on overflow.
+func (qs *queryStore) put(qdig uint64, deps []string, v queryVariant) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if qs.m == nil {
+		qs.m = make(map[uint64][]depsGroup)
+	}
+	gs := append(qs.m[qdig][:0:0], qs.m[qdig]...)
+	gi := -1
+	for i := range gs {
+		if slicesEqual(gs[i].deps, deps) {
+			gi = i
+			break
+		}
+	}
+	switch {
+	case gi < 0:
+		// New dependency lists go to the front: lookups scan in order, and
+		// a search's hits cluster in recently created groups. The oldest
+		// list falls off the tail.
+		if len(gs) >= queryGroupsCap {
+			gs = gs[:queryGroupsCap-1]
+		}
+		gs = append(append(gs[:0:0], depsGroup{deps: deps, variants: []queryVariant{v}}), gs...)
+	default:
+		g := gs[gi]
+		for _, old := range g.variants {
+			if old.key == v.key {
+				return
+			}
+		}
+		if len(g.variants) >= queryVariantsCap {
+			vs := make([]queryVariant, 0, len(g.variants))
+			g.variants = append(vs, g.variants[1:]...)
+		}
+		g.variants = append(g.variants, v)
+		gs[gi] = g
+	}
+	qs.m[qdig] = gs
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fnv64a primitives, inlined to keep the dependency-key hash
+// allocation-free (hash/fnv's New64a escapes to the heap, and the key
+// is computed once per dependency group per slot per evaluation — the
+// hottest loop of the incremental path).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return fnvByte(h, 0) // terminator keeps the encoding unambiguous
+}
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v >> (8 * i) & 0xFF)) * fnvPrime64
+	}
+	return h
+}
+
+// depState is the dependency-state view of one evaluation: the schema's
+// shallow digests and the catalog, with each named type's 64-bit state
+// hash memoized on first use. One evaluation consults the cache for
+// every workload slot against many stored dependency lists, and those
+// lists overlap heavily — memoizing per name turns each group key into
+// a handful of multiplies per dependency.
+type depState struct {
+	root    uint64 // fnv state after hashing the root name
+	digests map[string]xschema.Fingerprint
+	cat     *relational.Catalog
+	names   map[string]uint64
+}
+
+func newDepState(ps *xschema.Schema, cat *relational.Catalog, digests map[string]xschema.Fingerprint) *depState {
+	return &depState{
+		root:    fnvStr(fnvOffset64, ps.Root),
+		digests: digests,
+		cat:     cat,
+		names:   make(map[string]uint64, len(digests)),
+	}
+}
+
+// stateOf hashes everything a translation can read about one named
+// type: its name, its shallow definition digest and its table's content
+// digest (with explicit markers for aliases and absent names or
+// tables).
+func (st *depState) stateOf(name string) uint64 {
+	if v, ok := st.names[name]; ok {
+		return v
+	}
+	h := fnvStr(fnvOffset64, name)
+	if dig, ok := st.digests[name]; ok {
+		for _, b := range dig {
+			h = fnvByte(h, b)
+		}
+	} else {
+		h = fnvByte(h, 0xFF) // name undefined in this schema
+	}
+	tblName, mapped := st.cat.TableOf[name]
+	switch {
+	case !mapped:
+		h = fnvByte(h, 'n') // type unknown to the catalog
+	case tblName == "":
+		h = fnvByte(h, 'a') // alias: no table of its own
+	default:
+		tbl := st.cat.Table(tblName)
+		if tbl == nil {
+			h = fnvByte(h, 'm') // mapped but missing (malformed)
+		} else {
+			h = fnvUint64(fnvByte(h, 't'), tbl.Digest)
+		}
+	}
+	st.names[name] = h
+	return h
+}
+
+// keyOf hashes the dependency state of one translation: the root name
+// plus the state of every examined type, in examination order.
+// Translation is a deterministic function whose only schema reads are
+// the root name and the examined definitions, and whose only catalog
+// reads are those types' tables; query and update costing read only the
+// tables the translation referenced. So if a stored variant's key
+// matches the current state, re-running translate+cost would reproduce
+// the stored result bit for bit.
+func (st *depState) keyOf(deps []string) uint64 {
+	h := st.root
+	for _, name := range deps {
+		h = fnvUint64(h, st.stateOf(name))
+	}
+	return h
+}
+
+// queryCacheKey is keyOf over a one-shot depState (test seam).
+func queryCacheKey(root string, deps []string, digests map[string]xschema.Fingerprint, cat *relational.Catalog) uint64 {
+	st := &depState{root: fnvStr(fnvOffset64, root), digests: digests, cat: cat, names: map[string]uint64{}}
+	return st.keyOf(deps)
+}
+
+// sharedMapper returns the evaluator's memoizing relational mapper.
+func (e *Evaluator) sharedMapper() *relational.Mapper {
+	e.mapperOnce.Do(func() {
+		e.mapper = relational.NewMapper(relational.Options{RootCount: e.RootCount})
+	})
+	return e.mapper
+}
+
+// slotDigests computes each workload slot's identity digest once: the
+// query or update text plus the cost-model digest (outcomes under a
+// different cost model must never be reused). Together with the
+// per-variant dependency-state key, this is the full cache identity —
+// weights and root counts stay out (raw per-slot costs are stored;
+// root-count effects reach costs only through table statistics, which
+// the dependency key covers).
+func (e *Evaluator) slotDigests() []uint64 {
+	e.qdigOnce.Do(func() {
+		mid := ModelID(e.Model)
+		digest := func(tag byte, text string) uint64 {
+			h := fnv.New64a()
+			var b [9]byte
+			b[0] = tag
+			for i := 0; i < 8; i++ {
+				b[i+1] = byte(mid >> (8 * i))
+			}
+			h.Write(b[:])
+			h.Write([]byte(text))
+			return h.Sum64()
+		}
+		out := make([]uint64, 0, len(e.Workload.Entries)+len(e.Workload.Updates))
+		for _, en := range e.Workload.Entries {
+			out = append(out, digest('q', en.Query.String()))
+		}
+		for _, u := range e.Workload.Updates {
+			out = append(out, digest('u', u.Update.String()))
+		}
+		e.qdigests = out
+	})
+	return e.qdigests
+}
+
+// queryStoreFor returns the per-query memoization store: the shared
+// cache's when one is attached (cross-search reuse), the evaluator's
+// own otherwise.
+func (e *Evaluator) queryStoreFor() *queryStore {
+	if e.Cache != nil {
+		return &e.Cache.queries
+	}
+	return &e.localQueries
+}
+
+// cachedQueryCost scans a workload slot's stored variants for one whose
+// dependency state matches the current schema and catalog: one hash per
+// dependency group, one uint64 compare per variant.
+func (e *Evaluator) cachedQueryCost(slot int, st *depState) (float64, *sqlast.Query, bool) {
+	groups := e.queryStoreFor().snapshot(e.slotDigests()[slot])
+	for gi := range groups {
+		g := &groups[gi]
+		key := st.keyOf(g.deps)
+		for vi := range g.variants {
+			if g.variants[vi].key == key {
+				e.qhits.Add(1)
+				return g.variants[vi].cost, g.variants[vi].query, true
+			}
+		}
+	}
+	e.qmisses.Add(1)
+	return 0, nil, false
+}
+
+// storeQueryCost memoizes a slot's translate+cost outcome.
+func (e *Evaluator) storeQueryCost(slot int, key uint64, deps []string, cost float64, q *sqlast.Query) {
+	e.queryStoreFor().put(e.slotDigests()[slot], deps, queryVariant{key: key, cost: cost, query: q})
+}
+
+// namedKeyFrom derives a name-sensitive schema key from the shallow
+// digest map the evaluation already computed: the root, the definition
+// order, and each definition's shallow digest. Shallow digests encode
+// Refs by target name, so this triple determines the schema's rendered
+// form exactly as xschema.NamedDigest does — without re-walking the
+// definition trees.
+func namedKeyFrom(ps *xschema.Schema, digests map[string]xschema.Fingerprint) xschema.Fingerprint {
+	h := fnv.New128a()
+	buf := make([]byte, 0, 64)
+	write := func(s string) {
+		buf = append(buf[:0], s...)
+		buf = append(buf, 0)
+		h.Write(buf)
+	}
+	write(ps.Root)
+	for _, name := range ps.Names {
+		write(name)
+		if d, ok := digests[name]; ok {
+			h.Write(d[:])
+		} else {
+			h.Write([]byte{'?'})
+		}
+	}
+	var fp xschema.Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
+// rememberConfig stores a fully evaluated configuration under its
+// schema's derived name-sensitive key (FIFO-bounded).
+func (e *Evaluator) rememberConfig(ps *xschema.Schema, digests map[string]xschema.Fingerprint, cfg Config) {
+	key := namedKeyFrom(ps, digests)
+	e.matMu.Lock()
+	defer e.matMu.Unlock()
+	if e.matCache == nil {
+		e.matCache = make(map[xschema.Fingerprint]*Config)
+	}
+	if _, ok := e.matCache[key]; ok {
+		return
+	}
+	e.matCache[key] = &cfg
+	e.matOrder = append(e.matOrder, key)
+	for len(e.matCache) > matCacheCap {
+		oldest := e.matOrder[0]
+		e.matOrder = e.matOrder[1:]
+		delete(e.matCache, oldest)
+	}
+}
+
+// lookupConfig returns the remembered configuration for a schema, or
+// nil. The returned config's schema renders byte-identically to ps (the
+// key pins root, definition order, names and annotated bodies), so
+// substituting it preserves traces and DDL exactly.
+func (e *Evaluator) lookupConfig(ps *xschema.Schema) *Config {
+	key := namedKeyFrom(ps, ps.TypeDigests())
+	e.matMu.Lock()
+	defer e.matMu.Unlock()
+	return e.matCache[key]
+}
+
+// evaluateIncremental is the incremental counterpart of evaluateFull:
+// same pipeline, same summation order, but each workload slot first
+// consults its per-query cost cache and only re-translates and re-costs
+// on a dependency-state change.
+func (e *Evaluator) evaluateIncremental(ps *xschema.Schema) (Config, error) {
+	digests := ps.TypeDigests()
+	cat, err := e.sharedMapper().Map(ps, digests)
+	if err != nil {
+		return Config{}, err
+	}
+	var opt *optimizer.Optimizer
+	getOpt := func() *optimizer.Optimizer {
+		if opt == nil {
+			opt = optimizer.New(cat)
+			if e.Model != nil {
+				opt.Model = *e.Model
+			}
+		}
+		return opt
+	}
+	queries := make([]*sqlast.Query, len(e.Workload.Entries))
+	st := newDepState(ps, cat, digests)
+	total, wsum := 0.0, 0.0
+	for i, entry := range e.Workload.Entries {
+		cost, sq, ok := e.cachedQueryCost(i, st)
+		if !ok {
+			var deps []string
+			sq, deps, err = xquery.TranslateDeps(entry.Query, ps, cat)
+			if err != nil {
+				return Config{}, err
+			}
+			est, err := getOpt().QueryCost(sq)
+			if err != nil {
+				return Config{}, err
+			}
+			cost = est.Cost
+			e.translations.Add(1)
+			e.storeQueryCost(i, st.keyOf(deps), deps, cost, sq)
+		}
+		queries[i] = sq
+		total += cost * entry.Weight
+		wsum += entry.Weight
+	}
+	for j, ue := range e.Workload.Updates {
+		slot := len(e.Workload.Entries) + j
+		cost, _, ok := e.cachedQueryCost(slot, st)
+		if !ok {
+			targets, deps, err := xquery.ResolveUpdateDeps(ue.Update, ps, cat)
+			if err != nil {
+				return Config{}, err
+			}
+			cost, err = getOpt().UpdateCost(ue.Update, targets)
+			if err != nil {
+				return Config{}, err
+			}
+			e.translations.Add(1)
+			e.storeQueryCost(slot, st.keyOf(deps), deps, cost, nil)
+		}
+		total += cost * ue.Weight
+		wsum += ue.Weight
+	}
+	if wsum == 0 {
+		return Config{}, fmt.Errorf("core: workload has zero total weight")
+	}
+	cfg := Config{Schema: ps, Catalog: cat, Queries: queries, Cost: total / wsum}
+	e.rememberConfig(ps, digests, cfg)
+	return cfg, nil
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"legodb/internal/imdb"
+	"legodb/internal/relational"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+	"legodb/internal/xstats"
+)
+
+// TestIncrementalMatchesFullEvaluation is the differential acceptance
+// test of the incremental layers: every strategy, with incremental
+// evaluation on and off and with 1 and 8 workers, must produce
+// byte-identical traces, costs, chosen schemas and DDL. Evaluation
+// counts and cache counters may differ (that is the point); the outcome
+// may not.
+func TestIncrementalMatchesFullEvaluation(t *testing.T) {
+	workloads := []struct {
+		name string
+		make func() *xquery.Workload
+	}{
+		{"lookup", imdb.LookupWorkload},
+		{"publish", imdb.PublishWorkload},
+		{"updates", func() *xquery.Workload {
+			w := imdb.LookupWorkload()
+			w.AddUpdate(xquery.MustParseUpdate("INSERT imdb/show"), 10)
+			return w
+		}},
+	}
+	type variant struct {
+		name        string
+		incremental bool
+		workers     int
+	}
+	variants := []variant{
+		{"full-w1", false, 1},
+		{"incremental-w1", true, 1},
+		{"incremental-w8", true, 8},
+		{"full-w8", false, 8},
+	}
+	for _, strategy := range []Strategy{GreedySO, GreedySI, GreedyFull} {
+		for _, wl := range workloads {
+			var want, wantName string
+			for _, v := range variants {
+				opts := Options{
+					Strategy:           strategy,
+					Workers:            v.workers,
+					Cache:              NewCostCache(0),
+					DisableIncremental: !v.incremental,
+				}
+				if strategy == GreedyFull {
+					opts.WildcardLabels = map[string]float64{"nyt": 0.25}
+				}
+				res, err := GreedySearch(imdb.Schema(), wl.make(), imdb.Stats(), opts)
+				if err != nil {
+					t.Fatalf("%v/%s/%s: %v", strategy, wl.name, v.name, err)
+				}
+				sig := resultSignature(res)
+				if want == "" {
+					want, wantName = sig, v.name
+					continue
+				}
+				if sig != want {
+					t.Errorf("%v/%s: variant %s diverged from %s:\n--- %s\n%s\n--- %s\n%s",
+						strategy, wl.name, v.name, wantName, wantName, want, v.name, sig)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesFullBeam mirrors the differential test for the
+// beam search.
+func TestIncrementalMatchesFullBeam(t *testing.T) {
+	var want, wantName string
+	for _, v := range []struct {
+		name        string
+		incremental bool
+		workers     int
+	}{
+		{"full-w1", false, 1},
+		{"incremental-w1", true, 1},
+		{"incremental-w8", true, 8},
+	} {
+		res, err := BeamSearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), BeamOptions{
+			Options: Options{
+				Strategy:           GreedySO,
+				Workers:            v.workers,
+				Cache:              NewCostCache(0),
+				DisableIncremental: !v.incremental,
+			},
+			Width: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		sig := resultSignature(res)
+		if want == "" {
+			want, wantName = sig, v.name
+			continue
+		}
+		if sig != want {
+			t.Errorf("beam variant %s diverged from %s:\n--- %s\n%s\n--- %s\n%s",
+				v.name, wantName, wantName, want, v.name, sig)
+		}
+	}
+}
+
+// TestIncrementalSavesTranslations checks the perf claim the layers
+// exist for: a fig11-style sweep (several searches over overlapping
+// mixed workloads sharing one cache) must pay ≥2× fewer translations
+// with incremental evaluation on, and even a single greedy search must
+// save a substantial fraction.
+func TestIncrementalSavesTranslations(t *testing.T) {
+	sweep := func(incremental bool) uint64 {
+		cache := NewCostCache(0)
+		var total uint64
+		for _, k := range []float64{0.25, 0.5, 0.75} {
+			res, err := GreedySearch(imdb.Schema(), imdb.MixedWorkload(k), imdb.Stats(), Options{
+				Strategy:           GreedySI,
+				Cache:              cache,
+				DisableIncremental: !incremental,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Translations
+		}
+		return total
+	}
+	full, inc := sweep(false), sweep(true)
+	if full == 0 {
+		t.Fatal("full sweep reports zero translations (counter not wired?)")
+	}
+	if inc*2 > full {
+		t.Errorf("incremental sweep paid %d translations, full %d: want ≥2× reduction", inc, full)
+	}
+
+	single := func(incremental bool) *Result {
+		res, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+			Strategy:           GreedySO,
+			Cache:              NewCostCache(0),
+			DisableIncremental: !incremental,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sfull := single(false)
+	sinc := single(true)
+	if sinc.Translations*3 > sfull.Translations*2 {
+		t.Errorf("single search paid %d translations, full %d: want ≥1.5× reduction",
+			sinc.Translations, sfull.Translations)
+	}
+	if sinc.QueryCacheHits == 0 {
+		t.Error("incremental run reports zero per-query cache hits")
+	}
+	if sfull.QueryCacheHits != 0 || sfull.QueryCacheMisses != 0 {
+		t.Errorf("full run touched the per-query cache: %d hits, %d misses",
+			sfull.QueryCacheHits, sfull.QueryCacheMisses)
+	}
+}
+
+// TestQueryCacheKeyDependsExactlyOnDeps is the property test for the
+// per-query cache key: perturbing the digest of a table (or type) the
+// translation examined must change the key, and perturbing anything the
+// translation did not examine must not.
+func TestQueryCacheKeyDependsExactlyOnDeps(t *testing.T) {
+	names := []string{"A", "B", "C", "D"}
+	deps := []string{"A", "B"} // what the simulated translation examined
+	build := func() (map[string]xschema.Fingerprint, *relational.Catalog) {
+		digests := make(map[string]xschema.Fingerprint)
+		cat := &relational.Catalog{Tables: map[string]*relational.Table{}, TableOf: map[string]string{}}
+		for i, n := range names {
+			var fp xschema.Fingerprint
+			fp[0] = byte(i + 1)
+			digests[n] = fp
+			tbl := &relational.Table{Name: "t_" + n, TypeName: n, Digest: uint64(i + 1)}
+			cat.Tables[tbl.Name] = tbl
+			cat.TableOf[n] = tbl.Name
+		}
+		return digests, cat
+	}
+	prop := func(pick uint8, delta uint64, mutateType bool) bool {
+		name := names[int(pick)%len(names)]
+		digests, cat := build()
+		base := queryCacheKey("root", deps, digests, cat)
+		if mutateType {
+			fp := digests[name]
+			for i := 0; i < 8; i++ {
+				fp[i] ^= byte(delta >> (8 * i))
+			}
+			digests[name] = fp
+		} else {
+			cat.Table(cat.TableOf[name]).Digest ^= delta
+		}
+		mutated := queryCacheKey("root", deps, digests, cat)
+		inDeps := name == "A" || name == "B"
+		if delta == 0 || !inDeps {
+			return mutated == base
+		}
+		return mutated != base
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaterializeServedFromConfigCache: after an incremental evaluation,
+// materializing a cost-only Config for the same schema must not pay
+// another evaluator run.
+func TestMaterializeServedFromConfigCache(t *testing.T) {
+	ps, err := InitialSchema(annotatedIMDB(t), GreedySO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := &Evaluator{Workload: imdb.LookupWorkload(), RootCount: 1}
+	cfg, err := eval.Evaluate(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalsBefore := eval.Evals()
+	got, err := eval.Materialize(Config{Schema: ps, Cost: cfg.Cost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.Evals() != evalsBefore {
+		t.Errorf("Materialize paid a full evaluation despite the config cache")
+	}
+	if got.Catalog == nil || got.Catalog.SQL() != cfg.Catalog.SQL() {
+		t.Error("config cache returned a different catalog")
+	}
+}
+
+func annotatedIMDB(t *testing.T) *xschema.Schema {
+	t.Helper()
+	s := imdb.Schema()
+	if err := xstats.Annotate(s, imdb.Stats()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

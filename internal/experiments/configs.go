@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 
 	"legodb/internal/core"
 	"legodb/internal/imdb"
@@ -36,11 +37,56 @@ func CacheStats() core.CacheStats { return sharedCache.Stats() }
 // beam levels — used by CI smoke runs to keep wall-clock short.
 var MaxIterations int
 
+// incrementalEnabled gates the evaluator's incremental layers (delta
+// re-mapping, per-query cost reuse, catalog caching). Off measures the
+// full-pipeline baseline; results are identical either way.
+var incrementalEnabled = true
+
+// EnableIncremental switches incremental candidate evaluation on or off
+// (cmd/experiments -noincremental).
+func EnableIncremental(on bool) { incrementalEnabled = on }
+
+// LoadCacheFile merges a cost-cache snapshot file into the shared cache,
+// returning the number of entries added. A missing file is not an error
+// (first run warms the cache that later runs load).
+func LoadCacheFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	return sharedCache.Load(f)
+}
+
+// SaveCacheFile writes the shared cache's contents to a snapshot file
+// (atomically, via a sibling temp file).
+func SaveCacheFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sharedCache.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // searchOptions builds the core search options every experiment uses:
 // the requested strategy plus the package-wide cache and iteration
 // budget.
 func searchOptions(strategy core.Strategy) core.Options {
-	opts := core.Options{Strategy: strategy, MaxIterations: MaxIterations}
+	opts := core.Options{Strategy: strategy, MaxIterations: MaxIterations,
+		DisableIncremental: !incrementalEnabled}
 	if cacheEnabled {
 		opts.Cache = sharedCache
 	} else {

@@ -3,6 +3,7 @@ package relational
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"legodb/internal/pschema"
 	"legodb/internal/xschema"
@@ -33,13 +34,58 @@ func Map(s *xschema.Schema) (*Catalog, error) {
 	return MapWith(s, Options{})
 }
 
-// MapWith is Map with explicit options.
+// MapWith is Map with explicit options (a one-shot Mapper).
 func MapWith(s *xschema.Schema, opts Options) (*Catalog, error) {
+	return NewMapper(opts).Map(s, nil)
+}
+
+// Mapper maps p-schemas to catalogs, memoizing the inline-column
+// template of each type definition across calls. Column layout depends
+// only on a definition's own body (the walk stops at named-expression
+// boundaries — Refs and Choices contribute FK edges, not columns), so
+// the template is keyed by the definition's shallow digest
+// (xschema.TypeDigests). In the search hot path each candidate rewrites
+// one definition, so a delta re-map rebuilds one column template and
+// reuses every other, recomputing only the global parts (cardinalities,
+// FK columns, row counts).
+//
+// Memoized columns are shared by pointer between catalogs; all mapping
+// consumers treat built catalogs as immutable. A Mapper is safe for
+// concurrent use.
+type Mapper struct {
+	opts Options
+	mu   sync.Mutex
+	cols map[xschema.Fingerprint]colTemplate
+}
+
+// colTemplate is one memoized column set with its content hash
+// (folded into Table.Digest without rehashing every field).
+type colTemplate struct {
+	cols []*Column
+}
+
+// mapperMemoCap bounds the template memo; on overflow the memo resets
+// (deterministic: the memo affects sharing and speed, never values).
+const mapperMemoCap = 4096
+
+// NewMapper returns a Mapper with the given options.
+func NewMapper(opts Options) *Mapper {
 	opts.setDefaults()
+	return &Mapper{opts: opts, cols: make(map[xschema.Fingerprint]colTemplate)}
+}
+
+// Map builds the catalog for one p-schema. digests are the schema's
+// shallow per-type digests (xschema.TypeDigests); pass nil to have Map
+// compute them. Every produced table carries its TypeDigest and a
+// content Digest.
+func (mp *Mapper) Map(s *xschema.Schema, digests map[string]xschema.Fingerprint) (*Catalog, error) {
 	if err := pschema.Check(s); err != nil {
 		return nil, err
 	}
-	m := &mapper{schema: s, opts: opts, alias: make(map[string]bool)}
+	if digests == nil {
+		digests = s.TypeDigests()
+	}
+	m := &mapper{schema: s, opts: mp.opts, alias: make(map[string]bool), mp: mp, digests: digests}
 	for _, name := range s.Names {
 		m.alias[name] = pschema.IsAlias(s.Types[name])
 	}
@@ -63,10 +109,35 @@ func MapWith(s *xschema.Schema, opts Options) (*Catalog, error) {
 	return cat, nil
 }
 
+// template returns the memoized column set for a definition digest.
+func (mp *Mapper) template(dig xschema.Fingerprint) (colTemplate, bool) {
+	mp.mu.Lock()
+	defer mp.mu.Unlock()
+	tmpl, ok := mp.cols[dig]
+	return tmpl, ok
+}
+
+// storeTemplate memoizes a column set. On a race the first stored
+// template wins, so all tables of equal digest share one column slice.
+func (mp *Mapper) storeTemplate(dig xschema.Fingerprint, tmpl colTemplate) colTemplate {
+	mp.mu.Lock()
+	defer mp.mu.Unlock()
+	if prev, ok := mp.cols[dig]; ok {
+		return prev
+	}
+	if len(mp.cols) >= mapperMemoCap {
+		mp.cols = make(map[xschema.Fingerprint]colTemplate)
+	}
+	mp.cols[dig] = tmpl
+	return tmpl
+}
+
 type mapper struct {
-	schema *xschema.Schema
-	opts   Options
-	alias  map[string]bool
+	schema  *xschema.Schema
+	opts    Options
+	alias   map[string]bool
+	mp      *Mapper
+	digests map[string]xschema.Fingerprint
 }
 
 // refEdge is a raw type-to-type reference with its multiplicity.
@@ -118,9 +189,19 @@ func (m *mapper) edgeWalk(t xschema.Type, mult float64, acc map[string]float64, 
 	case *xschema.Repeat:
 		return m.edgeWalk(t.Inner, mult*effectiveCount(t), acc, seen)
 	case *xschema.Choice:
-		for i, alt := range t.Alts {
-			frac := 1.0 / float64(len(t.Alts))
-			if len(t.Fractions) == len(t.Alts) {
+		// Without annotated fractions the alternatives split uniformly.
+		// The uniform prior ranges over the flattened alternative list
+		// (fraction-less nested choices spliced in), so that associatively
+		// re-grouped unions — which match, map and translate identically —
+		// also cost identically. This is the invariant that lets the
+		// canonical fingerprint flatten fraction-less choice nesting.
+		alts := t.Alts
+		if len(t.Fractions) == 0 {
+			alts = xschema.FlattenChoice(t)
+		}
+		for i, alt := range alts {
+			frac := 1.0 / float64(len(alts))
+			if len(t.Fractions) == len(alts) {
 				frac = t.Fractions[i]
 			}
 			if err := m.edgeWalk(alt, mult*frac, acc, seen); err != nil {
@@ -165,12 +246,13 @@ func effectiveCount(r *xschema.Repeat) float64 {
 // recursive schemas are approximated by bounded iteration.
 func (m *mapper) cardinalities(edges []refEdge) map[string]float64 {
 	cards := make(map[string]float64, len(m.schema.Names))
+	next := make(map[string]float64, len(m.schema.Names))
 	rounds := len(m.schema.Names) + 2
 	if rounds < 16 {
 		rounds = 16
 	}
 	for i := 0; i < rounds; i++ {
-		next := make(map[string]float64, len(cards))
+		clear(next)
 		next[m.schema.Root] = m.opts.RootCount
 		for _, e := range edges {
 			next[e.child] += cards[e.parent] * e.avg
@@ -184,7 +266,7 @@ func (m *mapper) cardinalities(edges []refEdge) map[string]float64 {
 				}
 			}
 		}
-		cards = next
+		cards, next = next, cards
 		if converged {
 			break
 		}
@@ -192,17 +274,26 @@ func (m *mapper) cardinalities(edges []refEdge) map[string]float64 {
 	return cards
 }
 
-// buildTable constructs the relation for one non-alias type.
+// buildTable constructs the relation for one non-alias type. The inline
+// columns (everything except the key and FK columns, which depend on
+// global cardinalities and names) come from the Mapper's per-digest
+// template memo: a definition unchanged since the last Map call reuses
+// its column objects outright.
 func (m *mapper) buildTable(name string, rows float64, edges []refEdge, cards map[string]float64) (*Table, error) {
-	t := &Table{Name: sanitize(name), TypeName: name, Rows: rows}
+	dig := m.digests[name]
+	t := &Table{Name: sanitize(name), TypeName: name, Rows: rows, TypeDigest: dig}
 	t.Columns = append(t.Columns, &Column{
 		Name: t.Key(), Type: IntCol, Size: 4, Key: true, Distinct: rows,
 	})
-	cols, err := m.rootColumns(m.schema.Types[name])
-	if err != nil {
-		return nil, fmt.Errorf("relational: type %s: %w", name, err)
+	tmpl, ok := m.mp.template(dig)
+	if !ok {
+		cols, err := m.rootColumns(m.schema.Types[name])
+		if err != nil {
+			return nil, fmt.Errorf("relational: type %s: %w", name, err)
+		}
+		tmpl = m.mp.storeTemplate(dig, colTemplate{cols: dedupe(cols)})
 	}
-	t.Columns = append(t.Columns, dedupe(cols)...)
+	t.Columns = append(t.Columns, tmpl.cols...)
 	// Each FK column is NULL on rows that belong to a different parent
 	// type (e.g. Aka rows under Show_Part2 have a NULL parent_Show_Part1
 	// after union distribution); record the share so join estimates stay
@@ -236,6 +327,7 @@ func (m *mapper) buildTable(name string, rows float64, edges []refEdge, cards ma
 			Child: t.Name, Parent: parentTable, FKColumn: fk.Name, AvgPerParent: e.avg,
 		})
 	}
+	t.computeDigest()
 	return t, nil
 }
 

@@ -19,7 +19,11 @@ package relational
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 	"strings"
+
+	"legodb/internal/xschema"
 )
 
 // ColumnType enumerates the SQL column types produced by the mapping.
@@ -102,6 +106,15 @@ type Table struct {
 	Rows float64
 	// Parents lists FK edges to parent tables.
 	Parents []*Edge
+	// TypeDigest is the shallow digest of the p-schema definition this
+	// table derives from (xschema.TypeDigests), threaded through by the
+	// mapper.
+	TypeDigest xschema.Fingerprint
+	// Digest hashes the table's complete content — name, cardinality,
+	// every column field the translator or optimizer reads, and the
+	// parent edges. Two tables with equal digests translate and cost
+	// identically; the per-query cost cache keys on it.
+	Digest uint64
 }
 
 // Edge is a parent-child relationship: rows of Child carry a foreign key
@@ -116,6 +129,60 @@ type Edge struct {
 
 // Key returns the table's id column name.
 func (t *Table) Key() string { return t.Name + "_id" }
+
+// computeDigest fills t.Digest from the table's content. Every field a
+// downstream consumer (query translator, optimizer, DDL renderer) reads
+// must be covered: if two tables digest equal, substituting one for the
+// other must be unobservable.
+func (t *Table) computeDigest() {
+	h := fnv.New64a()
+	w := func(s string) { h.Write([]byte(s)); h.Write([]byte{0}) }
+	f := func(v float64) {
+		var b [8]byte
+		bits := math.Float64bits(v)
+		for i := range b {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	w(t.Name)
+	w(t.TypeName)
+	f(t.Rows)
+	for _, c := range t.Columns {
+		w(c.Name)
+		f(float64(c.Type))
+		f(float64(c.Size))
+		if c.Nullable {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+		f(c.NullFraction)
+		f(c.Distinct)
+		f(float64(c.Min))
+		f(float64(c.Max))
+		for _, b := range c.Hist {
+			f(b)
+		}
+		if c.Key {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+		w(c.FKRef)
+		for _, p := range c.XMLPath {
+			w(p)
+		}
+		w("|")
+	}
+	for _, e := range t.Parents {
+		w(e.Child)
+		w(e.Parent)
+		w(e.FKColumn)
+		f(e.AvgPerParent)
+	}
+	t.Digest = h.Sum64()
+}
 
 // Column returns the named column, or nil.
 func (t *Table) Column(name string) *Column {

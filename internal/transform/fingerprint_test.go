@@ -20,7 +20,9 @@ func TestTransformsMoveTheFingerprint(t *testing.T) {
 	starts := map[string]func(*xschema.Schema) (*xschema.Schema, error){
 		"outlined": pschema.InitialOutlined,
 		"inlined":  pschema.AllInlined,
-		"initial":  func(s *xschema.Schema) (*xschema.Schema, error) { return pschema.InitialInlined(s, pschema.InlineOptions{}) },
+		"initial": func(s *xschema.Schema) (*xschema.Schema, error) {
+			return pschema.InitialInlined(s, pschema.InlineOptions{})
+		},
 	}
 	opts := transform.Options{
 		Kinds:          transform.AllKinds,

@@ -21,24 +21,40 @@ import (
 //   - returning a whole element expands into one block per relation
 //     reachable from it (publishing, in the style of SilkRoute).
 func Translate(q *Query, s *xschema.Schema, cat *relational.Catalog) (*sqlast.Query, error) {
-	tr := &translator{schema: s, cat: cat}
+	sq, _, err := translateTracked(q, s, cat, false)
+	return sq, err
+}
+
+// TranslateDeps is Translate, additionally reporting every named type
+// the translation examined (looked up in the schema), in first-lookup
+// order. The translation is a deterministic function of the root name,
+// the examined definitions and those types' catalog tables: if all of
+// them are unchanged between two schemas, re-translating yields an
+// identical query with an identical cost. The per-query cost cache in
+// core builds its keys from exactly this dependency list.
+func TranslateDeps(q *Query, s *xschema.Schema, cat *relational.Catalog) (*sqlast.Query, []string, error) {
+	return translateTracked(q, s, cat, true)
+}
+
+func translateTracked(q *Query, s *xschema.Schema, cat *relational.Catalog, track bool) (*sqlast.Query, []string, error) {
+	tr := &translator{schema: s, cat: cat, track: track}
 	base := &context{block: &sqlast.Block{}, vars: map[string]target{}}
 	ctxs, err := tr.applyBindings([]*context{base}, q.Bindings)
 	if err != nil {
-		return nil, fmt.Errorf("xquery: %s: %w", q.Name, err)
+		return nil, nil, fmt.Errorf("xquery: %s: %w", q.Name, err)
 	}
 	ctxs, err = tr.applyWhere(ctxs, q.Where)
 	if err != nil {
-		return nil, fmt.Errorf("xquery: %s: %w", q.Name, err)
+		return nil, nil, fmt.Errorf("xquery: %s: %w", q.Name, err)
 	}
 	blocks, err := tr.processReturn(ctxs, q.Return)
 	if err != nil {
-		return nil, fmt.Errorf("xquery: %s: %w", q.Name, err)
+		return nil, nil, fmt.Errorf("xquery: %s: %w", q.Name, err)
 	}
 	if len(blocks) == 0 {
-		return nil, fmt.Errorf("xquery: %s: no part of the query is answerable on this schema", q.Name)
+		return nil, nil, fmt.Errorf("xquery: %s: no part of the query is answerable on this schema", q.Name)
 	}
-	return &sqlast.Query{Name: q.Name, Blocks: blocks}, nil
+	return &sqlast.Query{Name: q.Name, Blocks: blocks}, tr.deps, nil
 }
 
 // target is a bound node set: rows of one relation, plus the element path
@@ -74,11 +90,36 @@ type translator struct {
 	schema  *xschema.Schema
 	cat     *relational.Catalog
 	aliasNo int
+	// deps records the named types examined during translation (every
+	// schema lookup), in first-lookup order. The list is the
+	// translation's complete read set of the schema: all catalog
+	// accesses use type names that went through lookup first. Dedup is a
+	// linear scan — the list stays small and lookups mostly repeat the
+	// most recent names, which string equality rejects by pointer.
+	deps  []string
+	track bool
 }
 
 func (tr *translator) nextAlias() string {
 	tr.aliasNo++
 	return fmt.Sprintf("t%d", tr.aliasNo)
+}
+
+// lookup resolves a named type, recording it as a dependency.
+func (tr *translator) lookup(name string) (xschema.Type, bool) {
+	if tr.track {
+		seen := false
+		for _, d := range tr.deps {
+			if d == name {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			tr.deps = append(tr.deps, name)
+		}
+	}
+	return tr.schema.Lookup(name)
 }
 
 // resolution is one alternative outcome of resolving a path.
@@ -225,7 +266,7 @@ func (tr *translator) applyMatch(ctx *context, from target, m match, step string
 // contentAt returns the content type reached by following prefix inside
 // the named type's body.
 func (tr *translator) contentAt(typeName string, prefix []string) (xschema.Type, error) {
-	body, ok := tr.schema.Lookup(typeName)
+	body, ok := tr.lookup(typeName)
 	if !ok {
 		return nil, fmt.Errorf("undefined type %q", typeName)
 	}
@@ -333,7 +374,7 @@ func (tr *translator) namedMatches(expr xschema.Type, step string, out *[]match,
 		}
 		seen[t.Name]++
 		defer func() { seen[t.Name]-- }()
-		def, ok := tr.schema.Lookup(t.Name)
+		def, ok := tr.lookup(t.Name)
 		if !ok {
 			return
 		}
@@ -742,7 +783,7 @@ func (tr *translator) collectDescendants(content xschema.Type, chain []string, o
 		}
 		seen[t.Name]++
 		defer func() { seen[t.Name]-- }()
-		def, ok := tr.schema.Lookup(t.Name)
+		def, ok := tr.lookup(t.Name)
 		if !ok {
 			return
 		}

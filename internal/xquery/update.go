@@ -108,16 +108,29 @@ type UpdateTarget struct {
 // returns one target per alternative (union-partitioned types produce
 // several).
 func ResolveUpdate(u *Update, s *xschema.Schema, cat *relational.Catalog) ([]UpdateTarget, error) {
-	tr := &translator{schema: s, cat: cat}
+	targets, _, err := resolveUpdate(u, s, cat, false)
+	return targets, err
+}
+
+// ResolveUpdateDeps is ResolveUpdate, additionally reporting the named
+// types the resolution examined — the same dependency contract as
+// TranslateDeps (update costs are a function of the root name, the
+// examined definitions and their tables).
+func ResolveUpdateDeps(u *Update, s *xschema.Schema, cat *relational.Catalog) ([]UpdateTarget, []string, error) {
+	return resolveUpdate(u, s, cat, true)
+}
+
+func resolveUpdate(u *Update, s *xschema.Schema, cat *relational.Catalog, track bool) ([]UpdateTarget, []string, error) {
+	tr := &translator{schema: s, cat: cat, track: track}
 	// resolvePath records joins in a scratch block; only the reached
 	// targets matter here.
 	base := &context{block: &sqlast.Block{}, vars: map[string]target{}}
 	resolutions, err := tr.resolvePath(base, u.Path)
 	if err != nil {
-		return nil, fmt.Errorf("xquery: update %s: %w", u, err)
+		return nil, nil, fmt.Errorf("xquery: update %s: %w", u, err)
 	}
 	if len(resolutions) == 0 {
-		return nil, fmt.Errorf("xquery: update %s: path matches nothing in the schema", u)
+		return nil, nil, fmt.Errorf("xquery: update %s: path matches nothing in the schema", u)
 	}
 	var out []UpdateTarget
 	for _, r := range resolutions {
@@ -127,7 +140,7 @@ func ResolveUpdate(u *Update, s *xschema.Schema, cat *relational.Catalog) ([]Upd
 		}
 		content, err := tr.contentAt(r.tgt.typeName, r.tgt.prefix)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		var chains [][]string
 		tr.collectDescendants(content, nil, &chains, map[string]int{})
@@ -141,7 +154,7 @@ func ResolveUpdate(u *Update, s *xschema.Schema, cat *relational.Catalog) ([]Upd
 		}
 		out = append(out, ut)
 	}
-	return out, nil
+	return out, tr.deps, nil
 }
 
 // TargetBlock is the executable form of a whole-element target: an SPJ

@@ -85,6 +85,63 @@ func (s *Schema) Fingerprint() Fingerprint {
 	return fp
 }
 
+// TypeDigests returns a shallow digest for every defined type: the hash
+// of the definition body alone, with Ref nodes encoded by target name
+// (never followed). A definition's digest changes exactly when its own
+// body — structure or statistics annotations — changes; rewriting one
+// type leaves every other definition's digest intact. This is the
+// invalidation unit of the incremental evaluation pipeline: the
+// relational mapper memoizes column templates per digest, and the
+// per-query cost cache keys on the digests of the types a translation
+// examined. (Subtree digests would be useless there: every query
+// examines the root type, so any rewrite anywhere would invalidate
+// everything.)
+func (s *Schema) TypeDigests() map[string]Fingerprint {
+	out := make(map[string]Fingerprint, len(s.Types))
+	for name, t := range s.Types {
+		out[name] = typeDigest(t)
+	}
+	return out
+}
+
+// typeDigest hashes one definition body shallowly (Refs by name).
+func typeDigest(t Type) Fingerprint {
+	h := fnv.New128a()
+	var w hashWriter
+	w.w = h
+	// A nil canon map sends every Ref through the by-name ('U') encoding.
+	w.hashType(t, nil)
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
+// NamedDigest is the name-sensitive counterpart of Fingerprint: it
+// hashes the root name, the definition order and every definition with
+// its name (Refs by name). Two schemas with equal NamedDigest render
+// byte-identical String() output and map to byte-identical DDL — which
+// Fingerprint, being alpha-invariant, deliberately does not guarantee.
+// It keys the evaluator's materialized-configuration cache, where the
+// cached catalog's table names must match the requesting schema exactly.
+func (s *Schema) NamedDigest() Fingerprint {
+	h := fnv.New128a()
+	var w hashWriter
+	w.w = h
+	w.str(s.Root)
+	for _, name := range s.Names {
+		w.byte('T')
+		w.str(name)
+		if t, ok := s.Types[name]; ok {
+			w.hashType(t, nil)
+		} else {
+			w.byte('?')
+		}
+	}
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
 // hashWriter serializes type trees into a hash state with an unambiguous
 // tagged encoding (every node writes a kind byte, every variable-length
 // field a length prefix).
@@ -164,9 +221,16 @@ func (w *hashWriter) hashType(t Type, canon map[string]int) {
 			w.hashType(it, canon)
 		}
 	case *Choice:
+		// Union composition without fractions is associative: the uniform
+		// split and every structural consumer (matching, mapping, update
+		// resolution) treat (a | (b | c)) like (a | b | c), so fraction-less
+		// nesting is flattened before hashing — mirroring the sequence
+		// normalization above. Annotated fractions pin the nesting (they
+		// are per-alternative), so fractioned choices hash as-is.
+		alts := FlattenChoice(t)
 		w.byte('C')
-		w.uvarint(uint64(len(t.Alts)))
-		for _, a := range t.Alts {
+		w.uvarint(uint64(len(alts)))
+		for _, a := range alts {
 			w.hashType(a, canon)
 		}
 		w.uvarint(uint64(len(t.Fractions)))
@@ -234,6 +298,48 @@ func flattenSeqItems(items []Type, out []Type) []Type {
 	return out
 }
 
+// FlattenChoice returns the choice's alternatives with nested
+// fraction-less choices spliced into the list (singleton sequence
+// wrappers looked through, like hashType does). A choice that carries
+// fractions keeps its alternatives untouched — the fractions are
+// per-alternative, so its nesting is meaningful. Alternatives are never
+// unwrapped below the splice (a single non-choice alternative stays a
+// one-alternative union: it maps differently from its bare content).
+//
+// The uniform split of the relational mapping's edge walk uses the same
+// flattened view, which is what keeps the fingerprint's associativity
+// normalization cost-sound: two schemas that flatten identically are
+// costed identically.
+func FlattenChoice(t *Choice) []Type {
+	if len(t.Fractions) != 0 {
+		return t.Alts
+	}
+	if !hasNestedChoice(t.Alts) {
+		return t.Alts
+	}
+	return flattenChoiceAlts(t.Alts, make([]Type, 0, len(t.Alts)+2))
+}
+
+func hasNestedChoice(alts []Type) bool {
+	for _, a := range alts {
+		if ch, ok := normalizeSeq(a).(*Choice); ok && len(ch.Fractions) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func flattenChoiceAlts(alts []Type, out []Type) []Type {
+	for _, a := range alts {
+		if ch, ok := normalizeSeq(a).(*Choice); ok && len(ch.Fractions) == 0 {
+			out = flattenChoiceAlts(ch.Alts, out)
+		} else {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // normalizeSeq collapses sequence nesting (and singleton sequences) the
 // same way hashType does, so Equivalent matches Fingerprint.
 func normalizeSeq(t Type) Type {
@@ -248,11 +354,26 @@ func normalizeSeq(t Type) Type {
 	return &Sequence{Items: flat}
 }
 
+// normalizeChoice flattens fraction-less nested choices the same way
+// hashType does, so Equivalent matches Fingerprint.
+func normalizeChoice(t Type) Type {
+	ch, ok := t.(*Choice)
+	if !ok || len(ch.Fractions) != 0 {
+		return t
+	}
+	flat := FlattenChoice(ch)
+	if len(flat) == len(ch.Alts) {
+		return t
+	}
+	return &Choice{Alts: flat}
+}
+
 // equalCanonical compares two type trees including statistics, with Ref
 // targets compared by canonical index (so type names do not matter) and
-// sequence nesting normalized.
+// sequence and fraction-less choice nesting normalized.
 func equalCanonical(a, b Type, amap, bmap map[string]int) bool {
 	a, b = normalizeSeq(a), normalizeSeq(b)
+	a, b = normalizeChoice(a), normalizeChoice(b)
 	switch a := a.(type) {
 	case *Scalar:
 		b, ok := b.(*Scalar)

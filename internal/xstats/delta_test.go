@@ -1,0 +1,135 @@
+package xstats_test
+
+import (
+	"testing"
+
+	"legodb/internal/imdb"
+	"legodb/internal/pschema"
+	"legodb/internal/transform"
+	"legodb/internal/xschema"
+	"legodb/internal/xstats"
+)
+
+// TestAnnotateDeltaMatchesFullWalk drives AnnotateDelta along greedy-like
+// transformation trajectories and checks the hard invariant: a schema
+// re-annotated incrementally must be indistinguishable — per-type digest
+// for per-type digest — from the same schema annotated by a full walk.
+func TestAnnotateDeltaMatchesFullWalk(t *testing.T) {
+	stats := imdb.Stats()
+	for _, start := range []struct {
+		name string
+		make func(*xschema.Schema) (*xschema.Schema, error)
+	}{
+		{"outlined", pschema.InitialOutlined},
+		{"inlined", pschema.AllInlined},
+	} {
+		annotated := imdb.Schema()
+		if err := xstats.Annotate(annotated, stats); err != nil {
+			t.Fatal(err)
+		}
+		base, err := start.make(annotated)
+		if err != nil {
+			t.Fatalf("%s: %v", start.name, err)
+		}
+		memo, err := xstats.AnnotateMemo(base, stats)
+		if err != nil {
+			t.Fatalf("%s: %v", start.name, err)
+		}
+		tropts := transform.Options{Kinds: transform.AllKinds}
+		for iter := 0; iter < 4; iter++ {
+			cands := transform.Candidates(base, tropts)
+			if len(cands) == 0 {
+				break
+			}
+			if len(cands) > 40 {
+				cands = cands[:40]
+			}
+			for _, tr := range cands {
+				viaDelta, err := transform.Apply(base, tr)
+				if err != nil {
+					continue
+				}
+				viaFull, err := transform.Apply(base, tr)
+				if err != nil {
+					t.Fatalf("%s: apply not deterministic for %s", start.name, tr)
+				}
+				if _, err := xstats.AnnotateDelta(viaDelta, stats, memo); err != nil {
+					t.Fatalf("%s/%s: delta: %v", start.name, tr, err)
+				}
+				if err := xstats.Annotate(viaFull, stats); err != nil {
+					t.Fatalf("%s/%s: full: %v", start.name, tr, err)
+				}
+				if !digestsEqual(viaDelta.TypeDigests(), viaFull.TypeDigests()) {
+					t.Fatalf("%s iter %d: delta annotation diverged from full walk after %s\ndelta:\n%s\nfull:\n%s",
+						start.name, iter, tr, viaDelta.String(), viaFull.String())
+				}
+			}
+			// Walk one step: commit the first applicable candidate and
+			// rebuild the memo, as the greedy loop does per iteration.
+			next, err := transform.Apply(base, cands[0])
+			if err != nil {
+				break
+			}
+			if _, err := xstats.AnnotateDelta(next, stats, memo); err != nil {
+				t.Fatal(err)
+			}
+			base = next
+			if memo, err = xstats.AnnotateMemo(base, stats); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestAnnotateDeltaIdempotent: re-annotating an unchanged schema through
+// the delta path must leave every digest alone (everything skippable).
+func TestAnnotateDeltaIdempotent(t *testing.T) {
+	stats := imdb.Stats()
+	annotated := imdb.Schema()
+	if err := xstats.Annotate(annotated, stats); err != nil {
+		t.Fatal(err)
+	}
+	base, err := pschema.InitialOutlined(annotated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo, err := xstats.AnnotateMemo(base, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := base.TypeDigests()
+	if _, err := xstats.AnnotateDelta(base, stats, memo); err != nil {
+		t.Fatal(err)
+	}
+	if !digestsEqual(before, base.TypeDigests()) {
+		t.Fatal("delta re-annotation of an unchanged schema moved a digest")
+	}
+}
+
+// TestAnnotateDeltaNilMemoFallsBack: a nil memo must behave exactly like
+// a full annotation.
+func TestAnnotateDeltaNilMemoFallsBack(t *testing.T) {
+	stats := imdb.Stats()
+	a, b := imdb.Schema(), imdb.Schema()
+	if _, err := xstats.AnnotateDelta(a, stats, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := xstats.Annotate(b, stats); err != nil {
+		t.Fatal(err)
+	}
+	if !digestsEqual(a.TypeDigests(), b.TypeDigests()) {
+		t.Fatal("nil-memo delta diverged from full annotation")
+	}
+}
+
+func digestsEqual(a, b map[string]xschema.Fingerprint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

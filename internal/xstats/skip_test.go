@@ -1,0 +1,49 @@
+package xstats
+
+import (
+	"testing"
+
+	"legodb/internal/xschema"
+)
+
+// TestDeltaActuallySkips is a white-box check that AnnotateDelta's skip
+// machinery engages: on an unchanged schema with independent subtrees,
+// the delta walk must skip (not silently fall back to re-walking
+// everything).
+func TestDeltaActuallySkips(t *testing.T) {
+	s := xschema.MustParseSchema(`
+type Root = r [ A, B ]
+type A = a [ x[ Integer ] ]
+type B = b [ y[ Integer ] ]
+`)
+	set := &Set{}
+	memo, err := AnnotateMemo(s, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &annotator{schema: s, set: set, onStack: map[string]int{},
+		memo:    &Memo{setSig: memo.setSig, visits: map[string][]visitCtx{}},
+		prev:    memo,
+		taint:   map[string]bool{},
+		skipped: map[string]bool{},
+		live:    map[string]bool{}}
+	root, _ := s.Lookup(s.Root)
+	a.walk(root, nil, 1)
+	if !a.skipped["A"] || !a.skipped["B"] {
+		t.Fatalf("clean subtrees not skipped: skipped=%v visits=%v", a.skipped, memo.visits)
+	}
+	// Dirtying B must keep A skippable while B is re-walked.
+	a2 := &annotator{schema: s, set: set, onStack: map[string]int{},
+		memo:    &Memo{setSig: memo.setSig, visits: map[string][]visitCtx{}},
+		prev:    memo,
+		taint:   map[string]bool{"B": true},
+		skipped: map[string]bool{},
+		live:    map[string]bool{}}
+	a2.walk(root, nil, 1)
+	if !a2.skipped["A"] {
+		t.Fatalf("untainted subtree A not skipped: skipped=%v", a2.skipped)
+	}
+	if a2.skipped["B"] || !a2.live["B"] {
+		t.Fatalf("tainted subtree B not re-walked: skipped=%v live=%v", a2.skipped, a2.live)
+	}
+}

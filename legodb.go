@@ -24,6 +24,7 @@ package legodb
 
 import (
 	"fmt"
+	"io"
 
 	"legodb/internal/core"
 	"legodb/internal/dtd"
@@ -175,6 +176,10 @@ type AdviseOptions struct {
 	// DisableCache turns off the engine-wide cost memoization for this
 	// call (every candidate pays a full evaluator pipeline run).
 	DisableCache bool
+	// DisableIncremental turns off the incremental evaluation layers
+	// (delta re-mapping, per-query cost reuse, catalog caching); the
+	// chosen configuration and its cost are identical either way.
+	DisableIncremental bool
 }
 
 // Advice is the outcome of a search: the chosen configuration and the
@@ -198,6 +203,8 @@ func (e *Engine) Advise(opts AdviseOptions) (*Advice, error) {
 		RootCount:      opts.Documents,
 		Workers:        opts.Workers,
 		DisableCache:   opts.DisableCache,
+
+		DisableIncremental: opts.DisableIncremental,
 	}
 	if !opts.DisableCache {
 		copts.Cache = e.cache
@@ -215,6 +222,22 @@ func (e *Engine) Advise(opts AdviseOptions) (*Advice, error) {
 		return nil, err
 	}
 	return &Advice{result: res, stats: e.stats}, nil
+}
+
+// SaveCostCache writes the engine's cost-cache contents to w so a later
+// process can warm up from them (see Engine.LoadCostCache). The format
+// contains only digests and costs — no schema or query text.
+func (e *Engine) SaveCostCache(w io.Writer) error {
+	return e.cache.Save(w)
+}
+
+// LoadCostCache merges a snapshot written by SaveCostCache into the
+// engine's cost cache and returns the number of entries added. Entries
+// only ever match when schema, workload, root count and cost model all
+// digest identically, so loading a stale or foreign snapshot is safe —
+// it just never hits.
+func (e *Engine) LoadCostCache(r io.Reader) (int, error) {
+	return e.cache.Load(r)
 }
 
 // EvaluateFixed costs a fixed named configuration ("all-inlined" or
@@ -309,6 +332,18 @@ func (a *Advice) CacheStats() CacheStats { return a.result.Cache }
 // (relational mapping + workload translation + optimizer costing) the
 // search performed.
 func (a *Advice) EvaluatorCalls() uint64 { return a.result.Evals }
+
+// Translations is the number of query (or update) translate+cost runs
+// the search performed; with incremental evaluation on, workload slots
+// whose dependencies a move left untouched are served from the
+// per-query cost cache instead.
+func (a *Advice) Translations() uint64 { return a.result.Translations }
+
+// QueryCacheStats reports the per-query cost-cache activity of this
+// search (hits avoided a translate+cost run for one workload slot).
+func (a *Advice) QueryCacheStats() (hits, misses uint64) {
+	return a.result.QueryCacheHits, a.result.QueryCacheMisses
+}
 
 // TransformKind re-exports the rewriting families for advanced use.
 type TransformKind = transform.Kind
