@@ -7,6 +7,7 @@ package legodb
 // micro-benchmarks.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -56,7 +57,7 @@ func benchGreedy(b *testing.B, strategy core.Strategy, cache *core.CostCache, in
 			} else {
 				opts.DisableCache = true
 			}
-			res, err := core.GreedySearch(imdb.Schema(), wl, imdb.Stats(), opts)
+			res, err := core.GreedySearch(context.Background(), imdb.Schema(), wl, imdb.Stats(), opts)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -176,7 +177,7 @@ func BenchmarkGreedyIteration(b *testing.B) {
 	wl := imdb.LookupWorkload()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.GreedySearch(schema, wl, stats, core.Options{Strategy: core.GreedySO, MaxIterations: 3}); err != nil {
+		if _, err := core.GreedySearch(context.Background(), schema, wl, stats, core.Options{Strategy: core.GreedySO, MaxIterations: 3}); err != nil {
 			b.Fatal(err)
 		}
 	}

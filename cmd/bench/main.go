@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"legodb/internal/core"
@@ -70,12 +73,12 @@ type report struct {
 // per run (mirroring how cmd/experiments runs them).
 type scenario struct {
 	name string
-	run  func(m *metrics, incremental bool) error
+	run  func(ctx context.Context, m *metrics, incremental bool) error
 }
 
-func searchOnce(m *metrics, wl *xquery.Workload, strategy core.Strategy, cache *core.CostCache, incremental bool) error {
+func searchOnce(ctx context.Context, m *metrics, wl *xquery.Workload, strategy core.Strategy, cache *core.CostCache, incremental bool) error {
 	start := time.Now()
-	res, err := core.GreedySearch(imdb.Schema(), wl, imdb.Stats(), core.Options{
+	res, err := core.GreedySearch(ctx, imdb.Schema(), wl, imdb.Stats(), core.Options{
 		Strategy: strategy, Cache: cache, DisableIncremental: !incremental,
 	})
 	if err != nil {
@@ -91,11 +94,11 @@ func scenarios() []scenario {
 			// Figure 10: greedy-so and greedy-si on the lookup and
 			// publish workloads, one shared cache.
 			name: "fig10",
-			run: func(m *metrics, incremental bool) error {
+			run: func(ctx context.Context, m *metrics, incremental bool) error {
 				cache := core.NewCostCache(0)
 				for _, wl := range []func() *xquery.Workload{imdb.LookupWorkload, imdb.PublishWorkload} {
 					for _, strategy := range []core.Strategy{core.GreedySO, core.GreedySI} {
-						if err := searchOnce(m, wl(), strategy, cache, incremental); err != nil {
+						if err := searchOnce(ctx, m, wl(), strategy, cache, incremental); err != nil {
 							return err
 						}
 					}
@@ -108,11 +111,11 @@ func scenarios() []scenario {
 			// sweep — 14 greedy-si searches over overlapping mixed
 			// workloads, one shared cache.
 			name: "fig11",
-			run: func(m *metrics, incremental bool) error {
+			run: func(ctx context.Context, m *metrics, incremental bool) error {
 				cache := core.NewCostCache(0)
 				ks := []float64{0.25, 0.5, 0.75, 0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 				for _, k := range ks {
-					if err := searchOnce(m, imdb.MixedWorkload(k), core.GreedySI, cache, incremental); err != nil {
+					if err := searchOnce(ctx, m, imdb.MixedWorkload(k), core.GreedySI, cache, incremental); err != nil {
 						return err
 					}
 				}
@@ -122,9 +125,9 @@ func scenarios() []scenario {
 		{
 			// Beam search (width 3) on the lookup workload.
 			name: "beam-lookup",
-			run: func(m *metrics, incremental bool) error {
+			run: func(ctx context.Context, m *metrics, incremental bool) error {
 				start := time.Now()
-				res, err := core.BeamSearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), core.BeamOptions{
+				res, err := core.BeamSearch(ctx, imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), core.BeamOptions{
 					Options: core.Options{
 						Strategy: core.GreedySO, Cache: core.NewCostCache(0), DisableIncremental: !incremental,
 					},
@@ -146,6 +149,11 @@ func main() {
 	only := flag.String("only", "", "run only the named scenario")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	// An interrupt cancels the in-flight search; partially measured
+	// scenarios are abandoned rather than reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -171,7 +179,7 @@ func main() {
 		for _, incremental := range []bool{false, true} {
 			var m metrics
 			for r := 0; r < *runs; r++ {
-				if err := sc.run(&m, incremental); err != nil {
+				if err := sc.run(ctx, &m, incremental); err != nil {
 					fmt.Fprintf(os.Stderr, "bench: %s: %v\n", sc.name, err)
 					os.Exit(1)
 				}

@@ -10,14 +10,29 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
+	"time"
 
 	"legodb/internal/experiments"
+)
+
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 the
+// -timeout deadline expired (or the run was interrupted) before every
+// requested experiment finished.
+const (
+	exitOK       = 0
+	exitRuntime  = 1
+	exitUsage    = 2
+	exitDeadline = 3
 )
 
 func main() {
@@ -32,14 +47,28 @@ func run() int {
 	nocache := flag.Bool("nocache", false, "disable the shared cost cache (every configuration pays a full evaluation)")
 	noincremental := flag.Bool("noincremental", false, "disable incremental candidate evaluation (delta re-mapping, per-query cost reuse, catalog caching)")
 	maxiter := flag.Int("maxiter", 0, "bound search iterations per experiment (0 = until convergence); for smoke runs")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); expired searches report their anytime best-so-far")
 	cachestats := flag.Bool("cachestats", false, "print cost-cache hit/miss counters to stderr after each experiment")
-	cachefile := flag.String("cachefile", "", "cost-cache snapshot file: loaded before the runs, saved back after")
+	cachefile := flag.String("cachefile", "", "cost-cache snapshot file: loaded before the runs, saved back after; a corrupt file is quarantined and the runs continue cold")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
-		return 0
+		return exitOK
+	}
+	switch *format {
+	case "text", "csv", "markdown":
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown -format %q (want text, csv, or markdown)\n", *format)
+		return exitUsage
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	experiments.EnableCache(!*nocache)
 	experiments.EnableIncremental(!*noincremental)
@@ -48,12 +77,12 @@ func run() int {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
-			return 1
+			return exitRuntime
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
-			return 1
+			return exitRuntime
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -72,12 +101,15 @@ func run() int {
 		}()
 	}
 	if *cachefile != "" {
-		n, err := experiments.LoadCacheFile(*cachefile)
+		// A load failure is never fatal: a corrupt snapshot has been
+		// quarantined (warning), and any other failure just means the
+		// runs start with a cold cache.
+		n, warning, err := experiments.LoadCacheFile(*cachefile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: -cachefile: %v\n", err)
-			return 1
-		}
-		if *cachestats && n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: warning: -cachefile %s: %v (continuing with a cold cache)\n", *cachefile, err)
+		} else if warning != "" {
+			fmt.Fprintf(os.Stderr, "experiments: warning: %s\n", warning)
+		} else if *cachestats && n > 0 {
 			fmt.Fprintf(os.Stderr, "experiments: loaded %d cached costs from %s\n", n, *cachefile)
 		}
 		defer func() {
@@ -91,13 +123,24 @@ func run() int {
 		names = experiments.Names()
 	}
 	failed := false
+	expired := false
 	for _, name := range names {
 		before := experiments.CacheStats()
-		tbl, err := experiments.Run(name)
+		tbl, err := experiments.RunContext(ctx, name)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "experiments: %s: stopped early: %v\n", name, err)
+				expired = true
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			failed = true
 			continue
+		}
+		if ctx.Err() != nil {
+			// The experiment finished on anytime best-so-far results;
+			// flag the truncation but still print what it produced.
+			expired = true
 		}
 		if *cachestats {
 			st := experiments.CacheStats().Sub(before)
@@ -115,9 +158,21 @@ func run() int {
 		}
 	}
 	if failed {
-		return 1
+		return exitRuntime
 	}
-	return 0
+	if expired {
+		fmt.Fprintf(os.Stderr, "experiments: run truncated by -timeout %s or interrupt; results above are anytime best-so-far\n",
+			timeoutString(*timeout))
+		return exitDeadline
+	}
+	return exitOK
+}
+
+func timeoutString(d time.Duration) string {
+	if d <= 0 {
+		return "(none)"
+	}
+	return d.String()
 }
 
 func hitRate(hits, misses uint64) float64 {

@@ -28,6 +28,14 @@ func main() {
 		stats   = flag.Bool("stats", false, "print collected statistics instead of the document")
 	)
 	flag.Parse()
+	if *shows <= 0 {
+		fmt.Fprintf(os.Stderr, "imdbgen: -shows must be positive (got %d)\n", *shows)
+		os.Exit(2)
+	}
+	if *nytFrac < 0 || *nytFrac > 1 {
+		fmt.Fprintf(os.Stderr, "imdbgen: -nyt must be in [0,1] (got %g)\n", *nytFrac)
+		os.Exit(2)
+	}
 	doc := imdb.Generate(imdb.GenOptions{Shows: *shows, Seed: *seed, NYTFraction: *nytFrac})
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()

@@ -21,17 +21,35 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"legodb"
 	"legodb/internal/imdb"
 )
 
+// Exit codes: scripts distinguish bad invocations from runtime failures
+// and from searches truncated by the -timeout deadline (which still
+// print their anytime best-so-far result).
+const (
+	exitOK       = 0
+	exitRuntime  = 1
+	exitUsage    = 2
+	exitDeadline = 3
+)
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		schemaPath = flag.String("schema", "", "XML Schema file (algebra notation, or a DTD when the file ends in .dtd); empty = embedded IMDB schema")
 		statsPath  = flag.String("stats", "", "statistics file (Appendix A notation); empty with -schema unset = embedded IMDB statistics")
@@ -41,27 +59,39 @@ func main() {
 		beam       = flag.Int("beam", 0, "beam width (>1 switches from greedy to beam search)")
 		threshold  = flag.Float64("threshold", 0, "stop when an iteration improves cost by less than this fraction")
 		maxIter    = flag.Int("max-iterations", 0, "bound the greedy loop (0 = until convergence)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the search (0 = none); on expiry the best configuration found so far is printed and the exit code is 3")
+		maxEvals   = flag.Int("max-evaluations", 0, "bound the number of candidate configurations costed (0 = unbounded); anytime like -timeout")
 		showSQL    = flag.Bool("sql", false, "print the translated SQL workload")
 		showTrace  = flag.Bool("trace", true, "print the search trace")
 		loadPath   = flag.String("load", "", "XML document to shred into the chosen configuration")
 		queryText  = flag.String("query", "", "XQuery to execute against the loaded store")
 		paramList  = flag.String("params", "", "query parameters: c1=value,c2=value")
-		cacheFile  = flag.String("cachefile", "", "cost-cache snapshot file: loaded before the search, saved back after")
+		cacheFile  = flag.String("cachefile", "", "cost-cache snapshot file: loaded before the search, saved back after; a corrupt file is quarantined and the run continues cold")
 	)
 	flag.Parse()
 
+	// Interrupts cancel the search gracefully: the best configuration
+	// found so far is still printed (anytime semantics).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	eng, err := buildEngine(*schemaPath, *statsPath, *wkldPath, *preset)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "legodb:", err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "legodb: %v\n", err)
+		return exitUsage
 	}
 	if *cacheFile != "" {
-		if err := loadCacheFile(eng, *cacheFile); err != nil {
-			fmt.Fprintln(os.Stderr, "legodb:", err)
-			os.Exit(1)
+		if warning, err := loadCacheFile(eng, *cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "legodb: %v\n", err)
+			return exitRuntime
+		} else if warning != "" {
+			fmt.Fprintf(os.Stderr, "legodb: warning: %s\n", warning)
 		}
 	}
-	opts := legodb.AdviseOptions{Threshold: *threshold, MaxIterations: *maxIter, BeamWidth: *beam}
+	opts := legodb.AdviseOptions{
+		Threshold: *threshold, MaxIterations: *maxIter, BeamWidth: *beam,
+		Timeout: *timeout, MaxEvaluations: *maxEvals,
+	}
 	switch *strategy {
 	case "greedy-so":
 		opts.Strategy = legodb.GreedySO
@@ -72,17 +102,17 @@ func main() {
 		opts.WildcardLabels = map[string]float64{"nyt": 0.25}
 	default:
 		fmt.Fprintf(os.Stderr, "legodb: unknown strategy %q\n", *strategy)
-		os.Exit(2)
+		return exitUsage
 	}
-	advice, err := eng.Advise(opts)
+	advice, err := eng.AdviseContext(ctx, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "legodb:", err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "legodb: %v\n", err)
+		return exitRuntime
 	}
 	if *cacheFile != "" {
-		if err := saveCacheFile(eng, *cacheFile); err != nil {
-			fmt.Fprintln(os.Stderr, "legodb:", err)
-			os.Exit(1)
+		if err := eng.SaveCostCacheFile(*cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "legodb: cachefile %s: %v\n", *cacheFile, err)
+			return exitRuntime
 		}
 	}
 	if *showTrace {
@@ -101,47 +131,29 @@ func main() {
 	}
 	if *loadPath != "" || *queryText != "" {
 		if err := runStore(advice, *loadPath, *queryText, *paramList); err != nil {
-			fmt.Fprintln(os.Stderr, "legodb:", err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "legodb: %v\n", err)
+			return exitRuntime
 		}
 	}
+	if rep := advice.Report(); rep.Stop.Interrupted() {
+		fmt.Fprintf(os.Stderr, "legodb: search stopped early (%s) after %s: result is the best of %d evaluated candidates\n",
+			rep.Stop, rep.Elapsed.Round(time.Millisecond), rep.Evaluated)
+		return exitDeadline
+	}
+	return exitOK
 }
 
-// loadCacheFile warms the engine's cost cache from a snapshot written by
-// an earlier run; a missing file is fine (this run will create it).
-func loadCacheFile(eng *legodb.Engine, path string) error {
-	f, err := os.Open(path)
+// loadCacheFile warms the engine's cost cache from a snapshot written
+// by an earlier run. A missing file is fine (this run will create it);
+// a corrupt file is quarantined and reported as a warning — the run
+// continues with a cold cache rather than failing.
+func loadCacheFile(eng *legodb.Engine, path string) (warning string, err error) {
+	n, warning, err := eng.LoadCostCacheFile(path)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return err
+		return "", fmt.Errorf("cachefile %s: %w", path, err)
 	}
-	defer f.Close()
-	if _, err := eng.LoadCostCache(f); err != nil {
-		return fmt.Errorf("cachefile %s: %w", path, err)
-	}
-	return nil
-}
-
-// saveCacheFile writes the engine's cost cache back to the snapshot file
-// (atomically, via a sibling temp file).
-func saveCacheFile(eng *legodb.Engine, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := eng.SaveCostCache(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	_ = n
+	return warning, nil
 }
 
 // runStore instantiates the advised configuration, loads a document and

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"legodb/internal/imdb"
+	"legodb/internal/pschema"
+	"legodb/internal/xquery"
+)
+
+// amplifiedLookup replicates the lookup workload's entries many times
+// over, making every candidate evaluation deterministically slow enough
+// that a short timer reliably lands mid-iteration (the weighted-average
+// cost is unchanged — only the work per evaluation grows).
+func amplifiedLookup(factor int) *xquery.Workload {
+	base := imdb.LookupWorkload()
+	w := &xquery.Workload{}
+	for i := 0; i < factor; i++ {
+		for _, e := range base.Entries {
+			w.Add(e.Query, e.Weight)
+		}
+	}
+	return w
+}
+
+// TestCancelMidSearchReturnsBestSoFar: cancelling the context while a
+// Workers:8 search is in flight must return the best configuration
+// found so far (not an error), report the cancellation, and leave no
+// worker goroutines behind. The initial cost is pre-warmed into the
+// cache so the cancellation always lands in candidate evaluation, never
+// in the (pre-anytime) initial one.
+func TestCancelMidSearchReturnsBestSoFar(t *testing.T) {
+	wkld := amplifiedLookup(50)
+	cache := NewCostCache(0)
+	warmInitialCost(t, GreedySO, wkld, cache)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	res, err := GreedySearch(ctx, imdb.Schema(), wkld, imdb.Stats(), Options{
+		Strategy: GreedySO, Workers: 8, Cache: cache, DisableIncremental: true,
+	})
+	if err != nil {
+		t.Fatalf("cancelled search returned error instead of best-so-far: %v", err)
+	}
+	if res.Report.Stop != StopCancelled {
+		t.Fatalf("stop = %s, want %s", res.Report.Stop, StopCancelled)
+	}
+	if !res.Report.Stop.Interrupted() {
+		t.Fatal("StopCancelled must report Interrupted")
+	}
+	if res.Best.Schema == nil || res.Best.Catalog == nil {
+		t.Fatal("best-so-far configuration is incomplete")
+	}
+	if err := pschema.Check(res.Best.Schema); err != nil {
+		t.Fatalf("best-so-far schema not physical: %v", err)
+	}
+	if res.Best.Cost > res.InitialCost {
+		t.Fatalf("best-so-far cost %.1f worse than initial %.1f", res.Best.Cost, res.InitialCost)
+	}
+	// The worker pool must drain: no goroutine leak once the search
+	// returns (settle loop tolerates scheduler lag).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutine leak after cancelled search: %d before, %d after", before, g)
+	}
+}
+
+// TestBudgetIsAnytimeAndMonotone: Options.Budget bounds the candidate
+// evaluations (anytime stop, not an error), and with Workers:1 —
+// deterministic evaluation order, so a smaller budget's evaluations are
+// a prefix of a larger one's — the final cost is monotone non-increasing
+// in the budget.
+func TestBudgetIsAnytimeAndMonotone(t *testing.T) {
+	budgets := []int{4, 16, 64, 256}
+	prev := -1.0
+	for i, b := range budgets {
+		res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+			Strategy: GreedySO, Workers: 1, Budget: b, DisableCache: true,
+		})
+		if err != nil {
+			t.Fatalf("budget %d: %v", b, err)
+		}
+		if res.Report.Evaluated > int64(b) {
+			t.Fatalf("budget %d: evaluated %d candidates", b, res.Report.Evaluated)
+		}
+		if res.Report.Stop != StopBudget && res.Report.Stop != StopConverged {
+			t.Fatalf("budget %d: stop = %s", b, res.Report.Stop)
+		}
+		if err := pschema.Check(res.Best.Schema); err != nil {
+			t.Fatalf("budget %d: best schema not physical: %v", b, err)
+		}
+		if i == 0 && res.Report.Stop != StopBudget {
+			t.Fatalf("budget %d did not interrupt the search (stop = %s)", b, res.Report.Stop)
+		}
+		if i > 0 && res.Best.Cost > prev {
+			t.Fatalf("cost not monotone in budget: %.4f at budget %d, %.4f at budget %d",
+				prev, budgets[i-1], res.Best.Cost, b)
+		}
+		prev = res.Best.Cost
+	}
+}
+
+// TestDeadlineStopsSearch: Options.Deadline bounds the wall clock and
+// reports StopDeadline with a usable best-so-far. The amplified
+// workload makes convergence take far longer than the deadline, so the
+// deadline is guaranteed to be what stops the search.
+func TestDeadlineStopsSearch(t *testing.T) {
+	wkld := amplifiedLookup(50)
+	cache := NewCostCache(0)
+	warmInitialCost(t, GreedySO, wkld, cache)
+	res, err := GreedySearch(context.Background(), imdb.Schema(), wkld, imdb.Stats(), Options{
+		Strategy: GreedySO, Workers: 4, Deadline: 50 * time.Millisecond,
+		Cache: cache, DisableIncremental: true,
+	})
+	if err != nil {
+		t.Fatalf("deadline-bounded search returned error instead of best-so-far: %v", err)
+	}
+	if res.Report.Stop != StopDeadline {
+		t.Fatalf("stop = %s, want %s", res.Report.Stop, StopDeadline)
+	}
+	if res.Report.Elapsed > 10*time.Second {
+		t.Fatalf("deadline did not bound the search: elapsed %s", res.Report.Elapsed)
+	}
+	if err := pschema.Check(res.Best.Schema); err != nil {
+		t.Fatalf("best-so-far schema not physical: %v", err)
+	}
+}
+
+// TestExpiredContextBeforeInitialEvaluationIsError: with no best-so-far
+// to fall back on, a context dead on arrival is a genuine error.
+func TestExpiredContextBeforeInitialEvaluationIsError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := GreedySearch(ctx, imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+		Strategy: GreedySO, DisableCache: true,
+	})
+	if err == nil {
+		t.Fatal("search with a pre-cancelled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+}
+
+// TestBeamSearchBudgetIsAnytime: the beam search honors the same budget
+// machinery as the greedy loop.
+func TestBeamSearchBudgetIsAnytime(t *testing.T) {
+	res, err := BeamSearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), BeamOptions{
+		Options: Options{Strategy: GreedySO, Workers: 2, Budget: 8, DisableCache: true},
+		Width:   2,
+	})
+	if err != nil {
+		t.Fatalf("budget-bounded beam search returned error: %v", err)
+	}
+	if res.Report.Evaluated > 8 {
+		t.Fatalf("evaluated %d candidates over budget 8", res.Report.Evaluated)
+	}
+	if res.Report.Stop != StopBudget {
+		t.Fatalf("stop = %s, want %s", res.Report.Stop, StopBudget)
+	}
+	if err := pschema.Check(res.Best.Schema); err != nil {
+		t.Fatalf("best-so-far schema not physical: %v", err)
+	}
+}

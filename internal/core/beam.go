@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,7 +43,10 @@ type BeamOptions struct {
 // each level. Candidate configurations of one level are evaluated by the
 // same Workers-bounded pool as the greedy search, with deterministic
 // outcome (level candidates sort stably by cost in generation order).
-func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set, opts BeamOptions) (*Result, error) {
+// Like GreedySearch it is an anytime procedure: cancellation, the
+// deadline and the evaluation budget stop it with the best
+// configuration found so far and a SearchReport, not an error.
+func BeamSearch(ctx context.Context, schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set, opts BeamOptions) (*Result, error) {
 	if len(wkld.Entries) == 0 && len(wkld.Updates) == 0 {
 		return nil, fmt.Errorf("core: empty workload")
 	}
@@ -51,6 +56,9 @@ func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set
 	if opts.MaxLevels <= 0 {
 		opts.MaxLevels = 64
 	}
+	ctx, cancel := opts.searchContext(ctx)
+	defer cancel()
+	started := time.Now()
 	annotated := schema.Clone()
 	if stats != nil {
 		if err := xstats.Annotate(annotated, stats); err != nil {
@@ -69,10 +77,11 @@ func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set
 	eval := &Evaluator{Workload: wkld, RootCount: rootCount, Model: opts.Model, Cache: cache,
 		DisableIncremental: opts.DisableIncremental}
 	cacheStart := cache.Stats()
-	initial, _, err := eval.EvaluateCached(ps)
+	initial, _, err := eval.EvaluateCached(ctx, ps)
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluate initial schema: %w", err)
 	}
+	st := newSearchState(ctx, opts.Budget)
 	result := &Result{InitialCost: initial.Cost, Strategy: opts.Strategy}
 	tropts := transform.Options{Kinds: opts.kinds(), WildcardLabels: opts.WildcardLabels}
 
@@ -80,27 +89,34 @@ func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set
 	best := initial
 	seen := map[xschema.Fingerprint]bool{ps.Fingerprint(): true}
 
+	stop := StopMaxLevels
 	for level := 0; level < opts.MaxLevels; level++ {
+		if err := ctx.Err(); err != nil {
+			stop = st.stopFor(err)
+			break
+		}
+		if st.exhausted() {
+			stop = StopBudget
+			break
+		}
 		start := time.Now()
 		// Expand the beam: apply every transformation, deduplicate by
 		// canonical fingerprint, then cost the distinct schemas in
-		// parallel.
+		// parallel. A panicking transformation skips that expansion only.
 		var nextSchemas []*xschema.Schema
 		for _, cfg := range beam {
 			for _, tr := range transform.Candidates(cfg.Schema, tropts) {
-				next, err := transform.Apply(cfg.Schema, tr)
-				if err != nil {
-					continue
+				if next := expandOne(st, cfg.Schema, tr); next != nil {
+					fp := next.Fingerprint()
+					if seen[fp] {
+						continue
+					}
+					seen[fp] = true
+					nextSchemas = append(nextSchemas, next)
 				}
-				fp := next.Fingerprint()
-				if seen[fp] {
-					continue
-				}
-				seen[fp] = true
-				nextSchemas = append(nextSchemas, next)
 			}
 		}
-		results, hits, misses := evaluateSchemas(nextSchemas, eval, opts.Workers)
+		results, hits, misses := evaluateSchemas(st, nextSchemas, eval, opts.Workers)
 		var candidates []Config
 		for _, cfg := range results {
 			if cfg != nil {
@@ -108,6 +124,14 @@ func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set
 			}
 		}
 		if len(candidates) == 0 {
+			switch {
+			case ctx.Err() != nil:
+				stop = st.stopFor(ctx.Err())
+			case st.exhausted():
+				stop = StopBudget
+			default:
+				stop = StopConverged
+			}
 			break
 		}
 		expansions := len(candidates)
@@ -128,6 +152,7 @@ func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set
 				CacheMisses: misses,
 			})
 			if opts.Threshold > 0 && (prev-best.Cost)/prev < opts.Threshold {
+				stop = StopThreshold
 				break
 			}
 		}
@@ -135,15 +160,18 @@ func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set
 		// climb out of a plateau), but stop once the whole level is worse
 		// than the best by a wide margin.
 		if !improved && candidates[0].Cost > best.Cost*1.5 {
+			stop = StopConverged
 			break
 		}
 		beam = candidates
 	}
-	// Cache hits carry only schema and cost; derive the winning catalog.
-	result.Best, err = eval.Materialize(best)
+	// Cache hits carry only schema and cost; derive the winning catalog,
+	// detached from the (possibly expired) search context.
+	result.Best, err = eval.Materialize(context.Background(), best)
 	if err != nil {
 		return nil, fmt.Errorf("core: materialize best: %w", err)
 	}
+	result.Report = st.report(stop, len(result.Trace), eval, time.Since(started))
 	result.Cache = cache.Stats().Sub(cacheStart)
 	result.Evals = eval.Evals()
 	result.Translations = eval.Translations()
@@ -151,23 +179,34 @@ func BeamSearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set
 	return result, nil
 }
 
+// expandOne applies a single beam expansion with the same fault
+// isolation as candidate evaluation: errors and panics convert to a
+// recorded CandidateError and a skipped expansion.
+func expandOne(st *searchState, base *xschema.Schema, tr transform.Transformation) (out *xschema.Schema) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.recordPanic(tr.String(), "apply", r, debug.Stack())
+			out = nil
+		}
+	}()
+	next, err := transform.Apply(base, tr)
+	if err != nil {
+		st.recordError(tr.String(), "apply", err)
+		return nil
+	}
+	return next
+}
+
 // evaluateSchemas costs a batch of already-applied schemas, fanning out
-// across workers like evaluateCandidates. Unanswerable schemas are nil in
-// the indexed result slice.
-func evaluateSchemas(schemas []*xschema.Schema, eval *Evaluator, workers int) ([]*Config, int, int) {
+// across workers like evaluateCandidates. Unanswerable schemas are nil
+// in the indexed result slice; a panicking evaluation is recorded and
+// skipped without wedging the pool, and cancellation stops the dispatch
+// loop.
+func evaluateSchemas(st *searchState, schemas []*xschema.Schema, eval *Evaluator, workers int) ([]*Config, int, int) {
 	results := make([]*Config, len(schemas))
 	var hits, misses atomic.Int64
 	evalAt := func(i int) {
-		cfg, hit, err := eval.EvaluateCached(schemas[i])
-		if err != nil {
-			return
-		}
-		if hit {
-			hits.Add(1)
-		} else {
-			misses.Add(1)
-		}
-		results[i] = &cfg
+		results[i] = evaluateSchema(st, schemas[i], eval, &hits, &misses)
 	}
 	if workers == 1 || len(schemas) <= 1 {
 		for i := range schemas {
@@ -192,10 +231,44 @@ func evaluateSchemas(schemas []*xschema.Schema, eval *Evaluator, workers int) ([
 			}
 		}()
 	}
+	done := st.ctx.Done()
+dispatch:
 	for i := range schemas {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			st.skipped.Add(int64(len(schemas) - i))
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
 	return results, int(hits.Load()), int(misses.Load())
+}
+
+// evaluateSchema costs one already-applied schema under the search
+// state's budget and panic isolation.
+func evaluateSchema(st *searchState, ps *xschema.Schema, eval *Evaluator, hits, misses *atomic.Int64) (out *Config) {
+	if !st.take() {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			st.recordPanic("beam expansion", "evaluate", r, debug.Stack())
+			out = nil
+		}
+	}()
+	cfg, hit, err := eval.EvaluateCached(st.ctx, ps)
+	if err != nil {
+		if st.ctx.Err() == nil {
+			st.recordError("beam expansion", "evaluate", err)
+		}
+		return nil
+	}
+	if hit {
+		hits.Add(1)
+	} else {
+		misses.Add(1)
+	}
+	return &cfg
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"legodb/internal/imdb"
@@ -14,11 +15,11 @@ func TestBeamSearchNeverWorseThanGreedy(t *testing.T) {
 		w    *xquery.Workload
 	}{{"lookup", imdb.LookupWorkload()}, {"publish", imdb.PublishWorkload()}} {
 		t.Run(wl.name, func(t *testing.T) {
-			greedy, err := GreedySearch(imdb.Schema(), wl.w, imdb.Stats(), Options{Strategy: GreedySO})
+			greedy, err := GreedySearch(context.Background(), imdb.Schema(), wl.w, imdb.Stats(), Options{Strategy: GreedySO})
 			if err != nil {
 				t.Fatal(err)
 			}
-			beam, err := BeamSearch(imdb.Schema(), wl.w, imdb.Stats(), BeamOptions{
+			beam, err := BeamSearch(context.Background(), imdb.Schema(), wl.w, imdb.Stats(), BeamOptions{
 				Options: Options{Strategy: GreedySO},
 				Width:   3,
 			})
@@ -37,11 +38,11 @@ func TestBeamSearchNeverWorseThanGreedy(t *testing.T) {
 
 func TestBeamWidthOneMatchesGreedyCost(t *testing.T) {
 	w := imdb.PublishWorkload()
-	greedy, err := GreedySearch(imdb.Schema(), w, imdb.Stats(), Options{Strategy: GreedySI})
+	greedy, err := GreedySearch(context.Background(), imdb.Schema(), w, imdb.Stats(), Options{Strategy: GreedySI})
 	if err != nil {
 		t.Fatal(err)
 	}
-	beam, err := BeamSearch(imdb.Schema(), w, imdb.Stats(), BeamOptions{
+	beam, err := BeamSearch(context.Background(), imdb.Schema(), w, imdb.Stats(), BeamOptions{
 		Options: Options{Strategy: GreedySI},
 		Width:   1,
 	})
@@ -57,7 +58,7 @@ func TestBeamWidthOneMatchesGreedyCost(t *testing.T) {
 }
 
 func TestBeamTraceMonotone(t *testing.T) {
-	res, err := BeamSearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), BeamOptions{
+	res, err := BeamSearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), BeamOptions{
 		Options: Options{Strategy: GreedySO},
 		Width:   2,
 	})
@@ -74,7 +75,7 @@ func TestBeamTraceMonotone(t *testing.T) {
 }
 
 func TestBeamEmptyWorkloadRejected(t *testing.T) {
-	if _, err := BeamSearch(imdb.Schema(), &xquery.Workload{}, imdb.Stats(), BeamOptions{}); err == nil {
+	if _, err := BeamSearch(context.Background(), imdb.Schema(), &xquery.Workload{}, imdb.Stats(), BeamOptions{}); err == nil {
 		t.Fatal("empty workload accepted")
 	}
 }
@@ -141,14 +142,14 @@ func TestUpdateHeavyWorkloadChangesSearchOutcome(t *testing.T) {
 	// should produce configurations with different table counts: inserts
 	// penalize fragmentation.
 	queriesOnly := imdb.LookupWorkload()
-	resQ, err := GreedySearch(imdb.Schema(), queriesOnly, imdb.Stats(), Options{Strategy: GreedySO})
+	resQ, err := GreedySearch(context.Background(), imdb.Schema(), queriesOnly, imdb.Stats(), Options{Strategy: GreedySO})
 	if err != nil {
 		t.Fatal(err)
 	}
 	withUpdates := imdb.LookupWorkload()
 	withUpdates.AddUpdate(xquery.MustParseUpdate("INSERT imdb/show"), 40)
 	withUpdates.AddUpdate(xquery.MustParseUpdate("INSERT imdb/actor"), 40)
-	resU, err := GreedySearch(imdb.Schema(), withUpdates, imdb.Stats(), Options{Strategy: GreedySO})
+	resU, err := GreedySearch(context.Background(), imdb.Schema(), withUpdates, imdb.Stats(), Options{Strategy: GreedySO})
 	if err != nil {
 		t.Fatal(err)
 	}

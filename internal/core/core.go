@@ -4,11 +4,24 @@
 // schema transformation that lowers the estimated workload cost the most,
 // using the relational optimizer as the cost oracle, until no
 // transformation improves the configuration.
+//
+// The search is an anytime procedure, as the paper requires of a search
+// over an in-principle unbounded transformation space: it honors
+// context cancellation, a wall-clock deadline (Options.Deadline) and an
+// evaluation budget (Options.Budget), and on any of them returns the
+// best configuration found so far together with a SearchReport saying
+// why it stopped. Candidate evaluations are fault-isolated: a panic or
+// error in one candidate's pipeline is recorded as a CandidateError and
+// the candidate skipped — it never aborts the search or wedges the
+// worker pool.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +80,16 @@ type Options struct {
 	Threshold float64
 	// MaxIterations bounds the loop (0 = unbounded).
 	MaxIterations int
+	// Deadline bounds the search's wall-clock time (0 = none). On
+	// expiry the search stops dispatching candidates and returns the
+	// best configuration found so far with Report.Stop = StopDeadline —
+	// anytime semantics, not an error. A tighter deadline on the
+	// caller's context wins.
+	Deadline time.Duration
+	// Budget bounds the number of candidate evaluations (cache hits
+	// included; 0 = unbounded). Like Deadline, exhausting it is an
+	// anytime stop (StopBudget), not an error.
+	Budget int
 	// RootCount is the number of stored documents (default 1).
 	RootCount float64
 	// Model overrides the optimizer cost model when non-nil.
@@ -110,6 +133,18 @@ func (o *Options) searchCache() *CostCache {
 		return nil
 	}
 	return NewCostCache(0)
+}
+
+// searchContext derives the search's context from the caller's: nil is
+// promoted to Background, and Options.Deadline attaches a timeout.
+func (o *Options) searchContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Deadline > 0 {
+		return context.WithTimeout(ctx, o.Deadline)
+	}
+	return context.WithCancel(ctx)
 }
 
 func (o *Options) kinds() []transform.Kind {
@@ -156,6 +191,9 @@ type Result struct {
 	InitialCost float64
 	Trace       []Iteration
 	Strategy    Strategy
+	// Report says why the search stopped and what it skipped or
+	// recovered from along the way.
+	Report SearchReport
 	// Cache is the cost-cache activity observed during this search (the
 	// delta when the cache is shared with other searches).
 	Cache CacheStats
@@ -196,6 +234,7 @@ type Evaluator struct {
 	// Incremental-layer state (see incremental.go).
 	translations   atomic.Uint64
 	qhits, qmisses atomic.Uint64
+	memoFalls      atomic.Uint64
 	mapperOnce     sync.Once
 	mapper         *relational.Mapper
 	qdigOnce       sync.Once
@@ -219,6 +258,10 @@ func (e *Evaluator) QueryCacheStats() (hits, misses uint64) {
 	return e.qhits.Load(), e.qmisses.Load()
 }
 
+// MemoFallbacks returns how many incremental evaluations detected an
+// inconsistent memo state and fell back to the full pipeline.
+func (e *Evaluator) MemoFallbacks() uint64 { return e.memoFalls.Load() }
+
 // cacheKey builds the cache key for a p-schema, computing the workload
 // and model digests once per evaluator.
 func (e *Evaluator) cacheKey(ps *xschema.Schema) CacheKey {
@@ -234,18 +277,29 @@ func (e *Evaluator) cacheKey(ps *xschema.Schema) CacheKey {
 // configuration. By default the incremental layers reuse unchanged
 // per-definition column templates and per-query costs from earlier
 // evaluations of this evaluator (byte-identical outcome, see
-// incremental.go); DisableIncremental selects the full pipeline.
-func (e *Evaluator) Evaluate(ps *xschema.Schema) (Config, error) {
+// incremental.go); DisableIncremental selects the full pipeline. An
+// incremental evaluation that detects an inconsistent memo state falls
+// back to the full pipeline instead of trusting it (counted by
+// MemoFallbacks). Cancelling ctx aborts between pipeline stages.
+func (e *Evaluator) Evaluate(ctx context.Context, ps *xschema.Schema) (Config, error) {
 	e.evals.Add(1)
 	if e.DisableIncremental {
-		return e.evaluateFull(ps)
+		return e.evaluateFull(ctx, ps)
 	}
-	return e.evaluateIncremental(ps)
+	cfg, err := e.evaluateIncremental(ctx, ps)
+	if errors.Is(err, errMemoInconsistent) {
+		e.memoFalls.Add(1)
+		return e.evaluateFull(ctx, ps)
+	}
+	return cfg, err
 }
 
 // evaluateFull is the non-incremental pipeline: re-map, re-translate
 // and re-cost everything.
-func (e *Evaluator) evaluateFull(ps *xschema.Schema) (Config, error) {
+func (e *Evaluator) evaluateFull(ctx context.Context, ps *xschema.Schema) (Config, error) {
+	if err := ctx.Err(); err != nil {
+		return Config{}, err
+	}
 	cat, err := relational.MapWith(ps, relational.Options{RootCount: e.RootCount})
 	if err != nil {
 		return Config{}, err
@@ -257,6 +311,9 @@ func (e *Evaluator) evaluateFull(ps *xschema.Schema) (Config, error) {
 	queries := make([]*sqlast.Query, len(e.Workload.Entries))
 	weights := make([]float64, len(e.Workload.Entries))
 	for i, entry := range e.Workload.Entries {
+		if err := ctx.Err(); err != nil {
+			return Config{}, err
+		}
 		sq, err := xquery.Translate(entry.Query, ps, cat)
 		if err != nil {
 			return Config{}, err
@@ -300,16 +357,16 @@ func (e *Evaluator) evaluateFull(ps *xschema.Schema) (Config, error) {
 // is actually chosen); on a miss it runs the full pipeline, memoizes the
 // cost, and returns the complete configuration. The boolean reports a
 // hit. With a nil cache it degenerates to Evaluate.
-func (e *Evaluator) EvaluateCached(ps *xschema.Schema) (Config, bool, error) {
+func (e *Evaluator) EvaluateCached(ctx context.Context, ps *xschema.Schema) (Config, bool, error) {
 	if e.Cache == nil {
-		cfg, err := e.Evaluate(ps)
+		cfg, err := e.Evaluate(ctx, ps)
 		return cfg, false, err
 	}
 	key := e.cacheKey(ps)
 	if cost, ok := e.Cache.Get(key); ok {
 		return Config{Schema: ps, Cost: cost}, true, nil
 	}
-	cfg, err := e.Evaluate(ps)
+	cfg, err := e.Evaluate(ctx, ps)
 	if err != nil {
 		return Config{}, false, err
 	}
@@ -321,7 +378,7 @@ func (e *Evaluator) EvaluateCached(ps *xschema.Schema) (Config, bool, error) {
 // queries were skipped by a cache hit. With incremental evaluation on,
 // configurations this evaluator fully evaluated before are returned
 // from the materialization cache without re-running the pipeline.
-func (e *Evaluator) Materialize(cfg Config) (Config, error) {
+func (e *Evaluator) Materialize(ctx context.Context, cfg Config) (Config, error) {
 	if cfg.Catalog != nil {
 		return cfg, nil
 	}
@@ -330,7 +387,7 @@ func (e *Evaluator) Materialize(cfg Config) (Config, error) {
 			return *hit, nil
 		}
 	}
-	return e.Evaluate(cfg.Schema)
+	return e.Evaluate(ctx, cfg.Schema)
 }
 
 // GetPSchemaCost returns just the estimated workload cost of a p-schema.
@@ -342,7 +399,7 @@ func GetPSchemaCost(ps *xschema.Schema, wkld *xquery.Workload, rootCount float64
 // (nil = default) and cost cache (nil = uncached).
 func GetPSchemaCostWith(ps *xschema.Schema, wkld *xquery.Workload, rootCount float64, model *optimizer.CostModel, cache *CostCache) (float64, error) {
 	e := &Evaluator{Workload: wkld, RootCount: rootCount, Model: model, Cache: cache}
-	cfg, _, err := e.EvaluateCached(ps)
+	cfg, _, err := e.EvaluateCached(context.Background(), ps)
 	if err != nil {
 		return 0, err
 	}
@@ -365,11 +422,17 @@ func InitialSchema(s *xschema.Schema, strategy Strategy) (*xschema.Schema, error
 // GreedySearch runs Algorithm 4.1: annotate the schema with statistics,
 // build the strategy's initial physical schema, then iteratively apply
 // the single cheapest transformation until no candidate improves the
-// cost (or the threshold / iteration bound fires).
-func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set, opts Options) (*Result, error) {
+// cost (or the threshold / iteration bound / deadline / budget fires,
+// or ctx is cancelled — the anytime stops, which return the best
+// configuration found so far rather than an error). A nil ctx is
+// treated as context.Background().
+func GreedySearch(ctx context.Context, schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.Set, opts Options) (*Result, error) {
 	if len(wkld.Entries) == 0 && len(wkld.Updates) == 0 {
 		return nil, fmt.Errorf("core: empty workload")
 	}
+	ctx, cancel := opts.searchContext(ctx)
+	defer cancel()
+	started := time.Now()
 	annotated := schema.Clone()
 	if stats != nil {
 		if err := xstats.Annotate(annotated, stats); err != nil {
@@ -397,17 +460,34 @@ func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.S
 		}
 	}
 	cacheStart := cache.Stats()
-	best, _, err := eval.EvaluateCached(ps)
+	// The initial configuration is evaluated before anytime semantics
+	// kick in: without it there is no best-so-far to return. (A context
+	// cancelled this early is a genuine error.)
+	best, _, err := eval.EvaluateCached(ctx, ps)
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluate initial schema: %w", err)
 	}
+	st := newSearchState(ctx, opts.Budget)
 	result := &Result{InitialCost: best.Cost, Strategy: opts.Strategy}
 	tropts := transform.Options{Kinds: opts.kinds(), WildcardLabels: opts.WildcardLabels}
 
-	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
+	stop := StopConverged
+	for iter := 0; ; iter++ {
+		if opts.MaxIterations > 0 && iter >= opts.MaxIterations {
+			stop = StopMaxIterations
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			stop = st.stopFor(err)
+			break
+		}
+		if st.exhausted() {
+			stop = StopBudget
+			break
+		}
 		start := time.Now()
 		cands := transform.Candidates(best.Schema, tropts)
-		results, hits, misses := evaluateCandidates(best.Schema, cands, eval, opts.Workers, stats, memo)
+		results, hits, misses := evaluateCandidates(st, best.Schema, cands, eval, opts.Workers, stats, memo)
 		var bestCand Config
 		bestCand.Cost = best.Cost
 		applied := ""
@@ -418,13 +498,30 @@ func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.S
 			}
 		}
 		if applied == "" {
+			// No improving candidate. If the iteration was cut short the
+			// move space was not exhausted — report the interruption, not
+			// convergence.
+			switch {
+			case ctx.Err() != nil:
+				stop = st.stopFor(ctx.Err())
+			case st.exhausted():
+				stop = StopBudget
+			}
 			break
 		}
 		// The winner's catalog may have been skipped by a cache hit;
 		// derive it now (one pipeline run instead of one per candidate).
-		bestCand, err = eval.Materialize(bestCand)
+		// An interrupted materialization keeps the previous best (its
+		// catalog is already derived or re-derivable) — anytime
+		// semantics over a half-applied winner.
+		bestCand, err = eval.Materialize(ctx, bestCand)
 		if err != nil {
-			return nil, fmt.Errorf("core: materialize %s: %w", applied, err)
+			if ctx.Err() != nil {
+				stop = st.stopFor(ctx.Err())
+				break
+			}
+			st.recordError(applied, "materialize", err)
+			break
 		}
 		if memo != nil {
 			// Rebuild the memo on the winner (a full walk once per
@@ -444,15 +541,20 @@ func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.S
 			CacheMisses: misses,
 		})
 		if opts.Threshold > 0 && improvement < opts.Threshold {
+			stop = StopThreshold
 			break
 		}
 	}
 	// The best configuration's catalog may still be missing when the
 	// initial evaluation hit the cache and no iteration improved on it.
-	result.Best, err = eval.Materialize(best)
+	// Materialize detached from the search context: an expired deadline
+	// must not cost the caller the configuration the search already
+	// earned.
+	result.Best, err = eval.Materialize(context.Background(), best)
 	if err != nil {
 		return nil, fmt.Errorf("core: materialize best: %w", err)
 	}
+	result.Report = st.report(stop, len(result.Trace), eval, time.Since(started))
 	result.Cache = cache.Stats().Sub(cacheStart)
 	result.Evals = eval.Evals()
 	result.Translations = eval.Translations()
@@ -463,15 +565,18 @@ func GreedySearch(schema *xschema.Schema, wkld *xquery.Workload, stats *xstats.S
 // evaluateCandidates applies and costs every candidate transformation of
 // one schema, fanning out across workers. The result slice is indexed
 // like cands; inapplicable or unanswerable candidates are nil (skipped,
-// as the paper's engine does). It also reports how many costings were
-// cache hits and misses. A non-nil memo switches on per-candidate
-// re-annotation (Options.Reannotate) using xstats.AnnotateDelta.
-func evaluateCandidates(base *xschema.Schema, cands []transform.Transformation, eval *Evaluator, workers int, stats *xstats.Set, memo *xstats.Memo) ([]*Config, int, int) {
+// as the paper's engine does, with failures recorded in the search
+// state). It also reports how many costings were cache hits and misses.
+// A non-nil memo switches on per-candidate re-annotation
+// (Options.Reannotate) using xstats.AnnotateDelta. Cancellation stops
+// the dispatch loop; workers always drain and the WaitGroup always
+// settles, even when a candidate's evaluation panics.
+func evaluateCandidates(st *searchState, base *xschema.Schema, cands []transform.Transformation, eval *Evaluator, workers int, stats *xstats.Set, memo *xstats.Memo) ([]*Config, int, int) {
 	results := make([]*Config, len(cands))
 	var hits, misses atomic.Int64
 	if workers == 1 || len(cands) <= 1 {
 		for i := range cands {
-			results[i] = evaluateOne(base, cands[i], eval, &hits, &misses, stats, memo)
+			results[i] = evaluateOne(st, base, cands[i], eval, &hits, &misses, stats, memo)
 		}
 		return results, int(hits.Load()), int(misses.Load())
 	}
@@ -488,32 +593,64 @@ func evaluateCandidates(base *xschema.Schema, cands []transform.Transformation, 
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = evaluateOne(base, cands[i], eval, &hits, &misses, stats, memo)
+				results[i] = evaluateOne(st, base, cands[i], eval, &hits, &misses, stats, memo)
 			}
 		}()
 	}
+	done := st.ctx.Done()
+dispatch:
 	for i := range cands {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			// Cancelled: the remaining candidates are never dispatched.
+			st.skipped.Add(int64(len(cands) - i))
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
 	return results, int(hits.Load()), int(misses.Load())
 }
 
-func evaluateOne(base *xschema.Schema, tr transform.Transformation, eval *Evaluator, hits, misses *atomic.Int64, stats *xstats.Set, memo *xstats.Memo) *Config {
+// evaluateOne applies and costs a single candidate. Every failure mode
+// — transformation error, annotation error, evaluation error, worker
+// panic — converts to a nil result plus a CandidateError in the search
+// state; nothing escapes to the worker goroutine.
+func evaluateOne(st *searchState, base *xschema.Schema, tr transform.Transformation, eval *Evaluator, hits, misses *atomic.Int64, stats *xstats.Set, memo *xstats.Memo) (out *Config) {
+	if !st.take() {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			st.recordPanic(tr.String(), "evaluate", r, debug.Stack())
+			out = nil
+		}
+	}()
 	nextSchema, err := transform.Apply(base, tr)
 	if err != nil {
+		st.recordError(tr.String(), "apply", err)
 		return nil
 	}
 	if memo != nil {
 		// Reannotate mode: refresh statistics on the transformed schema.
 		// The memo is read-only here, so concurrent workers may share it.
+		// A failed delta falls back to a full re-annotation before the
+		// candidate is given up on.
 		if _, err := xstats.AnnotateDelta(nextSchema, stats, memo); err != nil {
-			return nil
+			st.annFalls.Add(1)
+			if err := xstats.Annotate(nextSchema, stats); err != nil {
+				st.recordError(tr.String(), "annotate", err)
+				return nil
+			}
 		}
 	}
-	cfg, hit, err := eval.EvaluateCached(nextSchema)
+	cfg, hit, err := eval.EvaluateCached(st.ctx, nextSchema)
 	if err != nil {
+		// A cancellation mid-evaluation is a skip, not a failure.
+		if st.ctx.Err() == nil {
+			st.recordError(tr.String(), "evaluate", err)
+		}
 		return nil
 	}
 	if hit {

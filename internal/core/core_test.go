@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"legodb/internal/imdb"
@@ -28,7 +29,7 @@ func TestEvaluatorCostsPaperWorkloads(t *testing.T) {
 }
 
 func TestGreedySOConvergesOnLookup(t *testing.T) {
-	res, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+	res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
 		Strategy: GreedySO,
 	})
 	if err != nil {
@@ -51,7 +52,7 @@ func TestGreedySOConvergesOnLookup(t *testing.T) {
 }
 
 func TestGreedySIConvergesOnPublish(t *testing.T) {
-	res, err := GreedySearch(imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
+	res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
 		Strategy: GreedySI,
 	})
 	if err != nil {
@@ -69,7 +70,7 @@ func TestGreedySIConvergesOnPublish(t *testing.T) {
 // outlined starting point costs much more than the converged lookup
 // configuration.
 func TestGreedySOImprovesSubstantiallyOnLookup(t *testing.T) {
-	res, err := GreedySearch(imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
+	res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
 		Strategy: GreedySO,
 	})
 	if err != nil {
@@ -84,13 +85,13 @@ func TestGreedySOImprovesSubstantiallyOnLookup(t *testing.T) {
 }
 
 func TestThresholdStopsEarlier(t *testing.T) {
-	full, err := GreedySearch(imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
+	full, err := GreedySearch(context.Background(), imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
 		Strategy: GreedySO,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cut, err := GreedySearch(imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
+	cut, err := GreedySearch(context.Background(), imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
 		Strategy:  GreedySO,
 		Threshold: 0.2,
 	})
@@ -106,7 +107,7 @@ func TestThresholdStopsEarlier(t *testing.T) {
 }
 
 func TestMaxIterationsBound(t *testing.T) {
-	res, err := GreedySearch(imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
+	res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.PublishWorkload(), imdb.Stats(), Options{
 		Strategy:      GreedySO,
 		MaxIterations: 2,
 	})
@@ -119,7 +120,7 @@ func TestMaxIterationsBound(t *testing.T) {
 }
 
 func TestEmptyWorkloadRejected(t *testing.T) {
-	if _, err := GreedySearch(imdb.Schema(), &xquery.Workload{}, imdb.Stats(), Options{}); err == nil {
+	if _, err := GreedySearch(context.Background(), imdb.Schema(), &xquery.Workload{}, imdb.Stats(), Options{}); err == nil {
 		t.Fatal("empty workload accepted")
 	}
 }
@@ -127,11 +128,11 @@ func TestEmptyWorkloadRejected(t *testing.T) {
 func TestBothStrategiesConvergeToSimilarCosts(t *testing.T) {
 	// Section 5.2: "both strategies converge to similar costs". Allow a
 	// generous factor since the starting points differ in union handling.
-	so, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{Strategy: GreedySO})
+	so, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{Strategy: GreedySO})
 	if err != nil {
 		t.Fatal(err)
 	}
-	si, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{Strategy: GreedySI})
+	si, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{Strategy: GreedySI})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestBothStrategiesConvergeToSimilarCosts(t *testing.T) {
 }
 
 func TestGreedyFullUsesRicherMoves(t *testing.T) {
-	res, err := GreedySearch(imdb.Schema(), imdb.W2(), imdb.Stats(), Options{
+	res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.W2(), imdb.Stats(), Options{
 		Strategy:       GreedyFull,
 		WildcardLabels: map[string]float64{"nyt": 0.25},
 		MaxIterations:  6,
@@ -159,7 +160,7 @@ func TestGreedyFullUsesRicherMoves(t *testing.T) {
 }
 
 func TestCustomMoveSet(t *testing.T) {
-	res, err := GreedySearch(imdb.Schema(), imdb.W2(), imdb.Stats(), Options{
+	res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.W2(), imdb.Stats(), Options{
 		Strategy: GreedySI,
 		Kinds:    []transform.Kind{transform.KindUnionDistribute, transform.KindOutline},
 	})
@@ -187,7 +188,7 @@ func TestSearchPreservesDocumentValidity(t *testing.T) {
 	// The best schema found by greedy-so (semantics-preserving moves on a
 	// strictly equivalent starting point) must accept the same documents
 	// as the original schema.
-	res, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{Strategy: GreedySO})
+	res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{Strategy: GreedySO})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,13 +200,13 @@ func TestSearchPreservesDocumentValidity(t *testing.T) {
 }
 
 func TestParallelSearchMatchesSequential(t *testing.T) {
-	seq, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+	seq, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
 		Strategy: GreedySO, Workers: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+	par, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
 		Strategy: GreedySO, Workers: 8,
 	})
 	if err != nil {

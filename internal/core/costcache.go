@@ -1,11 +1,16 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"math"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -135,8 +140,33 @@ func (c *CostCache) Put(k CacheKey, cost float64) {
 }
 
 // cacheSnapshotVersion tags the persisted cache format; Load rejects
-// snapshots written by an incompatible version.
-const cacheSnapshotVersion = 1
+// snapshots written by an incompatible version. Version 2 added the
+// framed header (magic, entry count, payload length, CRC32) in front of
+// the gob payload.
+const cacheSnapshotVersion = 2
+
+// snapshotMagic opens every cache snapshot; anything else is corrupt or
+// foreign (version 1 snapshots, being raw gob, never start with it).
+var snapshotMagic = [8]byte{'L', 'D', 'B', 'C', 'A', 'C', 'H', 'E'}
+
+const (
+	// maxSnapshotEntries bounds the declared entry count Load accepts —
+	// far above any real search's visit count, low enough that a forged
+	// or bit-flipped header cannot drive huge allocations.
+	maxSnapshotEntries = 1 << 22
+	// maxSnapshotBytes bounds the gob payload Load will read.
+	maxSnapshotBytes = 256 << 20
+	// snapshotHeaderLen is the framed header size: magic(8) version(2)
+	// entries(8) payload length(8) payload CRC32(4).
+	snapshotHeaderLen = 30
+)
+
+// ErrCorruptSnapshot marks a snapshot Load rejected before merging
+// anything: bad magic, wrong version, truncation, an implausible entry
+// count or payload size, a checksum mismatch, or a payload that does
+// not decode to the declared shape. Callers can errors.Is on it to
+// quarantine the file and continue cold (see LoadSnapshotFile).
+var ErrCorruptSnapshot = errors.New("core: corrupt cost-cache snapshot")
 
 // cacheEntry is one persisted cache entry.
 type cacheEntry struct {
@@ -144,16 +174,18 @@ type cacheEntry struct {
 	Cost float64
 }
 
-// cacheSnapshot is the gob-encoded on-disk form of a CostCache.
+// cacheSnapshot is the gob-encoded payload of a snapshot.
 type cacheSnapshot struct {
 	Version int
 	Entries []cacheEntry
 }
 
-// Save writes the cache's entries to w (gob-encoded). Entries are
-// emitted in shard-then-insertion order, so saving the same cache twice
-// produces identical bytes. Keys are pure digests (no schema or query
-// text), so snapshots leak no workload content.
+// Save writes the cache's entries to w: a framed header (magic,
+// version, entry count, payload length, payload CRC32) followed by the
+// gob-encoded entries. Entries are emitted in shard-then-insertion
+// order, so saving the same cache twice produces identical bytes. Keys
+// are pure digests (no schema or query text), so snapshots leak no
+// workload content.
 func (c *CostCache) Save(w io.Writer) error {
 	snap := cacheSnapshot{Version: cacheSnapshotVersion}
 	if c != nil {
@@ -168,20 +200,76 @@ func (c *CostCache) Save(w io.Writer) error {
 			s.mu.Unlock()
 		}
 	}
-	return gob.NewEncoder(w).Encode(&snap)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
+		return fmt.Errorf("core: encode cost cache: %w", err)
+	}
+	var hdr [snapshotHeaderLen]byte
+	copy(hdr[:8], snapshotMagic[:])
+	binary.LittleEndian.PutUint16(hdr[8:10], cacheSnapshotVersion)
+	binary.LittleEndian.PutUint64(hdr[10:18], uint64(len(snap.Entries)))
+	binary.LittleEndian.PutUint64(hdr[18:26], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[26:30], crc32.Checksum(payload.Bytes(), crc32.MakeTable(crc32.Castagnoli)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: write cost cache header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("core: write cost cache payload: %w", err)
+	}
+	return nil
 }
 
 // Load merges a snapshot written by Save into the cache, preserving the
 // saved insertion order (so capacity eviction stays deterministic across
 // a save/load round trip). Existing entries win over loaded ones. It
 // returns the number of entries inserted.
+//
+// Load validates the header and the payload checksum before decoding —
+// a truncated or bit-flipped snapshot is rejected with
+// ErrCorruptSnapshot and the merge is a no-op — and bounds both the
+// declared entry count and the payload size it will allocate for, so a
+// forged header cannot force absurd allocations.
 func (c *CostCache) Load(r io.Reader) (int, error) {
+	var hdr [snapshotHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: short header: %v", ErrCorruptSnapshot, err)
+	}
+	if !bytes.Equal(hdr[:8], snapshotMagic[:]) {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorruptSnapshot)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[8:10]); v != cacheSnapshotVersion {
+		return 0, fmt.Errorf("%w: snapshot version %d, want %d", ErrCorruptSnapshot, v, cacheSnapshotVersion)
+	}
+	declared := binary.LittleEndian.Uint64(hdr[10:18])
+	payloadLen := binary.LittleEndian.Uint64(hdr[18:26])
+	sum := binary.LittleEndian.Uint32(hdr[26:30])
+	if declared > maxSnapshotEntries {
+		return 0, fmt.Errorf("%w: %d entries exceeds limit %d", ErrCorruptSnapshot, declared, maxSnapshotEntries)
+	}
+	if payloadLen > maxSnapshotBytes {
+		return 0, fmt.Errorf("%w: %d payload bytes exceeds limit %d", ErrCorruptSnapshot, payloadLen, maxSnapshotBytes)
+	}
+	// Each entry costs at least its fixed fields on the wire; a header
+	// declaring far more entries than the payload could hold is forged.
+	if declared > 0 && payloadLen/declared < 8 {
+		return 0, fmt.Errorf("%w: %d entries implausible for %d payload bytes", ErrCorruptSnapshot, declared, payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, fmt.Errorf("%w: short payload: %v", ErrCorruptSnapshot, err)
+	}
+	if got := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)); got != sum {
+		return 0, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorruptSnapshot, got, sum)
+	}
 	var snap cacheSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return 0, fmt.Errorf("core: decode cost cache: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("%w: decode: %v", ErrCorruptSnapshot, err)
 	}
 	if snap.Version != cacheSnapshotVersion {
-		return 0, fmt.Errorf("core: cost cache snapshot version %d, want %d", snap.Version, cacheSnapshotVersion)
+		return 0, fmt.Errorf("%w: payload version %d, want %d", ErrCorruptSnapshot, snap.Version, cacheSnapshotVersion)
+	}
+	if uint64(len(snap.Entries)) != declared {
+		return 0, fmt.Errorf("%w: %d entries decoded, header declared %d", ErrCorruptSnapshot, len(snap.Entries), declared)
 	}
 	if c == nil {
 		return 0, nil
@@ -204,6 +292,60 @@ func (c *CostCache) Load(r io.Reader) (int, error) {
 		s.mu.Unlock()
 	}
 	return n, nil
+}
+
+// SaveSnapshotFile writes the cache to a snapshot file atomically (via
+// a sibling temp file renamed into place).
+func (c *CostCache) SaveSnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: create cache snapshot: %w", err)
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: close cache snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: install cache snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshotFile merges a snapshot file into the cache with the
+// lenient semantics every binary wants from a warm-start file: a
+// missing file is fine (n=0), and a corrupt one is renamed aside to
+// path+".corrupt" (quarantined, so the next save starts clean and the
+// evidence survives) with the cache untouched. The returned warning is
+// non-empty when that happened — callers log it and continue cold. Only
+// I/O errors reading an existing, well-formed file are returned as err.
+func (c *CostCache) LoadSnapshotFile(path string) (n int, warning string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, "", nil
+		}
+		return 0, "", fmt.Errorf("core: open cache snapshot: %w", err)
+	}
+	defer f.Close()
+	n, err = c.Load(f)
+	if err == nil {
+		return n, "", nil
+	}
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		return 0, "", fmt.Errorf("core: load cache snapshot %s: %w", path, err)
+	}
+	quarantine := path + ".corrupt"
+	if renameErr := os.Rename(path, quarantine); renameErr != nil {
+		return 0, fmt.Sprintf("cache snapshot %s is corrupt (%v); continuing cold (quarantine failed: %v)", path, err, renameErr), nil
+	}
+	return 0, fmt.Sprintf("cache snapshot %s is corrupt (%v); quarantined to %s, continuing cold", path, err, quarantine), nil
 }
 
 // Stats snapshots the cache counters and current entry count.

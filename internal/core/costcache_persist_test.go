@@ -2,6 +2,11 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"legodb/internal/imdb"
@@ -12,7 +17,7 @@ import (
 // identical bytes (deterministic snapshot order).
 func TestCostCacheSaveLoadRoundTrip(t *testing.T) {
 	src := NewCostCache(0)
-	res, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+	res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
 		Strategy: GreedySO, Cache: src,
 	})
 	if err != nil {
@@ -42,7 +47,7 @@ func TestCostCacheSaveLoadRoundTrip(t *testing.T) {
 	}
 	// A rerun against the loaded cache must reproduce the search without
 	// a single schema-level cache miss.
-	warm, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+	warm, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
 		Strategy: GreedySO, Cache: dst,
 	})
 	if err != nil {
@@ -82,5 +87,131 @@ func TestCostCacheSaveNilAndEmpty(t *testing.T) {
 	}
 	if n, err := nilCache.Load(bytes.NewReader(buf.Bytes())); err != nil || n != 0 {
 		t.Fatalf("nil target: n=%d err=%v", n, err)
+	}
+}
+
+// snapshotBytes saves a small, non-empty cache and returns its bytes.
+func snapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	c := NewCostCache(0)
+	for i := uint64(1); i <= 8; i++ {
+		c.Put(CacheKey{Workload: i, Model: i * 3}, float64(i)*1.5)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// loadExpectingCorrupt asserts Load rejects the bytes with
+// ErrCorruptSnapshot and that the merge was a no-op.
+func loadExpectingCorrupt(t *testing.T, label string, data []byte) {
+	t.Helper()
+	dst := NewCostCache(0)
+	n, err := dst.Load(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("%s: err = %v, want ErrCorruptSnapshot", label, err)
+	}
+	if n != 0 || dst.Stats().Entries != 0 {
+		t.Fatalf("%s: corrupt snapshot merged %d entries (cache has %d)", label, n, dst.Stats().Entries)
+	}
+}
+
+// TestCostCacheLoadDetectsTruncation: a snapshot cut short anywhere —
+// inside the header or inside the payload — is rejected with
+// ErrCorruptSnapshot and merges nothing.
+func TestCostCacheLoadDetectsTruncation(t *testing.T) {
+	data := snapshotBytes(t)
+	for _, cut := range []int{0, 5, snapshotHeaderLen - 1, snapshotHeaderLen, len(data) / 2, len(data) - 1} {
+		loadExpectingCorrupt(t, "truncated", data[:cut])
+	}
+}
+
+// TestCostCacheLoadDetectsBitFlip: a single flipped bit in the payload
+// trips the checksum; one in the header trips the magic, version or
+// frame validation. Either way nothing merges.
+func TestCostCacheLoadDetectsBitFlip(t *testing.T) {
+	data := snapshotBytes(t)
+	for _, pos := range []int{0, 9, snapshotHeaderLen + 1, len(data) - 1} {
+		corrupt := append([]byte(nil), data...)
+		corrupt[pos] ^= 0x40
+		loadExpectingCorrupt(t, "bit-flipped", corrupt)
+	}
+}
+
+// TestCostCacheLoadRejectsAbsurdHeader: headers declaring entry counts
+// or payload sizes past the hard bounds — or entry counts the payload
+// cannot plausibly hold — are rejected before any allocation.
+func TestCostCacheLoadRejectsAbsurdHeader(t *testing.T) {
+	data := snapshotBytes(t)
+	mutate := func(f func(hdr []byte)) []byte {
+		corrupt := append([]byte(nil), data...)
+		f(corrupt[:snapshotHeaderLen])
+		return corrupt
+	}
+	loadExpectingCorrupt(t, "absurd entry count", mutate(func(hdr []byte) {
+		binary.LittleEndian.PutUint64(hdr[10:18], maxSnapshotEntries+1)
+	}))
+	loadExpectingCorrupt(t, "absurd payload size", mutate(func(hdr []byte) {
+		binary.LittleEndian.PutUint64(hdr[18:26], maxSnapshotBytes+1)
+	}))
+	loadExpectingCorrupt(t, "implausible entry density", mutate(func(hdr []byte) {
+		binary.LittleEndian.PutUint64(hdr[10:18], 1<<20)
+	}))
+}
+
+// TestLoadSnapshotFileQuarantinesCorrupt: a corrupt snapshot file is
+// renamed to path+".corrupt" and reported as a warning, not an error;
+// a missing file is silently fine; a healthy file round-trips.
+func TestLoadSnapshotFileQuarantinesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "costs.gob")
+
+	// Missing file: cold start, no warning, no error.
+	if n, warning, err := NewCostCache(0).LoadSnapshotFile(path); n != 0 || warning != "" || err != nil {
+		t.Fatalf("missing file: n=%d warning=%q err=%v", n, warning, err)
+	}
+
+	// Healthy round-trip through the file helpers.
+	src := NewCostCache(0)
+	src.Put(CacheKey{Workload: 7}, 42)
+	if err := src.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewCostCache(0)
+	if n, warning, err := dst.LoadSnapshotFile(path); n != 1 || warning != "" || err != nil {
+		t.Fatalf("healthy file: n=%d warning=%q err=%v", n, warning, err)
+	}
+
+	// Corrupt file: quarantined, warned about, not fatal.
+	data := snapshotBytes(t)
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewCostCache(0)
+	n, warning, err := cold.LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("corrupt file returned error: %v", err)
+	}
+	if n != 0 || cold.Stats().Entries != 0 {
+		t.Fatalf("corrupt file merged %d entries", n)
+	}
+	if warning == "" {
+		t.Fatal("corrupt file produced no warning")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still in place: %v", err)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	// The next save starts clean over the quarantined name.
+	if err := src.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if n, warning, err := NewCostCache(0).LoadSnapshotFile(path); n != 1 || warning != "" || err != nil {
+		t.Fatalf("post-quarantine save: n=%d warning=%q err=%v", n, warning, err)
 	}
 }

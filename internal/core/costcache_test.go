@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -149,7 +150,7 @@ func TestCacheHitsAcrossEvaluators(t *testing.T) {
 		t.Fatal(err)
 	}
 	e1 := &Evaluator{Workload: imdb.LookupWorkload(), RootCount: 1, Cache: cache}
-	cfg1, hit1, err := e1.EvaluateCached(ps)
+	cfg1, hit1, err := e1.EvaluateCached(context.Background(), ps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestCacheHitsAcrossEvaluators(t *testing.T) {
 		t.Fatal("miss did not return a full configuration")
 	}
 	e2 := &Evaluator{Workload: imdb.LookupWorkload(), RootCount: 1, Cache: cache}
-	cfg2, hit2, err := e2.EvaluateCached(ps.Clone())
+	cfg2, hit2, err := e2.EvaluateCached(context.Background(), ps.Clone())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestCacheHitsAcrossEvaluators(t *testing.T) {
 		t.Fatalf("hit ran %d full evaluations", e2.Evals())
 	}
 	// Materialize completes the hit and must reproduce the cost exactly.
-	full, err := e2.Materialize(cfg2)
+	full, err := e2.Materialize(context.Background(), cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,11 +200,11 @@ func TestCacheKeySeparatesWorkloadsEndToEnd(t *testing.T) {
 	}
 	a := &Evaluator{Workload: imdb.LookupWorkload(), RootCount: 1, Cache: cache}
 	b := &Evaluator{Workload: imdb.PublishWorkload(), RootCount: 1, Cache: cache}
-	ca, _, err := a.EvaluateCached(ps)
+	ca, _, err := a.EvaluateCached(context.Background(), ps)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cb, hit, err := b.EvaluateCached(ps)
+	cb, hit, err := b.EvaluateCached(context.Background(), ps)
 	if err != nil {
 		t.Fatal(err)
 	}

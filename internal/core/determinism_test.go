@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -69,7 +70,7 @@ func TestGreedyDeterministicAcrossWorkersAndCache(t *testing.T) {
 			var want string
 			var wantName string
 			for _, v := range determinismVariants() {
-				res, err := GreedySearch(imdb.Schema(), wl.w, imdb.Stats(), variantOptions(v, strategy))
+				res, err := GreedySearch(context.Background(), imdb.Schema(), wl.w, imdb.Stats(), variantOptions(v, strategy))
 				if err != nil {
 					t.Fatalf("%v/%s/%s: %v", strategy, wl.name, v.name, err)
 				}
@@ -92,7 +93,7 @@ func TestGreedyDeterministicAcrossWorkersAndCache(t *testing.T) {
 func TestBeamDeterministicAcrossWorkersAndCache(t *testing.T) {
 	var want, wantName string
 	for _, v := range determinismVariants() {
-		res, err := BeamSearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), BeamOptions{
+		res, err := BeamSearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), BeamOptions{
 			Options: variantOptions(v, GreedySO),
 			Width:   3,
 		})
@@ -117,7 +118,7 @@ func TestBeamDeterministicAcrossWorkersAndCache(t *testing.T) {
 func TestWarmCacheSameOutcomeFewerEvals(t *testing.T) {
 	shared := NewCostCache(0)
 	run := func() *Result {
-		res, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+		res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
 			Strategy: GreedySO, Cache: shared,
 		})
 		if err != nil {
@@ -154,11 +155,11 @@ func TestWarmCacheSameOutcomeFewerEvals(t *testing.T) {
 func TestCacheSharedAcrossStrategiesIsSafe(t *testing.T) {
 	shared := NewCostCache(0)
 	for _, strategy := range []Strategy{GreedySO, GreedySI} {
-		private, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{Strategy: strategy})
+		private, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{Strategy: strategy})
 		if err != nil {
 			t.Fatal(err)
 		}
-		viaShared, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{Strategy: strategy, Cache: shared})
+		viaShared, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{Strategy: strategy, Cache: shared})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func TestDeterminismWithUpdatesAndStats(t *testing.T) {
 	}
 	var want string
 	for _, workers := range []int{1, 8} {
-		res, err := GreedySearch(imdb.Schema(), makeWorkload(), imdb.Stats(), Options{
+		res, err := GreedySearch(context.Background(), imdb.Schema(), makeWorkload(), imdb.Stats(), Options{
 			Strategy: GreedySO, Workers: workers, RootCount: 100,
 		})
 		if err != nil {

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
 
+	"legodb/internal/faults"
 	"legodb/internal/optimizer"
 	"legodb/internal/relational"
 	"legodb/internal/sqlast"
@@ -388,11 +391,21 @@ func (e *Evaluator) lookupConfig(ps *xschema.Schema) *Config {
 	return e.matCache[key]
 }
 
+// errMemoInconsistent reports an incremental evaluation that found its
+// memoized state out of step with the schema in hand (e.g. a cached
+// per-query variant without its translated query). The evaluator treats
+// it as a signal to fall back to the full pipeline for this candidate —
+// a counted graceful degradation, never a trusted-but-wrong cost.
+var errMemoInconsistent = errors.New("core: inconsistent memo state")
+
 // evaluateIncremental is the incremental counterpart of evaluateFull:
 // same pipeline, same summation order, but each workload slot first
 // consults its per-query cost cache and only re-translates and re-costs
 // on a dependency-state change.
-func (e *Evaluator) evaluateIncremental(ps *xschema.Schema) (Config, error) {
+func (e *Evaluator) evaluateIncremental(ctx context.Context, ps *xschema.Schema) (Config, error) {
+	if err := faults.Inject(faults.SiteMemo); err != nil {
+		return Config{}, errMemoInconsistent
+	}
 	digests := ps.TypeDigests()
 	cat, err := e.sharedMapper().Map(ps, digests)
 	if err != nil {
@@ -412,7 +425,15 @@ func (e *Evaluator) evaluateIncremental(ps *xschema.Schema) (Config, error) {
 	st := newDepState(ps, cat, digests)
 	total, wsum := 0.0, 0.0
 	for i, entry := range e.Workload.Entries {
+		if err := ctx.Err(); err != nil {
+			return Config{}, err
+		}
 		cost, sq, ok := e.cachedQueryCost(i, st)
+		if ok && sq == nil {
+			// A hit without its translated query cannot rebuild Config
+			// .Queries — the memo is inconsistent for this slot.
+			return Config{}, errMemoInconsistent
+		}
 		if !ok {
 			var deps []string
 			sq, deps, err = xquery.TranslateDeps(entry.Query, ps, cat)
@@ -432,6 +453,9 @@ func (e *Evaluator) evaluateIncremental(ps *xschema.Schema) (Config, error) {
 		wsum += entry.Weight
 	}
 	for j, ue := range e.Workload.Updates {
+		if err := ctx.Err(); err != nil {
+			return Config{}, err
+		}
 		slot := len(e.Workload.Entries) + j
 		cost, _, ok := e.cachedQueryCost(slot, st)
 		if !ok {

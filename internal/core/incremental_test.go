@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -54,7 +55,7 @@ func TestIncrementalMatchesFullEvaluation(t *testing.T) {
 				if strategy == GreedyFull {
 					opts.WildcardLabels = map[string]float64{"nyt": 0.25}
 				}
-				res, err := GreedySearch(imdb.Schema(), wl.make(), imdb.Stats(), opts)
+				res, err := GreedySearch(context.Background(), imdb.Schema(), wl.make(), imdb.Stats(), opts)
 				if err != nil {
 					t.Fatalf("%v/%s/%s: %v", strategy, wl.name, v.name, err)
 				}
@@ -85,7 +86,7 @@ func TestIncrementalMatchesFullBeam(t *testing.T) {
 		{"incremental-w1", true, 1},
 		{"incremental-w8", true, 8},
 	} {
-		res, err := BeamSearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), BeamOptions{
+		res, err := BeamSearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), BeamOptions{
 			Options: Options{
 				Strategy:           GreedySO,
 				Workers:            v.workers,
@@ -119,7 +120,7 @@ func TestIncrementalSavesTranslations(t *testing.T) {
 		cache := NewCostCache(0)
 		var total uint64
 		for _, k := range []float64{0.25, 0.5, 0.75} {
-			res, err := GreedySearch(imdb.Schema(), imdb.MixedWorkload(k), imdb.Stats(), Options{
+			res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.MixedWorkload(k), imdb.Stats(), Options{
 				Strategy:           GreedySI,
 				Cache:              cache,
 				DisableIncremental: !incremental,
@@ -140,7 +141,7 @@ func TestIncrementalSavesTranslations(t *testing.T) {
 	}
 
 	single := func(incremental bool) *Result {
-		res, err := GreedySearch(imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+		res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
 			Strategy:           GreedySO,
 			Cache:              NewCostCache(0),
 			DisableIncremental: !incremental,
@@ -219,12 +220,12 @@ func TestMaterializeServedFromConfigCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	eval := &Evaluator{Workload: imdb.LookupWorkload(), RootCount: 1}
-	cfg, err := eval.Evaluate(ps)
+	cfg, err := eval.Evaluate(context.Background(), ps)
 	if err != nil {
 		t.Fatal(err)
 	}
 	evalsBefore := eval.Evals()
-	got, err := eval.Materialize(Config{Schema: ps, Cost: cfg.Cost})
+	got, err := eval.Materialize(context.Background(), Config{Schema: ps, Cost: cfg.Cost})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"legodb/internal/core"
@@ -17,7 +18,7 @@ import (
 // 5.2 suggests ("stop the search as soon as the improvement falls below
 // a threshold"): iterations and final cost for several thresholds, on
 // both paper workloads with greedy-so.
-func AblationThreshold() (*Table, error) {
+func AblationThreshold(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Name:   "ablation-threshold",
 		Title:  "Greedy early-stopping: threshold vs iterations and final cost (greedy-so)",
@@ -31,7 +32,7 @@ func AblationThreshold() (*Table, error) {
 		for _, threshold := range []float64{0, 0.01, 0.05, 0.2} {
 			opts := searchOptions(core.GreedySO)
 			opts.Threshold = threshold
-			res, err := core.GreedySearch(imdb.Schema(), wl.w, imdb.Stats(), opts)
+			res, err := core.GreedySearch(ctx, imdb.Schema(), wl.w, imdb.Stats(), opts)
 			if err != nil {
 				return nil, err
 			}
@@ -50,7 +51,7 @@ func AblationThreshold() (*Table, error) {
 // workloads: iterations to converge and final cost (the paper observes
 // greedy-so converges faster on lookup, greedy-si on publish, and both
 // reach similar costs).
-func AblationSIvsSO() (*Table, error) {
+func AblationSIvsSO(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Name:   "ablation-si-vs-so",
 		Title:  "greedy-si vs greedy-so: convergence and final costs",
@@ -61,7 +62,7 @@ func AblationSIvsSO() (*Table, error) {
 		w    func() *xquery.Workload
 	}{{"lookup", imdb.LookupWorkload}, {"publish", imdb.PublishWorkload}} {
 		for _, st := range []core.Strategy{core.GreedySO, core.GreedySI} {
-			res, err := core.GreedySearch(imdb.Schema(), wl.w(), imdb.Stats(), searchOptions(st))
+			res, err := core.GreedySearch(ctx, imdb.Schema(), wl.w(), imdb.Stats(), searchOptions(st))
 			if err != nil {
 				return nil, err
 			}
@@ -79,7 +80,7 @@ func AblationSIvsSO() (*Table, error) {
 // cost constants) is compared with the optimizer's estimates. The claim
 // to check is agreement in *ranking* and rough magnitude, not identical
 // numbers.
-func AblationCostModel() (*Table, error) {
+func AblationCostModel(ctx context.Context) (*Table, error) {
 	const shows = 400
 	doc := imdb.Generate(imdb.GenOptions{Shows: shows, Seed: 17})
 	s := imdb.Schema()

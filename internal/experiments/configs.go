@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"os"
 
 	"legodb/internal/core"
 	"legodb/internal/imdb"
@@ -46,39 +45,19 @@ var incrementalEnabled = true
 // (cmd/experiments -noincremental).
 func EnableIncremental(on bool) { incrementalEnabled = on }
 
-// LoadCacheFile merges a cost-cache snapshot file into the shared cache,
-// returning the number of entries added. A missing file is not an error
-// (first run warms the cache that later runs load).
-func LoadCacheFile(path string) (int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return 0, nil
-		}
-		return 0, err
-	}
-	defer f.Close()
-	return sharedCache.Load(f)
+// LoadCacheFile merges a cost-cache snapshot file into the shared
+// cache, returning the number of entries added. A missing file is not
+// an error (first run warms the cache that later runs load), and a
+// corrupt file is quarantined to path+".corrupt" and reported in the
+// returned warning — the runs continue with a cold cache.
+func LoadCacheFile(path string) (n int, warning string, err error) {
+	return sharedCache.LoadSnapshotFile(path)
 }
 
 // SaveCacheFile writes the shared cache's contents to a snapshot file
 // (atomically, via a sibling temp file).
 func SaveCacheFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := sharedCache.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return sharedCache.SaveSnapshotFile(path)
 }
 
 // searchOptions builds the core search options every experiment uses:

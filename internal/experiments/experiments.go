@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -109,8 +110,10 @@ func min(a, b int) int {
 	return b
 }
 
-// Runner produces one experiment.
-type Runner func() (*Table, error)
+// Runner produces one experiment. The context bounds its searches:
+// cancellation or an expired deadline makes them return their anytime
+// best-so-far rather than run to convergence.
+type Runner func(ctx context.Context) (*Table, error)
 
 // registry maps experiment ids to runners.
 var registry = map[string]Runner{
@@ -137,13 +140,18 @@ func Names() []string {
 	return out
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id under a background context.
 func Run(name string) (*Table, error) {
+	return RunContext(context.Background(), name)
+}
+
+// RunContext executes one experiment by id; ctx bounds its searches.
+func RunContext(ctx context.Context, name string) (*Table, error) {
 	r, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
 	}
-	return r()
+	return r(ctx)
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"legodb/internal/core"
@@ -13,7 +14,7 @@ import (
 // the number of configurations evaluated. The paper's Section 7 suggests
 // richer ("dynamic programming") search strategies; the question is
 // whether greedy's single path leaves cost on the table.
-func AblationBeam() (*Table, error) {
+func AblationBeam(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Name:   "ablation-beam",
 		Title:  "Greedy vs beam search (greedy-so starting point)",
@@ -24,7 +25,7 @@ func AblationBeam() (*Table, error) {
 		name string
 		w    func() *xquery.Workload
 	}{{"lookup", imdb.LookupWorkload}, {"publish", imdb.PublishWorkload}} {
-		greedy, err := core.GreedySearch(imdb.Schema(), wl.w(), imdb.Stats(), searchOptions(core.GreedySO))
+		greedy, err := core.GreedySearch(ctx, imdb.Schema(), wl.w(), imdb.Stats(), searchOptions(core.GreedySO))
 		if err != nil {
 			return nil, err
 		}
@@ -34,7 +35,7 @@ func AblationBeam() (*Table, error) {
 		}
 		t.AddRow(wl.name, "greedy", f1(greedy.Best.Cost), "1.00", fmt.Sprintf("%d", gEvals))
 		for _, width := range []int{2, 4} {
-			beam, err := core.BeamSearch(imdb.Schema(), wl.w(), imdb.Stats(), core.BeamOptions{
+			beam, err := core.BeamSearch(ctx, imdb.Schema(), wl.w(), imdb.Stats(), core.BeamOptions{
 				Options: searchOptions(core.GreedySO),
 				Width:   width,
 			})
@@ -57,7 +58,7 @@ func AblationBeam() (*Table, error) {
 // with increasing insert rates; as inserts dominate, the chosen
 // configuration keeps fewer relations (fragmentation pays one seek and
 // one index maintenance per relation per insert).
-func AblationUpdates() (*Table, error) {
+func AblationUpdates(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Name:   "ablation-updates",
 		Title:  "Effect of insert rate on the chosen configuration (lookup workload + INSERT imdb/show)",
@@ -69,7 +70,7 @@ func AblationUpdates() (*Table, error) {
 			w.AddUpdate(xquery.MustParseUpdate("INSERT imdb/show"), weight)
 			w.AddUpdate(xquery.MustParseUpdate("INSERT imdb/actor"), weight)
 		}
-		res, err := core.GreedySearch(imdb.Schema(), w, imdb.Stats(), searchOptions(core.GreedySO))
+		res, err := core.GreedySearch(ctx, imdb.Schema(), w, imdb.Stats(), searchOptions(core.GreedySO))
 		if err != nil {
 			return nil, err
 		}

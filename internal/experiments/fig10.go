@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"legodb/internal/core"
@@ -16,7 +17,7 @@ import (
 // The paper's observations to reproduce: greedy-so starts much higher
 // (many joins) on both workloads; greedy-so converges in fewer
 // iterations on lookup, greedy-si on publish; both end at similar costs.
-func Fig10() (*Table, error) {
+func Fig10(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Name:   "fig10",
 		Title:  "Cost at each greedy iteration",
@@ -36,7 +37,7 @@ func Fig10() (*Table, error) {
 	var traces [][]float64
 	maxLen := 0
 	for _, r := range runs {
-		res, err := core.GreedySearch(imdb.Schema(), r.wl, imdb.Stats(), searchOptions(r.strategy))
+		res, err := core.GreedySearch(ctx, imdb.Schema(), r.wl, imdb.Stats(), searchOptions(r.strategy))
 		if err != nil {
 			return nil, err
 		}

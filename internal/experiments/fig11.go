@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"legodb/internal/core"
@@ -18,9 +19,9 @@ import (
 // publish-heavy side and C[0.75] on the lookup-heavy side, the two cross
 // at a small angle mid-spectrum, and ALL-INLINED is 2–5x worse than OPT
 // over much of the spectrum.
-func Fig11() (*Table, error) {
+func Fig11(ctx context.Context) (*Table, error) {
 	search := func(k float64) (*xschema.Schema, error) {
-		res, err := core.GreedySearch(imdb.Schema(), imdb.MixedWorkload(k), imdb.Stats(),
+		res, err := core.GreedySearch(ctx, imdb.Schema(), imdb.MixedWorkload(k), imdb.Stats(),
 			searchOptions(core.GreedySI))
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"legodb/internal/imdb"
 )
 
@@ -14,7 +15,7 @@ import (
 // so for queries touching one branch only (Q4 on description, Q7 on
 // episodes), and still cheaper for queries touching both branches (Q6),
 // because each partition is smaller and narrower.
-func Fig13() (*Table, error) {
+func Fig13(ctx context.Context) (*Table, error) {
 	annotated, err := annotatedIMDB(nil)
 	if err != nil {
 		return nil, err

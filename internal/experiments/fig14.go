@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"legodb/internal/pschema"
@@ -31,7 +32,7 @@ type Aka = aka[ String ]
 // The paper's observations to reproduce: the split configuration is
 // cheaper for both queries; the gain is larger for the publishing query;
 // and the gap narrows as the Aka table grows much larger than Show.
-func Fig14() (*Table, error) {
+func Fig14(ctx context.Context) (*Table, error) {
 	shows := 34798.0
 	lookup := xquery.MustParse(`FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title, $v/aka`)
 	lookup.Name = "lookup"

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"legodb/internal/imdb"
 	"legodb/internal/xquery"
 	"legodb/internal/xschema"
@@ -19,7 +20,7 @@ import (
 //	Q4    1.00  1.19  0.40
 //	W1    1.00  0.75  0.75
 //	W2    1.00  1.01  0.40
-func Fig6() (*Table, error) {
+func Fig6(ctx context.Context) (*Table, error) {
 	annotated, err := annotatedIMDB(nil)
 	if err != nil {
 		return nil, err

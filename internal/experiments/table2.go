@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"legodb/internal/xquery"
@@ -18,7 +19,7 @@ import (
 // the NYT percentage (the reviews table is scanned either way), while
 // the wildcard-transformed cost shrinks proportionally with the
 // nyt_reviews table; at 100,000 reviews the transformation wins by 2–5x.
-func Table2() (*Table, error) {
+func Table2(ctx context.Context) (*Table, error) {
 	query := xquery.MustParse(`FOR $v IN imdb/show WHERE $v/year = 1999 RETURN $v/title, $v/reviews/nyt`)
 	query.Name = "nyt-reviews-1999"
 

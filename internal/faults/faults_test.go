@@ -1,0 +1,54 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedInjectIsNil(t *testing.T) {
+	if err := Inject("nowhere"); err != nil {
+		t.Fatalf("disarmed site injected %v", err)
+	}
+}
+
+func TestErrorModeTransient(t *testing.T) {
+	restore := Enable("site.a", 2, false)
+	defer restore()
+	for i := 0; i < 2; i++ {
+		if err := Inject("site.a"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := Inject("site.a"); err != nil {
+		t.Fatalf("transient budget spent but still failing: %v", err)
+	}
+	if Hits("site.a") != 2 {
+		t.Fatalf("Hits = %d, want 2", Hits("site.a"))
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer Enable("site.b", -1, true)()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic-mode site did not panic")
+		}
+	}()
+	Inject("site.b")
+}
+
+func TestRestoreDisarms(t *testing.T) {
+	restore := Enable("site.c", -1, false)
+	restore()
+	if err := Inject("site.c"); err != nil {
+		t.Fatalf("restored site still armed: %v", err)
+	}
+	if Hits("site.c") != 0 {
+		t.Fatal("Hits nonzero after restore")
+	}
+	// Double restore must not unbalance the armed counter.
+	restore()
+	if armed.Load() != 0 {
+		t.Fatalf("armed counter = %d after restores, want 0", armed.Load())
+	}
+}

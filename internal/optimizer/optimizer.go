@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"legodb/internal/faults"
 	"legodb/internal/relational"
 	"legodb/internal/sqlast"
 )
@@ -106,6 +107,9 @@ type Estimate struct {
 // sorted-outer-union publishing query re-reads its hub relations in
 // every block).
 func (o *Optimizer) QueryCost(q *sqlast.Query) (Estimate, error) {
+	if err := faults.Inject(faults.SiteQueryCost); err != nil {
+		return Estimate{}, err
+	}
 	var total Estimate
 	var plans []string
 	scanned := make(map[string]bool)

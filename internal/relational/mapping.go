@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"legodb/internal/faults"
 	"legodb/internal/pschema"
 	"legodb/internal/xschema"
 )
@@ -79,6 +80,9 @@ func NewMapper(opts Options) *Mapper {
 // compute them. Every produced table carries its TypeDigest and a
 // content Digest.
 func (mp *Mapper) Map(s *xschema.Schema, digests map[string]xschema.Fingerprint) (*Catalog, error) {
+	if err := faults.Inject(faults.SiteMap); err != nil {
+		return nil, err
+	}
 	if err := pschema.Check(s); err != nil {
 		return nil, err
 	}

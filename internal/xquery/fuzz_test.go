@@ -1,0 +1,59 @@
+package xquery_test
+
+import (
+	"testing"
+
+	"legodb/internal/imdb"
+	"legodb/internal/xquery"
+)
+
+// FuzzParseQuery drives the FLWR query parser with arbitrary inputs,
+// mirroring FuzzParseSchema over the schema parser. Three guarantees
+// are checked on every input the parser accepts:
+//
+//  1. no panic anywhere in parse → print → re-parse;
+//  2. the printed form re-parses (String is a faithful serialization);
+//  3. the re-parse prints identically — String is a fixed point, so the
+//     rendered query is a stable identity for workload digests.
+func FuzzParseQuery(f *testing.F) {
+	// Every embedded workload query is a seed: the fuzzer starts from
+	// the full concrete syntax the paper's workloads exercise (FOR/IN,
+	// WHERE with parameters, nested FLWR, element constructors, paths).
+	for _, name := range imdb.QueryNames() {
+		f.Add(imdb.Query(name).String())
+	}
+	seeds := []string{
+		`FOR $v IN imdb/show RETURN $v/title`,
+		`FOR $v IN imdb/show WHERE $v/year = c1 RETURN $v/title, $v/year`,
+		`FOR $v IN imdb/show, $r IN $v/reviews RETURN $r`,
+		`FOR $v IN imdb/show
+		 RETURN <result> $v/title
+		   FOR $e IN $v/episodes WHERE $e/name = c2 RETURN $e/name
+		 </result>`,
+		// Near-miss inputs steer the fuzzer toward error paths.
+		`FOR $v IN imdb/show RETURN`,
+		`FOR v IN imdb/show RETURN $v`,
+		`FOR $v IN RETURN $v`,
+		`FOR $v IN imdb/show WHERE RETURN $v`,
+		`FOR $v IN imdb/show RETURN <result> $v`,
+		`FOR $v IN imdb/show RETURN $v trailing`,
+		`RETURN $v`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := xquery.Parse(src)
+		if err != nil {
+			return // rejected input; only panics count as failures
+		}
+		printed := q.String()
+		q2, err := xquery.Parse(printed)
+		if err != nil {
+			t.Fatalf("printed query does not re-parse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		if again := q2.String(); again != printed {
+			t.Fatalf("String not a fixed point across re-parse\ninput: %q\nprinted: %q\nre-printed: %q", src, printed, again)
+		}
+	})
+}

@@ -98,8 +98,14 @@ func isWordByte(c byte) bool {
 func (p *qparser) ident() (string, error) {
 	p.skipSpace()
 	start := p.pos
-	for p.pos < len(p.src) && isWordByte(p.src[p.pos]) {
+	// Identifiers must not start with a digit: a digits-only name is
+	// indistinguishable from an integer literal once printed, so it
+	// could not survive a print/re-parse round trip.
+	if p.pos < len(p.src) && isWordByte(p.src[p.pos]) && !unicode.IsDigit(rune(p.src[p.pos])) {
 		p.pos++
+		for p.pos < len(p.src) && isWordByte(p.src[p.pos]) {
+			p.pos++
+		}
 	}
 	if p.pos == start {
 		return "", p.errorf("expected identifier, got %q", p.rest(10))

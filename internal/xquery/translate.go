@@ -3,6 +3,7 @@ package xquery
 import (
 	"fmt"
 
+	"legodb/internal/faults"
 	"legodb/internal/pschema"
 	"legodb/internal/relational"
 	"legodb/internal/sqlast"
@@ -37,6 +38,9 @@ func TranslateDeps(q *Query, s *xschema.Schema, cat *relational.Catalog) (*sqlas
 }
 
 func translateTracked(q *Query, s *xschema.Schema, cat *relational.Catalog, track bool) (*sqlast.Query, []string, error) {
+	if err := faults.Inject(faults.SiteTranslate); err != nil {
+		return nil, nil, err
+	}
 	tr := &translator{schema: s, cat: cat, track: track}
 	base := &context{block: &sqlast.Block{}, vars: map[string]target{}}
 	ctxs, err := tr.applyBindings([]*context{base}, q.Bindings)

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"legodb/internal/faults"
 	"legodb/internal/xmltree"
 	"legodb/internal/xschema"
 )
@@ -466,6 +467,9 @@ func AnnotateMemo(s *xschema.Schema, set *Set) (*Memo, error) {
 // or when skip-safety cannot be proven (types visited under multiple
 // contexts, overlaps between skipped and re-walked regions).
 func AnnotateDelta(s *xschema.Schema, set *Set, prev *Memo) (*Memo, error) {
+	if err := faults.Inject(faults.SiteAnnotate); err != nil {
+		return nil, err
+	}
 	if prev == nil || prev.setSig != setSignature(set) {
 		return AnnotateMemo(s, set)
 	}

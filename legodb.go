@@ -23,8 +23,10 @@
 package legodb
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"legodb/internal/core"
 	"legodb/internal/dtd"
@@ -173,6 +175,15 @@ type AdviseOptions struct {
 	// iteration (0 = GOMAXPROCS, 1 = sequential); the chosen
 	// configuration is the same either way.
 	Workers int
+	// Timeout bounds the search's wall-clock time (0 = none). On expiry
+	// the search stops and returns the best configuration found so far
+	// (Advice.Report().Stop == StopDeadline) — an anytime result, not an
+	// error. A tighter deadline on the AdviseContext context also counts.
+	Timeout time.Duration
+	// MaxEvaluations bounds the number of candidate configurations
+	// costed (0 = unbounded); exhausting it is likewise an anytime stop
+	// (StopBudget).
+	MaxEvaluations int
 	// DisableCache turns off the engine-wide cost memoization for this
 	// call (every candidate pays a full evaluator pipeline run).
 	DisableCache bool
@@ -190,8 +201,18 @@ type Advice struct {
 }
 
 // Advise searches for an efficient storage configuration for the
-// engine's schema, statistics and workload.
+// engine's schema, statistics and workload. It is AdviseContext with a
+// background context.
 func (e *Engine) Advise(opts AdviseOptions) (*Advice, error) {
+	return e.AdviseContext(context.Background(), opts)
+}
+
+// AdviseContext is Advise under a caller-controlled context: cancelling
+// ctx (or exceeding its deadline, or AdviseOptions.Timeout) stops the
+// search anytime-style — the best configuration found so far is
+// returned, with Advice.Report() saying why the search stopped. An
+// error is returned only when no configuration was costed at all.
+func (e *Engine) AdviseContext(ctx context.Context, opts AdviseOptions) (*Advice, error) {
 	if len(e.workload.Entries) == 0 && len(e.workload.Updates) == 0 {
 		return nil, fmt.Errorf("legodb: add at least one workload query before Advise")
 	}
@@ -202,6 +223,8 @@ func (e *Engine) Advise(opts AdviseOptions) (*Advice, error) {
 		WildcardLabels: opts.WildcardLabels,
 		RootCount:      opts.Documents,
 		Workers:        opts.Workers,
+		Deadline:       opts.Timeout,
+		Budget:         opts.MaxEvaluations,
 		DisableCache:   opts.DisableCache,
 
 		DisableIncremental: opts.DisableIncremental,
@@ -212,14 +235,14 @@ func (e *Engine) Advise(opts AdviseOptions) (*Advice, error) {
 	var res *core.Result
 	var err error
 	if opts.BeamWidth > 1 {
-		res, err = core.BeamSearch(e.schema, e.workload, e.stats, core.BeamOptions{
+		res, err = core.BeamSearch(ctx, e.schema, e.workload, e.stats, core.BeamOptions{
 			Options: copts, Width: opts.BeamWidth,
 		})
 	} else {
-		res, err = core.GreedySearch(e.schema, e.workload, e.stats, copts)
+		res, err = core.GreedySearch(ctx, e.schema, e.workload, e.stats, copts)
 	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("legodb: advise: %w", err)
 	}
 	return &Advice{result: res, stats: e.stats}, nil
 }
@@ -238,6 +261,21 @@ func (e *Engine) SaveCostCache(w io.Writer) error {
 // it just never hits.
 func (e *Engine) LoadCostCache(r io.Reader) (int, error) {
 	return e.cache.Load(r)
+}
+
+// SaveCostCacheFile writes the engine's cost cache to a snapshot file
+// atomically (temp file + rename).
+func (e *Engine) SaveCostCacheFile(path string) error {
+	return e.cache.SaveSnapshotFile(path)
+}
+
+// LoadCostCacheFile merges a snapshot file into the engine's cost cache
+// with lenient semantics: a missing file loads nothing, and a corrupt
+// file (truncated, bit-flipped, wrong version) is quarantined to
+// path+".corrupt" and reported in the returned warning — the engine
+// continues with a cold cache instead of failing the run.
+func (e *Engine) LoadCostCacheFile(path string) (n int, warning string, err error) {
+	return e.cache.LoadSnapshotFile(path)
 }
 
 // EvaluateFixed costs a fixed named configuration ("all-inlined" or
@@ -266,11 +304,11 @@ func (e *Engine) EvaluateFixed(config string) (*Advice, error) {
 	// fixed configuration (or a repeated baseline evaluation) costs it
 	// for free.
 	eval := &core.Evaluator{Workload: e.workload, RootCount: 1, Cache: e.cache}
-	cfg, _, err := eval.EvaluateCached(ps)
+	cfg, _, err := eval.EvaluateCached(context.Background(), ps)
 	if err != nil {
 		return nil, err
 	}
-	if cfg, err = eval.Materialize(cfg); err != nil {
+	if cfg, err = eval.Materialize(context.Background(), cfg); err != nil {
 		return nil, err
 	}
 	return &Advice{result: &core.Result{Best: cfg, InitialCost: cfg.Cost}}, nil
@@ -309,7 +347,9 @@ func (a *Advice) Trace() []float64 {
 	return out
 }
 
-// Explain summarizes the search: iterations, moves and costs.
+// Explain summarizes the search: iterations, moves, costs and — when
+// the search was interrupted or recovered from failures — how it
+// degraded.
 func (a *Advice) Explain() string {
 	out := fmt.Sprintf("initial cost: %.1f\n", a.result.InitialCost)
 	for i, it := range a.result.Trace {
@@ -320,8 +360,18 @@ func (a *Advice) Explain() string {
 		out += fmt.Sprintf("cost cache: %d hits, %d misses, %d full evaluations\n",
 			st.Hits, st.Misses, a.result.Evals)
 	}
+	if rep := a.result.Report; rep.Stop.Interrupted() || rep.Failed > 0 {
+		out += fmt.Sprintf("stopped: %s (%d candidates evaluated, %d skipped, %d failed)\n",
+			rep.Stop, rep.Evaluated, rep.Skipped, rep.Failed)
+	}
 	return out
 }
+
+// Report describes how the search ran and why it stopped: the stop
+// reason (converged, threshold, deadline, cancelled, budget, …),
+// candidates evaluated/skipped, and any candidate evaluations the
+// search isolated and recovered from (errors, panics, memo fallbacks).
+func (a *Advice) Report() SearchReport { return a.result.Report }
 
 // CacheStats reports the cost-cache activity of this search: how many
 // candidate costings were answered from the engine's memoization layer
@@ -354,3 +404,24 @@ type CostModel = optimizer.CostModel
 // CacheStats re-exports the cost-cache counters (hits, misses,
 // evictions, entries).
 type CacheStats = core.CacheStats
+
+// SearchReport re-exports the per-search robustness report (stop
+// reason, candidates evaluated/skipped/failed, recovered errors).
+type SearchReport = core.SearchReport
+
+// StopReason re-exports why a search stopped.
+type StopReason = core.StopReason
+
+// CandidateError re-exports one isolated candidate failure.
+type CandidateError = core.CandidateError
+
+// Stop reasons (see core.StopReason).
+const (
+	StopConverged     = core.StopConverged
+	StopThreshold     = core.StopThreshold
+	StopMaxIterations = core.StopMaxIterations
+	StopMaxLevels     = core.StopMaxLevels
+	StopDeadline      = core.StopDeadline
+	StopCancelled     = core.StopCancelled
+	StopBudget        = core.StopBudget
+)

@@ -1,0 +1,92 @@
+package legodb
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func adviseEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := newEngine(t)
+	if err := e.AddQuery("lookup", `FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title, $v/year`, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddQuery("publish", `FOR $v IN imdb/show RETURN $v`, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestAdviseBudgetIsAnytime: MaxEvaluations stops the search through
+// the façade with a usable result, the report says so, and Explain
+// surfaces the truncation.
+func TestAdviseBudgetIsAnytime(t *testing.T) {
+	e := adviseEngine(t)
+	advice, err := e.Advise(AdviseOptions{Strategy: GreedySO, MaxEvaluations: 2})
+	if err != nil {
+		t.Fatalf("budget-bounded Advise errored instead of returning best-so-far: %v", err)
+	}
+	rep := advice.Report()
+	if rep.Stop != StopBudget {
+		t.Fatalf("stop = %s, want %s", rep.Stop, StopBudget)
+	}
+	if rep.Evaluated > 2 {
+		t.Fatalf("evaluated %d candidates over budget 2", rep.Evaluated)
+	}
+	if advice.Cost() <= 0 {
+		t.Fatalf("anytime advice has no usable cost: %g", advice.Cost())
+	}
+	if explain := advice.Explain(); !strings.Contains(explain, "stopped: budget") {
+		t.Fatalf("Explain does not surface the anytime stop:\n%s", explain)
+	}
+}
+
+// TestAdviseContextPreCancelled: with no best-so-far yet, a dead
+// context is a real error at the façade too.
+func TestAdviseContextPreCancelled(t *testing.T) {
+	e := adviseEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.AdviseContext(ctx, AdviseOptions{Strategy: GreedySO}); err == nil {
+		t.Fatal("AdviseContext with a pre-cancelled context succeeded")
+	}
+}
+
+// TestEngineCostCacheFile: the façade's snapshot-file helpers
+// round-trip a warm cache and quarantine a corrupt one non-fatally.
+func TestEngineCostCacheFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "costs.gob")
+
+	e := adviseEngine(t)
+	if _, err := e.Advise(AdviseOptions{Strategy: GreedySO}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveCostCacheFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := adviseEngine(t)
+	n, warning, err := e2.LoadCostCacheFile(path)
+	if err != nil || warning != "" || n == 0 {
+		t.Fatalf("healthy snapshot: n=%d warning=%q err=%v", n, warning, err)
+	}
+
+	if err := os.WriteFile(path, []byte("definitely not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e3 := adviseEngine(t)
+	n, warning, err = e3.LoadCostCacheFile(path)
+	if err != nil {
+		t.Fatalf("corrupt snapshot returned error: %v", err)
+	}
+	if n != 0 || warning == "" {
+		t.Fatalf("corrupt snapshot: n=%d warning=%q", n, warning)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+}
