@@ -1,9 +1,11 @@
 // Command bench measures the search hot path — the fig10 and fig11
 // searches — with incremental candidate evaluation on and off, and
 // writes the metrics as JSON (ns/op, evals/op, translations/op,
-// per-query cache hit rate, cost-cache traffic). CI archives the output
-// as a non-gating artifact so regressions in translations/op are visible
-// across commits.
+// per-query cache hit rate, cost-cache traffic, and the logical-plan
+// layer's block-sharing ratio: SPJ block costings requested by translated
+// queries versus actually run by the optimizer). CI archives the output
+// as a non-gating artifact so regressions in translations/op or the
+// sharing ratio are visible across commits.
 //
 // Usage:
 //
@@ -36,6 +38,8 @@ type metrics struct {
 	qmisses      uint64
 	cacheHits    uint64
 	cacheMisses  uint64
+	blocksReq    uint64
+	blocksCosted uint64
 }
 
 func (m *metrics) add(res *core.Result, d time.Duration) {
@@ -47,6 +51,8 @@ func (m *metrics) add(res *core.Result, d time.Duration) {
 	m.qmisses += res.QueryCacheMisses
 	m.cacheHits += res.Cache.Hits
 	m.cacheMisses += res.Cache.Misses
+	m.blocksReq += res.BlocksRequested
+	m.blocksCosted += res.BlocksCosted
 }
 
 // scenarioResult is the JSON row for one (scenario, incremental) pair.
@@ -62,6 +68,13 @@ type scenarioResult struct {
 	QueryCacheHitRate float64 `json:"query_cache_hit_rate"`
 	CostCacheHits     float64 `json:"cost_cache_hits_per_op"`
 	CostCacheMisses   float64 `json:"cost_cache_misses_per_op"`
+	// BlocksRequested counts SPJ block costings translated queries asked
+	// the logical-plan layer for; BlocksCosted the subset the optimizer
+	// actually ran. BlockSharing is their ratio — how many times fewer
+	// block costings ran than were requested (1.0 = no sharing).
+	BlocksRequested float64 `json:"blocks_requested_per_op"`
+	BlocksCosted    float64 `json:"blocks_costed_per_op"`
+	BlockSharing    float64 `json:"block_sharing_ratio"`
 }
 
 type report struct {
@@ -199,6 +212,11 @@ func main() {
 			if m.qhits+m.qmisses > 0 {
 				res.QueryCacheHitRate = float64(m.qhits) / float64(m.qhits+m.qmisses)
 			}
+			res.BlocksRequested = float64(m.blocksReq) / n
+			res.BlocksCosted = float64(m.blocksCosted) / n
+			if m.blocksCosted > 0 {
+				res.BlockSharing = float64(m.blocksReq) / float64(m.blocksCosted)
+			}
 			rep.Scenarios = append(rep.Scenarios, res)
 			perOp[sc.name][incremental] = res
 		}
@@ -213,6 +231,9 @@ func main() {
 		}
 		if inc.NsPerOp > 0 {
 			rep.Summary[name+"_speedup"] = full.NsPerOp / inc.NsPerOp
+		}
+		if inc.BlockSharing > 0 {
+			rep.Summary[name+"_block_sharing"] = inc.BlockSharing
 		}
 	}
 	if incT > 0 {
@@ -234,8 +255,8 @@ func main() {
 		os.Exit(1)
 	}
 	for _, sc := range rep.Scenarios {
-		fmt.Printf("%-12s incremental=%-5v %8.1fms/op %7.0f translations/op %5.1f%% qcache hits\n",
-			sc.Name, sc.Incremental, sc.NsPerOp/1e6, sc.TranslationsPerOp, 100*sc.QueryCacheHitRate)
+		fmt.Printf("%-12s incremental=%-5v %8.1fms/op %7.0f translations/op %5.1f%% qcache hits %5.2fx block sharing\n",
+			sc.Name, sc.Incremental, sc.NsPerOp/1e6, sc.TranslationsPerOp, 100*sc.QueryCacheHitRate, sc.BlockSharing)
 	}
 	fmt.Printf("combined translation reduction: %.2fx (written to %s)\n",
 		rep.Summary["combined_translation_reduction"], *out)

@@ -46,6 +46,7 @@ func run() int {
 	format := flag.String("format", "text", "output format: text, csv, markdown")
 	nocache := flag.Bool("nocache", false, "disable the shared cost cache (every configuration pays a full evaluation)")
 	noincremental := flag.Bool("noincremental", false, "disable incremental candidate evaluation (delta re-mapping, per-query cost reuse, catalog caching)")
+	noshare := flag.Bool("noshare", false, "disable shared subplan costing (every SPJ block is costed by the optimizer directly); output is byte-identical either way")
 	maxiter := flag.Int("maxiter", 0, "bound search iterations per experiment (0 = until convergence); for smoke runs")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); expired searches report their anytime best-so-far")
 	cachestats := flag.Bool("cachestats", false, "print cost-cache hit/miss counters to stderr after each experiment")
@@ -72,6 +73,7 @@ func run() int {
 	}
 	experiments.EnableCache(!*nocache)
 	experiments.EnableIncremental(!*noincremental)
+	experiments.EnableSharing(!*noshare)
 	experiments.MaxIterations = *maxiter
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -126,6 +128,7 @@ func run() int {
 	expired := false
 	for _, name := range names {
 		before := experiments.CacheStats()
+		beforeBlocks := experiments.PlanStats()
 		tbl, err := experiments.RunContext(ctx, name)
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -146,6 +149,9 @@ func run() int {
 			st := experiments.CacheStats().Sub(before)
 			fmt.Fprintf(os.Stderr, "experiments: %s: cache %d hits, %d misses (%.0f%% hit rate), %d entries total\n",
 				name, st.Hits, st.Misses, hitRate(st.Hits, st.Misses), st.Entries)
+			bs := experiments.PlanStats().Sub(beforeBlocks)
+			fmt.Fprintf(os.Stderr, "experiments: %s: blocks %d shared, %d costed (%.0f%% share rate), %d entries total\n",
+				name, bs.Hits, bs.Misses, hitRate(bs.Hits, bs.Misses), bs.Entries)
 		}
 		switch *format {
 		case "csv":

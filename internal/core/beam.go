@@ -75,7 +75,7 @@ func BeamSearch(ctx context.Context, schema *xschema.Schema, wkld *xquery.Worklo
 	}
 	cache := opts.searchCache()
 	eval := &Evaluator{Workload: wkld, RootCount: rootCount, Model: opts.Model, Cache: cache,
-		DisableIncremental: opts.DisableIncremental}
+		DisableIncremental: opts.DisableIncremental, DisableSharing: opts.DisableSharing}
 	cacheStart := cache.Stats()
 	initial, _, err := eval.EvaluateCached(ctx, ps)
 	if err != nil {
@@ -176,6 +176,7 @@ func BeamSearch(ctx context.Context, schema *xschema.Schema, wkld *xquery.Worklo
 	result.Evals = eval.Evals()
 	result.Translations = eval.Translations()
 	result.QueryCacheHits, result.QueryCacheMisses = eval.QueryCacheStats()
+	result.BlocksRequested, result.BlocksCosted = eval.BlockStats()
 	return result, nil
 }
 

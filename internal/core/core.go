@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"legodb/internal/optimizer"
+	"legodb/internal/plan"
 	"legodb/internal/relational"
 	"legodb/internal/sqlast"
 	"legodb/internal/transform"
@@ -113,6 +114,15 @@ type Options struct {
 	// and re-costs the whole workload. Results are byte-identical either
 	// way; the flag exists for benchmarking and differential testing.
 	DisableIncremental bool
+	// DisableSharing turns off the logical-plan layer (internal/plan):
+	// every translated SPJ block is then costed by the optimizer
+	// directly, instead of structurally identical blocks sharing one
+	// costing across union branches, queries and sibling candidates.
+	// Costs are bit-identical either way (the plan memo keys on
+	// everything block costing reads); the flag exists for benchmarking
+	// and differential testing. Implied by DisableIncremental, which
+	// bypasses the per-query pipeline the plan layer lives in.
+	DisableSharing bool
 	// Reannotate re-derives statistics annotations on every candidate
 	// schema after its transformation is applied, via the incremental
 	// delta annotation (xstats.AnnotateDelta): only types that can reach
@@ -209,6 +219,13 @@ type Result struct {
 	// evaluation is disabled).
 	QueryCacheHits   uint64
 	QueryCacheMisses uint64
+	// BlocksRequested counts the SPJ block costings translated queries
+	// asked the logical-plan layer for during this search;
+	// BlocksCosted counts the subset that ran the optimizer — the gap is
+	// work absorbed by structural sharing across union branches, queries
+	// and candidates. Both zero when sharing is disabled.
+	BlocksRequested uint64
+	BlocksCosted    uint64
 }
 
 // Evaluator costs physical schemas against a fixed workload. It is the
@@ -225,6 +242,11 @@ type Evaluator struct {
 	// cache); every Evaluate then pays the full pipeline. Costs, queries
 	// and catalogs are byte-identical either way.
 	DisableIncremental bool
+	// DisableSharing turns off the logical-plan layer: translated
+	// queries are costed block by block through optimizer.QueryCost
+	// instead of through a plan.Space that dedups structurally identical
+	// blocks. Bit-identical costs either way.
+	DisableSharing bool
 
 	keyOnce    sync.Once
 	workloadID uint64
@@ -235,14 +257,20 @@ type Evaluator struct {
 	translations   atomic.Uint64
 	qhits, qmisses atomic.Uint64
 	memoFalls      atomic.Uint64
-	mapperOnce     sync.Once
-	mapper         *relational.Mapper
-	qdigOnce       sync.Once
-	qdigests       []uint64
-	localQueries   queryStore
-	matMu          sync.Mutex
-	matCache       map[xschema.Fingerprint]*Config
-	matOrder       []xschema.Fingerprint
+	// Plan-layer counters (see incremental.go): block costings the plan
+	// spaces were asked for, and the subset that missed every memo and
+	// ran the optimizer.
+	blocksReq    atomic.Uint64
+	blocksCosted atomic.Uint64
+	localBlocks  plan.Store
+	mapperOnce   sync.Once
+	mapper       *relational.Mapper
+	qdigOnce     sync.Once
+	qdigests     []uint64
+	localQueries queryStore
+	matMu        sync.Mutex
+	matCache     map[xschema.Fingerprint]*Config
+	matOrder     []xschema.Fingerprint
 }
 
 // Evals returns how many full (uncached) evaluations this evaluator ran.
@@ -261,6 +289,14 @@ func (e *Evaluator) QueryCacheStats() (hits, misses uint64) {
 // MemoFallbacks returns how many incremental evaluations detected an
 // inconsistent memo state and fell back to the full pipeline.
 func (e *Evaluator) MemoFallbacks() uint64 { return e.memoFalls.Load() }
+
+// BlockStats returns the logical-plan layer's traffic: block costings
+// requested by translated queries, and the subset that actually ran the
+// optimizer (the rest replayed a structurally identical block's memoized
+// costing). Both zero when sharing or incremental evaluation is off.
+func (e *Evaluator) BlockStats() (requested, costed uint64) {
+	return e.blocksReq.Load(), e.blocksCosted.Load()
+}
 
 // cacheKey builds the cache key for a p-schema, computing the workload
 // and model digests once per evaluator.
@@ -449,7 +485,7 @@ func GreedySearch(ctx context.Context, schema *xschema.Schema, wkld *xquery.Work
 	}
 	cache := opts.searchCache()
 	eval := &Evaluator{Workload: wkld, RootCount: rootCount, Model: opts.Model, Cache: cache,
-		DisableIncremental: opts.DisableIncremental}
+		DisableIncremental: opts.DisableIncremental, DisableSharing: opts.DisableSharing}
 	// Reannotate mode: keep candidate schemas' statistics exact by
 	// re-annotating after every transformation, incrementally via the
 	// memo of the previous full annotation.
@@ -559,6 +595,7 @@ func GreedySearch(ctx context.Context, schema *xschema.Schema, wkld *xquery.Work
 	result.Evals = eval.Evals()
 	result.Translations = eval.Translations()
 	result.QueryCacheHits, result.QueryCacheMisses = eval.QueryCacheStats()
+	result.BlocksRequested, result.BlocksCosted = eval.BlockStats()
 	return result, nil
 }
 

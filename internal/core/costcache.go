@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"legodb/internal/optimizer"
+	"legodb/internal/plan"
 	"legodb/internal/xquery"
 	"legodb/internal/xschema"
 )
@@ -71,6 +72,19 @@ type CostCache struct {
 	// incremental.go; not persisted by Save — entries carry live SQL
 	// ASTs).
 	queries queryStore
+	// blocks memoizes per-block costings for the logical-plan layer so
+	// structurally identical SPJ blocks cost once across union branches,
+	// queries, sibling candidates and searches sharing this cache (see
+	// internal/plan; like queries, not persisted by Save).
+	blocks plan.Store
+}
+
+// BlockStats snapshots the shared block-costing memo's counters.
+func (c *CostCache) BlockStats() plan.StoreStats {
+	if c == nil {
+		return plan.StoreStats{}
+	}
+	return c.blocks.Stats()
 }
 
 type costShard struct {

@@ -9,6 +9,7 @@ import (
 
 	"legodb/internal/faults"
 	"legodb/internal/optimizer"
+	"legodb/internal/plan"
 	"legodb/internal/relational"
 	"legodb/internal/sqlast"
 	"legodb/internal/xquery"
@@ -256,6 +257,17 @@ func queryCacheKey(root string, deps []string, digests map[string]xschema.Finger
 	return st.keyOf(deps)
 }
 
+// blockStoreFor returns the block-costing memo the evaluator's plan
+// spaces feed: the shared cache's when one is attached (so sibling
+// candidates and repeated searches share block costings for tables whose
+// statistics did not change), the evaluator's own otherwise.
+func (e *Evaluator) blockStoreFor() *plan.Store {
+	if e.Cache != nil {
+		return &e.Cache.blocks
+	}
+	return &e.localBlocks
+}
+
 // sharedMapper returns the evaluator's memoizing relational mapper.
 func (e *Evaluator) sharedMapper() *relational.Mapper {
 	e.mapperOnce.Do(func() {
@@ -421,6 +433,23 @@ func (e *Evaluator) evaluateIncremental(ctx context.Context, ps *xschema.Schema)
 		}
 		return opt
 	}
+	// The plan space is per-evaluation (it threads this catalog's table
+	// digests into its memo keys); the store behind it outlives the
+	// evaluation. Lazily built: evaluations fully answered by the
+	// per-query cache never cost a block.
+	var space *plan.Space
+	getSpace := func() *plan.Space {
+		if space == nil {
+			space = plan.NewSpace(getOpt(), ModelID(e.Model), e.blockStoreFor())
+		}
+		return space
+	}
+	defer func() {
+		if space != nil {
+			e.blocksReq.Add(space.Requested)
+			e.blocksCosted.Add(space.Computed)
+		}
+	}()
 	queries := make([]*sqlast.Query, len(e.Workload.Entries))
 	st := newDepState(ps, cat, digests)
 	total, wsum := 0.0, 0.0
@@ -440,11 +469,18 @@ func (e *Evaluator) evaluateIncremental(ctx context.Context, ps *xschema.Schema)
 			if err != nil {
 				return Config{}, err
 			}
-			est, err := getOpt().QueryCost(sq)
-			if err != nil {
-				return Config{}, err
+			if e.DisableSharing {
+				est, err := getOpt().QueryCost(sq)
+				if err != nil {
+					return Config{}, err
+				}
+				cost = est.Cost
+			} else {
+				cost, err = getSpace().QueryCost(sq)
+				if err != nil {
+					return Config{}, err
+				}
 			}
-			cost = est.Cost
 			e.translations.Add(1)
 			e.storeQueryCost(i, st.keyOf(deps), deps, cost, sq)
 		}

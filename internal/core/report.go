@@ -116,6 +116,11 @@ type SearchReport struct {
 	// AnnotateFallbacks counts candidates whose incremental statistics
 	// re-annotation failed and fell back to a full re-annotation.
 	AnnotateFallbacks uint64
+	// BlocksRequested and BlocksCosted mirror Result: SPJ block costings
+	// asked of the logical-plan layer versus actually run — the gap is
+	// the sharing the plan layer delivered during this search.
+	BlocksRequested uint64
+	BlocksCosted    uint64
 	// Elapsed is the search's wall-clock time.
 	Elapsed time.Duration
 }
@@ -201,6 +206,7 @@ func (st *searchState) report(stop StopReason, iterations int, eval *Evaluator, 
 	st.mu.Lock()
 	errs := append([]CandidateError(nil), st.errs...)
 	st.mu.Unlock()
+	req, costed := eval.BlockStats()
 	return SearchReport{
 		Stop:              stop,
 		Iterations:        iterations,
@@ -210,6 +216,8 @@ func (st *searchState) report(stop StopReason, iterations int, eval *Evaluator, 
 		Errors:            errs,
 		MemoFallbacks:     eval.MemoFallbacks(),
 		AnnotateFallbacks: st.annFalls.Load(),
+		BlocksRequested:   req,
+		BlocksCosted:      costed,
 		Elapsed:           elapsed,
 	}
 }

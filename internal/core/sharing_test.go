@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"legodb/internal/imdb"
+	"legodb/internal/xquery"
+)
+
+// TestPlanSharingDifferential: every search outcome — per-iteration
+// costs, applied transformations, final DDL — must be byte-identical
+// with shared subplan costing on and off, across strategies, workloads
+// and worker counts. Sharing may only change how many optimizer block
+// costings run, never what they return.
+func TestPlanSharingDifferential(t *testing.T) {
+	for _, strategy := range []Strategy{GreedySO, GreedySI} {
+		for _, wl := range []struct {
+			name string
+			make func() *xquery.Workload
+		}{
+			{"lookup", imdb.LookupWorkload},
+			{"publish", imdb.PublishWorkload},
+		} {
+			for _, workers := range []int{1, 8} {
+				var sigs [2]string
+				var reses [2]*Result
+				for i, disable := range []bool{false, true} {
+					res, err := GreedySearch(context.Background(), imdb.Schema(), wl.make(), imdb.Stats(), Options{
+						Strategy: strategy, Workers: workers, Cache: NewCostCache(0), DisableSharing: disable,
+					})
+					if err != nil {
+						t.Fatalf("%v/%s/workers=%d sharing=%v: %v", strategy, wl.name, workers, !disable, err)
+					}
+					sigs[i] = resultSignature(res)
+					reses[i] = res
+				}
+				if sigs[0] != sigs[1] {
+					t.Errorf("%v/%s/workers=%d: sharing changed the outcome:\n--- shared\n%s\n--- unshared\n%s",
+						strategy, wl.name, workers, sigs[0], sigs[1])
+				}
+				if reses[0].BlocksCosted >= reses[0].BlocksRequested {
+					t.Errorf("%v/%s/workers=%d: sharing never engaged: %d costed of %d requested",
+						strategy, wl.name, workers, reses[0].BlocksCosted, reses[0].BlocksRequested)
+				}
+				if reses[1].BlocksRequested != 0 {
+					t.Errorf("%v/%s/workers=%d: disabled sharing still routed %d blocks through the plan layer",
+						strategy, wl.name, workers, reses[1].BlocksRequested)
+				}
+			}
+		}
+	}
+}
+
+// TestBeamSharingDifferential mirrors the greedy differential for beam
+// search at width 3.
+func TestBeamSharingDifferential(t *testing.T) {
+	var sigs [2]string
+	for i, disable := range []bool{false, true} {
+		res, err := BeamSearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), BeamOptions{
+			Options: Options{Strategy: GreedySO, Cache: NewCostCache(0), DisableSharing: disable},
+			Width:   3,
+		})
+		if err != nil {
+			t.Fatalf("sharing=%v: %v", !disable, err)
+		}
+		sigs[i] = resultSignature(res)
+		if !disable && res.BlocksCosted >= res.BlocksRequested {
+			t.Errorf("beam search never shared a block: %d costed of %d requested",
+				res.BlocksCosted, res.BlocksRequested)
+		}
+	}
+	if sigs[0] != sigs[1] {
+		t.Errorf("sharing changed the beam outcome:\n--- shared\n%s\n--- unshared\n%s", sigs[0], sigs[1])
+	}
+}
+
+// TestSharingCountersReachReport: the search report must carry the
+// block-sharing counters so cmd/bench and cmd/experiments can surface
+// them.
+func TestSharingCountersReachReport(t *testing.T) {
+	res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), Options{
+		Strategy: GreedySO, Cache: NewCostCache(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksRequested == 0 {
+		t.Fatal("no blocks routed through the plan layer on a default search")
+	}
+	if res.BlocksCosted == 0 || res.BlocksCosted >= res.BlocksRequested {
+		t.Fatalf("implausible sharing counters: %d costed of %d requested", res.BlocksCosted, res.BlocksRequested)
+	}
+}

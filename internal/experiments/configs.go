@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"legodb/internal/core"
 	"legodb/internal/imdb"
+	"legodb/internal/plan"
 	"legodb/internal/pschema"
 	"legodb/internal/transform"
 	"legodb/internal/xquery"
@@ -45,6 +47,20 @@ var incrementalEnabled = true
 // (cmd/experiments -noincremental).
 func EnableIncremental(on bool) { incrementalEnabled = on }
 
+// sharingEnabled gates the logical-plan layer (internal/plan): off, every
+// translated SPJ block is costed by the optimizer directly instead of
+// structurally identical blocks sharing one costing. Results are
+// byte-identical either way — the -noshare escape hatch exists to prove
+// exactly that, and to measure the unshared baseline.
+var sharingEnabled = true
+
+// EnableSharing switches shared subplan costing on or off
+// (cmd/experiments -noshare).
+func EnableSharing(on bool) { sharingEnabled = on }
+
+// PlanStats snapshots the shared block-costing memo's counters.
+func PlanStats() plan.StoreStats { return sharedCache.BlockStats() }
+
 // LoadCacheFile merges a cost-cache snapshot file into the shared
 // cache, returning the number of entries added. A missing file is not
 // an error (first run warms the cache that later runs load), and a
@@ -65,7 +81,7 @@ func SaveCacheFile(path string) error {
 // budget.
 func searchOptions(strategy core.Strategy) core.Options {
 	opts := core.Options{Strategy: strategy, MaxIterations: MaxIterations,
-		DisableIncremental: !incrementalEnabled}
+		DisableIncremental: !incrementalEnabled, DisableSharing: !sharingEnabled}
 	if cacheEnabled {
 		opts.Cache = sharedCache
 	} else {
@@ -160,10 +176,17 @@ func storageMap3(annotated *xschema.Schema) (*xschema.Schema, error) {
 func costOn(ps *xschema.Schema, q *xquery.Query) (float64, error) {
 	w := &xquery.Workload{}
 	w.Add(q, 1)
-	return core.GetPSchemaCostWith(ps, w, 1, nil, costCache())
+	return workloadCostOn(ps, w)
 }
 
-// workloadCostOn evaluates a workload's weighted cost on a configuration.
+// workloadCostOn evaluates a workload's weighted cost on a configuration,
+// honoring the package-wide cache/sharing switches.
 func workloadCostOn(ps *xschema.Schema, w *xquery.Workload) (float64, error) {
-	return core.GetPSchemaCostWith(ps, w, 1, nil, costCache())
+	e := &core.Evaluator{Workload: w, RootCount: 1, Cache: costCache(),
+		DisableSharing: !sharingEnabled}
+	cfg, _, err := e.EvaluateCached(context.Background(), ps)
+	if err != nil {
+		return 0, err
+	}
+	return cfg.Cost, nil
 }

@@ -114,7 +114,7 @@ func (o *Optimizer) QueryCost(q *sqlast.Query) (Estimate, error) {
 	var plans []string
 	scanned := make(map[string]bool)
 	for _, b := range q.Blocks {
-		est, err := o.blockCost(b, scanned)
+		est, err := o.BlockCostShared(b, scanned)
 		if err != nil {
 			return Estimate{}, fmt.Errorf("optimizer: %s: %w", q.Name, err)
 		}
@@ -168,6 +168,22 @@ type edge struct {
 // BlockCost estimates the best plan cost for a block in isolation.
 func (o *Optimizer) BlockCost(b *sqlast.Block) (Estimate, error) {
 	return o.blockCost(b, make(map[string]bool))
+}
+
+// BlockCostShared is the block-level costing unit that QueryCost composes:
+// it estimates the best plan for one block given the tables already read
+// by earlier blocks of the same query, and records into scanned the tables
+// (and shared hash builds, under "hash:"-prefixed entries) the chosen plan
+// reads. The estimate depends on the scanned set only through the entries
+// for the block's own table names, and the entries it adds are likewise
+// confined to those names — the invariant that lets the logical-plan layer
+// (internal/plan) memoize (cost, added entries) across structurally
+// identical blocks and replay them into a different query's scan state.
+func (o *Optimizer) BlockCostShared(b *sqlast.Block, scanned map[string]bool) (Estimate, error) {
+	if scanned == nil {
+		scanned = make(map[string]bool)
+	}
+	return o.blockCost(b, scanned)
 }
 
 // blockCost estimates a block's cost; scanned carries the tables already

@@ -243,3 +243,90 @@ func TestDeterministicEstimates(t *testing.T) {
 		t.Fatalf("estimates differ across runs: %g vs %g", c1, c2)
 	}
 }
+
+// TestQueryCostComposesFromBlockCosts: QueryCost over a union query must
+// equal, bit for bit, the sum of BlockCostShared over its blocks with
+// the scan-state map threaded across them — the contract the plan
+// layer's per-block memoization is built on.
+func TestQueryCostComposesFromBlockCosts(t *testing.T) {
+	e := buildEnv(t, imdbFixture)
+	for _, query := range []string{
+		`FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title`,
+		`FOR $v IN imdb/show, $x IN $v/episode WHERE $x/name = c1 RETURN $v/title`,
+		`FOR $v IN imdb/show RETURN $v`,
+		`FOR $v IN imdb/show WHERE $v/year = 1999 RETURN $v/title, $v/aka, $v/review/nyt`,
+	} {
+		sq, err := xquery.Translate(xquery.MustParse(query), e.schema, e.cat)
+		if err != nil {
+			t.Fatalf("Translate %s: %v", query, err)
+		}
+		want, err := e.opt.QueryCost(sq)
+		if err != nil {
+			t.Fatalf("QueryCost %s: %v", query, err)
+		}
+		scanned := make(map[string]bool)
+		var sum float64
+		for _, b := range sq.Blocks {
+			est, err := e.opt.BlockCostShared(b, scanned)
+			if err != nil {
+				t.Fatalf("BlockCostShared %s: %v", query, err)
+			}
+			sum += est.Cost
+		}
+		if sum != want.Cost {
+			t.Errorf("%s: composed block costs %x, QueryCost %x", query, sum, want.Cost)
+		}
+	}
+}
+
+// TestBlockCostAliasInvariant: renaming every alias consistently must
+// not move the cost — the property that licenses keying the block memo
+// on the alias-invariant shape.
+func TestBlockCostAliasInvariant(t *testing.T) {
+	e := buildEnv(t, imdbFixture)
+	sq, err := xquery.Translate(
+		xquery.MustParse(`FOR $v IN imdb/show, $x IN $v/episode WHERE $x/name = c1 RETURN $v/title`),
+		e.schema, e.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sq.Blocks[0]
+	base, err := e.opt.BlockCostShared(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ren := b.Clone()
+	names := map[string]string{}
+	for i := range ren.Tables {
+		names[ren.Tables[i].Alias] = "zz_" + ren.Tables[i].Alias
+		ren.Tables[i].Alias = "zz_" + ren.Tables[i].Alias
+	}
+	fix := func(c *sqlast.ColumnRef) {
+		if n, ok := names[c.Alias]; ok {
+			c.Alias = n
+		}
+	}
+	for i := range ren.Joins {
+		fix(&ren.Joins[i].Left)
+		fix(&ren.Joins[i].Right)
+	}
+	for i := range ren.Filters {
+		fix(&ren.Filters[i].Col)
+		if ren.Filters[i].RightCol != nil {
+			fix(ren.Filters[i].RightCol)
+		}
+	}
+	for i := range ren.Projects {
+		fix(&ren.Projects[i])
+	}
+	got, err := e.opt.BlockCostShared(ren, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != base.Cost {
+		t.Fatalf("alias renaming moved the block cost: %x vs %x", got.Cost, base.Cost)
+	}
+	if b.ShapeKey() != ren.ShapeKey() {
+		t.Fatal("renamed block changed shape; the invariant test is vacuous")
+	}
+}

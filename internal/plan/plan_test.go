@@ -1,0 +1,223 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"legodb/internal/sqlast"
+)
+
+// genBlock builds a random connected SPJ block: 1–4 tables from a small
+// pool, a spanning set of equi-joins, random local and cross-alias
+// filters, random projections.
+func genBlock(r *rand.Rand) *sqlast.Block {
+	tables := []string{"show", "review", "aka", "episode", "seasons", "movie"}
+	columns := []string{"c0", "c1", "c2", "c3"}
+	b := &sqlast.Block{}
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		b.AddTable(tables[r.Intn(len(tables))], fmt.Sprintf("t%d", i+1))
+	}
+	col := func(i int) sqlast.ColumnRef {
+		return sqlast.ColumnRef{Alias: b.Tables[i].Alias, Column: columns[r.Intn(len(columns))]}
+	}
+	for i := 1; i < n; i++ {
+		b.Joins = append(b.Joins, sqlast.Join{Left: col(i), Right: col(r.Intn(i))})
+	}
+	ops := []sqlast.CmpOp{sqlast.OpEq, sqlast.OpNe, sqlast.OpLt, sqlast.OpLe, sqlast.OpGt, sqlast.OpGe}
+	for k := r.Intn(4); k > 0; k-- {
+		f := sqlast.Filter{Col: col(r.Intn(n)), Op: ops[r.Intn(len(ops))]}
+		switch r.Intn(3) {
+		case 0:
+			f.Value = sqlast.Literal{IsInt: true, Int: int64(r.Intn(1000))}
+		case 1:
+			f.Value = sqlast.Literal{Str: fmt.Sprintf("s%d", r.Intn(100))}
+		default:
+			rc := col(r.Intn(n))
+			f.RightCol = &rc
+		}
+		b.Filters = append(b.Filters, f)
+	}
+	for k := r.Intn(4); k > 0; k-- {
+		b.Projects = append(b.Projects, col(r.Intn(n)))
+	}
+	return b
+}
+
+// randomBlock adapts genBlock to testing/quick.
+type randomBlock struct {
+	b    *sqlast.Block
+	seed int64
+}
+
+func (randomBlock) Generate(r *rand.Rand, _ int) reflect.Value {
+	seed := r.Int63()
+	return reflect.ValueOf(randomBlock{b: genBlock(rand.New(rand.NewSource(seed))), seed: seed})
+}
+
+// renameAliases returns the block with every alias consistently replaced
+// through the mapping.
+func renameAliases(b *sqlast.Block, names map[string]string) *sqlast.Block {
+	out := b.Clone()
+	ren := func(c *sqlast.ColumnRef) {
+		if n, ok := names[c.Alias]; ok {
+			c.Alias = n
+		}
+	}
+	for i := range out.Tables {
+		if n, ok := names[out.Tables[i].Alias]; ok {
+			out.Tables[i].Alias = n
+		}
+	}
+	for i := range out.Joins {
+		ren(&out.Joins[i].Left)
+		ren(&out.Joins[i].Right)
+	}
+	for i := range out.Filters {
+		ren(&out.Filters[i].Col)
+		if out.Filters[i].RightCol != nil {
+			ren(out.Filters[i].RightCol)
+		}
+	}
+	for i := range out.Projects {
+		ren(&out.Projects[i])
+	}
+	return out
+}
+
+// shuffle returns the block with all four clause lists independently
+// permuted (aliases travel with their table refs, so semantics are
+// preserved).
+func shuffle(b *sqlast.Block, r *rand.Rand) *sqlast.Block {
+	out := b.Clone()
+	r.Shuffle(len(out.Tables), func(i, j int) { out.Tables[i], out.Tables[j] = out.Tables[j], out.Tables[i] })
+	r.Shuffle(len(out.Joins), func(i, j int) { out.Joins[i], out.Joins[j] = out.Joins[j], out.Joins[i] })
+	r.Shuffle(len(out.Filters), func(i, j int) { out.Filters[i], out.Filters[j] = out.Filters[j], out.Filters[i] })
+	r.Shuffle(len(out.Projects), func(i, j int) { out.Projects[i], out.Projects[j] = out.Projects[j], out.Projects[i] })
+	return out
+}
+
+// TestFingerprintInvariantUnderRenamingAndReordering: the canonical
+// fingerprint must not change when aliases are renamed or the table,
+// join, filter and projection lists are permuted.
+func TestFingerprintInvariantUnderRenamingAndReordering(t *testing.T) {
+	prop := func(rb randomBlock) bool {
+		r := rand.New(rand.NewSource(rb.seed + 1))
+		fp := BlockFingerprint(rb.b)
+		names := make(map[string]string, len(rb.b.Tables))
+		for i, tr := range rb.b.Tables {
+			names[tr.Alias] = fmt.Sprintf("renamed_%c%d", 'a'+r.Intn(26), i)
+		}
+		if BlockFingerprint(renameAliases(rb.b, names)) != fp {
+			t.Logf("seed %d: alias renaming changed the fingerprint of\n%s", rb.seed, rb.b.SQL())
+			return false
+		}
+		for round := 0; round < 4; round++ {
+			if BlockFingerprint(shuffle(rb.b, r)) != fp {
+				t.Logf("seed %d: reordering changed the fingerprint of\n%s", rb.seed, rb.b.SQL())
+				return false
+			}
+		}
+		if BlockFingerprint(shuffle(renameAliases(rb.b, names), r)) != fp {
+			t.Logf("seed %d: rename+reorder changed the fingerprint of\n%s", rb.seed, rb.b.SQL())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFingerprintDistinguishesEditedBlocks: changing any join edge column
+// or any filter constant must change the fingerprint.
+func TestFingerprintDistinguishesEditedBlocks(t *testing.T) {
+	prop := func(rb randomBlock) bool {
+		fp := BlockFingerprint(rb.b)
+		for i := range rb.b.Joins {
+			edited := rb.b.Clone()
+			edited.Joins[i].Left.Column = "edited_" + edited.Joins[i].Left.Column
+			if BlockFingerprint(edited) == fp {
+				t.Logf("seed %d: editing join %d went unnoticed in\n%s", rb.seed, i, rb.b.SQL())
+				return false
+			}
+		}
+		for i := range rb.b.Filters {
+			edited := rb.b.Clone()
+			f := &edited.Filters[i]
+			switch {
+			case f.RightCol != nil:
+				f.RightCol.Column = "edited_" + f.RightCol.Column
+			case f.Value.IsInt:
+				f.Value.Int++
+			default:
+				f.Value.Str += "'edited"
+			}
+			if BlockFingerprint(edited) == fp {
+				t.Logf("seed %d: editing filter %d went unnoticed in\n%s", rb.seed, i, rb.b.SQL())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShapeKeyAliasInvariantOrderSensitive pins the contract split
+// between the two identities: ShapeKey ignores alias names (like the
+// fingerprint) but preserves clause order (unlike it) — the property
+// that makes it a sound key for the order-sensitive cost memo.
+func TestShapeKeyAliasInvariantOrderSensitive(t *testing.T) {
+	prop := func(rb randomBlock) bool {
+		shape := rb.b.ShapeKey()
+		names := make(map[string]string, len(rb.b.Tables))
+		for i, tr := range rb.b.Tables {
+			names[tr.Alias] = fmt.Sprintf("other%d", i)
+		}
+		if renameAliases(rb.b, names).ShapeKey() != shape {
+			t.Logf("seed %d: alias renaming changed the shape of\n%s", rb.seed, rb.b.SQL())
+			return false
+		}
+		if len(rb.b.Tables) > 1 {
+			swapped := rb.b.Clone()
+			swapped.Tables[0], swapped.Tables[1] = swapped.Tables[1], swapped.Tables[0]
+			if swapped.ShapeKey() == shape && swapped.Tables[0] != rb.b.Tables[0] {
+				t.Logf("seed %d: FROM reordering went unnoticed by the shape of\n%s", rb.seed, rb.b.SQL())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryFingerprintIgnoresBranchOrder: a query fingerprint is a
+// multiset fold, so permuting union branches must not change it.
+func TestQueryFingerprintIgnoresBranchOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	q := &sqlast.Query{Name: "Q"}
+	for i := 0; i < 4; i++ {
+		q.Blocks = append(q.Blocks, genBlock(r))
+	}
+	fp := QueryFingerprint(q)
+	rev := &sqlast.Query{Name: "Q"}
+	for i := len(q.Blocks) - 1; i >= 0; i-- {
+		rev.Blocks = append(rev.Blocks, q.Blocks[i])
+	}
+	if QueryFingerprint(rev) != fp {
+		t.Fatal("reversing union branches changed the query fingerprint")
+	}
+	edited := &sqlast.Query{Name: "Q", Blocks: append([]*sqlast.Block(nil), q.Blocks...)}
+	edited.Blocks[0] = edited.Blocks[0].Clone()
+	edited.Blocks[0].Tables[0].Table = "edited"
+	if QueryFingerprint(edited) == fp {
+		t.Fatal("editing a branch went unnoticed by the query fingerprint")
+	}
+}

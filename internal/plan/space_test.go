@@ -1,0 +1,261 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"legodb/internal/optimizer"
+	"legodb/internal/relational"
+	"legodb/internal/sqlast"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+)
+
+const imdbFixture = `
+type IMDB = imdb[ Show{0,*}<#34798> ]
+type Show = show [ @type[ String<#8,#2> ],
+    title[ String<#50,#34798> ],
+    year[ Integer<#4,#1800,#2100,#300> ],
+    Aka{1,10}<#3>,
+    Review*<#2>,
+    ( Movie | TV ) ]
+type Aka = aka[ String<#40,#13641> ]
+type Review = review[ ~[ String<#800,#11000> ] ]
+type Movie = box_office[ Integer<#4,#10000,#100000000,#7000> ], video_sales[ Integer<#4,#10000,#100000000,#7000> ]
+type TV = seasons[ Integer<#4,#1,#60,#50> ], description[ String<#120,#3500> ], Episode*<#9>
+type Episode = episode[ name[ String<#40,#31250> ], guest_director[ String<#40,#5000> ] ]
+`
+
+var fixtureQueries = []string{
+	`FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title`,
+	`FOR $v IN imdb/show WHERE $v/year = 1999 RETURN $v/title`,
+	`FOR $v IN imdb/show, $e IN $v/episode WHERE $e/name = c1 RETURN $v/title`,
+	`FOR $v IN imdb/show, $a IN $v/aka RETURN $v/title, $a`,
+	`FOR $v IN imdb/show RETURN $v`,
+}
+
+type env struct {
+	schema *xschema.Schema
+	cat    *relational.Catalog
+	opt    *optimizer.Optimizer
+}
+
+func buildEnv(t *testing.T) *env {
+	t.Helper()
+	s := xschema.MustParseSchema(imdbFixture)
+	cat, err := relational.Map(s)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	return &env{schema: s, cat: cat, opt: optimizer.New(cat)}
+}
+
+func (e *env) translate(t *testing.T, query string) *sqlast.Query {
+	t.Helper()
+	sq, err := xquery.Translate(xquery.MustParse(query), e.schema, e.cat)
+	if err != nil {
+		t.Fatalf("Translate %s: %v", query, err)
+	}
+	return sq
+}
+
+// TestSpaceMatchesQueryCost: costing through a Space must be bit-identical
+// to optimizer.QueryCost — on a cold store (every block computed), and
+// again on a warm store (every block replayed from the memo).
+func TestSpaceMatchesQueryCost(t *testing.T) {
+	e := buildEnv(t)
+	store := NewStore(0)
+	cold := NewSpace(e.opt, 1, store)
+	warm := NewSpace(e.opt, 1, store)
+	for _, query := range fixtureQueries {
+		sq := e.translate(t, query)
+		want, err := e.opt.QueryCost(sq)
+		if err != nil {
+			t.Fatalf("QueryCost %s: %v", query, err)
+		}
+		got, err := cold.QueryCost(sq)
+		if err != nil {
+			t.Fatalf("Space.QueryCost %s: %v", query, err)
+		}
+		if got != want.Cost {
+			t.Errorf("%s: cold space cost %x, optimizer %x", query, got, want.Cost)
+		}
+		replayed, err := warm.QueryCost(sq)
+		if err != nil {
+			t.Fatalf("warm Space.QueryCost %s: %v", query, err)
+		}
+		if replayed != want.Cost {
+			t.Errorf("%s: warm space cost %x, optimizer %x", query, replayed, want.Cost)
+		}
+	}
+	if cold.Computed == 0 || cold.Computed > cold.Requested {
+		t.Fatalf("cold space computed %d of %d requested", cold.Computed, cold.Requested)
+	}
+	if warm.Computed != 0 {
+		t.Errorf("warm space recomputed %d blocks; want pure replay", warm.Computed)
+	}
+	if warm.Requested != cold.Requested {
+		t.Errorf("warm space requested %d blocks, cold %d", warm.Requested, cold.Requested)
+	}
+}
+
+// TestSpaceSharesAcrossQueries: structurally identical blocks arising in
+// different queries of one workload must be costed once.
+func TestSpaceSharesAcrossQueries(t *testing.T) {
+	e := buildEnv(t)
+	sp := NewSpace(e.opt, 1, nil)
+	// The same publishing query translated twice yields structurally
+	// identical blocks; the second pass must be answered entirely from
+	// the memo.
+	first := e.translate(t, `FOR $v IN imdb/show RETURN $v`)
+	second := e.translate(t, `FOR $v IN imdb/show RETURN $v`)
+	c1, err := sp.QueryCost(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	computedAfterFirst := sp.Computed
+	c2, err := sp.QueryCost(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("identical queries costed differently: %x vs %x", c1, c2)
+	}
+	if sp.Computed != computedAfterFirst {
+		t.Errorf("second pass recomputed %d blocks; want full sharing", sp.Computed-computedAfterFirst)
+	}
+	if sp.Distinct() >= int(sp.Requested) {
+		t.Errorf("no structural dedup: %d distinct of %d requested", sp.Distinct(), sp.Requested)
+	}
+}
+
+// TestInternedEntriesImmuneToCallerMutation (the deep-copy aliasing
+// guard): mutating a block after it was interned — tables, filter
+// literals, the RightCol pointer Clone must have deep-copied — must not
+// perturb the Space's interned entry.
+func TestInternedEntriesImmuneToCallerMutation(t *testing.T) {
+	e := buildEnv(t)
+	sp := NewSpace(e.opt, 1, nil)
+	sq := e.translate(t, `FOR $v IN imdb/show, $e IN $v/episode WHERE $e/name = c1 RETURN $v/title`)
+	if _, err := sp.QueryCost(sq); err != nil {
+		t.Fatal(err)
+	}
+	b := sq.Blocks[0]
+	interned := sp.Interned(b)
+	if interned == nil {
+		t.Fatal("block not interned")
+	}
+	if interned == b {
+		t.Fatal("space interned the caller's block instance, not a copy")
+	}
+	before := interned.SQL()
+	shape := interned.ShapeKey()
+	// Mutate the caller's block in every aliasable position.
+	b.Tables[0].Table = "mutated"
+	for i := range b.Filters {
+		b.Filters[i].Value = sqlast.Literal{Str: "mutated"}
+		if b.Filters[i].RightCol != nil {
+			b.Filters[i].RightCol.Column = "mutated"
+		}
+	}
+	if len(b.Projects) > 0 {
+		b.Projects[0].Column = "mutated"
+	}
+	if got := interned.SQL(); got != before {
+		t.Fatalf("caller mutation reached the interned entry:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	if interned.ShapeKey() != shape {
+		t.Fatal("caller mutation changed the interned entry's shape")
+	}
+}
+
+// TestStoreEvictionFIFO: the bounded store evicts oldest-first and keeps
+// serving the surviving entries.
+func TestStoreEvictionFIFO(t *testing.T) {
+	s := NewStore(2)
+	k := func(i uint64) Key { return Key{Hi: i, Lo: ^i} }
+	s.put(k(1), Outcome{Cost: 1})
+	s.put(k(2), Outcome{Cost: 2})
+	s.put(k(3), Outcome{Cost: 3})
+	if _, ok := s.get(k(1)); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	for i := uint64(2); i <= 3; i++ {
+		out, ok := s.get(k(i))
+		if !ok || out.Cost != float64(i) {
+			t.Errorf("entry %d: got %v %v", i, out, ok)
+		}
+	}
+	st := s.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats %+v; want 2 entries, 1 eviction", st)
+	}
+	// Overwriting an existing key must not grow the store.
+	s.put(k(3), Outcome{Cost: 3})
+	if st := s.Stats(); st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("idempotent put changed stats: %+v", st)
+	}
+}
+
+// TestZeroValueStoreUsable: the zero value (as embedded in
+// core.CostCache) must be usable without construction.
+func TestZeroValueStoreUsable(t *testing.T) {
+	var s Store
+	if _, ok := s.get(Key{Hi: 1}); ok {
+		t.Fatal("empty store hit")
+	}
+	s.put(Key{Hi: 1}, Outcome{Cost: 42})
+	if out, ok := s.get(Key{Hi: 1}); !ok || out.Cost != 42 {
+		t.Fatalf("zero-value store round trip failed: %v %v", out, ok)
+	}
+}
+
+// TestScanContextKeysApart: the same block costed in different scan
+// contexts (its table already scanned by an earlier block vs. not) must
+// not share one memo entry — the costs legitimately differ.
+func TestScanContextKeysApart(t *testing.T) {
+	e := buildEnv(t)
+	sp := NewSpace(e.opt, 1, nil)
+	sq := e.translate(t, `FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title`)
+	if len(sq.Blocks) != 1 {
+		t.Fatalf("want a single-block query, got %d blocks", len(sq.Blocks))
+	}
+	b := sq.Blocks[0]
+	freshScan := map[string]bool{}
+	costFresh, err := sp.blockCost(b, freshScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmScan := map[string]bool{}
+	for _, tr := range b.Tables {
+		warmScan[tr.Table] = true
+	}
+	costWarm, err := sp.blockCost(b, warmScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costFresh == costWarm {
+		t.Fatal("scanned and unscanned contexts cost the same; scan state is not reaching the cost")
+	}
+	// And replaying each context again must reproduce each cost exactly.
+	again, err := sp.blockCost(b, map[string]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != costFresh {
+		t.Fatalf("fresh-context replay %x, first run %x", again, costFresh)
+	}
+}
+
+// TestSpaceErrorParity: unknown tables must surface the optimizer's
+// error through the space, wrapped with the query name.
+func TestSpaceErrorParity(t *testing.T) {
+	e := buildEnv(t)
+	sp := NewSpace(e.opt, 1, nil)
+	q := &sqlast.Query{Name: "broken", Blocks: []*sqlast.Block{{
+		Tables: []sqlast.TableRef{{Table: "no_such_table", Alias: "t1"}},
+	}}}
+	if _, err := sp.QueryCost(q); err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("want a named error for an unknown table, got %v", err)
+	}
+}

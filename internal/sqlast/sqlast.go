@@ -150,6 +150,64 @@ func (b *Block) Clone() *Block {
 	return cp
 }
 
+// ShapeKey returns the block's canonical positional encoding: the block
+// rendered with every alias replaced by its table's position in the FROM
+// list. Alias names never reach the encoding, so two blocks that differ
+// only in how their aliases were numbered share a key, while everything
+// that can influence costing — table names, join edges, filter columns,
+// operators and constants, projections, and their order — is encoded
+// exactly. The logical-plan layer (internal/plan) keys interned blocks
+// and memoized block costs on this encoding.
+func (b *Block) ShapeKey() string {
+	var sb strings.Builder
+	idx := make(map[string]int, len(b.Tables))
+	for i, t := range b.Tables {
+		if _, ok := idx[t.Alias]; !ok {
+			idx[t.Alias] = i
+		}
+		sb.WriteByte('T')
+		sb.WriteString(t.Table)
+		sb.WriteByte(0)
+	}
+	ref := func(c ColumnRef) {
+		if i, ok := idx[c.Alias]; ok {
+			fmt.Fprintf(&sb, "%d", i)
+		} else {
+			// An alias not bound in FROM (malformed block): keep it
+			// verbatim so the encoding stays injective.
+			sb.WriteByte('?')
+			sb.WriteString(c.Alias)
+		}
+		sb.WriteByte('.')
+		sb.WriteString(c.Column)
+		sb.WriteByte(0)
+	}
+	for _, j := range b.Joins {
+		sb.WriteByte('J')
+		ref(j.Left)
+		ref(j.Right)
+	}
+	for _, f := range b.Filters {
+		sb.WriteByte('F')
+		ref(f.Col)
+		sb.WriteString(f.Op.String())
+		sb.WriteByte(0)
+		if f.RightCol != nil {
+			sb.WriteByte('C')
+			ref(*f.RightCol)
+		} else {
+			sb.WriteByte('L')
+			sb.WriteString(f.Value.String())
+			sb.WriteByte(0)
+		}
+	}
+	for _, p := range b.Projects {
+		sb.WriteByte('P')
+		ref(p)
+	}
+	return sb.String()
+}
+
 // SQL renders the block as a SELECT statement.
 func (b *Block) SQL() string {
 	var sb strings.Builder

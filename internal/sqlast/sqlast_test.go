@@ -122,3 +122,103 @@ func TestHasTable(t *testing.T) {
 		t.Fatal("HasTable broken")
 	}
 }
+
+// renamed returns sampleBlock with every alias consistently renamed.
+func renamedSampleBlock() *Block {
+	b := sampleBlock()
+	ren := map[string]string{"s": "show_alias", "r": "rev_alias"}
+	for i := range b.Tables {
+		b.Tables[i].Alias = ren[b.Tables[i].Alias]
+	}
+	for i := range b.Joins {
+		b.Joins[i].Left.Alias = ren[b.Joins[i].Left.Alias]
+		b.Joins[i].Right.Alias = ren[b.Joins[i].Right.Alias]
+	}
+	for i := range b.Filters {
+		b.Filters[i].Col.Alias = ren[b.Filters[i].Col.Alias]
+		if b.Filters[i].RightCol != nil {
+			b.Filters[i].RightCol.Alias = ren[b.Filters[i].RightCol.Alias]
+		}
+	}
+	for i := range b.Projects {
+		b.Projects[i].Alias = ren[b.Projects[i].Alias]
+	}
+	return b
+}
+
+func TestShapeKeyIgnoresAliasNames(t *testing.T) {
+	if sampleBlock().ShapeKey() != renamedSampleBlock().ShapeKey() {
+		t.Fatal("alias renaming changed the shape key")
+	}
+	if sampleBlock().SQL() == renamedSampleBlock().SQL() {
+		t.Fatal("renaming did not reach the rendered SQL; the test is vacuous")
+	}
+}
+
+func TestShapeKeySensitiveToStructure(t *testing.T) {
+	base := sampleBlock().ShapeKey()
+	edits := map[string]func(*Block){
+		"table":           func(b *Block) { b.Tables[1].Table = "Aka" },
+		"join column":     func(b *Block) { b.Joins[0].Left.Column = "parent_Aka" },
+		"filter operator": func(b *Block) { b.Filters[0].Op = OpLt },
+		"filter constant": func(b *Block) { b.Filters[0].Value.Int = 2000 },
+		"projection":      func(b *Block) { b.Projects[0].Column = "year" },
+		"table order":     func(b *Block) { b.Tables[0], b.Tables[1] = b.Tables[1], b.Tables[0] },
+		"filter order":    func(b *Block) { b.Filters[0], b.Filters[1] = b.Filters[1], b.Filters[0] },
+	}
+	for name, edit := range edits {
+		b := sampleBlock()
+		edit(b)
+		if b.ShapeKey() == base {
+			t.Errorf("editing the %s went unnoticed by the shape key", name)
+		}
+	}
+}
+
+// TestShapeKeyUnboundAlias: a malformed block referencing an alias not in
+// FROM must still encode injectively rather than collide.
+func TestShapeKeyUnboundAlias(t *testing.T) {
+	b := sampleBlock()
+	b.Filters[0].Col.Alias = "ghost1"
+	k1 := b.ShapeKey()
+	b.Filters[0].Col.Alias = "ghost2"
+	if b.ShapeKey() == k1 {
+		t.Fatal("distinct unbound aliases collided")
+	}
+}
+
+// TestCloneDetachesShapeAndSQL: a cloned-then-mutated block must leave
+// the original's canonical identity and rendered SQL untouched — the
+// guarantee the plan layer's intern table is built on.
+func TestCloneDetachesShapeAndSQL(t *testing.T) {
+	b := sampleBlock()
+	shape, sql := b.ShapeKey(), b.SQL()
+	cp := b.Clone()
+	cp.Tables[0].Table = "Mutated"
+	cp.Joins[0].Left.Column = "mutated"
+	cp.Filters[0].Value.Int = 7
+	cp.Filters[1].Value.Str = "mutated"
+	cp.Projects[0].Column = "mutated"
+	if b.ShapeKey() != shape {
+		t.Fatal("mutating a clone changed the original's shape key")
+	}
+	if b.SQL() != sql {
+		t.Fatal("mutating a clone changed the original's SQL")
+	}
+	if cp.ShapeKey() == shape {
+		t.Fatal("the mutated clone kept the original's shape key")
+	}
+}
+
+// TestQuerySQLStableUnderBlockCloning: Query.SQL over cloned blocks must
+// render byte-identically to the original query.
+func TestQuerySQLStableUnderBlockCloning(t *testing.T) {
+	q := &Query{Name: "Q", Blocks: []*Block{sampleBlock(), renamedSampleBlock()}}
+	cloned := &Query{Name: "Q"}
+	for _, b := range q.Blocks {
+		cloned.Blocks = append(cloned.Blocks, b.Clone())
+	}
+	if q.SQL() != cloned.SQL() {
+		t.Fatal("cloned query renders differently")
+	}
+}

@@ -91,9 +91,8 @@ func (c *context) clone() *context {
 }
 
 type translator struct {
-	schema  *xschema.Schema
-	cat     *relational.Catalog
-	aliasNo int
+	schema *xschema.Schema
+	cat    *relational.Catalog
 	// deps records the named types examined during translation (every
 	// schema lookup), in first-lookup order. The list is the
 	// translation's complete read set of the schema: all catalog
@@ -104,9 +103,14 @@ type translator struct {
 	track bool
 }
 
-func (tr *translator) nextAlias() string {
-	tr.aliasNo++
-	return fmt.Sprintf("t%d", tr.aliasNo)
+// nextAlias returns the alias for the next FROM entry of a block. The
+// assignment is purely positional — t1, t2, ... by position in the
+// block's own FROM list, with no counter shared across blocks or union
+// branches — so Tables[i].Alias == "t<i+1>" always holds, structurally
+// identical blocks carry byte-identical aliases wherever they arise, and
+// translated blocks are deterministic inputs for plan fingerprinting.
+func nextAlias(b *sqlast.Block) string {
+	return fmt.Sprintf("t%d", len(b.Tables)+1)
 }
 
 // lookup resolves a named type, recording it as a dependency.
@@ -231,7 +235,7 @@ func (tr *translator) applyMatch(ctx *context, from target, m match, step string
 		if child == nil {
 			return target{}, false
 		}
-		alias := tr.nextAlias()
+		alias := nextAlias(ctx.block)
 		ctx.block.AddTable(childTable, alias)
 		if tgt.typeName != "" {
 			parentTable := tr.cat.TableOf[tgt.typeName]
@@ -719,7 +723,7 @@ func (tr *translator) publishBlocks(ctx *context, tgt target) ([]*sqlast.Block, 
 				ok = false
 				break
 			}
-			alias := tr.nextAlias()
+			alias := nextAlias(b)
 			b.AddTable(childName, alias)
 			fk := ""
 			for _, e := range child.Parents {

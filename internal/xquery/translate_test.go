@@ -1,6 +1,7 @@
 package xquery
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -322,6 +323,57 @@ func TestTranslateSQLRendering(t *testing.T) {
 	for _, want := range []string{"SELECT", "FROM", "WHERE", "year = 1999", "title"} {
 		if !strings.Contains(sql, want) {
 			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+// TestAliasAssignmentIsPositional: alias assignment has no counter state
+// — every translated block numbers its FROM entries t1, t2, ... by
+// position, regardless of which query, union branch or descendant chain
+// produced the block. This is what makes structurally identical blocks
+// byte-identical inputs for the plan layer's fingerprinting.
+func TestAliasAssignmentIsPositional(t *testing.T) {
+	queries := []string{
+		`FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/title`,
+		`FOR $v IN imdb/show, $e IN $v/episode WHERE $e/name = c1 RETURN $v/title`,
+		`FOR $v IN imdb/show, $a IN $v/aka RETURN $v/title, $a`,
+		`FOR $v IN imdb/show RETURN $v`,
+		`FOR $v IN imdb/show WHERE $v/seasons > 2 RETURN $v/description`,
+	}
+	for _, query := range queries {
+		out := translate(t, imdbFixture, query)
+		for bi, b := range out.Blocks {
+			for i, tr := range b.Tables {
+				if want := fmt.Sprintf("t%d", i+1); tr.Alias != want {
+					t.Errorf("%s block %d: Tables[%d].Alias = %q, want %q",
+						query, bi, i, tr.Alias, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTranslateTwiceIsByteIdentical: translating the same query twice
+// (fresh parses, same catalog) must yield byte-identical sqlast output —
+// the regression guard for hidden translator state.
+func TestTranslateTwiceIsByteIdentical(t *testing.T) {
+	s, cat := fixture(t, imdbFixture)
+	for _, query := range []string{
+		`FOR $v IN imdb/show RETURN $v`,
+		`FOR $v IN imdb/show, $e IN $v/episode WHERE $e/name = c1 RETURN $v/title`,
+		`FOR $v IN imdb/show WHERE $v/year = 1999 RETURN $v/title, $v/review/nyt`,
+	} {
+		first, err := Translate(MustParse(query), s, cat)
+		if err != nil {
+			t.Fatalf("Translate %s: %v", query, err)
+		}
+		second, err := Translate(MustParse(query), s, cat)
+		if err != nil {
+			t.Fatalf("re-Translate %s: %v", query, err)
+		}
+		if first.String() != second.String() {
+			t.Errorf("translating %s twice diverged:\n--- first\n%s\n--- second\n%s",
+				query, first, second)
 		}
 	}
 }
