@@ -38,8 +38,13 @@ type metrics struct {
 	qmisses      uint64
 	cacheHits    uint64
 	cacheMisses  uint64
+	dedups       uint64
 	blocksReq    uint64
 	blocksCosted uint64
+	// registryRatio is the cost-cache hit ratio of the last fleet
+	// engine's search (the one answered from the registry the earlier
+	// engines warmed); zero outside the fleet scenario.
+	registryRatio float64
 }
 
 func (m *metrics) add(res *core.Result, d time.Duration) {
@@ -51,6 +56,7 @@ func (m *metrics) add(res *core.Result, d time.Duration) {
 	m.qmisses += res.QueryCacheMisses
 	m.cacheHits += res.Cache.Hits
 	m.cacheMisses += res.Cache.Misses
+	m.dedups += res.Cache.Dedups
 	m.blocksReq += res.BlocksRequested
 	m.blocksCosted += res.BlocksCosted
 }
@@ -75,6 +81,13 @@ type scenarioResult struct {
 	BlocksRequested float64 `json:"blocks_requested_per_op"`
 	BlocksCosted    float64 `json:"blocks_costed_per_op"`
 	BlockSharing    float64 `json:"block_sharing_ratio"`
+	// Dedups counts singleflight adoptions: costings answered by waiting
+	// on a concurrent identical evaluation instead of re-running it.
+	DedupsPerOp float64 `json:"dedups_per_op"`
+	// RegistryHitRatio is the cost-cache hit ratio of the second fleet
+	// engine's search — how much of a tenant's search the registry
+	// answered from what the fleet already paid (fleet scenario only).
+	RegistryHitRatio float64 `json:"registry_hit_ratio"`
 }
 
 type report struct {
@@ -130,6 +143,30 @@ func scenarios() []scenario {
 				for _, k := range ks {
 					if err := searchOnce(ctx, m, imdb.MixedWorkload(k), core.GreedySI, cache, incremental); err != nil {
 						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			// Fleet: two engines attached to one cache registry run the
+			// identical search back to back — the tenant-fleet sharing
+			// case. The second engine's hit ratio is the registry's
+			// payoff and is asserted ≥ 0.5 by the robustness tests.
+			name: "fleet",
+			run: func(ctx context.Context, m *metrics, incremental bool) error {
+				reg := core.NewCacheRegistry(0)
+				for i := 0; i < 2; i++ {
+					start := time.Now()
+					res, err := core.GreedySearch(ctx, imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), core.Options{
+						Strategy: core.GreedySO, Cache: reg.Attach(), DisableIncremental: !incremental,
+					})
+					if err != nil {
+						return err
+					}
+					m.add(res, time.Since(start))
+					if i == 1 {
+						m.registryRatio = res.Cache.HitRatio()
 					}
 				}
 				return nil
@@ -217,6 +254,8 @@ func main() {
 			if m.blocksCosted > 0 {
 				res.BlockSharing = float64(m.blocksReq) / float64(m.blocksCosted)
 			}
+			res.DedupsPerOp = float64(m.dedups) / n
+			res.RegistryHitRatio = m.registryRatio
 			rep.Scenarios = append(rep.Scenarios, res)
 			perOp[sc.name][incremental] = res
 		}
@@ -234,6 +273,9 @@ func main() {
 		}
 		if inc.BlockSharing > 0 {
 			rep.Summary[name+"_block_sharing"] = inc.BlockSharing
+		}
+		if inc.RegistryHitRatio > 0 {
+			rep.Summary[name+"_registry_hit_ratio"] = inc.RegistryHitRatio
 		}
 	}
 	if incT > 0 {

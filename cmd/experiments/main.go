@@ -50,6 +50,7 @@ func run() int {
 	maxiter := flag.Int("maxiter", 0, "bound search iterations per experiment (0 = until convergence); for smoke runs")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); expired searches report their anytime best-so-far")
 	cachestats := flag.Bool("cachestats", false, "print cost-cache hit/miss counters to stderr after each experiment")
+	registry := flag.Bool("registry", false, "route costings through a cross-engine cache registry (fleet mode) and print fleet-wide counters after the run; results are identical either way")
 	cachefile := flag.String("cachefile", "", "cost-cache snapshot file: loaded before the runs, saved back after; a corrupt file is quarantined and the runs continue cold")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -74,6 +75,7 @@ func run() int {
 	experiments.EnableCache(!*nocache)
 	experiments.EnableIncremental(!*noincremental)
 	experiments.EnableSharing(!*noshare)
+	experiments.EnableRegistry(*registry)
 	experiments.MaxIterations = *maxiter
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -127,6 +129,7 @@ func run() int {
 	failed := false
 	expired := false
 	for _, name := range names {
+		experiments.AttachEngine()
 		before := experiments.CacheStats()
 		beforeBlocks := experiments.PlanStats()
 		tbl, err := experiments.RunContext(ctx, name)
@@ -162,6 +165,12 @@ func run() int {
 		default:
 			fmt.Println(tbl)
 		}
+	}
+	if *registry {
+		rs := experiments.RegistryStats()
+		fmt.Fprintf(os.Stderr, "experiments: registry: %d engines, %d hits, %d misses (%.0f%% hit rate), %d dedups, %d evictions, %d entries\n",
+			rs.Engines, rs.Cache.Hits, rs.Cache.Misses, hitRate(rs.Cache.Hits, rs.Cache.Misses),
+			rs.Cache.Dedups, rs.Cache.Evictions, rs.Cache.Entries)
 	}
 	if failed {
 		return exitRuntime

@@ -173,6 +173,7 @@ func BeamSearch(ctx context.Context, schema *xschema.Schema, wkld *xquery.Worklo
 	}
 	result.Report = st.report(stop, len(result.Trace), eval, time.Since(started))
 	result.Cache = cache.Stats().Sub(cacheStart)
+	result.Report.Cache = result.Cache
 	result.Evals = eval.Evals()
 	result.Translations = eval.Translations()
 	result.QueryCacheHits, result.QueryCacheMisses = eval.QueryCacheStats()

@@ -393,6 +393,17 @@ func (e *Evaluator) evaluateFull(ctx context.Context, ps *xschema.Schema) (Confi
 // is actually chosen); on a miss it runs the full pipeline, memoizes the
 // cost, and returns the complete configuration. The boolean reports a
 // hit. With a nil cache it degenerates to Evaluate.
+//
+// Misses are deduplicated singleflight-style across every evaluator
+// sharing the cache (the search's own worker pool, sibling searches,
+// and — through a CacheRegistry — other engines' searches): the first
+// evaluator to arrive at a key runs the pipeline while later arrivals
+// block on its outcome and adopt the cost (counted as a dedup, returned
+// as a hit). Costs are a pure function of the key, so the adopted value
+// is bit-identical to what the waiter would have computed. A waiter
+// whose own context is cancelled stops waiting; a leader that fails
+// releases its waiters to evaluate independently (the leader's error may
+// be private to its context, e.g. a cancelled sibling search).
 func (e *Evaluator) EvaluateCached(ctx context.Context, ps *xschema.Schema) (Config, bool, error) {
 	if e.Cache == nil {
 		cfg, err := e.Evaluate(ctx, ps)
@@ -402,13 +413,56 @@ func (e *Evaluator) EvaluateCached(ctx context.Context, ps *xschema.Schema) (Con
 	if cost, ok := e.Cache.Get(key); ok {
 		return Config{Schema: ps, Cost: cost}, true, nil
 	}
-	cfg, err := e.Evaluate(ctx, ps)
+	call, leader := e.Cache.join(key)
+	if !leader {
+		select {
+		case <-call.done:
+			if call.err == nil {
+				e.Cache.countDedup()
+				return Config{Schema: ps, Cost: call.cost}, true, nil
+			}
+		case <-ctx.Done():
+			return Config{}, false, ctx.Err()
+		}
+		// The leader failed; evaluate independently under our context.
+		cfg, err := e.Evaluate(ctx, ps)
+		if err != nil {
+			return Config{}, false, err
+		}
+		e.Cache.Put(key, cfg.Cost)
+		return cfg, false, nil
+	}
+	cfg, err := e.evaluateAsLeader(ctx, ps, key, call)
 	if err != nil {
 		return Config{}, false, err
 	}
-	e.Cache.Put(key, cfg.Cost)
 	return cfg, false, nil
 }
+
+// evaluateAsLeader runs the pipeline for a key this evaluator owns the
+// flight for, publishing the outcome (cost or error) to any waiters. The
+// deferred finish also fires when the evaluation panics — the search's
+// per-candidate isolation recovers the panic above us, and the waiters
+// must be released to evaluate for themselves rather than block forever.
+func (e *Evaluator) evaluateAsLeader(ctx context.Context, ps *xschema.Schema, key CacheKey, call *flightCall) (cfg Config, err error) {
+	published := false
+	defer func() {
+		if !published {
+			e.Cache.finish(key, call, 0, errLeaderAbandoned)
+		}
+	}()
+	cfg, err = e.Evaluate(ctx, ps)
+	if err == nil {
+		e.Cache.Put(key, cfg.Cost)
+	}
+	e.Cache.finish(key, call, cfg.Cost, err)
+	published = true
+	return cfg, err
+}
+
+// errLeaderAbandoned is published to singleflight waiters when their
+// leader's evaluation panicked out of the pipeline.
+var errLeaderAbandoned = errors.New("core: in-flight evaluation abandoned")
 
 // Materialize completes a configuration whose catalog and translated
 // queries were skipped by a cache hit. With incremental evaluation on,
@@ -592,6 +646,7 @@ func GreedySearch(ctx context.Context, schema *xschema.Schema, wkld *xquery.Work
 	}
 	result.Report = st.report(stop, len(result.Trace), eval, time.Since(started))
 	result.Cache = cache.Stats().Sub(cacheStart)
+	result.Report.Cache = result.Cache
 	result.Evals = eval.Evals()
 	result.Translations = eval.Translations()
 	result.QueryCacheHits, result.QueryCacheMisses = eval.QueryCacheStats()

@@ -34,8 +34,13 @@ type CacheKey struct {
 // CacheStats is a point-in-time snapshot of cache activity. All counters
 // are cumulative; Result carries the delta observed during one search.
 type CacheStats struct {
-	Hits      uint64
-	Misses    uint64
+	Hits   uint64
+	Misses uint64
+	// Dedups counts evaluations that were answered by waiting on a
+	// concurrent identical evaluation (singleflight): the waiter adopted
+	// the leader's cost instead of paying its own pipeline run. Every
+	// dedup was first counted as a miss by Get.
+	Dedups    uint64
 	Evictions uint64
 	Entries   int
 }
@@ -45,9 +50,28 @@ func (s CacheStats) Sub(start CacheStats) CacheStats {
 	return CacheStats{
 		Hits:      s.Hits - start.Hits,
 		Misses:    s.Misses - start.Misses,
+		Dedups:    s.Dedups - start.Dedups,
 		Evictions: s.Evictions - start.Evictions,
 		Entries:   s.Entries,
 	}
+}
+
+// Accumulate adds the counter deltas of d into s. Entries is a
+// point-in-time snapshot rather than a counter, so s takes d's value.
+func (s *CacheStats) Accumulate(d CacheStats) {
+	s.Hits += d.Hits
+	s.Misses += d.Misses
+	s.Dedups += d.Dedups
+	s.Evictions += d.Evictions
+	s.Entries = d.Entries
+}
+
+// HitRatio is the fraction of costings answered from the cache.
+func (s CacheStats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
 const cacheShards = 16
@@ -65,8 +89,16 @@ type CostCache struct {
 	perShard  int
 	hits      atomic.Uint64
 	misses    atomic.Uint64
+	dedups    atomic.Uint64
 	evictions atomic.Uint64
 	shards    [cacheShards]costShard
+	// flight tracks keys whose evaluation is currently in progress, so a
+	// second evaluator arriving at the same key blocks on the first
+	// outcome instead of paying its own pipeline run (see
+	// Evaluator.EvaluateCached). Entries live only for the duration of
+	// one evaluation.
+	flightMu sync.Mutex
+	flight   map[CacheKey]*flightCall
 	// queries memoizes per-query translate+cost outcomes so searches
 	// sharing this cache reuse each other's translations (see
 	// incremental.go; not persisted by Save — entries carry live SQL
@@ -110,9 +142,80 @@ func NewCostCache(capacity int) *CostCache {
 	return c
 }
 
+// shardIndex mixes the full fingerprint, not just its first byte: the
+// fingerprint words are FNV output and individually uniform, but at
+// registry scale (many tenants' searches in one cache) whole key
+// families can share a first byte, and a one-byte shard index then piles
+// them onto a few shards. Folding both 64-bit words plus the workload
+// and model digests — with a rotation so the two words don't cancel on
+// symmetric inputs, and a downshift so the high bits reach the shard
+// index — keeps occupancy balanced. The function is pure in the key, so
+// per-shard FIFO eviction remains deterministic.
+func shardIndex(k CacheKey) uint64 {
+	lo := binary.LittleEndian.Uint64(k.Schema[0:8])
+	hi := binary.LittleEndian.Uint64(k.Schema[8:16])
+	h := lo ^ (hi<<31 | hi>>33) ^ k.Workload ^ k.Model
+	h ^= h >> 32
+	h ^= h >> 16
+	return h % cacheShards
+}
+
 func (c *CostCache) shardFor(k CacheKey) *costShard {
-	// The fingerprint bytes are FNV output, already uniform.
-	return &c.shards[(uint64(k.Schema[0])^k.Workload^k.Model)%cacheShards]
+	return &c.shards[shardIndex(k)]
+}
+
+// flightCall is one in-flight evaluation: followers block on done, then
+// read the leader's outcome.
+type flightCall struct {
+	done chan struct{}
+	cost float64
+	err  error
+}
+
+// join returns the flight call for a key, creating it when none is in
+// progress. The second result is true for the caller that must perform
+// the evaluation (the leader) and later publish its outcome via finish;
+// false means another evaluator got there first and the caller should
+// wait on call.done. join on a nil cache returns a leader call so
+// callers degrade to plain evaluation.
+func (c *CostCache) join(k CacheKey) (*flightCall, bool) {
+	if c == nil {
+		return &flightCall{done: make(chan struct{})}, true
+	}
+	c.flightMu.Lock()
+	defer c.flightMu.Unlock()
+	if call, ok := c.flight[k]; ok {
+		return call, false
+	}
+	if c.flight == nil {
+		c.flight = make(map[CacheKey]*flightCall)
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.flight[k] = call
+	return call, true
+}
+
+// finish publishes a leader's outcome and releases the followers. The
+// call is removed from the flight table first, so an evaluator arriving
+// after finish starts fresh (normally hitting the entry Put stored just
+// before).
+func (c *CostCache) finish(k CacheKey, call *flightCall, cost float64, err error) {
+	call.cost, call.err = cost, err
+	if c != nil {
+		c.flightMu.Lock()
+		if c.flight[k] == call {
+			delete(c.flight, k)
+		}
+		c.flightMu.Unlock()
+	}
+	close(call.done)
+}
+
+// countDedup records one evaluation answered by an in-flight leader.
+func (c *CostCache) countDedup() {
+	if c != nil {
+		c.dedups.Add(1)
+	}
 }
 
 // Get returns the memoized cost for the key, counting a hit or miss.
@@ -370,6 +473,7 @@ func (c *CostCache) Stats() CacheStats {
 	st := CacheStats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
+		Dedups:    c.dedups.Load(),
 		Evictions: c.evictions.Load(),
 	}
 	for i := range c.shards {

@@ -215,3 +215,46 @@ func TestCacheKeySeparatesWorkloadsEndToEnd(t *testing.T) {
 		t.Logf("note: lookup and publish cost the same on the initial schema (%v)", ca.Cost)
 	}
 }
+
+// TestShardDistributionMixesFullFingerprint regresses the one-byte shard
+// index: keys whose fingerprints agree on the first word (as whole key
+// families can at registry scale) must still spread across every shard,
+// because shardFor folds all fingerprint words into the index.
+func TestShardDistributionMixesFullFingerprint(t *testing.T) {
+	const n = 1 << 12
+	occupancy := make(map[uint64]int)
+	for i := 0; i < n; i++ {
+		var fp xschema.Fingerprint
+		// First word fixed; only the second word varies (hashed so the
+		// bytes are uniform, as real FNV fingerprint output is).
+		h := fnvUint64(fnvOffset64, uint64(i))
+		for b := 0; b < 8; b++ {
+			fp[8+b] = byte(h >> (8 * b))
+		}
+		occupancy[shardIndex(CacheKey{Schema: fp, Workload: 1, Model: 2})]++
+	}
+	if len(occupancy) != cacheShards {
+		t.Fatalf("keys varying only past Schema[0] reached %d of %d shards", len(occupancy), cacheShards)
+	}
+	mean := n / cacheShards
+	for shard, got := range occupancy {
+		if got > 2*mean || got < mean/2 {
+			t.Fatalf("shard %d holds %d of %d keys (mean %d): occupancy unbalanced", shard, got, n, mean)
+		}
+	}
+}
+
+// TestShardIndexDeterministic: shard placement is a pure function of the
+// key (no per-cache seed), preserving deterministic per-shard FIFO
+// eviction and save/load round trips.
+func TestShardIndexDeterministic(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		k := testKey(i)
+		if a, b := shardIndex(k), shardIndex(k); a != b {
+			t.Fatalf("key %d sharded to %d then %d", i, a, b)
+		}
+		if shardIndex(k) >= cacheShards {
+			t.Fatalf("shard index out of range for key %d", i)
+		}
+	}
+}

@@ -121,6 +121,11 @@ type SearchReport struct {
 	// the sharing the plan layer delivered during this search.
 	BlocksRequested uint64
 	BlocksCosted    uint64
+	// Cache mirrors Result.Cache: the cost-cache activity this search
+	// observed (hits, misses, singleflight dedups, evictions — the delta
+	// when the cache is shared with sibling searches or, through a
+	// CacheRegistry, with other engines).
+	Cache CacheStats
 	// Elapsed is the search's wall-clock time.
 	Elapsed time.Duration
 }

@@ -31,6 +31,41 @@ var cacheEnabled = true
 // EnableCache switches the package-wide cost memoization on or off.
 func EnableCache(on bool) { cacheEnabled = on }
 
+// cacheRegistry, when enabled, backs the package's shared cache with a
+// cross-engine CacheRegistry: every experiment attaches as one fleet
+// engine, so the run exercises (and reports through) the same surface a
+// multi-tenant service uses. Off (the default), experiments share the
+// process-private sharedCache directly; costs and outputs are identical
+// either way.
+var cacheRegistry *core.CacheRegistry
+
+// EnableRegistry routes all experiment costings through a cross-engine
+// cache registry (cmd/experiments -registry).
+func EnableRegistry(on bool) {
+	if !on {
+		cacheRegistry = nil
+		return
+	}
+	cacheRegistry = core.NewCacheRegistry(1 << 16)
+	sharedCache = cacheRegistry.Attach()
+}
+
+// RegistryEnabled reports whether a registry backs the shared cache.
+func RegistryEnabled() bool { return cacheRegistry != nil }
+
+// RegistryStats snapshots the fleet-wide registry counters (the zero
+// value when -registry is off).
+func RegistryStats() core.RegistryStats { return cacheRegistry.Stats() }
+
+// AttachEngine registers one more fleet engine with the registry — each
+// experiment run counts as a tenant in the fleet view. A no-op without
+// -registry.
+func AttachEngine() {
+	if cacheRegistry != nil {
+		cacheRegistry.Attach()
+	}
+}
+
 // CacheStats snapshots the shared cache's hit/miss/eviction counters.
 func CacheStats() core.CacheStats { return sharedCache.Stats() }
 

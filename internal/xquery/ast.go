@@ -189,6 +189,17 @@ func (w *Workload) AddUpdate(u *Update, weight float64) *Workload {
 	return w
 }
 
+// Copy returns a workload whose entry slices are independent of w:
+// appending to either afterwards never disturbs the other. The queries
+// and updates themselves are shared (immutable once parsed), so a copy
+// digests identically to its original.
+func (w *Workload) Copy() *Workload {
+	return &Workload{
+		Entries: append([]WorkloadEntry(nil), w.Entries...),
+		Updates: append([]UpdateEntry(nil), w.Updates...),
+	}
+}
+
 // TotalWeight sums the entry weights (queries and updates).
 func (w *Workload) TotalWeight() float64 {
 	total := 0.0

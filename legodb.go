@@ -26,6 +26,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"legodb/internal/core"
@@ -46,15 +47,51 @@ import (
 // strategies, reuses the costs of configurations already seen; keys
 // include workload and statistics digests, so stale hits are
 // impossible).
+//
+// An Engine is safe for concurrent use: setters (SetStatisticsText,
+// CollectStatistics, AddQuery, AddUpdate) and searches (Advise,
+// AdviseContext, EvaluateFixed) may run from multiple goroutines. Each
+// search snapshots the engine's description when it starts, so a setter
+// racing a search never corrupts it — the search simply answers for the
+// description it observed, and the next search sees the update.
 type Engine struct {
+	mu       sync.Mutex
 	schema   *xschema.Schema
 	stats    *xstats.Set
 	workload *xquery.Workload
 	cache    *core.CostCache
+	registry *Registry
+	totals   core.CacheStats // cumulative across this engine's searches
 }
 
 func engineFor(s *xschema.Schema) *Engine {
 	return &Engine{schema: s, workload: &xquery.Workload{}, cache: core.NewCostCache(0)}
+}
+
+// Options configures engine construction beyond the schema text.
+type Options struct {
+	// Registry attaches the engine to a cross-engine cost-cache registry
+	// shared by a fleet of engines; nil keeps an engine-private cache.
+	Registry *Registry
+}
+
+// NewWithOptions is New with construction options (most notably
+// Options.Registry for fleet-shared cost caching).
+func NewWithOptions(schemaText string, opts Options) (*Engine, error) {
+	e, err := New(schemaText)
+	if err != nil {
+		return nil, err
+	}
+	e.attach(opts.Registry)
+	return e, nil
+}
+
+func (e *Engine) attach(r *Registry) {
+	if r == nil {
+		return
+	}
+	e.registry = r
+	e.cache = r.reg.Attach()
 }
 
 // New parses an XML Schema in algebra notation and returns an engine for
@@ -92,8 +129,124 @@ func NewFromXSD(xsdText string) (*Engine, error) {
 	return engineFor(s), nil
 }
 
+// Registry shares one cost-cache family across a fleet of engines. A
+// multi-tenant service holds one engine per tenant schema; near-identical
+// tenants search overlapping configuration spaces, and without sharing
+// each engine re-pays every costing the fleet has already performed.
+// Engines attached via NewWithOptions (or created by Registry.Engine)
+// evaluate through a single shared cache keyed by (schema fingerprint,
+// workload digest, cost-model digest), so identical candidates hit across
+// tenants and entries can never be confused between tenants that differ.
+//
+// A Registry is safe for concurrent use by any number of engines.
+// Concurrent evaluations of the same key are deduplicated: one engine
+// runs the pipeline, the others wait and adopt its cost
+// (CacheStats.Dedups counts the adoptions). The capacity passed to
+// NewRegistry is a global budget across the fleet with deterministic
+// oldest-first eviction per shard.
+type Registry struct {
+	reg *core.CacheRegistry
+}
+
+// RegistryOptions tunes NewRegistry; the zero value uses the default
+// capacity (64k entries).
+type RegistryOptions struct {
+	// Capacity bounds the shared cache to roughly this many entries
+	// across all attached engines (0 = default 64k).
+	Capacity int
+}
+
+// NewRegistry returns an empty registry for a fleet of engines.
+func NewRegistry(opts ...RegistryOptions) *Registry {
+	var o RegistryOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return &Registry{reg: core.NewCacheRegistry(o.Capacity)}
+}
+
+// Engine parses an XML Schema and returns an engine attached to the
+// registry — shorthand for NewWithOptions(schemaText, Options{Registry: r}).
+func (r *Registry) Engine(schemaText string) (*Engine, error) {
+	return NewWithOptions(schemaText, Options{Registry: r})
+}
+
+// RegistryStats re-exports the fleet-wide registry counters: the number
+// of attached engines plus the aggregated hit/miss/dedup/eviction
+// counters of the shared cache.
+type RegistryStats = core.RegistryStats
+
+// Stats snapshots the registry's fleet-wide counters.
+func (r *Registry) Stats() RegistryStats {
+	if r == nil {
+		return RegistryStats{}
+	}
+	return r.reg.Stats()
+}
+
+// Save writes the registry's shared cache to w in the framed snapshot
+// format (magic, version, entry count, CRC): one snapshot warms a whole
+// fleet.
+func (r *Registry) Save(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Save(w)
+}
+
+// Load merges a snapshot written by Save (or by Engine.SaveCostCache)
+// into the registry's shared cache, returning the number of entries
+// added.
+func (r *Registry) Load(rd io.Reader) (int, error) {
+	if r == nil {
+		return 0, nil
+	}
+	return r.reg.Load(rd)
+}
+
+// SaveSnapshotFile writes the shared cache to a snapshot file atomically
+// (temp file + rename).
+func (r *Registry) SaveSnapshotFile(path string) error {
+	if r == nil {
+		return nil
+	}
+	return r.reg.SaveSnapshotFile(path)
+}
+
+// LoadSnapshotFile merges a snapshot file into the shared cache with
+// lenient warm-start semantics: a missing file loads nothing, a corrupt
+// one is quarantined to path+".corrupt" and reported in the warning, and
+// the fleet continues cold.
+func (r *Registry) LoadSnapshotFile(path string) (n int, warning string, err error) {
+	if r == nil {
+		return 0, "", nil
+	}
+	return r.reg.LoadSnapshotFile(path)
+}
+
 // Schema returns the engine's schema rendered in algebra notation.
-func (e *Engine) Schema() string { return e.schema.String() }
+func (e *Engine) Schema() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.schema.String()
+}
+
+// Registry returns the registry the engine is attached to (nil for an
+// engine with a private cache).
+func (e *Engine) Registry() *Registry {
+	return e.registry
+}
+
+// CacheStats reports the engine's cumulative cost-cache activity across
+// all its searches (each Advice carries the per-search delta). For a
+// registry-attached engine these are the engine's own hits, misses and
+// dedups — its share of the fleet's traffic; Registry.Stats has the
+// fleet-wide aggregate.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.totals
+}
 
 // SetStatisticsText parses statistics in the Appendix A notation
 // (STcnt/STsize/STbase entries) and attaches them to the engine.
@@ -102,14 +255,19 @@ func (e *Engine) SetStatisticsText(text string) error {
 	if err != nil {
 		return err
 	}
+	e.mu.Lock()
 	e.stats = set
+	e.mu.Unlock()
 	return nil
 }
 
 // CollectStatistics derives statistics from example documents instead of
 // an explicit statistics table.
 func (e *Engine) CollectStatistics(docs ...*xmltree.Node) {
-	e.stats = xstats.Collect(docs...)
+	set := xstats.Collect(docs...)
+	e.mu.Lock()
+	e.stats = set
+	e.mu.Unlock()
 }
 
 // AddQuery parses an XQuery and adds it to the workload with a weight.
@@ -119,7 +277,9 @@ func (e *Engine) AddQuery(name, text string, weight float64) error {
 		return err
 	}
 	q.Name = name
+	e.mu.Lock()
 	e.workload.Add(q, weight)
+	e.mu.Unlock()
 	return nil
 }
 
@@ -134,7 +294,9 @@ func (e *Engine) AddUpdate(name, text string, weight float64) error {
 		return err
 	}
 	u.Name = name
+	e.mu.Lock()
 	e.workload.AddUpdate(u, weight)
+	e.mu.Unlock()
 	return nil
 }
 
@@ -213,7 +375,14 @@ func (e *Engine) Advise(opts AdviseOptions) (*Advice, error) {
 // returned, with Advice.Report() saying why the search stopped. An
 // error is returned only when no configuration was costed at all.
 func (e *Engine) AdviseContext(ctx context.Context, opts AdviseOptions) (*Advice, error) {
-	if len(e.workload.Entries) == 0 && len(e.workload.Updates) == 0 {
+	// Snapshot the description so setters racing this search cannot
+	// corrupt it mid-flight: the workload slices are copied (the parsed
+	// queries inside are immutable), and schema/stats pointers are only
+	// ever replaced wholesale by setters, never mutated in place.
+	e.mu.Lock()
+	schema, stats, workload, cache := e.schema, e.stats, e.workload.Copy(), e.cache
+	e.mu.Unlock()
+	if len(workload.Entries) == 0 && len(workload.Updates) == 0 {
 		return nil, fmt.Errorf("legodb: add at least one workload query before Advise")
 	}
 	copts := core.Options{
@@ -230,28 +399,40 @@ func (e *Engine) AdviseContext(ctx context.Context, opts AdviseOptions) (*Advice
 		DisableIncremental: opts.DisableIncremental,
 	}
 	if !opts.DisableCache {
-		copts.Cache = e.cache
+		copts.Cache = cache
 	}
 	var res *core.Result
 	var err error
 	if opts.BeamWidth > 1 {
-		res, err = core.BeamSearch(ctx, e.schema, e.workload, e.stats, core.BeamOptions{
+		res, err = core.BeamSearch(ctx, schema, workload, stats, core.BeamOptions{
 			Options: copts, Width: opts.BeamWidth,
 		})
 	} else {
-		res, err = core.GreedySearch(ctx, e.schema, e.workload, e.stats, copts)
+		res, err = core.GreedySearch(ctx, schema, workload, stats, copts)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("legodb: advise: %w", err)
 	}
-	return &Advice{result: res, stats: e.stats}, nil
+	e.mu.Lock()
+	e.totals.Accumulate(res.Cache)
+	e.mu.Unlock()
+	return &Advice{result: res, stats: stats}, nil
 }
 
 // SaveCostCache writes the engine's cost-cache contents to w so a later
 // process can warm up from them (see Engine.LoadCostCache). The format
 // contains only digests and costs — no schema or query text.
 func (e *Engine) SaveCostCache(w io.Writer) error {
-	return e.cache.Save(w)
+	return e.snapshotCache().Save(w)
+}
+
+// snapshotCache reads the engine's cache pointer under the mutex (the
+// pointer changes only when an engine attaches to a registry, but the
+// contract says any method may race any other).
+func (e *Engine) snapshotCache() *core.CostCache {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache
 }
 
 // LoadCostCache merges a snapshot written by SaveCostCache into the
@@ -260,13 +441,13 @@ func (e *Engine) SaveCostCache(w io.Writer) error {
 // digest identically, so loading a stale or foreign snapshot is safe —
 // it just never hits.
 func (e *Engine) LoadCostCache(r io.Reader) (int, error) {
-	return e.cache.Load(r)
+	return e.snapshotCache().Load(r)
 }
 
 // SaveCostCacheFile writes the engine's cost cache to a snapshot file
 // atomically (temp file + rename).
 func (e *Engine) SaveCostCacheFile(path string) error {
-	return e.cache.SaveSnapshotFile(path)
+	return e.snapshotCache().SaveSnapshotFile(path)
 }
 
 // LoadCostCacheFile merges a snapshot file into the engine's cost cache
@@ -275,15 +456,26 @@ func (e *Engine) SaveCostCacheFile(path string) error {
 // path+".corrupt" and reported in the returned warning — the engine
 // continues with a cold cache instead of failing the run.
 func (e *Engine) LoadCostCacheFile(path string) (n int, warning string, err error) {
-	return e.cache.LoadSnapshotFile(path)
+	return e.snapshotCache().LoadSnapshotFile(path)
 }
 
 // EvaluateFixed costs a fixed named configuration ("all-inlined" or
-// "all-outlined") without searching; useful as a baseline.
-func (e *Engine) EvaluateFixed(config string) (*Advice, error) {
-	annotated := e.schema.Clone()
-	if e.stats != nil {
-		if err := xstats.Annotate(annotated, e.stats); err != nil {
+// "all-outlined") without searching; useful as a baseline. The optional
+// AdviseOptions carries the knobs that change a fixed costing —
+// Documents (the stored document count, default 1) and DisableCache —
+// so a baseline is priced under the same assumptions as the search it
+// is compared against.
+func (e *Engine) EvaluateFixed(config string, opts ...AdviseOptions) (*Advice, error) {
+	var o AdviseOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	e.mu.Lock()
+	schema, stats, workload, cache := e.schema, e.stats, e.workload.Copy(), e.cache
+	e.mu.Unlock()
+	annotated := schema.Clone()
+	if stats != nil {
+		if err := xstats.Annotate(annotated, stats); err != nil {
 			return nil, err
 		}
 	}
@@ -300,10 +492,19 @@ func (e *Engine) EvaluateFixed(config string) (*Advice, error) {
 	if err != nil {
 		return nil, err
 	}
+	documents := o.Documents
+	if documents == 0 {
+		documents = 1
+	}
+	if o.DisableCache {
+		cache = nil
+	}
 	// Evaluate through the engine cache: a later Advise revisiting this
 	// fixed configuration (or a repeated baseline evaluation) costs it
-	// for free.
-	eval := &core.Evaluator{Workload: e.workload, RootCount: 1, Cache: e.cache}
+	// for free. Documents is part of the workload digest, so baselines
+	// priced for different corpus sizes never cross-hit.
+	cacheStart := cache.Stats()
+	eval := &core.Evaluator{Workload: workload, RootCount: documents, Cache: cache}
 	cfg, _, err := eval.EvaluateCached(context.Background(), ps)
 	if err != nil {
 		return nil, err
@@ -311,7 +512,12 @@ func (e *Engine) EvaluateFixed(config string) (*Advice, error) {
 	if cfg, err = eval.Materialize(context.Background(), cfg); err != nil {
 		return nil, err
 	}
-	return &Advice{result: &core.Result{Best: cfg, InitialCost: cfg.Cost}}, nil
+	res := &core.Result{Best: cfg, InitialCost: cfg.Cost, Evals: eval.Evals()}
+	res.Cache = cache.Stats().Sub(cacheStart)
+	e.mu.Lock()
+	e.totals.Accumulate(res.Cache)
+	e.mu.Unlock()
+	return &Advice{result: res, stats: stats}, nil
 }
 
 // Cost is the estimated workload cost of the chosen configuration.

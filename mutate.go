@@ -31,7 +31,7 @@ func (s *Store) DeleteWhere(text string, params Params) (int, error) {
 	}
 	deleted := 0
 	for _, tgt := range targets {
-		rs, err := s.db.ExecuteBlock(tgt.Block, params.toEngine())
+		rs, err := s.db.ExecuteBlock(tgt.Block, params.forBlocks(s.catalog, tgt.Block))
 		if err != nil {
 			return deleted, err
 		}
@@ -73,7 +73,7 @@ func (s *Store) InsertChild(parentQuery string, params Params, fragmentXML strin
 	}
 	inserted := 0
 	for _, tgt := range targets {
-		rs, err := s.db.ExecuteBlock(tgt.Block, params.toEngine())
+		rs, err := s.db.ExecuteBlock(tgt.Block, params.forBlocks(s.catalog, tgt.Block))
 		if err != nil {
 			return inserted, err
 		}

@@ -60,20 +60,102 @@ func (s *Store) LoadXML(r io.Reader) error {
 	return s.Load(doc)
 }
 
-// Params binds query parameters (c1, c2, ...) to values. Values that
-// parse as integers bind as integers.
+// Params binds query parameters (c1, c2, ...) to values. Each value
+// binds according to the catalog type of the column the parameter is
+// compared against in the translated query: parameters filtering an
+// INT column bind as integers, parameters filtering a string column
+// bind verbatim (so "007" matches a CHAR column storing "007" instead
+// of being silently collapsed to the integer 7). A parameter with no
+// comparison site in the query falls back to the digit heuristic:
+// values that parse as integers bind as integers.
 type Params map[string]string
 
+// toEngine is the catalog-blind fallback: digit-shaped values bind as
+// integers. Only used for parameters whose comparison site cannot be
+// resolved; query and mutation execution bind through forBlocks.
 func (p Params) toEngine() engine.Params {
 	out := make(engine.Params, len(p))
 	for k, v := range p {
-		if n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64); err == nil {
-			out[k] = engine.IntVal(n)
-		} else {
+		out[k] = looseValue(v)
+	}
+	return out
+}
+
+func looseValue(v string) engine.Value {
+	if n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64); err == nil {
+		return engine.IntVal(n)
+	}
+	return engine.StrVal(v)
+}
+
+// forBlocks binds each parameter by consulting the catalog type of the
+// column it is compared against in the given blocks (the parameter's
+// comparison site). INT-column parameters bind as integers when they
+// parse — an unparseable value (overflow-length digits, non-numeric
+// text) binds as a string and simply matches no stored integer.
+// String-column parameters always bind verbatim, preserving leading
+// zeros, surrounding spaces and overlong digit strings exactly as
+// stored. Parameters without a site keep the loose heuristic.
+func (p Params) forBlocks(cat *relational.Catalog, blocks ...*sqlast.Block) engine.Params {
+	sites := paramColumnTypes(cat, blocks)
+	out := make(engine.Params, len(p))
+	for k, v := range p {
+		ct, found := sites[k]
+		switch {
+		case found && ct == relational.IntCol:
+			if n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64); err == nil {
+				out[k] = engine.IntVal(n)
+			} else {
+				out[k] = engine.StrVal(v)
+			}
+		case found:
 			out[k] = engine.StrVal(v)
+		default:
+			out[k] = looseValue(v)
 		}
 	}
 	return out
+}
+
+// paramColumnTypes maps each parameter name to the catalog type of its
+// first comparison site across the blocks (alias → table via the
+// block's FROM list, then column lookup in the catalog). Sites that
+// cannot be resolved are omitted.
+func paramColumnTypes(cat *relational.Catalog, blocks []*sqlast.Block) map[string]relational.ColumnType {
+	sites := make(map[string]relational.ColumnType)
+	if cat == nil {
+		return sites
+	}
+	for _, b := range blocks {
+		if b == nil {
+			continue
+		}
+		tableOf := make(map[string]string, len(b.Tables))
+		for _, t := range b.Tables {
+			if _, ok := tableOf[t.Alias]; !ok {
+				tableOf[t.Alias] = t.Table
+			}
+		}
+		for _, f := range b.Filters {
+			if !f.Value.IsParam || f.RightCol != nil {
+				continue
+			}
+			if _, seen := sites[f.Value.Param]; seen {
+				continue
+			}
+			tbl := cat.Table(tableOf[f.Col.Alias])
+			if tbl == nil {
+				continue
+			}
+			for _, col := range tbl.Columns {
+				if col.Name == f.Col.Column {
+					sites[f.Value.Param] = col.Type
+					break
+				}
+			}
+		}
+	}
+	return sites
 }
 
 // Result is a query result: column headers and stringified rows.
@@ -117,7 +199,7 @@ func (p *PreparedQuery) SQL() string { return p.sql.SQL() }
 
 // Run executes the prepared query with the given parameters.
 func (p *PreparedQuery) Run(params Params) (*Result, error) {
-	rs, err := p.store.db.Execute(p.sql, params.toEngine())
+	rs, err := p.store.db.Execute(p.sql, params.forBlocks(p.store.catalog, p.sql.Blocks...))
 	if err != nil {
 		return nil, err
 	}
