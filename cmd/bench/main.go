@@ -20,10 +20,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
 	"legodb/internal/core"
+	"legodb/internal/faults"
 	"legodb/internal/imdb"
 	"legodb/internal/xquery"
 )
@@ -61,14 +63,19 @@ func (m *metrics) add(res *core.Result, d time.Duration) {
 	m.blocksCosted += res.BlocksCosted
 }
 
-// scenarioResult is the JSON row for one (scenario, incremental) pair.
-// Per-op means per full scenario run (all of its searches once).
+// scenarioResult is the JSON row for one (scenario, incremental,
+// workers) triple. Per-op means per full scenario run (all of its
+// searches once).
 type scenarioResult struct {
-	Name              string  `json:"name"`
-	Incremental       bool    `json:"incremental"`
-	Runs              int     `json:"runs"`
+	Name        string `json:"name"`
+	Incremental bool   `json:"incremental"`
+	Runs        int    `json:"runs"`
+	// Workers is the candidate-evaluation worker bound the scenario ran
+	// with (0 = the search default, GOMAXPROCS).
+	Workers           int     `json:"workers"`
 	Searches          int     `json:"searches_per_op"`
 	NsPerOp           float64 `json:"ns_per_op"`
+	OpsPerSec         float64 `json:"ops_per_sec"`
 	EvalsPerOp        float64 `json:"evals_per_op"`
 	TranslationsPerOp float64 `json:"translations_per_op"`
 	QueryCacheHitRate float64 `json:"query_cache_hit_rate"`
@@ -96,16 +103,21 @@ type report struct {
 }
 
 // scenario is a named bundle of searches sharing one fresh cost cache
-// per run (mirroring how cmd/experiments runs them).
+// per run (mirroring how cmd/experiments runs them). workers lists the
+// candidate-evaluation worker bounds to sweep (nil = the search
+// default only); modes lists the incremental settings to measure
+// (nil = both off and on).
 type scenario struct {
-	name string
-	run  func(ctx context.Context, m *metrics, incremental bool) error
+	name    string
+	workers []int
+	modes   []bool
+	run     func(ctx context.Context, m *metrics, incremental bool, workers int) error
 }
 
-func searchOnce(ctx context.Context, m *metrics, wl *xquery.Workload, strategy core.Strategy, cache *core.CostCache, incremental bool) error {
+func searchOnce(ctx context.Context, m *metrics, wl *xquery.Workload, strategy core.Strategy, cache *core.CostCache, incremental bool, workers int) error {
 	start := time.Now()
 	res, err := core.GreedySearch(ctx, imdb.Schema(), wl, imdb.Stats(), core.Options{
-		Strategy: strategy, Cache: cache, DisableIncremental: !incremental,
+		Strategy: strategy, Cache: cache, DisableIncremental: !incremental, Workers: workers,
 	})
 	if err != nil {
 		return err
@@ -114,17 +126,50 @@ func searchOnce(ctx context.Context, m *metrics, wl *xquery.Workload, strategy c
 	return nil
 }
 
+// oracleRTT is the simulated per-costing round-trip latency of the
+// scaling scenarios: each optimizer costing sleeps this long via the
+// SiteQueryCost fault hook, modeling a cost oracle that lives out of
+// process (the paper's optimizer was a separate server). Worker scaling
+// on a CPU-bound search is invisible on a single-core runner; latency-
+// bound costing is what the worker pool actually hides.
+const oracleRTT = 2 * time.Millisecond
+
+// scalingRun returns a scaling-scenario run function: one search on the
+// lookup workload with the given strategy shape (greedy or beam), a
+// fresh cache per op, and the oracle-latency hook armed for the op.
+func scalingRun(beam bool) func(ctx context.Context, m *metrics, incremental bool, workers int) error {
+	return func(ctx context.Context, m *metrics, incremental bool, workers int) error {
+		restore := faults.EnableHook(faults.SiteQueryCost, -1, func() { time.Sleep(oracleRTT) })
+		defer restore()
+		if !beam {
+			return searchOnce(ctx, m, imdb.LookupWorkload(), core.GreedySO, core.NewCostCache(0), incremental, workers)
+		}
+		start := time.Now()
+		res, err := core.BeamSearch(ctx, imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), core.BeamOptions{
+			Options: core.Options{
+				Strategy: core.GreedySO, Cache: core.NewCostCache(0), DisableIncremental: !incremental, Workers: workers,
+			},
+			Width: 3,
+		})
+		if err != nil {
+			return err
+		}
+		m.add(res, time.Since(start))
+		return nil
+	}
+}
+
 func scenarios() []scenario {
 	return []scenario{
 		{
 			// Figure 10: greedy-so and greedy-si on the lookup and
 			// publish workloads, one shared cache.
 			name: "fig10",
-			run: func(ctx context.Context, m *metrics, incremental bool) error {
+			run: func(ctx context.Context, m *metrics, incremental bool, workers int) error {
 				cache := core.NewCostCache(0)
 				for _, wl := range []func() *xquery.Workload{imdb.LookupWorkload, imdb.PublishWorkload} {
 					for _, strategy := range []core.Strategy{core.GreedySO, core.GreedySI} {
-						if err := searchOnce(ctx, m, wl(), strategy, cache, incremental); err != nil {
+						if err := searchOnce(ctx, m, wl(), strategy, cache, incremental, workers); err != nil {
 							return err
 						}
 					}
@@ -137,11 +182,11 @@ func scenarios() []scenario {
 			// sweep — 14 greedy-si searches over overlapping mixed
 			// workloads, one shared cache.
 			name: "fig11",
-			run: func(ctx context.Context, m *metrics, incremental bool) error {
+			run: func(ctx context.Context, m *metrics, incremental bool, workers int) error {
 				cache := core.NewCostCache(0)
 				ks := []float64{0.25, 0.5, 0.75, 0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 				for _, k := range ks {
-					if err := searchOnce(ctx, m, imdb.MixedWorkload(k), core.GreedySI, cache, incremental); err != nil {
+					if err := searchOnce(ctx, m, imdb.MixedWorkload(k), core.GreedySI, cache, incremental, workers); err != nil {
 						return err
 					}
 				}
@@ -154,12 +199,12 @@ func scenarios() []scenario {
 			// case. The second engine's hit ratio is the registry's
 			// payoff and is asserted ≥ 0.5 by the robustness tests.
 			name: "fleet",
-			run: func(ctx context.Context, m *metrics, incremental bool) error {
+			run: func(ctx context.Context, m *metrics, incremental bool, workers int) error {
 				reg := core.NewCacheRegistry(0)
 				for i := 0; i < 2; i++ {
 					start := time.Now()
 					res, err := core.GreedySearch(ctx, imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), core.Options{
-						Strategy: core.GreedySO, Cache: reg.Attach(), DisableIncremental: !incremental,
+						Strategy: core.GreedySO, Cache: reg.Attach(), DisableIncremental: !incremental, Workers: workers,
 					})
 					if err != nil {
 						return err
@@ -175,11 +220,11 @@ func scenarios() []scenario {
 		{
 			// Beam search (width 3) on the lookup workload.
 			name: "beam-lookup",
-			run: func(ctx context.Context, m *metrics, incremental bool) error {
+			run: func(ctx context.Context, m *metrics, incremental bool, workers int) error {
 				start := time.Now()
 				res, err := core.BeamSearch(ctx, imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), core.BeamOptions{
 					Options: core.Options{
-						Strategy: core.GreedySO, Cache: core.NewCostCache(0), DisableIncremental: !incremental,
+						Strategy: core.GreedySO, Cache: core.NewCostCache(0), DisableIncremental: !incremental, Workers: workers,
 					},
 					Width: 3,
 				})
@@ -189,6 +234,24 @@ func scenarios() []scenario {
 				m.add(res, time.Since(start))
 				return nil
 			},
+		},
+		{
+			// Worker scaling, greedy: one greedy-so lookup search per op
+			// with a fresh cache and a 2ms simulated cost-oracle RTT per
+			// costing, swept over the worker-pool bound. Incremental only:
+			// the sweep measures dispatch scalability, not cache savings.
+			name:    "scaling-greedy",
+			workers: []int{1, 2, 4, 8, 16},
+			modes:   []bool{true},
+			run:     scalingRun(false),
+		},
+		{
+			// Worker scaling, beam (width 3): same sweep over the beam
+			// search's per-front candidate dispatch.
+			name:    "scaling-beam",
+			workers: []int{1, 2, 4, 8, 16},
+			modes:   []bool{true},
+			run:     scalingRun(true),
 		},
 	}
 }
@@ -221,43 +284,67 @@ func main() {
 
 	rep := report{Summary: map[string]float64{}}
 	perOp := map[string]map[bool]scenarioResult{}
+	scaling := map[string]map[int]scenarioResult{}
 	for _, sc := range scenarios() {
 		if *only != "" && sc.name != *only {
 			continue
 		}
-		perOp[sc.name] = map[bool]scenarioResult{}
-		for _, incremental := range []bool{false, true} {
-			var m metrics
-			for r := 0; r < *runs; r++ {
-				if err := sc.run(ctx, &m, incremental); err != nil {
-					fmt.Fprintf(os.Stderr, "bench: %s: %v\n", sc.name, err)
-					os.Exit(1)
+		workerSet := sc.workers
+		if workerSet == nil {
+			workerSet = []int{0}
+		}
+		modes := sc.modes
+		if modes == nil {
+			modes = []bool{false, true}
+		}
+		for _, workers := range workerSet {
+			for _, incremental := range modes {
+				var m metrics
+				for r := 0; r < *runs; r++ {
+					if err := sc.run(ctx, &m, incremental, workers); err != nil {
+						fmt.Fprintf(os.Stderr, "bench: %s: %v\n", sc.name, err)
+						os.Exit(1)
+					}
+				}
+				n := float64(*runs)
+				res := scenarioResult{
+					Name:              sc.name,
+					Incremental:       incremental,
+					Runs:              *runs,
+					Workers:           workers,
+					Searches:          m.searches / *runs,
+					NsPerOp:           float64(m.elapsed.Nanoseconds()) / n,
+					EvalsPerOp:        float64(m.evals) / n,
+					TranslationsPerOp: float64(m.translations) / n,
+					CostCacheHits:     float64(m.cacheHits) / n,
+					CostCacheMisses:   float64(m.cacheMisses) / n,
+				}
+				if res.NsPerOp > 0 {
+					res.OpsPerSec = 1e9 / res.NsPerOp
+				}
+				if m.qhits+m.qmisses > 0 {
+					res.QueryCacheHitRate = float64(m.qhits) / float64(m.qhits+m.qmisses)
+				}
+				res.BlocksRequested = float64(m.blocksReq) / n
+				res.BlocksCosted = float64(m.blocksCosted) / n
+				if m.blocksCosted > 0 {
+					res.BlockSharing = float64(m.blocksReq) / float64(m.blocksCosted)
+				}
+				res.DedupsPerOp = float64(m.dedups) / n
+				res.RegistryHitRatio = m.registryRatio
+				rep.Scenarios = append(rep.Scenarios, res)
+				if sc.workers == nil {
+					if perOp[sc.name] == nil {
+						perOp[sc.name] = map[bool]scenarioResult{}
+					}
+					perOp[sc.name][incremental] = res
+				} else if incremental {
+					if scaling[sc.name] == nil {
+						scaling[sc.name] = map[int]scenarioResult{}
+					}
+					scaling[sc.name][workers] = res
 				}
 			}
-			n := float64(*runs)
-			res := scenarioResult{
-				Name:              sc.name,
-				Incremental:       incremental,
-				Runs:              *runs,
-				Searches:          m.searches / *runs,
-				NsPerOp:           float64(m.elapsed.Nanoseconds()) / n,
-				EvalsPerOp:        float64(m.evals) / n,
-				TranslationsPerOp: float64(m.translations) / n,
-				CostCacheHits:     float64(m.cacheHits) / n,
-				CostCacheMisses:   float64(m.cacheMisses) / n,
-			}
-			if m.qhits+m.qmisses > 0 {
-				res.QueryCacheHitRate = float64(m.qhits) / float64(m.qhits+m.qmisses)
-			}
-			res.BlocksRequested = float64(m.blocksReq) / n
-			res.BlocksCosted = float64(m.blocksCosted) / n
-			if m.blocksCosted > 0 {
-				res.BlockSharing = float64(m.blocksReq) / float64(m.blocksCosted)
-			}
-			res.DedupsPerOp = float64(m.dedups) / n
-			res.RegistryHitRatio = m.registryRatio
-			rep.Scenarios = append(rep.Scenarios, res)
-			perOp[sc.name][incremental] = res
 		}
 	}
 	var fullT, incT float64
@@ -281,6 +368,21 @@ func main() {
 	if incT > 0 {
 		rep.Summary["combined_translation_reduction"] = fullT / incT
 	}
+	// Scaling summaries: throughput at N workers over 1 worker, e.g.
+	// scaling_greedy_speedup_8w.
+	for name, byWorkers := range scaling {
+		base, ok := byWorkers[1]
+		if !ok || base.NsPerOp == 0 {
+			continue
+		}
+		key := strings.ReplaceAll(name, "-", "_")
+		for w, res := range byWorkers {
+			if w == 1 || res.NsPerOp == 0 {
+				continue
+			}
+			rep.Summary[fmt.Sprintf("%s_speedup_%dw", key, w)] = base.NsPerOp / res.NsPerOp
+		}
+	}
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -297,6 +399,11 @@ func main() {
 		os.Exit(1)
 	}
 	for _, sc := range rep.Scenarios {
+		if sc.Workers > 0 {
+			fmt.Printf("%-13s workers=%-2d %13.1fms/op %8.3f ops/sec\n",
+				sc.Name, sc.Workers, sc.NsPerOp/1e6, sc.OpsPerSec)
+			continue
+		}
 		fmt.Printf("%-12s incremental=%-5v %8.1fms/op %7.0f translations/op %5.1f%% qcache hits %5.2fx block sharing\n",
 			sc.Name, sc.Incremental, sc.NsPerOp/1e6, sc.TranslationsPerOp, 100*sc.QueryCacheHitRate, sc.BlockSharing)
 	}

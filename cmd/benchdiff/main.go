@@ -1,0 +1,105 @@
+// Command benchdiff compares two cmd/bench reports (BENCH_search.json)
+// and prints per-scenario deltas: ns/op, ops/sec, translations/op and
+// the summary ratios. It is benchstat-shaped but deliberately
+// non-gating — it always exits 0, because single-run wall-clock numbers
+// on shared CI runners are far too noisy to fail a build on; the value
+// is the printed delta in the job log and the archived artifact.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type row struct {
+	Name              string  `json:"name"`
+	Incremental       bool    `json:"incremental"`
+	Workers           int     `json:"workers"`
+	NsPerOp           float64 `json:"ns_per_op"`
+	OpsPerSec         float64 `json:"ops_per_sec"`
+	TranslationsPerOp float64 `json:"translations_per_op"`
+	QueryCacheHitRate float64 `json:"query_cache_hit_rate"`
+}
+
+type report struct {
+	Scenarios []row              `json:"scenarios"`
+	Summary   map[string]float64 `json:"summary"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// key identifies a scenario row across reports.
+func key(r row) string {
+	return fmt.Sprintf("%s/inc=%v/w=%d", r.Name, r.Incremental, r.Workers)
+}
+
+func pct(old, new float64) string {
+	if old == 0 {
+		return "   n/a"
+	}
+	return fmt.Sprintf("%+5.1f%%", 100*(new-old)/old)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(0) // non-gating even on misuse
+	}
+	old, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(0)
+	}
+	cur, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(0)
+	}
+
+	oldRows := map[string]row{}
+	for _, r := range old.Scenarios {
+		oldRows[key(r)] = r
+	}
+	fmt.Printf("%-32s %14s %14s %8s %8s\n", "scenario", "old ms/op", "new ms/op", "delta", "trans Δ")
+	for _, nr := range cur.Scenarios {
+		or, ok := oldRows[key(nr)]
+		if !ok {
+			fmt.Printf("%-32s %14s %14.1f %8s\n", key(nr), "(new)", nr.NsPerOp/1e6, "")
+			continue
+		}
+		fmt.Printf("%-32s %14.1f %14.1f %8s %8s\n",
+			key(nr), or.NsPerOp/1e6, nr.NsPerOp/1e6,
+			pct(or.NsPerOp, nr.NsPerOp), pct(or.TranslationsPerOp, nr.TranslationsPerOp))
+	}
+
+	keys := make([]string, 0, len(cur.Summary))
+	for k := range cur.Summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("\n%-40s %10s %10s\n", "summary", "old", "new")
+	for _, k := range keys {
+		ov, ok := old.Summary[k]
+		if !ok {
+			fmt.Printf("%-40s %10s %10.3f\n", k, "(new)", cur.Summary[k])
+			continue
+		}
+		fmt.Printf("%-40s %10.3f %10.3f\n", k, ov, cur.Summary[k])
+	}
+}

@@ -48,6 +48,7 @@ func run() int {
 	noincremental := flag.Bool("noincremental", false, "disable incremental candidate evaluation (delta re-mapping, per-query cost reuse, catalog caching)")
 	noshare := flag.Bool("noshare", false, "disable shared subplan costing (every SPJ block is costed by the optimizer directly); output is byte-identical either way")
 	maxiter := flag.Int("maxiter", 0, "bound search iterations per experiment (0 = until convergence); for smoke runs")
+	workers := flag.Int("workers", 0, "bound the candidate-evaluation worker pool per search (0 = GOMAXPROCS, 1 = sequential); results are byte-identical at any bound")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); expired searches report their anytime best-so-far")
 	cachestats := flag.Bool("cachestats", false, "print cost-cache hit/miss counters to stderr after each experiment")
 	registry := flag.Bool("registry", false, "route costings through a cross-engine cache registry (fleet mode) and print fleet-wide counters after the run; results are identical either way")
@@ -75,6 +76,7 @@ func run() int {
 	experiments.EnableCache(!*nocache)
 	experiments.EnableIncremental(!*noincremental)
 	experiments.EnableSharing(!*noshare)
+	experiments.SetWorkers(*workers)
 	experiments.EnableRegistry(*registry)
 	experiments.MaxIterations = *maxiter
 	if *cpuprofile != "" {

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"legodb/internal/imdb"
+	"legodb/internal/xschema"
+)
+
+// Allocation budgets for the search hot path. Every AllocsPerRun budget
+// here is an upper bound CI enforces (the robustness job runs these
+// without -race): a regression that re-introduces per-hit allocations
+// on the cache or hashing fast paths fails the build instead of
+// silently eating the incremental savings. Budgets are per-operation
+// averages over AllocsPerRun's internal loop.
+func assertAllocs(t *testing.T, what string, budget float64, f func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation budgets only hold without the race detector")
+	}
+	if got := testing.AllocsPerRun(200, f); got > budget {
+		t.Errorf("%s: %.1f allocs/op, budget %.1f", what, got, budget)
+	}
+}
+
+// TestAllocsCostCacheHit: the configuration cost cache's hit path must
+// not allocate — it runs once per candidate per iteration on every
+// worker.
+func TestAllocsCostCacheHit(t *testing.T) {
+	c := NewCostCache(0)
+	key := CacheKey{Workload: 42, Model: 7}
+	key.Schema[0] = 1
+	c.Put(key, 123.5)
+	assertAllocs(t, "CostCache.Get hit", 0, func() {
+		if _, ok := c.Get(key); !ok {
+			t.Fatal("expected a hit")
+		}
+	})
+}
+
+// TestAllocsQueryStoreSnapshot: reading a per-query dependency group
+// snapshot must not allocate (it runs once per workload slot per
+// candidate evaluation).
+func TestAllocsQueryStoreSnapshot(t *testing.T) {
+	var qs queryStore
+	qs.put(99, []string{"A", "B"}, queryVariant{key: 1, cost: 2}, nil)
+	assertAllocs(t, "queryStore.snapshot", 0, func() {
+		if gs := qs.snapshot(99); len(gs) != 1 {
+			t.Fatal("expected one group")
+		}
+	})
+}
+
+// TestAllocsDepKeyChain: hashing a dependency list against a memoized
+// dependency state must not allocate once every name is memoized — it
+// is the per-group cost of every per-query cache lookup.
+func TestAllocsDepKeyChain(t *testing.T) {
+	ps, err := InitialSchema(annotatedIMDB(t), GreedySO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Evaluator{Workload: imdb.LookupWorkload(), RootCount: 1}
+	digests := ps.TypeDigests()
+	cat, err := e.sharedMapper().Map(ps, digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := ps.Names[:4:4]
+	st := e.acquireDepState(ps, cat, digests)
+	defer e.releaseDepState(st)
+	st.keyOf(deps) // memoize the names once
+	assertAllocs(t, "depState.keyOf", 0, func() {
+		st.keyOf(deps)
+	})
+}
+
+// TestAllocsFingerprints bounds the schema hashing the per-candidate
+// path pays: the canonical fingerprint allocates only its order scratch
+// (slice and two maps), the shallow digests reuse a caller map, and the
+// name-sensitive digest allocates nothing.
+func TestAllocsFingerprints(t *testing.T) {
+	ps, err := InitialSchema(annotatedIMDB(t), GreedySO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllocs(t, "Schema.Fingerprint", 8, func() { ps.Fingerprint() })
+	assertAllocs(t, "Schema.NamedDigest", 0, func() { ps.NamedDigest() })
+	scratch := make(map[string]xschema.Fingerprint, len(ps.Types))
+	assertAllocs(t, "Schema.TypeDigestsInto", 0, func() { ps.TypeDigestsInto(scratch) })
+}
+
+// TestAllocsEvaluateCachedHit bounds the warm EvaluateCached path: a
+// repeated candidate costs one fingerprint (the cache key) plus the
+// cache probe, nothing else.
+func TestAllocsEvaluateCachedHit(t *testing.T) {
+	ps, err := InitialSchema(annotatedIMDB(t), GreedySO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Evaluator{Workload: imdb.LookupWorkload(), RootCount: 1, Cache: NewCostCache(0)}
+	ctx := context.Background()
+	if _, _, err := e.EvaluateCached(ctx, ps); err != nil {
+		t.Fatal(err)
+	}
+	assertAllocs(t, "EvaluateCached hit", 10, func() {
+		if _, hit, err := e.EvaluateCached(ctx, ps); err != nil || !hit {
+			t.Fatalf("expected a hit, err=%v", err)
+		}
+	})
+}

@@ -4,45 +4,38 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"legodb/internal/faults"
 	"legodb/internal/imdb"
 	"legodb/internal/pschema"
-	"legodb/internal/xquery"
 )
-
-// amplifiedLookup replicates the lookup workload's entries many times
-// over, making every candidate evaluation deterministically slow enough
-// that a short timer reliably lands mid-iteration (the weighted-average
-// cost is unchanged — only the work per evaluation grows).
-func amplifiedLookup(factor int) *xquery.Workload {
-	base := imdb.LookupWorkload()
-	w := &xquery.Workload{}
-	for i := 0; i < factor; i++ {
-		for _, e := range base.Entries {
-			w.Add(e.Query, e.Weight)
-		}
-	}
-	return w
-}
 
 // TestCancelMidSearchReturnsBestSoFar: cancelling the context while a
 // Workers:8 search is in flight must return the best configuration
 // found so far (not an error), report the cancellation, and leave no
 // worker goroutines behind. The initial cost is pre-warmed into the
 // cache so the cancellation always lands in candidate evaluation, never
-// in the (pre-anytime) initial one.
+// in the (pre-anytime) initial one. The cancel fires from a costing
+// fault hook after a fixed number of optimizer calls — a deterministic
+// mid-iteration point, where the old wall-clock timer raced the search
+// on fast or slow machines.
 func TestCancelMidSearchReturnsBestSoFar(t *testing.T) {
-	wkld := amplifiedLookup(50)
+	wkld := imdb.LookupWorkload()
 	cache := NewCostCache(0)
 	warmInitialCost(t, GreedySO, wkld, cache)
 	before := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(30 * time.Millisecond)
-		cancel()
-	}()
+	defer cancel()
+	var costings atomic.Int64
+	restore := faults.EnableHook(faults.SiteQueryCost, -1, func() {
+		if costings.Add(1) == 20 {
+			cancel()
+		}
+	})
+	defer restore()
 	res, err := GreedySearch(ctx, imdb.Schema(), wkld, imdb.Stats(), Options{
 		Strategy: GreedySO, Workers: 8, Cache: cache, DisableIncremental: true,
 	})
@@ -111,13 +104,20 @@ func TestBudgetIsAnytimeAndMonotone(t *testing.T) {
 }
 
 // TestDeadlineStopsSearch: Options.Deadline bounds the wall clock and
-// reports StopDeadline with a usable best-so-far. The amplified
-// workload makes convergence take far longer than the deadline, so the
-// deadline is guaranteed to be what stops the search.
+// reports StopDeadline with a usable best-so-far. Every costing blocks
+// on a gate a timer opens well after the deadline, so the deadline is
+// guaranteed to be what stops the search — without the old approach of
+// amplifying the workload until candidate evaluation happened to
+// outlast the deadline on the machine at hand.
 func TestDeadlineStopsSearch(t *testing.T) {
-	wkld := amplifiedLookup(50)
+	wkld := imdb.LookupWorkload()
 	cache := NewCostCache(0)
 	warmInitialCost(t, GreedySO, wkld, cache)
+	release := make(chan struct{})
+	gate := time.AfterFunc(250*time.Millisecond, func() { close(release) })
+	defer gate.Stop()
+	restore := faults.EnableHook(faults.SiteQueryCost, -1, func() { <-release })
+	defer restore()
 	res, err := GreedySearch(context.Background(), imdb.Schema(), wkld, imdb.Stats(), Options{
 		Strategy: GreedySO, Workers: 4, Deadline: 50 * time.Millisecond,
 		Cache: cache, DisableIncremental: true,

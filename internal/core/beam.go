@@ -104,6 +104,7 @@ func BeamSearch(ctx context.Context, schema *xschema.Schema, wkld *xquery.Worklo
 		// canonical fingerprint, then cost the distinct schemas in
 		// parallel. A panicking transformation skips that expansion only.
 		var nextSchemas []*xschema.Schema
+		var nextFPs []xschema.Fingerprint
 		for _, cfg := range beam {
 			for _, tr := range transform.Candidates(cfg.Schema, tropts) {
 				if next := expandOne(st, cfg.Schema, tr); next != nil {
@@ -113,10 +114,11 @@ func BeamSearch(ctx context.Context, schema *xschema.Schema, wkld *xquery.Worklo
 					}
 					seen[fp] = true
 					nextSchemas = append(nextSchemas, next)
+					nextFPs = append(nextFPs, fp)
 				}
 			}
 		}
-		results, hits, misses := evaluateSchemas(st, nextSchemas, eval, opts.Workers)
+		results, hits, misses := evaluateSchemas(st, nextSchemas, nextFPs, eval, opts.Workers)
 		var candidates []Config
 		for _, cfg := range results {
 			if cfg != nil {
@@ -200,15 +202,16 @@ func expandOne(st *searchState, base *xschema.Schema, tr transform.Transformatio
 }
 
 // evaluateSchemas costs a batch of already-applied schemas, fanning out
-// across workers like evaluateCandidates. Unanswerable schemas are nil
-// in the indexed result slice; a panicking evaluation is recorded and
-// skipped without wedging the pool, and cancellation stops the dispatch
-// loop.
-func evaluateSchemas(st *searchState, schemas []*xschema.Schema, eval *Evaluator, workers int) ([]*Config, int, int) {
+// across workers like evaluateCandidates. fps carries the schemas'
+// fingerprints, already computed by the dedup pass, so the cache-key
+// path need not fingerprint again. Unanswerable schemas are nil in the
+// indexed result slice; a panicking evaluation is recorded and skipped
+// without wedging the pool.
+func evaluateSchemas(st *searchState, schemas []*xschema.Schema, fps []xschema.Fingerprint, eval *Evaluator, workers int) ([]*Config, int, int) {
 	results := make([]*Config, len(schemas))
 	var hits, misses atomic.Int64
 	evalAt := func(i int) {
-		results[i] = evaluateSchema(st, schemas[i], eval, &hits, &misses)
+		results[i] = evaluateSchema(st, schemas[i], fps[i], eval, &hits, &misses)
 	}
 	if workers == 1 || len(schemas) <= 1 {
 		for i := range schemas {
@@ -222,8 +225,15 @@ func evaluateSchemas(st *searchState, schemas []*xschema.Schema, eval *Evaluator
 	if workers > len(schemas) {
 		workers = len(schemas)
 	}
+	// Prefilled buffered channel, no dispatcher goroutine (see
+	// evaluateCandidates): cancellation is handled by st.take() per
+	// pulled schema, keeping the skip accounting intact.
 	var wg sync.WaitGroup
-	next := make(chan int)
+	next := make(chan int, len(schemas))
+	for i := range schemas {
+		next <- i
+	}
+	close(next)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -233,24 +243,13 @@ func evaluateSchemas(st *searchState, schemas []*xschema.Schema, eval *Evaluator
 			}
 		}()
 	}
-	done := st.ctx.Done()
-dispatch:
-	for i := range schemas {
-		select {
-		case next <- i:
-		case <-done:
-			st.skipped.Add(int64(len(schemas) - i))
-			break dispatch
-		}
-	}
-	close(next)
 	wg.Wait()
 	return results, int(hits.Load()), int(misses.Load())
 }
 
 // evaluateSchema costs one already-applied schema under the search
 // state's budget and panic isolation.
-func evaluateSchema(st *searchState, ps *xschema.Schema, eval *Evaluator, hits, misses *atomic.Int64) (out *Config) {
+func evaluateSchema(st *searchState, ps *xschema.Schema, fp xschema.Fingerprint, eval *Evaluator, hits, misses *atomic.Int64) (out *Config) {
 	if !st.take() {
 		return nil
 	}
@@ -260,7 +259,7 @@ func evaluateSchema(st *searchState, ps *xschema.Schema, eval *Evaluator, hits, 
 			out = nil
 		}
 	}()
-	cfg, hit, err := eval.EvaluateCached(st.ctx, ps)
+	cfg, hit, err := eval.evaluateCachedFP(st.ctx, ps, fp)
 	if err != nil {
 		if st.ctx.Err() == nil {
 			st.recordError("beam expansion", "evaluate", err)

@@ -271,6 +271,16 @@ type Evaluator struct {
 	matMu        sync.Mutex
 	matCache     map[xschema.Fingerprint]*Config
 	matOrder     []xschema.Fingerprint
+	// matBest is the cheapest cost remembered so far; rememberConfig
+	// drops configurations above it (only iteration winners — cheapest-
+	// so-far by construction — are ever materialized).
+	matBest float64
+	// depPool and digPool recycle per-evaluation scratch (the
+	// dependency-state hash memo and the shallow-digest map) across
+	// candidates, so the incremental hot path allocates per evaluation
+	// only what it returns.
+	depPool sync.Pool
+	digPool sync.Pool
 }
 
 // Evals returns how many full (uncached) evaluations this evaluator ran.
@@ -298,14 +308,21 @@ func (e *Evaluator) BlockStats() (requested, costed uint64) {
 	return e.blocksReq.Load(), e.blocksCosted.Load()
 }
 
-// cacheKey builds the cache key for a p-schema, computing the workload
-// and model digests once per evaluator.
-func (e *Evaluator) cacheKey(ps *xschema.Schema) CacheKey {
+// cacheKeyFor builds the cache key for an already-computed schema
+// fingerprint, computing the workload and model digests once per
+// evaluator. Callers that have the fingerprint in hand (the beam
+// search's dedup set) use this to avoid fingerprinting twice.
+func (e *Evaluator) cacheKeyFor(fp xschema.Fingerprint) CacheKey {
 	e.keyOnce.Do(func() {
 		e.workloadID = WorkloadID(e.Workload, e.RootCount)
 		e.modelID = ModelID(e.Model)
 	})
-	return CacheKey{Schema: ps.Fingerprint(), Workload: e.workloadID, Model: e.modelID}
+	return CacheKey{Schema: fp, Workload: e.workloadID, Model: e.modelID}
+}
+
+// cacheKey builds the cache key for a p-schema.
+func (e *Evaluator) cacheKey(ps *xschema.Schema) CacheKey {
+	return e.cacheKeyFor(ps.Fingerprint())
 }
 
 // Evaluate maps the p-schema to relations, translates the workload and
@@ -322,7 +339,7 @@ func (e *Evaluator) Evaluate(ctx context.Context, ps *xschema.Schema) (Config, e
 	if e.DisableIncremental {
 		return e.evaluateFull(ctx, ps)
 	}
-	cfg, err := e.evaluateIncremental(ctx, ps)
+	cfg, err := e.evaluateIncremental(ctx, ps, false)
 	if errors.Is(err, errMemoInconsistent) {
 		e.memoFalls.Add(1)
 		return e.evaluateFull(ctx, ps)
@@ -409,7 +426,20 @@ func (e *Evaluator) EvaluateCached(ctx context.Context, ps *xschema.Schema) (Con
 		cfg, err := e.Evaluate(ctx, ps)
 		return cfg, false, err
 	}
-	key := e.cacheKey(ps)
+	return e.evaluateCachedKey(ctx, ps, e.cacheKey(ps))
+}
+
+// evaluateCachedFP is EvaluateCached for callers that already computed
+// the schema's fingerprint.
+func (e *Evaluator) evaluateCachedFP(ctx context.Context, ps *xschema.Schema, fp xschema.Fingerprint) (Config, bool, error) {
+	if e.Cache == nil {
+		cfg, err := e.Evaluate(ctx, ps)
+		return cfg, false, err
+	}
+	return e.evaluateCachedKey(ctx, ps, e.cacheKeyFor(fp))
+}
+
+func (e *Evaluator) evaluateCachedKey(ctx context.Context, ps *xschema.Schema, key CacheKey) (Config, bool, error) {
 	if cost, ok := e.Cache.Get(key); ok {
 		return Config{Schema: ps, Cost: cost}, true, nil
 	}
@@ -472,12 +502,22 @@ func (e *Evaluator) Materialize(ctx context.Context, cfg Config) (Config, error)
 	if cfg.Catalog != nil {
 		return cfg, nil
 	}
-	if !e.DisableIncremental {
-		if hit := e.lookupConfig(cfg.Schema); hit != nil {
-			return *hit, nil
-		}
+	if e.DisableIncremental {
+		return e.Evaluate(ctx, cfg.Schema)
 	}
-	return e.Evaluate(ctx, cfg.Schema)
+	if hit := e.lookupConfig(cfg.Schema); hit != nil {
+		return *hit, nil
+	}
+	// Evaluate in materialize mode: hit slots whose translation is no
+	// longer retained re-translate (their cached costs stand), so the
+	// result always carries the complete catalog and query set.
+	e.evals.Add(1)
+	out, err := e.evaluateIncremental(ctx, cfg.Schema, true)
+	if errors.Is(err, errMemoInconsistent) {
+		e.memoFalls.Add(1)
+		return e.evaluateFull(ctx, cfg.Schema)
+	}
+	return out, err
 }
 
 // GetPSchemaCost returns just the estimated workload cost of a p-schema.
@@ -678,8 +718,19 @@ func evaluateCandidates(st *searchState, base *xschema.Schema, cands []transform
 	if workers > len(cands) {
 		workers = len(cands)
 	}
+	// Prefill a buffered channel and close it: workers pull indices with
+	// no dispatcher goroutine in the loop. The old unbuffered dispatch
+	// serialized the pool on a rendezvous per candidate, which the
+	// worker-scaling benchmark exposed as a flat spot at high worker
+	// counts. Cancellation is handled by st.take() inside evaluateOne —
+	// every candidate pulled after the context dies is counted skipped,
+	// preserving the report's accounting.
 	var wg sync.WaitGroup
-	next := make(chan int)
+	next := make(chan int, len(cands))
+	for i := range cands {
+		next <- i
+	}
+	close(next)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -689,18 +740,6 @@ func evaluateCandidates(st *searchState, base *xschema.Schema, cands []transform
 			}
 		}()
 	}
-	done := st.ctx.Done()
-dispatch:
-	for i := range cands {
-		select {
-		case next <- i:
-		case <-done:
-			// Cancelled: the remaining candidates are never dispatched.
-			st.skipped.Add(int64(len(cands) - i))
-			break dispatch
-		}
-	}
-	close(next)
 	wg.Wait()
 	return results, int(hits.Load()), int(misses.Load())
 }

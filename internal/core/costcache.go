@@ -92,13 +92,6 @@ type CostCache struct {
 	dedups    atomic.Uint64
 	evictions atomic.Uint64
 	shards    [cacheShards]costShard
-	// flight tracks keys whose evaluation is currently in progress, so a
-	// second evaluator arriving at the same key blocks on the first
-	// outcome instead of paying its own pipeline run (see
-	// Evaluator.EvaluateCached). Entries live only for the duration of
-	// one evaluation.
-	flightMu sync.Mutex
-	flight   map[CacheKey]*flightCall
 	// queries memoizes per-query translate+cost outcomes so searches
 	// sharing this cache reuse each other's translations (see
 	// incremental.go; not persisted by Save — entries carry live SQL
@@ -123,6 +116,13 @@ type costShard struct {
 	mu      sync.Mutex
 	entries map[CacheKey]float64
 	order   []CacheKey // insertion order, for deterministic eviction
+	// flight tracks keys whose evaluation is currently in progress, so a
+	// second evaluator arriving at the same key blocks on the first
+	// outcome instead of paying its own pipeline run (see
+	// Evaluator.EvaluateCached). Entries live only for the duration of
+	// one evaluation. Sharded alongside the entries so misses arriving
+	// on different shards never contend on one global flight lock.
+	flight map[CacheKey]*flightCall
 }
 
 // NewCostCache returns a cache bounded to roughly capacity entries
@@ -182,16 +182,17 @@ func (c *CostCache) join(k CacheKey) (*flightCall, bool) {
 	if c == nil {
 		return &flightCall{done: make(chan struct{})}, true
 	}
-	c.flightMu.Lock()
-	defer c.flightMu.Unlock()
-	if call, ok := c.flight[k]; ok {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if call, ok := s.flight[k]; ok {
 		return call, false
 	}
-	if c.flight == nil {
-		c.flight = make(map[CacheKey]*flightCall)
+	if s.flight == nil {
+		s.flight = make(map[CacheKey]*flightCall)
 	}
 	call := &flightCall{done: make(chan struct{})}
-	c.flight[k] = call
+	s.flight[k] = call
 	return call, true
 }
 
@@ -202,11 +203,12 @@ func (c *CostCache) join(k CacheKey) (*flightCall, bool) {
 func (c *CostCache) finish(k CacheKey, call *flightCall, cost float64, err error) {
 	call.cost, call.err = cost, err
 	if c != nil {
-		c.flightMu.Lock()
-		if c.flight[k] == call {
-			delete(c.flight, k)
+		s := c.shardFor(k)
+		s.mu.Lock()
+		if s.flight[k] == call {
+			delete(s.flight, k)
 		}
-		c.flightMu.Unlock()
+		s.mu.Unlock()
 	}
 	close(call.done)
 }

@@ -227,7 +227,7 @@ func TestShardDistributionMixesFullFingerprint(t *testing.T) {
 		var fp xschema.Fingerprint
 		// First word fixed; only the second word varies (hashed so the
 		// bytes are uniform, as real FNV fingerprint output is).
-		h := fnvUint64(fnvOffset64, uint64(i))
+		h := mixUint64(fnvOffset64, uint64(i))
 		for b := 0; b < 8; b++ {
 			fp[8+b] = byte(h >> (8 * b))
 		}

@@ -112,6 +112,45 @@ func TestBeamDeterministicAcrossWorkersAndCache(t *testing.T) {
 	}
 }
 
+// TestDeterministicAcrossWorkerSweep is the worker-scaling determinism
+// gate: with every reuse layer on — incremental evaluation, the
+// logical-plan sharing layer and a registry-attached shared cache —
+// greedy and beam searches must produce byte-identical traces, winners
+// and DDL at 1, 2, 4, 8 and 16 workers. This is what licenses the
+// worker-scaling benchmark scenario: throughput may scale with the
+// pool, the outcome may not.
+func TestDeterministicAcrossWorkerSweep(t *testing.T) {
+	reg := NewCacheRegistry(0)
+	opts := func(workers int) Options {
+		return Options{Strategy: GreedySO, Workers: workers, Cache: reg.Attach()}
+	}
+	var wantG, wantB string
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		res, err := GreedySearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), opts(workers))
+		if err != nil {
+			t.Fatalf("greedy workers=%d: %v", workers, err)
+		}
+		if sig := resultSignature(res); wantG == "" {
+			wantG = sig
+		} else if sig != wantG {
+			t.Errorf("greedy workers=%d diverged from workers=1:\n--- workers=1\n%s\n--- workers=%d\n%s",
+				workers, wantG, workers, sig)
+		}
+		bres, err := BeamSearch(context.Background(), imdb.Schema(), imdb.LookupWorkload(), imdb.Stats(), BeamOptions{
+			Options: opts(workers), Width: 3,
+		})
+		if err != nil {
+			t.Fatalf("beam workers=%d: %v", workers, err)
+		}
+		if sig := resultSignature(bres); wantB == "" {
+			wantB = sig
+		} else if sig != wantB {
+			t.Errorf("beam workers=%d diverged from workers=1:\n--- workers=1\n%s\n--- workers=%d\n%s",
+				workers, wantB, workers, sig)
+		}
+	}
+}
+
 // TestWarmCacheSameOutcomeFewerEvals: rerunning a search against an
 // already-populated shared cache must reproduce the result exactly while
 // paying far fewer full evaluator runs.

@@ -82,6 +82,16 @@ var incrementalEnabled = true
 // (cmd/experiments -noincremental).
 func EnableIncremental(on bool) { incrementalEnabled = on }
 
+// workerBound bounds the candidate-evaluation worker pool of every
+// search (0 = GOMAXPROCS, 1 = sequential). Results are byte-identical
+// at any bound — the worker-sweep determinism test in internal/core
+// pins that — so the knob only trades wall clock for concurrency.
+var workerBound int
+
+// SetWorkers sets the per-search worker-pool bound
+// (cmd/experiments -workers).
+func SetWorkers(n int) { workerBound = n }
+
 // sharingEnabled gates the logical-plan layer (internal/plan): off, every
 // translated SPJ block is costed by the optimizer directly instead of
 // structurally identical blocks sharing one costing. Results are
@@ -116,6 +126,7 @@ func SaveCacheFile(path string) error {
 // budget.
 func searchOptions(strategy core.Strategy) core.Options {
 	opts := core.Options{Strategy: strategy, MaxIterations: MaxIterations,
+		Workers:            workerBound,
 		DisableIncremental: !incrementalEnabled, DisableSharing: !sharingEnabled}
 	if cacheEnabled {
 		opts.Cache = sharedCache

@@ -46,6 +46,7 @@ var armed atomic.Int32
 
 type failure struct {
 	panicMode bool
+	hook      func()
 	remaining int64 // < 0 = every hit
 	hits      int64
 }
@@ -69,6 +70,26 @@ func Enable(site string, times int, panicMode bool) (restore func()) {
 		armed.Add(1)
 	}
 	sites[site] = &failure{panicMode: panicMode, remaining: int64(times)}
+	return func() { Disable(site) }
+}
+
+// EnableHook arms a site to run fn on each of its next `times` hits
+// (times < 0 = every hit until disabled) instead of failing: Inject
+// calls fn and returns nil. Hooks give tests and benchmarks a
+// deterministic seam at pipeline sites — blocking a costing call on a
+// channel instead of sleeping wall-clock time, or simulating the
+// round-trip latency of an out-of-process cost oracle. fn runs on the
+// injecting goroutine with no locks held, so it may block.
+func EnableHook(site string, times int, fn func()) (restore func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = make(map[string]*failure)
+	}
+	if _, exists := sites[site]; !exists {
+		armed.Add(1)
+	}
+	sites[site] = &failure{hook: fn, remaining: int64(times)}
 	return func() { Disable(site) }
 }
 
@@ -111,7 +132,12 @@ func Inject(site string) error {
 	}
 	f.hits++
 	panicMode := f.panicMode
+	hook := f.hook
 	mu.Unlock()
+	if hook != nil {
+		hook()
+		return nil
+	}
 	if panicMode {
 		panic(fmt.Sprintf("faults: injected panic at %s", site))
 	}

@@ -1,0 +1,48 @@
+package plan
+
+import (
+	"testing"
+)
+
+// Allocation budgets for the logical-plan hot path (skipped under the
+// race detector, whose instrumentation allocates; CI runs them in the
+// plain-build robustness job).
+func assertAllocs(t *testing.T, what string, budget float64, f func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation budgets only hold without the race detector")
+	}
+	if got := testing.AllocsPerRun(200, f); got > budget {
+		t.Errorf("%s: %.1f allocs/op, budget %.1f", what, got, budget)
+	}
+}
+
+// TestAllocsAppendShapeKey: encoding a block's shape into a reused
+// buffer must not allocate — it runs once per block per costing
+// request, hit or miss.
+func TestAllocsAppendShapeKey(t *testing.T) {
+	e := buildEnv(t)
+	sq := e.translate(t, fixtureQueries[2])
+	b := sq.Blocks[0]
+	buf := b.AppendShapeKey(nil)
+	assertAllocs(t, "Block.AppendShapeKey", 0, func() {
+		buf = b.AppendShapeKey(buf[:0])
+	})
+}
+
+// TestAllocsSpaceQueryCostHit: re-costing a query whose blocks are all
+// memoized must not allocate — the warm path runs for every shared
+// block of every candidate in the search inner loop.
+func TestAllocsSpaceQueryCostHit(t *testing.T) {
+	e := buildEnv(t)
+	sp := NewSpace(e.opt, 1, nil)
+	sq := e.translate(t, fixtureQueries[2])
+	if _, err := sp.QueryCost(sq); err != nil {
+		t.Fatal(err)
+	}
+	assertAllocs(t, "Space.QueryCost warm", 0, func() {
+		if _, err := sp.QueryCost(sq); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -2,7 +2,6 @@ package plan
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"legodb/internal/faults"
@@ -117,12 +116,21 @@ func (s *Store) Stats() StoreStats {
 
 // Space composes query costs for one configuration evaluation from
 // shared block costings. Translated queries flow in through QueryCost;
-// every block is interned under its positional shape (a deep copy, so
-// later mutation of the caller's blocks cannot perturb the intern table),
-// structurally identical blocks across queries and union branches dedup,
-// and each distinct (shape, table digests, scan context) is costed once
-// via optimizer.BlockCostShared — within this evaluation and, through the
+// every block is interned under its positional shape, structurally
+// identical blocks across queries and union branches dedup, and each
+// distinct (shape, table digests, scan context) is costed once via
+// optimizer.BlockCostShared — within this evaluation and, through the
 // shared Store, across sibling candidates whose tables did not change.
+//
+// Interning is copy-free: the Space records the caller's *sqlast.Block
+// instance, never a clone. The contract is that blocks are immutable
+// once handed to QueryCost — the translator builds each block exactly
+// once and nothing downstream writes to it. Mutating a block after
+// costing cannot corrupt the memo (Store entries are keyed by an
+// immutable shape string captured at intern time), it only makes the
+// intern table's view of that one Space stale; the mutated block would
+// simply re-intern under its new shape on the next request. The
+// plan-package tests pin both properties.
 //
 // A Space is not safe for concurrent use; each evaluation owns one. The
 // Store it feeds is safe to share across Spaces.
@@ -138,6 +146,13 @@ type Space struct {
 	Computed  uint64
 
 	blocks map[string]*sqlast.Block
+
+	// Per-Space scratch, reused across blockCost calls so the hot hit
+	// path (shape encoding, table-name collection, scan threading)
+	// allocates nothing.
+	keyBuf []byte
+	names  []string
+	scan   map[string]bool
 }
 
 // NewSpace returns a plan space costing against opt, memoizing into
@@ -155,29 +170,27 @@ func NewSpace(opt *optimizer.Optimizer, modelID uint64, store *Store) *Space {
 func (sp *Space) Distinct() int { return len(sp.blocks) }
 
 // Interned returns the canonical instance interned for the block's
-// shape, or nil. The instance is the Space's private deep copy.
+// shape, or nil. The instance is the first block costed with that shape
+// (interning is copy-free; see the Space doc for the immutability
+// contract).
 func (sp *Space) Interned(b *sqlast.Block) *sqlast.Block {
 	return sp.blocks[b.ShapeKey()]
 }
 
-// intern records the first block seen with each shape, as a deep copy.
-func (sp *Space) intern(b *sqlast.Block) string {
-	shape := b.ShapeKey()
-	if _, ok := sp.blocks[shape]; !ok {
-		sp.blocks[shape] = b.Clone()
-	}
-	return shape
-}
-
 // QueryCost composes the query's cost from shared block costings,
 // threading the same cross-block scan-sharing state optimizer.QueryCost
-// threads: bit-identical to it, block memo aside.
+// threads: bit-identical to it, block memo aside. The query's blocks
+// must not be mutated afterwards (they are interned without copying).
 func (sp *Space) QueryCost(q *sqlast.Query) (float64, error) {
 	if err := faults.Inject(faults.SiteQueryCost); err != nil {
 		return 0, err
 	}
 	total := 0.0
-	scanned := make(map[string]bool)
+	if sp.scan == nil {
+		sp.scan = make(map[string]bool, 8)
+	}
+	scanned := sp.scan
+	clear(scanned)
 	for _, b := range q.Blocks {
 		cost, err := sp.blockCost(b, scanned)
 		if err != nil {
@@ -196,8 +209,15 @@ func (sp *Space) QueryCost(q *sqlast.Query) (float64, error) {
 // the error; there is no digest to key on).
 func (sp *Space) blockCost(b *sqlast.Block, scanned map[string]bool) (float64, error) {
 	sp.Requested++
-	shape := sp.intern(b)
-	names := blockTableNames(b)
+	sp.keyBuf = b.AppendShapeKey(sp.keyBuf[:0])
+	shape := sp.keyBuf
+	// Copy-free intern: record the first instance seen per shape. The
+	// string(shape) map index is allocation-free on lookup; the key
+	// string is materialized only on first insert.
+	if _, ok := sp.blocks[string(shape)]; !ok {
+		sp.blocks[string(shape)] = b
+	}
+	names := sp.blockTableNames(b)
 	key, keyable := sp.keyFor(shape, names, scanned)
 	if keyable {
 		if out, hit := sp.store.get(key); hit {
@@ -241,10 +261,10 @@ func (sp *Space) blockCost(b *sqlast.Block, scanned map[string]bool) (float64, e
 // queries whose earlier blocks scanned different unrelated tables still
 // share. Returns keyable=false when a referenced table is not in the
 // catalog.
-func (sp *Space) keyFor(shape string, names []string, scanned map[string]bool) (Key, bool) {
+func (sp *Space) keyFor(shape []byte, names []string, scanned map[string]bool) (Key, bool) {
 	h := newHash2()
 	h.u64(sp.modelID)
-	h.str(shape)
+	h.bytes(shape)
 	for _, n := range names {
 		t := sp.opt.Cat.Table(n)
 		if t == nil {
@@ -258,18 +278,31 @@ func (sp *Space) keyFor(shape string, names []string, scanned map[string]bool) (
 	return h.key(), true
 }
 
-// blockTableNames returns the block's distinct table names, sorted.
-func blockTableNames(b *sqlast.Block) []string {
-	names := make([]string, 0, len(b.Tables))
-	seen := make(map[string]struct{}, len(b.Tables))
-	for _, t := range b.Tables {
-		if _, ok := seen[t.Table]; ok {
-			continue
+// blockTableNames returns the block's distinct table names, sorted,
+// into the Space's reusable scratch slice (valid until the next call).
+// Blocks reference a handful of tables, so the quadratic dedup and
+// insertion sort beat a map and sort.Strings without allocating.
+func (sp *Space) blockTableNames(b *sqlast.Block) []string {
+	names := sp.names[:0]
+	for i := range b.Tables {
+		name := b.Tables[i].Table
+		dup := false
+		for _, n := range names {
+			if n == name {
+				dup = true
+				break
+			}
 		}
-		seen[t.Table] = struct{}{}
-		names = append(names, t.Table)
+		if !dup {
+			names = append(names, name)
+		}
 	}
-	sort.Strings(names)
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	sp.names = names
 	return names
 }
 
@@ -291,6 +324,13 @@ func (h *hash2) byte(v byte) {
 func (h *hash2) str(s string) {
 	for i := 0; i < len(s); i++ {
 		h.byte(s[i])
+	}
+	h.byte(0xff)
+}
+
+func (h *hash2) bytes(p []byte) {
+	for _, c := range p {
+		h.byte(c)
 	}
 	h.byte(0xff)
 }

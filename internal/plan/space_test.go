@@ -1,8 +1,10 @@
 package plan
 
 import (
+	"sort"
 	"strings"
 	"testing"
+	"testing/quick"
 
 	"legodb/internal/optimizer"
 	"legodb/internal/relational"
@@ -129,28 +131,32 @@ func TestSpaceSharesAcrossQueries(t *testing.T) {
 	}
 }
 
-// TestInternedEntriesImmuneToCallerMutation (the deep-copy aliasing
-// guard): mutating a block after it was interned — tables, filter
-// literals, the RightCol pointer Clone must have deep-copied — must not
-// perturb the Space's interned entry.
-func TestInternedEntriesImmuneToCallerMutation(t *testing.T) {
+// TestMemoImmuneToCallerMutation (the copy-free interning guard):
+// interning stores the caller's block instance without cloning, so the
+// safety property moved from "the interned copy cannot change" to "the
+// shared memo cannot be corrupted". Mutating a caller's blocks after
+// costing must leave the Store's memoized outcomes intact: a fresh,
+// identically-translated query costed through a new Space over the same
+// Store must replay the original cost without recomputation, and
+// re-costing the mutated block must key under its new shape (recomputed
+// honestly, never served the stale entry).
+func TestMemoImmuneToCallerMutation(t *testing.T) {
 	e := buildEnv(t)
-	sp := NewSpace(e.opt, 1, nil)
-	sq := e.translate(t, `FOR $v IN imdb/show, $e IN $v/episode WHERE $e/name = c1 RETURN $v/title`)
-	if _, err := sp.QueryCost(sq); err != nil {
+	store := NewStore(0)
+	sp := NewSpace(e.opt, 1, store)
+	const query = `FOR $v IN imdb/show, $e IN $v/episode WHERE $e/name = c1 RETURN $v/title`
+	sq := e.translate(t, query)
+	want, err := sp.QueryCost(sq)
+	if err != nil {
 		t.Fatal(err)
 	}
 	b := sq.Blocks[0]
-	interned := sp.Interned(b)
-	if interned == nil {
-		t.Fatal("block not interned")
+	if sp.Interned(b) != b {
+		t.Fatal("copy-free interning must record the caller's instance")
 	}
-	if interned == b {
-		t.Fatal("space interned the caller's block instance, not a copy")
-	}
-	before := interned.SQL()
-	shape := interned.ShapeKey()
-	// Mutate the caller's block in every aliasable position.
+	oldShape := b.ShapeKey()
+	// Violate the immutability contract on purpose: mutate the caller's
+	// block in positions that feed the shape encoding.
 	b.Tables[0].Table = "mutated"
 	for i := range b.Filters {
 		b.Filters[i].Value = sqlast.Literal{Str: "mutated"}
@@ -158,14 +164,94 @@ func TestInternedEntriesImmuneToCallerMutation(t *testing.T) {
 			b.Filters[i].RightCol.Column = "mutated"
 		}
 	}
-	if len(b.Projects) > 0 {
-		b.Projects[0].Column = "mutated"
+	if b.ShapeKey() == oldShape {
+		t.Fatal("mutation did not change the shape; test is vacuous")
 	}
-	if got := interned.SQL(); got != before {
-		t.Fatalf("caller mutation reached the interned entry:\nbefore:\n%s\nafter:\n%s", before, got)
+	// The memo must still replay the original query bit-identically,
+	// with zero recomputation, through a fresh Space on the same Store.
+	fresh := NewSpace(e.opt, 1, store)
+	again, err := fresh.QueryCost(e.translate(t, query))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if interned.ShapeKey() != shape {
-		t.Fatal("caller mutation changed the interned entry's shape")
+	if again != want {
+		t.Fatalf("caller mutation corrupted the memo: replay %x, original %x", again, want)
+	}
+	if fresh.Computed != 0 {
+		t.Errorf("replay recomputed %d blocks; want pure memo hits", fresh.Computed)
+	}
+	// The mutated block re-interns under its new shape and is recomputed
+	// (its table no longer exists, so costing must fail — proving the
+	// stale memo entry was not served for the new shape).
+	if _, err := fresh.blockCost(b, map[string]bool{}); err == nil {
+		t.Fatal("mutated block with an unknown table was served from the memo")
+	}
+}
+
+// TestOutcomeAddsReplayRoundTrip (testing/quick): for random scan
+// contexts over the catalog's tables, a memo hit must leave the scan
+// state exactly where a fresh computation would have — same cost, same
+// final scan set. This is the invariant that makes Outcome.Adds replay
+// sound: hit and miss paths are observationally identical.
+func TestOutcomeAddsReplayRoundTrip(t *testing.T) {
+	e := buildEnv(t)
+	sq := e.translate(t, `FOR $v IN imdb/show RETURN $v`)
+	var tables []string
+	seen := map[string]bool{}
+	for _, b := range sq.Blocks {
+		for _, tr := range b.Tables {
+			if !seen[tr.Table] {
+				seen[tr.Table] = true
+				tables = append(tables, tr.Table)
+			}
+		}
+	}
+	sort.Strings(tables)
+	scanFrom := func(bits []bool) map[string]bool {
+		m := make(map[string]bool, len(tables))
+		for i, name := range tables {
+			if i < len(bits) && bits[i] {
+				m[name] = true
+			}
+		}
+		return m
+	}
+	property := func(bits []bool, blockIdx uint8) bool {
+		b := sq.Blocks[int(blockIdx)%len(sq.Blocks)]
+		// Miss path: fresh store, fresh space.
+		store := NewStore(0)
+		miss := NewSpace(e.opt, 1, store)
+		missScan := scanFrom(bits)
+		missCost, err := miss.blockCost(b, missScan)
+		if err != nil {
+			t.Fatalf("miss blockCost: %v", err)
+		}
+		// Hit path: same store, new space, identical starting context —
+		// must replay Adds into the scan map, not recompute.
+		hit := NewSpace(e.opt, 1, store)
+		hitScan := scanFrom(bits)
+		hitCost, err := hit.blockCost(b, hitScan)
+		if err != nil {
+			t.Fatalf("hit blockCost: %v", err)
+		}
+		if hit.Computed != 0 {
+			t.Fatalf("hit path recomputed (computed=%d)", hit.Computed)
+		}
+		if hitCost != missCost {
+			return false
+		}
+		if len(hitScan) != len(missScan) {
+			return false
+		}
+		for k, v := range missScan {
+			if hitScan[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -55,7 +55,11 @@ func MapWith(s *xschema.Schema, opts Options) (*Catalog, error) {
 // concurrent use.
 type Mapper struct {
 	opts Options
-	mu   sync.Mutex
+	// mu is an RWMutex because the memo is read-mostly: in the search's
+	// steady state every worker re-maps candidates whose definitions are
+	// almost all unchanged, so lookups dominate stores and must not
+	// serialize the worker pool.
+	mu   sync.RWMutex
 	cols map[xschema.Fingerprint]colTemplate
 }
 
@@ -115,9 +119,9 @@ func (mp *Mapper) Map(s *xschema.Schema, digests map[string]xschema.Fingerprint)
 
 // template returns the memoized column set for a definition digest.
 func (mp *Mapper) template(dig xschema.Fingerprint) (colTemplate, bool) {
-	mp.mu.Lock()
-	defer mp.mu.Unlock()
+	mp.mu.RLock()
 	tmpl, ok := mp.cols[dig]
+	mp.mu.RUnlock()
 	return tmpl, ok
 }
 

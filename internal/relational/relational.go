@@ -19,7 +19,6 @@ package relational
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strings"
 
@@ -115,6 +114,14 @@ type Table struct {
 	// parent edges. Two tables with equal digests translate and cost
 	// identically; the per-query cost cache keys on it.
 	Digest uint64
+	// ShapeDigest hashes only what the query translator reads: the table
+	// and column names, column types, key/FK structure and XML paths —
+	// no cardinalities, sizes or null fractions. Two tables with equal
+	// shape digests translate identically even when their statistics
+	// differ, so the per-query cache can reuse a stored translation and
+	// pay only re-costing when a transformation elsewhere in the schema
+	// shifted this table's row estimates.
+	ShapeDigest uint64
 }
 
 // Edge is a parent-child relationship: rows of Child carry a foreign key
@@ -130,58 +137,93 @@ type Edge struct {
 // Key returns the table's id column name.
 func (t *Table) Key() string { return t.Name + "_id" }
 
-// computeDigest fills t.Digest from the table's content. Every field a
-// downstream consumer (query translator, optimizer, DDL renderer) reads
-// must be covered: if two tables digest equal, substituting one for the
-// other must be unobservable.
-func (t *Table) computeDigest() {
-	h := fnv.New64a()
-	w := func(s string) { h.Write([]byte(s)); h.Write([]byte{0}) }
-	f := func(v float64) {
-		var b [8]byte
-		bits := math.Float64bits(v)
-		for i := range b {
-			b[i] = byte(bits >> (8 * i))
-		}
-		h.Write(b[:])
+// fnv64a primitives for the table digests, inlined so computeDigest —
+// run once per table per mapped candidate schema — neither heap-
+// allocates a hash state nor copies strings into byte slices.
+const (
+	tblFNVOffset uint64 = 14695981039346656037
+	tblFNVPrime  uint64 = 1099511628211
+)
+
+func tblHashByte(h uint64, c byte) uint64 { return (h ^ uint64(c)) * tblFNVPrime }
+
+func tblHashStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * tblFNVPrime
 	}
-	w(t.Name)
-	w(t.TypeName)
-	f(t.Rows)
+	return tblHashByte(h, 0) // terminator keeps the encoding unambiguous
+}
+
+func tblHashFloat(h uint64, v float64) uint64 {
+	bits := math.Float64bits(v)
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ (bits >> i & 0xFF)) * tblFNVPrime
+	}
+	return h
+}
+
+func tblHashBool(h uint64, b bool) uint64 {
+	if b {
+		return tblHashByte(h, 1)
+	}
+	return tblHashByte(h, 0)
+}
+
+// computeDigest fills t.Digest and t.ShapeDigest from the table's
+// content in one pass. Digest covers every field a downstream consumer
+// (query translator, optimizer, DDL renderer) reads: if two tables
+// digest equal, substituting one for the other must be unobservable.
+// ShapeDigest covers only the translator's read set — names, column
+// types, key/FK structure and XML paths — so it is invariant under
+// statistics-only changes (row counts, sizes, null fractions,
+// histograms).
+func (t *Table) computeDigest() {
+	full, shape := tblFNVOffset, tblFNVOffset
+	full = tblHashStr(full, t.Name)
+	full = tblHashStr(full, t.TypeName)
+	full = tblHashFloat(full, t.Rows)
+	shape = tblHashStr(shape, t.Name)
+	shape = tblHashStr(shape, t.TypeName)
 	for _, c := range t.Columns {
-		w(c.Name)
-		f(float64(c.Type))
-		f(float64(c.Size))
-		if c.Nullable {
-			h.Write([]byte{1})
-		} else {
-			h.Write([]byte{0})
-		}
-		f(c.NullFraction)
-		f(c.Distinct)
-		f(float64(c.Min))
-		f(float64(c.Max))
+		full = tblHashStr(full, c.Name)
+		full = tblHashFloat(full, float64(c.Type))
+		full = tblHashFloat(full, float64(c.Size))
+		full = tblHashBool(full, c.Nullable)
+		full = tblHashFloat(full, c.NullFraction)
+		full = tblHashFloat(full, c.Distinct)
+		full = tblHashFloat(full, float64(c.Min))
+		full = tblHashFloat(full, float64(c.Max))
 		for _, b := range c.Hist {
-			f(b)
+			full = tblHashFloat(full, b)
 		}
-		if c.Key {
-			h.Write([]byte{1})
-		} else {
-			h.Write([]byte{0})
-		}
-		w(c.FKRef)
+		full = tblHashBool(full, c.Key)
+		full = tblHashStr(full, c.FKRef)
 		for _, p := range c.XMLPath {
-			w(p)
+			full = tblHashStr(full, p)
 		}
-		w("|")
+		full = tblHashStr(full, "|")
+
+		shape = tblHashStr(shape, c.Name)
+		shape = tblHashFloat(shape, float64(c.Type))
+		shape = tblHashBool(shape, c.Key)
+		shape = tblHashStr(shape, c.FKRef)
+		for _, p := range c.XMLPath {
+			shape = tblHashStr(shape, p)
+		}
+		shape = tblHashStr(shape, "|")
 	}
 	for _, e := range t.Parents {
-		w(e.Child)
-		w(e.Parent)
-		w(e.FKColumn)
-		f(e.AvgPerParent)
+		full = tblHashStr(full, e.Child)
+		full = tblHashStr(full, e.Parent)
+		full = tblHashStr(full, e.FKColumn)
+		full = tblHashFloat(full, e.AvgPerParent)
+
+		shape = tblHashStr(shape, e.Child)
+		shape = tblHashStr(shape, e.Parent)
+		shape = tblHashStr(shape, e.FKColumn)
 	}
-	t.Digest = h.Sum64()
+	t.Digest = full
+	t.ShapeDigest = shape
 }
 
 // Column returns the named column, or nil.

@@ -9,6 +9,7 @@ package sqlast
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -100,6 +101,27 @@ func (l Literal) String() string {
 	}
 }
 
+// appendString appends the literal rendered exactly as String() would,
+// without allocating.
+func (l Literal) appendString(dst []byte) []byte {
+	switch {
+	case l.IsParam:
+		dst = append(dst, ':')
+		return append(dst, l.Param...)
+	case l.IsInt:
+		return strconv.AppendInt(dst, l.Int, 10)
+	default:
+		dst = append(dst, '\'')
+		for i := 0; i < len(l.Str); i++ {
+			if l.Str[i] == '\'' {
+				dst = append(dst, '\'')
+			}
+			dst = append(dst, l.Str[i])
+		}
+		return append(dst, '\'')
+	}
+}
+
 // Filter is a selection predicate: column op literal, or column op column
 // when RightCol is set.
 type Filter struct {
@@ -159,53 +181,69 @@ func (b *Block) Clone() *Block {
 // exactly. The logical-plan layer (internal/plan) keys interned blocks
 // and memoized block costs on this encoding.
 func (b *Block) ShapeKey() string {
-	var sb strings.Builder
-	idx := make(map[string]int, len(b.Tables))
-	for i, t := range b.Tables {
-		if _, ok := idx[t.Alias]; !ok {
-			idx[t.Alias] = i
+	return string(b.AppendShapeKey(nil))
+}
+
+// aliasIndex returns the FROM position of the first table bound under
+// the alias, or -1. Blocks have a handful of tables, so a linear scan
+// beats building a map per encoding.
+func (b *Block) aliasIndex(alias string) int {
+	for i := range b.Tables {
+		if b.Tables[i].Alias == alias {
+			return i
 		}
-		sb.WriteByte('T')
-		sb.WriteString(t.Table)
-		sb.WriteByte(0)
 	}
-	ref := func(c ColumnRef) {
-		if i, ok := idx[c.Alias]; ok {
-			fmt.Fprintf(&sb, "%d", i)
+	return -1
+}
+
+// AppendShapeKey appends the block's canonical positional encoding (see
+// ShapeKey) to dst and returns the extended slice. It allocates nothing
+// beyond dst growth, so hot paths can reuse one scratch buffer across
+// encodings and key maps by string(dst) lookups, which the compiler
+// keeps allocation-free.
+func (b *Block) AppendShapeKey(dst []byte) []byte {
+	for i := range b.Tables {
+		dst = append(dst, 'T')
+		dst = append(dst, b.Tables[i].Table...)
+		dst = append(dst, 0)
+	}
+	ref := func(dst []byte, c ColumnRef) []byte {
+		if i := b.aliasIndex(c.Alias); i >= 0 {
+			dst = strconv.AppendInt(dst, int64(i), 10)
 		} else {
 			// An alias not bound in FROM (malformed block): keep it
 			// verbatim so the encoding stays injective.
-			sb.WriteByte('?')
-			sb.WriteString(c.Alias)
+			dst = append(dst, '?')
+			dst = append(dst, c.Alias...)
 		}
-		sb.WriteByte('.')
-		sb.WriteString(c.Column)
-		sb.WriteByte(0)
+		dst = append(dst, '.')
+		dst = append(dst, c.Column...)
+		return append(dst, 0)
 	}
 	for _, j := range b.Joins {
-		sb.WriteByte('J')
-		ref(j.Left)
-		ref(j.Right)
+		dst = append(dst, 'J')
+		dst = ref(dst, j.Left)
+		dst = ref(dst, j.Right)
 	}
 	for _, f := range b.Filters {
-		sb.WriteByte('F')
-		ref(f.Col)
-		sb.WriteString(f.Op.String())
-		sb.WriteByte(0)
+		dst = append(dst, 'F')
+		dst = ref(dst, f.Col)
+		dst = append(dst, f.Op.String()...)
+		dst = append(dst, 0)
 		if f.RightCol != nil {
-			sb.WriteByte('C')
-			ref(*f.RightCol)
+			dst = append(dst, 'C')
+			dst = ref(dst, *f.RightCol)
 		} else {
-			sb.WriteByte('L')
-			sb.WriteString(f.Value.String())
-			sb.WriteByte(0)
+			dst = append(dst, 'L')
+			dst = f.Value.appendString(dst)
+			dst = append(dst, 0)
 		}
 	}
 	for _, p := range b.Projects {
-		sb.WriteByte('P')
-		ref(p)
+		dst = append(dst, 'P')
+		dst = ref(dst, p)
 	}
-	return sb.String()
+	return dst
 }
 
 // SQL renders the block as a SELECT statement.

@@ -1,0 +1,55 @@
+package xquery_test
+
+import (
+	"testing"
+
+	"legodb/internal/core"
+	"legodb/internal/imdb"
+	"legodb/internal/relational"
+	"legodb/internal/xquery"
+	"legodb/internal/xschema"
+	"legodb/internal/xstats"
+)
+
+func trackFixture(b *testing.B) (*xschema.Schema, *relational.Catalog, *xquery.Workload) {
+	b.Helper()
+	s := imdb.Schema().Clone()
+	if err := xstats.Annotate(s, imdb.Stats()); err != nil {
+		b.Fatal(err)
+	}
+	ps, err := core.InitialSchema(s, core.GreedySI)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, err := relational.MapWith(ps, relational.Options{RootCount: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ps, cat, imdb.LookupWorkload()
+}
+
+func BenchmarkTranslate(b *testing.B) {
+	ps, cat, wl := trackFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, en := range wl.Entries {
+			if _, err := xquery.Translate(en.Query, ps, cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTranslateDeps(b *testing.B) {
+	ps, cat, wl := trackFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, en := range wl.Entries {
+			if _, _, err := xquery.TranslateDeps(en.Query, ps, cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

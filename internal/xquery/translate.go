@@ -96,11 +96,14 @@ type translator struct {
 	// deps records the named types examined during translation (every
 	// schema lookup), in first-lookup order. The list is the
 	// translation's complete read set of the schema: all catalog
-	// accesses use type names that went through lookup first. Dedup is a
-	// linear scan — the list stays small and lookups mostly repeat the
-	// most recent names, which string equality rejects by pointer.
-	deps  []string
-	track bool
+	// accesses use type names that went through lookup first. depSeen
+	// mirrors deps as a set so each lookup dedups in O(1) — lookups are
+	// far more frequent than distinct names, and the incremental
+	// evaluator calls TranslateDeps on every cache miss, so per-lookup
+	// cost is on the search hot path.
+	deps    []string
+	depSeen map[string]struct{}
+	track   bool
 }
 
 // nextAlias returns the alias for the next FROM entry of a block. The
@@ -116,14 +119,11 @@ func nextAlias(b *sqlast.Block) string {
 // lookup resolves a named type, recording it as a dependency.
 func (tr *translator) lookup(name string) (xschema.Type, bool) {
 	if tr.track {
-		seen := false
-		for _, d := range tr.deps {
-			if d == name {
-				seen = true
-				break
+		if _, seen := tr.depSeen[name]; !seen {
+			if tr.depSeen == nil {
+				tr.depSeen = make(map[string]struct{}, 8)
 			}
-		}
-		if !seen {
+			tr.depSeen[name] = struct{}{}
 			tr.deps = append(tr.deps, name)
 		}
 	}

@@ -3,9 +3,8 @@ package xschema
 import (
 	"encoding/binary"
 	"encoding/hex"
-	"hash/fnv"
-	"io"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -67,9 +66,8 @@ func (s *Schema) Fingerprint() Fingerprint {
 	for i, n := range order {
 		canon[n] = i
 	}
-	h := fnv.New128a()
 	var w hashWriter
-	w.w = h
+	w.h = newFNV128()
 	for _, name := range order {
 		w.byte('T')
 		if t, ok := s.Types[name]; ok {
@@ -80,9 +78,7 @@ func (s *Schema) Fingerprint() Fingerprint {
 			w.str(name)
 		}
 	}
-	var fp Fingerprint
-	h.Sum(fp[:0])
-	return fp
+	return w.h.sum()
 }
 
 // TypeDigests returns a shallow digest for every defined type: the hash
@@ -97,7 +93,14 @@ func (s *Schema) Fingerprint() Fingerprint {
 // examines the root type, so any rewrite anywhere would invalidate
 // everything.)
 func (s *Schema) TypeDigests() map[string]Fingerprint {
-	out := make(map[string]Fingerprint, len(s.Types))
+	return s.TypeDigestsInto(make(map[string]Fingerprint, len(s.Types)))
+}
+
+// TypeDigestsInto is TypeDigests writing into a caller-provided map
+// (cleared first), so per-candidate evaluation loops can recycle one
+// map instead of allocating a fresh one per evaluation.
+func (s *Schema) TypeDigestsInto(out map[string]Fingerprint) map[string]Fingerprint {
+	clear(out)
 	for name, t := range s.Types {
 		out[name] = typeDigest(t)
 	}
@@ -106,14 +109,11 @@ func (s *Schema) TypeDigests() map[string]Fingerprint {
 
 // typeDigest hashes one definition body shallowly (Refs by name).
 func typeDigest(t Type) Fingerprint {
-	h := fnv.New128a()
 	var w hashWriter
-	w.w = h
+	w.h = newFNV128()
 	// A nil canon map sends every Ref through the by-name ('U') encoding.
 	w.hashType(t, nil)
-	var fp Fingerprint
-	h.Sum(fp[:0])
-	return fp
+	return w.h.sum()
 }
 
 // NamedDigest is the name-sensitive counterpart of Fingerprint: it
@@ -124,9 +124,8 @@ func typeDigest(t Type) Fingerprint {
 // It keys the evaluator's materialized-configuration cache, where the
 // cached catalog's table names must match the requesting schema exactly.
 func (s *Schema) NamedDigest() Fingerprint {
-	h := fnv.New128a()
 	var w hashWriter
-	w.w = h
+	w.h = newFNV128()
 	w.str(s.Root)
 	for _, name := range s.Names {
 		w.byte('T')
@@ -137,42 +136,102 @@ func (s *Schema) NamedDigest() Fingerprint {
 			w.byte('?')
 		}
 	}
+	return w.h.sum()
+}
+
+// fnv128 is an inline FNV-128a state, byte-compatible with the stdlib
+// hash/fnv.New128a but a plain value: no hash.Hash interface, no
+// io.Writer indirection, so hashing a schema allocates nothing beyond
+// the result. Fingerprinting runs once per candidate configuration in
+// the search inner loop, which is why it is hand-rolled here.
+type fnv128 struct{ hi, lo uint64 }
+
+const (
+	fnvOffset128Hi   = 0x6c62272e07bb0142
+	fnvOffset128Lo   = 0x62b821756295c58d
+	fnvPrime128Lo    = 0x13b
+	fnvPrime128Shift = 24
+)
+
+func newFNV128() fnv128 { return fnv128{hi: fnvOffset128Hi, lo: fnvOffset128Lo} }
+
+func (h *fnv128) byte(c byte) {
+	h.lo ^= uint64(c)
+	s0, s1 := bits.Mul64(fnvPrime128Lo, h.lo)
+	s0 += h.lo<<fnvPrime128Shift + fnvPrime128Lo*h.hi
+	h.lo, h.hi = s1, s0
+}
+
+func (h *fnv128) bytes(p []byte) {
+	for _, c := range p {
+		h.byte(c)
+	}
+}
+
+func (h *fnv128) string(s string) {
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+// sum renders the state big-endian, matching fnv.New128a().Sum(nil).
+func (h *fnv128) sum() Fingerprint {
 	var fp Fingerprint
-	h.Sum(fp[:0])
+	binary.BigEndian.PutUint64(fp[:8], h.hi)
+	binary.BigEndian.PutUint64(fp[8:], h.lo)
 	return fp
 }
+
+// Hash128 exposes the allocation-free FNV-128a state to sibling
+// packages that derive Fingerprint-compatible keys (e.g. the
+// evaluator's name-sensitive configuration key) without going through
+// hash.Hash and its heap-escaping io.Writer path. The zero value is
+// not ready; start with NewHash128.
+type Hash128 struct{ h fnv128 }
+
+// NewHash128 returns a fresh FNV-128a state.
+func NewHash128() Hash128 { return Hash128{h: newFNV128()} }
+
+// Byte folds one byte into the state.
+func (h *Hash128) Byte(c byte) { h.h.byte(c) }
+
+// Bytes folds a byte slice into the state.
+func (h *Hash128) Bytes(p []byte) { h.h.bytes(p) }
+
+// Str folds a string into the state without converting it to bytes.
+func (h *Hash128) Str(s string) { h.h.string(s) }
+
+// Sum returns the current state as a Fingerprint.
+func (h *Hash128) Sum() Fingerprint { return h.h.sum() }
 
 // hashWriter serializes type trees into a hash state with an unambiguous
 // tagged encoding (every node writes a kind byte, every variable-length
 // field a length prefix).
 type hashWriter struct {
-	w   io.Writer
+	h   fnv128
 	buf [binary.MaxVarintLen64]byte
 }
 
-func (w *hashWriter) byte(b byte) {
-	w.buf[0] = b
-	w.w.Write(w.buf[:1])
-}
+func (w *hashWriter) byte(b byte) { w.h.byte(b) }
 
 func (w *hashWriter) uvarint(v uint64) {
 	n := binary.PutUvarint(w.buf[:], v)
-	w.w.Write(w.buf[:n])
+	w.h.bytes(w.buf[:n])
 }
 
 func (w *hashWriter) varint(v int64) {
 	n := binary.PutVarint(w.buf[:], v)
-	w.w.Write(w.buf[:n])
+	w.h.bytes(w.buf[:n])
 }
 
 func (w *hashWriter) float(v float64) {
 	binary.LittleEndian.PutUint64(w.buf[:8], math.Float64bits(v))
-	w.w.Write(w.buf[:8])
+	w.h.bytes(w.buf[:8])
 }
 
 func (w *hashWriter) str(s string) {
 	w.uvarint(uint64(len(s)))
-	io.WriteString(w.w, s)
+	w.h.string(s)
 }
 
 func (w *hashWriter) hashType(t Type, canon map[string]int) {
@@ -198,8 +257,11 @@ func (w *hashWriter) hashType(t Type, canon map[string]int) {
 		w.hashType(t.Content, canon)
 	case *Wildcard:
 		w.byte('W')
-		excl := append([]string(nil), t.Exclude...)
-		sort.Strings(excl)
+		excl := t.Exclude
+		if !sort.StringsAreSorted(excl) {
+			excl = append([]string(nil), excl...)
+			sort.Strings(excl)
+		}
 		w.uvarint(uint64(len(excl)))
 		for _, e := range excl {
 			w.str(e)
@@ -209,8 +271,13 @@ func (w *hashWriter) hashType(t Type, canon map[string]int) {
 		// Sequence composition is associative — (a, (b, c)) has the same
 		// content model, printing and relational mapping as (a, b, c) — so
 		// nested sequences are flattened and singletons unwrapped before
-		// hashing.
-		flat := flattenSeqItems(t.Items, nil)
+		// hashing. The flattening copy is only paid when an item really is
+		// a nested sequence: hashing runs once per candidate per type in
+		// the search inner loop, and the common case is already flat.
+		flat := t.Items
+		if hasNestedSeq(flat) {
+			flat = flattenSeqItems(flat, nil)
+		}
 		if len(flat) == 1 {
 			w.hashType(flat[0], canon)
 			return
@@ -284,6 +351,17 @@ func Equivalent(a, b *Schema) bool {
 		}
 	}
 	return true
+}
+
+// hasNestedSeq reports whether any item is itself a sequence (the only
+// case flattening changes anything).
+func hasNestedSeq(items []Type) bool {
+	for _, it := range items {
+		if _, ok := it.(*Sequence); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // flattenSeqItems appends items to out, expanding nested sequences.
