@@ -3,9 +3,13 @@
 // writes the metrics as JSON (ns/op, evals/op, translations/op,
 // per-query cache hit rate, cost-cache traffic, and the logical-plan
 // layer's block-sharing ratio: SPJ block costings requested by translated
-// queries versus actually run by the optimizer). CI archives the output
-// as a non-gating artifact so regressions in translations/op or the
-// sharing ratio are visible across commits.
+// queries versus actually run by the optimizer). The engine-exec rows
+// measure the relational executor itself: three IMDB query shapes under
+// the vectorized batch executor versus the reference row-at-a-time path,
+// with rows/sec and engine_exec_<shape>_speedup summary keys. CI
+// archives the output as a non-gating artifact so regressions in
+// translations/op, the sharing ratio or the executor speedups are
+// visible across commits.
 //
 // Usage:
 //
@@ -20,14 +24,20 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"legodb/internal/core"
+	"legodb/internal/engine"
 	"legodb/internal/faults"
 	"legodb/internal/imdb"
+	"legodb/internal/pschema"
+	"legodb/internal/relational"
+	"legodb/internal/shred"
 	"legodb/internal/xquery"
+	"legodb/internal/xstats"
 )
 
 // metrics aggregates one scenario's counters across its searches.
@@ -95,6 +105,11 @@ type scenarioResult struct {
 	// engine's search — how much of a tenant's search the registry
 	// answered from what the fleet already paid (fleet scenario only).
 	RegistryHitRatio float64 `json:"registry_hit_ratio"`
+	// Mode is the executor implementation of an engine-exec row ("batch"
+	// or "rows"); empty for the search scenarios.
+	Mode string `json:"mode,omitempty"`
+	// RowsPerSec is the engine-exec scenario's result-row throughput.
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
 }
 
 type report struct {
@@ -256,6 +271,96 @@ func scenarios() []scenario {
 	}
 }
 
+// runEngineExec measures the relational executor itself rather than the
+// search: three translated IMDB query shapes — a year-filter lookup
+// (Q3), the full publish scan (Q16) and the hash-join-heavy 4-way join
+// (Q12) — run against an all-inlined IMDB database under both the
+// vectorized batch executor and the reference row-at-a-time path. Each
+// (shape, mode) pair becomes one engine-exec-<shape> row with rows/sec
+// throughput, and the summary gains engine_exec_<shape>_speedup keys
+// (batch throughput over row-at-a-time).
+func runEngineExec(ctx context.Context, runs int, rep *report) error {
+	const shows = 400
+	doc := imdb.Generate(imdb.GenOptions{Shows: shows, Seed: 17})
+	s := imdb.Schema()
+	if err := xstats.Annotate(s, xstats.Collect(doc)); err != nil {
+		return err
+	}
+	ps, err := pschema.AllInlined(s)
+	if err != nil {
+		return err
+	}
+	cat, err := relational.Map(ps)
+	if err != nil {
+		return err
+	}
+	db := engine.NewDatabase(cat)
+	if err := shred.New(ps, cat, db).Shred(doc); err != nil {
+		return err
+	}
+	year, err := strconv.ParseInt(doc.Path("show", "year")[0].Text, 10, 64)
+	if err != nil {
+		return err
+	}
+
+	shapes := []struct {
+		name, query string
+		params      engine.Params
+		// iters executions of the query form one op, sized so each op is
+		// long enough to time while the slow reference mode stays sane.
+		iters int
+	}{
+		{"lookup", "Q3", engine.Params{"c1": engine.IntVal(year)}, 40},
+		{"publish", "Q16", nil, 10},
+		{"join", "Q12", nil, 2},
+	}
+	for _, sh := range shapes {
+		sq, err := xquery.Translate(imdb.Query(sh.query), ps, cat)
+		if err != nil {
+			return fmt.Errorf("%s (%s): %v", sh.name, sh.query, err)
+		}
+		nsByMode := map[string]float64{}
+		for _, mode := range []struct {
+			name string
+			opts engine.Options
+		}{{"batch", engine.Options{}}, {"rows", engine.Options{RowAtATime: true}}} {
+			db.Exec = mode.opts
+			var elapsed time.Duration
+			outRows := 0
+			for r := 0; r < runs; r++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				start := time.Now()
+				for i := 0; i < sh.iters; i++ {
+					rs, err := db.Execute(sq, sh.params)
+					if err != nil {
+						return fmt.Errorf("%s/%s: %v", sh.name, mode.name, err)
+					}
+					outRows = len(rs.Rows)
+				}
+				elapsed += time.Since(start)
+			}
+			res := scenarioResult{
+				Name:    "engine-exec-" + sh.name,
+				Mode:    mode.name,
+				Runs:    runs,
+				NsPerOp: float64(elapsed.Nanoseconds()) / float64(runs),
+			}
+			if res.NsPerOp > 0 {
+				res.OpsPerSec = 1e9 / res.NsPerOp
+				res.RowsPerSec = float64(outRows*sh.iters) / (res.NsPerOp / 1e9)
+			}
+			nsByMode[mode.name] = res.NsPerOp
+			rep.Scenarios = append(rep.Scenarios, res)
+		}
+		if nsByMode["batch"] > 0 {
+			rep.Summary["engine_exec_"+sh.name+"_speedup"] = nsByMode["rows"] / nsByMode["batch"]
+		}
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_search.json", "output file ('-' for stdout)")
 	runs := flag.Int("runs", 3, "runs per scenario (metrics are averaged)")
@@ -347,6 +452,12 @@ func main() {
 			}
 		}
 	}
+	if *only == "" || *only == "engine-exec" {
+		if err := runEngineExec(ctx, *runs, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: engine-exec: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	var fullT, incT float64
 	for name, pair := range perOp {
 		full, inc := pair[false], pair[true]
@@ -399,6 +510,11 @@ func main() {
 		os.Exit(1)
 	}
 	for _, sc := range rep.Scenarios {
+		if sc.Mode != "" {
+			fmt.Printf("%-20s mode=%-5s %10.2fms/op %12.0f rows/sec\n",
+				sc.Name, sc.Mode, sc.NsPerOp/1e6, sc.RowsPerSec)
+			continue
+		}
 		if sc.Workers > 0 {
 			fmt.Printf("%-13s workers=%-2d %13.1fms/op %8.3f ops/sec\n",
 				sc.Name, sc.Workers, sc.NsPerOp/1e6, sc.OpsPerSec)

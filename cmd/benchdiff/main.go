@@ -21,6 +21,7 @@ type row struct {
 	Name              string  `json:"name"`
 	Incremental       bool    `json:"incremental"`
 	Workers           int     `json:"workers"`
+	Mode              string  `json:"mode"`
 	NsPerOp           float64 `json:"ns_per_op"`
 	OpsPerSec         float64 `json:"ops_per_sec"`
 	TranslationsPerOp float64 `json:"translations_per_op"`
@@ -44,8 +45,12 @@ func load(path string) (*report, error) {
 	return &r, nil
 }
 
-// key identifies a scenario row across reports.
+// key identifies a scenario row across reports. Engine-exec rows carry
+// an executor mode instead of the incremental/workers axes.
 func key(r row) string {
+	if r.Mode != "" {
+		return fmt.Sprintf("%s/mode=%s", r.Name, r.Mode)
+	}
 	return fmt.Sprintf("%s/inc=%v/w=%d", r.Name, r.Incremental, r.Workers)
 }
 

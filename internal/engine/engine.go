@@ -158,7 +158,10 @@ func (t *Table) Insert(r Row) error {
 }
 
 // Lookup returns the positions of live rows whose column equals v, using
-// the index when available (second result true) and nil otherwise.
+// the index when available (second result true) and nil otherwise. The
+// returned slice aliases the index when no listed position is dead —
+// the hot case on probe-heavy plans — so callers must not mutate it; a
+// fresh slice is allocated only when tombstones actually filter.
 func (t *Table) Lookup(col string, v Value) ([]int, bool) {
 	idx, ok := t.indexes[col]
 	if !ok {
@@ -168,7 +171,16 @@ func (t *Table) Lookup(col string, v Value) ([]int, bool) {
 	if len(t.dead) == 0 {
 		return positions, true
 	}
-	live := make([]int, 0, len(positions))
+	dead := 0
+	for _, p := range positions {
+		if t.dead[p] {
+			dead++
+		}
+	}
+	if dead == 0 {
+		return positions, true
+	}
+	live := make([]int, 0, len(positions)-dead)
 	for _, p := range positions {
 		if !t.dead[p] {
 			live = append(live, p)
@@ -213,12 +225,26 @@ func (c *Counters) Add(other Counters) {
 	c.TuplesOut += other.TuplesOut
 }
 
+// Options selects the executor implementation. The zero value runs the
+// vectorized batch executor (columnar position vectors flowing through
+// scan/filter/join/project operators in chunks of BatchSize rows).
+type Options struct {
+	// RowAtATime runs the original per-tuple iterator over binding maps
+	// instead — kept as the reference implementation for differential
+	// tests and as the baseline the batch executor's speedup is measured
+	// against. Both executors run the same physical plan and maintain
+	// identical Counters.
+	RowAtATime bool
+}
+
 // Database is a set of tables instantiating one relational catalog.
 type Database struct {
 	Cat    *relational.Catalog
 	Tables map[string]*Table
 	// Stats counts work done by Execute calls.
 	Stats Counters
+	// Exec selects the executor implementation for Execute/ExecuteBlock.
+	Exec Options
 }
 
 // NewDatabase creates empty tables for every relation in the catalog.

@@ -11,8 +11,8 @@ import (
 type Params map[string]Value
 
 // ResultSet is the output of executing a query: the union of its blocks'
-// rows (columns follow the widest block; callers mostly count rows and
-// bytes).
+// rows. Columns follow the widest block; rows from narrower blocks are
+// padded with NULL so every row has len(Columns) cells.
 type ResultSet struct {
 	Columns []string
 	Rows    []Row
@@ -32,291 +32,241 @@ func (db *Database) Execute(q *sqlast.Query, params Params) (*ResultSet, error) 
 		}
 		out.Rows = append(out.Rows, rs.Rows...)
 	}
+	// Union blocks can differ in width (a publishing query's outer-union
+	// skeleton); pad narrower blocks' rows with NULL so every row matches
+	// the widest block's column list.
+	for i, r := range out.Rows {
+		for len(r) < len(out.Columns) {
+			r = append(r, Null)
+		}
+		out.Rows[i] = r
+	}
 	db.Stats.TuplesOut += int64(len(out.Rows))
 	return out, nil
 }
 
-// binding is one intermediate tuple: row positions per bound alias.
-type binding map[string]int
-
 // ExecuteBlock runs one SPJ block: filtered scan of a start relation,
 // then index-nested-loop or hash joins along the join graph, then
-// projection.
+// projection. The physical plan (join order, join algorithm per edge,
+// cross-filter schedule) is derived once by planBlock and shared by both
+// executor implementations, so the batch and row-at-a-time paths do the
+// same logical work and report identical Counters.
 func (db *Database) ExecuteBlock(b *sqlast.Block, params Params) (*ResultSet, error) {
+	p, err := db.planBlock(b)
+	if err != nil {
+		return nil, err
+	}
+	if db.Exec.RowAtATime {
+		return db.executeBlockRows(p, params)
+	}
+	return db.executeBlockBatch(p, params)
+}
+
+// stepKind discriminates how a plan step binds its alias.
+type stepKind int
+
+const (
+	// stepINL probes the new relation's key index once per intermediate
+	// tuple (index nested-loop join).
+	stepINL stepKind = iota
+	// stepHash scans and builds the new relation into a hash table keyed
+	// on the join column, then probes it with the intermediate tuples.
+	stepHash
+	// stepCartesian crosses the intermediate tuples with a filtered scan
+	// of a disconnected relation.
+	stepCartesian
+)
+
+// planStep binds one more alias into the intermediate result.
+type planStep struct {
+	kind  stepKind
+	alias string
+	// filters are the constant (and same-alias) filters on alias, applied
+	// while scanning or probing it.
+	filters []sqlast.Filter
+	// Join edge (stepINL / stepHash): alias.newCol = oldAlias.oldCol with
+	// oldAlias already bound.
+	newCol   string
+	oldAlias string
+	oldCol   string
+	// cross lists the cross filters that first become applicable (both
+	// aliases bound) after this step. Equality cross filters that the
+	// planner consumed as join edges are enforced by the join itself and
+	// are not listed; the rest — including equality filters whose aliases
+	// both became bound through other edges — are applied here exactly
+	// once.
+	cross []sqlast.Filter
+}
+
+// blockPlan is the shared physical plan of one SPJ block.
+type blockPlan struct {
+	tables map[string]*Table
+	// order lists aliases in FROM order; slot maps an alias to its
+	// position (the batch executor's column index for that alias).
+	order []string
+	slot  map[string]int
+	start string
+	// startFilters are the constant filters on the start alias.
+	startFilters []sqlast.Filter
+	steps        []planStep
+	projs        []sqlast.ColumnRef
+}
+
+// planBlock derives the physical plan: the start relation (prefer one
+// with constant filters), the deterministic join order (declared joins
+// first, then equality cross filters, first applicable edge wins — the
+// same order the seed executor produced), the join algorithm per edge
+// (INL through a key index, hash otherwise), cartesian fallbacks for
+// disconnected aliases, and the cross-filter schedule. Join order never
+// depends on the data, only on the block and the catalog, so it can be
+// fixed before execution.
+func (db *Database) planBlock(b *sqlast.Block) (*blockPlan, error) {
 	if len(b.Tables) == 0 {
 		return nil, fmt.Errorf("block has no tables")
 	}
-	tables := make(map[string]*Table, len(b.Tables))
-	order := make([]string, 0, len(b.Tables))
+	p := &blockPlan{
+		tables: make(map[string]*Table, len(b.Tables)),
+		slot:   make(map[string]int, len(b.Tables)),
+	}
 	for _, tref := range b.Tables {
 		t := db.Table(tref.Table)
 		if t == nil {
 			return nil, fmt.Errorf("unknown table %q", tref.Table)
 		}
-		tables[tref.Alias] = t
-		order = append(order, tref.Alias)
+		if _, dup := p.tables[tref.Alias]; !dup {
+			p.slot[tref.Alias] = len(p.order)
+			p.order = append(p.order, tref.Alias)
+		}
+		p.tables[tref.Alias] = t
 	}
 
 	constFilters := make(map[string][]sqlast.Filter)
-	var crossFilters []sqlast.Filter
+	var cross []sqlast.Filter
 	for _, f := range b.Filters {
 		if f.RightCol != nil && f.RightCol.Alias != f.Col.Alias {
-			crossFilters = append(crossFilters, f)
+			cross = append(cross, f)
 			continue
 		}
 		constFilters[f.Col.Alias] = append(constFilters[f.Col.Alias], f)
 	}
 
-	// Choose the start alias: prefer one with constant filters.
-	start := order[0]
-	for _, a := range order {
+	p.start = p.order[0]
+	for _, a := range p.order {
 		if len(constFilters[a]) > 0 {
-			start = a
+			p.start = a
 			break
 		}
 	}
-	current, err := db.scanFiltered(tables[start], start, constFilters[start], params)
-	if err != nil {
-		return nil, err
-	}
-	bound := map[string]bool{start: true}
+	p.startFilters = constFilters[p.start]
 
-	type edge struct {
-		newAlias, newCol, oldAlias, oldCol string
-	}
-	pendingEdges := func() []edge {
-		var out []edge
-		for _, j := range b.Joins {
-			switch {
-			case bound[j.Left.Alias] && !bound[j.Right.Alias]:
-				out = append(out, edge{j.Right.Alias, j.Right.Column, j.Left.Alias, j.Left.Column})
-			case bound[j.Right.Alias] && !bound[j.Left.Alias]:
-				out = append(out, edge{j.Left.Alias, j.Left.Column, j.Right.Alias, j.Right.Column})
-			}
-		}
-		for _, f := range crossFilters {
-			if f.Op != sqlast.OpEq {
+	bound := map[string]bool{p.start: true}
+	eqUsed := make([]bool, len(cross))
+	crossDone := make([]bool, len(cross))
+	// schedule returns the cross filters that just became applicable:
+	// both aliases bound, not yet scheduled, and not consumed as a join
+	// edge. Each filter is applied exactly once, at the earliest step
+	// where it can be evaluated.
+	schedule := func() []sqlast.Filter {
+		var out []sqlast.Filter
+		for i, f := range cross {
+			if crossDone[i] || eqUsed[i] {
 				continue
 			}
-			switch {
-			case bound[f.Col.Alias] && !bound[f.RightCol.Alias]:
-				out = append(out, edge{f.RightCol.Alias, f.RightCol.Column, f.Col.Alias, f.Col.Column})
-			case bound[f.RightCol.Alias] && !bound[f.Col.Alias]:
-				out = append(out, edge{f.Col.Alias, f.Col.Column, f.RightCol.Alias, f.RightCol.Column})
+			if bound[f.Col.Alias] && bound[f.RightCol.Alias] {
+				crossDone[i] = true
+				out = append(out, f)
 			}
 		}
 		return out
 	}
 
-	for len(bound) < len(order) {
-		edges := pendingEdges()
-		if len(edges) == 0 {
+	for len(bound) < len(p.order) {
+		st, crossIdx, found := nextEdge(b, cross, bound)
+		if !found {
 			// Disconnected: cartesian with the next unbound alias.
-			next := ""
-			for _, a := range order {
+			for _, a := range p.order {
 				if !bound[a] {
-					next = a
+					st = planStep{kind: stepCartesian, alias: a}
 					break
 				}
 			}
-			rows, err := db.scanFiltered(tables[next], next, constFilters[next], params)
-			if err != nil {
-				return nil, err
+		} else if crossIdx >= 0 {
+			// This equality cross filter is enforced by the join edge; it
+			// must not be re-applied as a filter.
+			eqUsed[crossIdx] = true
+		}
+		st.filters = constFilters[st.alias]
+		if st.kind != stepCartesian {
+			newTable := p.tables[st.alias]
+			// Index nested-loop only through the new relation's key,
+			// mirroring the optimizer's physical assumptions (FK hash
+			// indexes exist for the publisher, but query plans join FK
+			// edges with hash joins).
+			_, hasIndex := newTable.indexes[st.newCol]
+			keyCol := newTable.Def.Column(st.newCol)
+			if hasIndex && keyCol != nil && keyCol.Key {
+				st.kind = stepINL
+			} else {
+				st.kind = stepHash
 			}
-			var merged []binding
-			for _, l := range current {
-				for _, r := range rows {
-					m := cloneBinding(l)
-					m[next] = r[next]
-					merged = append(merged, m)
-				}
-			}
-			current = merged
-			bound[next] = true
-			current, err = db.applyCrossFilters(current, tables, crossFilters, bound)
-			if err != nil {
-				return nil, err
-			}
+		}
+		bound[st.alias] = true
+		st.cross = schedule()
+		p.steps = append(p.steps, st)
+	}
+
+	p.projs = b.Projects
+	if len(p.projs) == 0 {
+		p.projs = []sqlast.ColumnRef{{Alias: p.order[0], Column: p.tables[p.order[0]].Def.Key()}}
+	}
+	return p, nil
+}
+
+// nextEdge picks the next join edge: declared joins in order, then
+// equality cross filters in order, the first with exactly one side
+// bound. crossIdx reports which cross filter supplied the edge (-1 for
+// declared joins).
+func nextEdge(b *sqlast.Block, cross []sqlast.Filter, bound map[string]bool) (st planStep, crossIdx int, found bool) {
+	for _, j := range b.Joins {
+		switch {
+		case bound[j.Left.Alias] && !bound[j.Right.Alias]:
+			return planStep{alias: j.Right.Alias, newCol: j.Right.Column,
+				oldAlias: j.Left.Alias, oldCol: j.Left.Column}, -1, true
+		case bound[j.Right.Alias] && !bound[j.Left.Alias]:
+			return planStep{alias: j.Left.Alias, newCol: j.Left.Column,
+				oldAlias: j.Right.Alias, oldCol: j.Right.Column}, -1, true
+		}
+	}
+	for i, f := range cross {
+		if f.Op != sqlast.OpEq {
 			continue
 		}
-		e := edges[0]
-		newTable := tables[e.newAlias]
-		newColIdx := newTable.ColumnIndex(e.newCol)
-		if newColIdx < 0 {
-			return nil, fmt.Errorf("no column %s.%s", e.newAlias, e.newCol)
-		}
-		oldTable := tables[e.oldAlias]
-		oldColIdx := oldTable.ColumnIndex(e.oldCol)
-		if oldColIdx < 0 {
-			return nil, fmt.Errorf("no column %s.%s", e.oldAlias, e.oldCol)
-		}
-		filters := constFilters[e.newAlias]
-
-		_, hasIndex := newTable.indexes[e.newCol]
-		keyCol := newTable.Def.Column(e.newCol)
-		useINL := hasIndex && keyCol != nil && keyCol.Key
-		var joined []binding
-		if useINL {
-			// Index nested-loop join: only through the new relation's
-			// key, mirroring the optimizer's physical assumptions (FK
-			// hash indexes exist for the publisher, but query plans join
-			// FK edges with hash joins).
-			width := newTable.Def.RowBytes()
-			for _, l := range current {
-				v := oldTable.Rows[l[e.oldAlias]][oldColIdx]
-				positions, _ := newTable.Lookup(e.newCol, v)
-				db.Stats.Probes++
-				for _, pos := range positions {
-					db.Stats.TuplesRead++
-					db.Stats.BytesRead += width
-					row := newTable.Rows[pos]
-					if ok, err := db.passes(row, newTable, filters, params); err != nil {
-						return nil, err
-					} else if !ok {
-						continue
-					}
-					m := cloneBinding(l)
-					m[e.newAlias] = pos
-					joined = append(joined, m)
-				}
-			}
-		} else {
-			// Hash join: scan + build the new relation, probe current.
-			rows, err := db.scanFiltered(newTable, e.newAlias, filters, params)
-			if err != nil {
-				return nil, err
-			}
-			hash := make(map[Value][]int, len(rows))
-			for _, r := range rows {
-				pos := r[e.newAlias]
-				v := newTable.Rows[pos][newColIdx]
-				hash[v] = append(hash[v], pos)
-			}
-			for _, l := range current {
-				v := oldTable.Rows[l[e.oldAlias]][oldColIdx]
-				for _, pos := range hash[v] {
-					m := cloneBinding(l)
-					m[e.newAlias] = pos
-					joined = append(joined, m)
-				}
-			}
-		}
-		current = joined
-		bound[e.newAlias] = true
-
-		// Apply any cross filters whose aliases are now both bound (the
-		// equality ones already acted as join edges; apply the rest).
-		current, err = db.applyCrossFilters(current, tables, crossFilters, bound)
-		if err != nil {
-			return nil, err
+		switch {
+		case bound[f.Col.Alias] && !bound[f.RightCol.Alias]:
+			return planStep{alias: f.RightCol.Alias, newCol: f.RightCol.Column,
+				oldAlias: f.Col.Alias, oldCol: f.Col.Column}, i, true
+		case bound[f.RightCol.Alias] && !bound[f.Col.Alias]:
+			return planStep{alias: f.Col.Alias, newCol: f.Col.Column,
+				oldAlias: f.RightCol.Alias, oldCol: f.RightCol.Column}, i, true
 		}
 	}
-
-	// Projection.
-	rs := &ResultSet{}
-	projs := b.Projects
-	if len(projs) == 0 {
-		projs = []sqlast.ColumnRef{{Alias: order[0], Column: tables[order[0]].Def.Key()}}
-	}
-	for _, p := range projs {
-		rs.Columns = append(rs.Columns, p.Alias+"."+p.Column)
-	}
-	for _, l := range current {
-		row := make(Row, len(projs))
-		for i, p := range projs {
-			t := tables[p.Alias]
-			ci := t.ColumnIndex(p.Column)
-			if ci < 0 {
-				return nil, fmt.Errorf("no column %s.%s", p.Alias, p.Column)
-			}
-			row[i] = t.Rows[l[p.Alias]][ci]
-		}
-		rs.Rows = append(rs.Rows, row)
-	}
-	return rs, nil
+	return planStep{}, -1, false
 }
 
-// scanFiltered scans a table, applying constant filters, and returns one
-// binding per passing row.
-func (db *Database) scanFiltered(t *Table, alias string, filters []sqlast.Filter, params Params) ([]binding, error) {
-	db.Stats.Scans++
-	db.Stats.TuplesRead += int64(len(t.Rows))
-	db.Stats.BytesRead += float64(len(t.Rows)) * t.Def.RowBytes()
-	var out []binding
-	for pos, row := range t.Rows {
-		if !t.Alive(pos) {
-			continue
-		}
-		ok, err := db.passes(row, t, filters, params)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, binding{alias: pos})
-		}
+// resolveJoinCols resolves a join step's column indices, with the new
+// side checked first (matching the reference executor's error order).
+func (p *blockPlan) resolveJoinCols(st *planStep) (newCi, oldCi int, err error) {
+	newTable := p.tables[st.alias]
+	newCi = newTable.ColumnIndex(st.newCol)
+	if newCi < 0 {
+		return 0, 0, fmt.Errorf("no column %s.%s", st.alias, st.newCol)
 	}
-	return out, nil
-}
-
-// passes evaluates constant (and same-alias) filters on one row.
-func (db *Database) passes(row Row, t *Table, filters []sqlast.Filter, params Params) (bool, error) {
-	for _, f := range filters {
-		li := t.ColumnIndex(f.Col.Column)
-		if li < 0 {
-			return false, fmt.Errorf("no column %s", f.Col.Column)
-		}
-		left := row[li]
-		var right Value
-		if f.RightCol != nil {
-			ri := t.ColumnIndex(f.RightCol.Column)
-			if ri < 0 {
-				return false, fmt.Errorf("no column %s", f.RightCol.Column)
-			}
-			right = row[ri]
-		} else {
-			var err error
-			right, err = literalValue(f.Value, params)
-			if err != nil {
-				return false, err
-			}
-		}
-		if !satisfies(left, f.Op, right) {
-			return false, nil
-		}
+	oldTable := p.tables[st.oldAlias]
+	oldCi = oldTable.ColumnIndex(st.oldCol)
+	if oldCi < 0 {
+		return 0, 0, fmt.Errorf("no column %s.%s", st.oldAlias, st.oldCol)
 	}
-	return true, nil
-}
-
-func (db *Database) applyCrossFilters(current []binding, tables map[string]*Table, crossFilters []sqlast.Filter, bound map[string]bool) ([]binding, error) {
-	for _, f := range crossFilters {
-		if f.Op == sqlast.OpEq {
-			continue // equality cross filters served as join edges
-		}
-		if !bound[f.Col.Alias] || !bound[f.RightCol.Alias] {
-			continue
-		}
-		lt, rt := tables[f.Col.Alias], tables[f.RightCol.Alias]
-		li, ri := lt.ColumnIndex(f.Col.Column), rt.ColumnIndex(f.RightCol.Column)
-		if li < 0 || ri < 0 {
-			return nil, fmt.Errorf("bad cross filter %s", f)
-		}
-		var kept []binding
-		for _, b := range current {
-			if satisfies(lt.Rows[b[f.Col.Alias]][li], f.Op, rt.Rows[b[f.RightCol.Alias]][ri]) {
-				kept = append(kept, b)
-			}
-		}
-		current = kept
-	}
-	return current, nil
-}
-
-func cloneBinding(b binding) binding {
-	m := make(binding, len(b)+1)
-	for k, v := range b {
-		m[k] = v
-	}
-	return m
+	return newCi, oldCi, nil
 }
 
 func literalValue(l sqlast.Literal, params Params) (Value, error) {
@@ -331,6 +281,26 @@ func literalValue(l sqlast.Literal, params Params) (Value, error) {
 		return IntVal(l.Int), nil
 	}
 	return StrVal(l.Str), nil
+}
+
+// opHolds evaluates a comparison operator against a Compare result.
+func opHolds(op sqlast.CmpOp, c int) bool {
+	switch op {
+	case sqlast.OpEq:
+		return c == 0
+	case sqlast.OpNe:
+		return c != 0
+	case sqlast.OpLt:
+		return c < 0
+	case sqlast.OpLe:
+		return c <= 0
+	case sqlast.OpGt:
+		return c > 0
+	case sqlast.OpGe:
+		return c >= 0
+	default:
+		return false
+	}
 }
 
 // satisfies evaluates a comparison; NULL never satisfies anything, and
@@ -350,21 +320,61 @@ func satisfies(left Value, op sqlast.CmpOp, right Value) bool {
 			right = StrVal(right.String())
 		}
 	}
-	c := Compare(left, right)
-	switch op {
-	case sqlast.OpEq:
-		return c == 0
-	case sqlast.OpNe:
-		return c != 0
-	case sqlast.OpLt:
-		return c < 0
-	case sqlast.OpLe:
-		return c <= 0
-	case sqlast.OpGt:
-		return c > 0
-	case sqlast.OpGe:
-		return c >= 0
-	default:
-		return false
+	return opHolds(op, Compare(left, right))
+}
+
+// compiledFilter is one constant (or same-alias column-column) filter
+// with its column indices and literal resolved once per block instead of
+// once per row. Resolution errors are deferred: like the per-row
+// reference path, a missing column or unbound parameter only surfaces
+// when at least one row is actually evaluated.
+type compiledFilter struct {
+	op       sqlast.CmpOp
+	colIdx   int
+	rightIdx int // -1: compare against lit
+	lit      Value
+	err      error
+}
+
+func compileFilters(t *Table, filters []sqlast.Filter, params Params) []compiledFilter {
+	if len(filters) == 0 {
+		return nil
 	}
+	out := make([]compiledFilter, len(filters))
+	for i, f := range filters {
+		cf := compiledFilter{op: f.Op, rightIdx: -1}
+		cf.colIdx = t.ColumnIndex(f.Col.Column)
+		if cf.colIdx < 0 {
+			cf.err = fmt.Errorf("no column %s", f.Col.Column)
+		} else if f.RightCol != nil {
+			cf.rightIdx = t.ColumnIndex(f.RightCol.Column)
+			if cf.rightIdx < 0 {
+				cf.err = fmt.Errorf("no column %s", f.RightCol.Column)
+			}
+		} else {
+			cf.lit, cf.err = literalValue(f.Value, params)
+		}
+		out[i] = cf
+	}
+	return out
+}
+
+// passesCompiled evaluates compiled filters on one row (the scalar path
+// used for probed rows, where gathering a vector per probe would cost
+// more than it saves).
+func passesCompiled(row Row, cf []compiledFilter) (bool, error) {
+	for i := range cf {
+		f := &cf[i]
+		if f.err != nil {
+			return false, f.err
+		}
+		right := f.lit
+		if f.rightIdx >= 0 {
+			right = row[f.rightIdx]
+		}
+		if !satisfies(row[f.colIdx], f.op, right) {
+			return false, nil
+		}
+	}
+	return true, nil
 }

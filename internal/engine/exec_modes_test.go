@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"legodb/internal/sqlast"
+)
+
+// bothModes runs a subtest against each executor implementation.
+func bothModes(t *testing.T, f func(t *testing.T, opts Options)) {
+	t.Helper()
+	for _, m := range []struct {
+		name string
+		opts Options
+	}{{"batch", Options{}}, {"rows", Options{RowAtATime: true}}} {
+		t.Run(m.name, func(t *testing.T) { f(t, m.opts) })
+	}
+}
+
+// sortedRowKeys canonicalizes a result set as a sorted multiset of
+// kind-tagged row keys.
+func sortedRowKeys(rs *ResultSet) []string {
+	keys := make([]string, len(rs.Rows))
+	for i, r := range rs.Rows {
+		var b strings.Builder
+		for _, v := range r {
+			switch v.Kind {
+			case NullValue:
+				b.WriteString("|N")
+			case IntValue:
+				fmt.Fprintf(&b, "|i%d", v.Int)
+			default:
+				b.WriteString("|s")
+				b.WriteString(v.Str)
+			}
+		}
+		keys[i] = b.String()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestEqCrossFilterBothAliasesBoundViaJoin is the regression test for
+// the dropped-equality-cross-filter bug: when an eq cross filter's
+// aliases both become bound through another join edge, the filter was
+// skipped entirely ("it served as a join edge" — it never did), so the
+// block returned every joined pair instead of only the equal ones.
+func TestEqCrossFilterBothAliasesBoundViaJoin(t *testing.T) {
+	bothModes(t, func(t *testing.T, opts Options) {
+		db := NewDatabase(twoTableCatalog(t))
+		db.Exec = opts
+		loadAB(t, db)
+		b := &sqlast.Block{}
+		b.AddTable("A", "a")
+		b.AddTable("B", "b")
+		// The declared join binds both aliases (every row has
+		// parent_R = 1, so it joins all pairs)...
+		b.Joins = []sqlast.Join{{
+			Left:  sqlast.ColumnRef{Alias: "a", Column: "parent_R"},
+			Right: sqlast.ColumnRef{Alias: "b", Column: "parent_R"},
+		}}
+		// ...so this eq cross filter is never consumed as a join edge
+		// and must run as a filter. Pre-fix it was dropped, returning
+		// all 9 pairs.
+		right := sqlast.ColumnRef{Alias: "b", Column: "y"}
+		b.Filters = []sqlast.Filter{{
+			Col: sqlast.ColumnRef{Alias: "a", Column: "x"}, Op: sqlast.OpEq, RightCol: &right,
+		}}
+		b.Projects = []sqlast.ColumnRef{
+			{Alias: "a", Column: "x"},
+			{Alias: "b", Column: "y"},
+		}
+		rs, err := db.ExecuteBlock(b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Rows) != 2 { // x∈{2,3} matching y∈{2,3}
+			t.Fatalf("rows = %v, want the 2 equal pairs", rs.Rows)
+		}
+		for _, r := range rs.Rows {
+			if Compare(r[0], r[1]) != 0 {
+				t.Fatalf("unequal pair %v survived the eq cross filter", r)
+			}
+		}
+	})
+}
+
+// TestExecuteUnionPadsShortRows: a union of a 1-column and a 2-column
+// block must pad the narrow block's rows with NULL so every row has
+// len(Columns) cells.
+func TestExecuteUnionPadsShortRows(t *testing.T) {
+	bothModes(t, func(t *testing.T, opts Options) {
+		db := NewDatabase(twoTableCatalog(t))
+		db.Exec = opts
+		loadAB(t, db)
+		narrow := &sqlast.Block{}
+		narrow.AddTable("A", "a")
+		narrow.Projects = []sqlast.ColumnRef{{Alias: "a", Column: "x"}}
+		wide := &sqlast.Block{}
+		wide.AddTable("B", "b")
+		wide.Projects = []sqlast.ColumnRef{
+			{Alias: "b", Column: "B_id"},
+			{Alias: "b", Column: "y"},
+		}
+		rs, err := db.Execute(&sqlast.Query{Blocks: []*sqlast.Block{narrow, wide}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Columns) != 2 || len(rs.Rows) != 6 {
+			t.Fatalf("columns = %v, rows = %d", rs.Columns, len(rs.Rows))
+		}
+		padded := 0
+		for _, r := range rs.Rows {
+			if len(r) != len(rs.Columns) {
+				t.Fatalf("row %v has %d cells, want %d", r, len(r), len(rs.Columns))
+			}
+			if r[1].IsNull() {
+				padded++
+			}
+		}
+		if padded != 3 { // the narrow block's three rows
+			t.Fatalf("padded rows = %d, want 3", padded)
+		}
+	})
+}
+
+// TestModesAgreeOnSmallShapes cross-checks the two executors (results
+// as sorted multisets, identical counter deltas) on the small shapes the
+// unit tests above exercise individually — cartesian products,
+// inequality cross filters, INL and hash joins, tombstoned rows.
+func TestModesAgreeOnSmallShapes(t *testing.T) {
+	type shape struct {
+		name  string
+		block func() *sqlast.Block
+	}
+	right := func(alias, col string) *sqlast.ColumnRef {
+		return &sqlast.ColumnRef{Alias: alias, Column: col}
+	}
+	shapes := []shape{
+		{"cartesian", func() *sqlast.Block {
+			b := &sqlast.Block{}
+			b.AddTable("A", "a")
+			b.AddTable("B", "b")
+			b.Projects = []sqlast.ColumnRef{{Alias: "a", Column: "x"}, {Alias: "b", Column: "y"}}
+			return b
+		}},
+		{"eq-cross-as-join", func() *sqlast.Block {
+			b := &sqlast.Block{}
+			b.AddTable("A", "a")
+			b.AddTable("B", "b")
+			b.Filters = []sqlast.Filter{{
+				Col: sqlast.ColumnRef{Alias: "a", Column: "x"}, Op: sqlast.OpEq, RightCol: right("b", "y"),
+			}}
+			b.Projects = []sqlast.ColumnRef{{Alias: "a", Column: "x"}}
+			return b
+		}},
+		{"lt-cross", func() *sqlast.Block {
+			b := &sqlast.Block{}
+			b.AddTable("A", "a")
+			b.AddTable("B", "b")
+			b.Filters = []sqlast.Filter{{
+				Col: sqlast.ColumnRef{Alias: "a", Column: "x"}, Op: sqlast.OpLt, RightCol: right("b", "y"),
+			}}
+			b.Projects = []sqlast.ColumnRef{{Alias: "a", Column: "x"}, {Alias: "b", Column: "y"}}
+			return b
+		}},
+		{"inl-through-key", func() *sqlast.Block {
+			b := &sqlast.Block{}
+			b.AddTable("A", "a")
+			b.AddTable("R", "r")
+			b.Joins = []sqlast.Join{{
+				Left:  sqlast.ColumnRef{Alias: "a", Column: "parent_R"},
+				Right: sqlast.ColumnRef{Alias: "r", Column: "R_id"},
+			}}
+			b.Projects = []sqlast.ColumnRef{{Alias: "a", Column: "x"}}
+			return b
+		}},
+		{"hash-into-fk", func() *sqlast.Block {
+			b := &sqlast.Block{}
+			b.AddTable("R", "r")
+			b.AddTable("A", "a")
+			b.Joins = []sqlast.Join{{
+				Left:  sqlast.ColumnRef{Alias: "a", Column: "parent_R"},
+				Right: sqlast.ColumnRef{Alias: "r", Column: "R_id"},
+			}}
+			b.Projects = []sqlast.ColumnRef{{Alias: "a", Column: "x"}}
+			return b
+		}},
+	}
+	for _, tombstone := range []bool{false, true} {
+		name := "live"
+		if tombstone {
+			name = "tombstoned"
+		}
+		t.Run(name, func(t *testing.T) {
+			db := NewDatabase(twoTableCatalog(t))
+			loadAB(t, db)
+			r := db.Table("R")
+			row := make(Row, len(r.Def.Columns))
+			row[r.ColumnIndex("R_id")] = IntVal(r.NextID())
+			if err := r.Insert(row); err != nil {
+				t.Fatal(err)
+			}
+			if tombstone {
+				db.Table("A").MarkDeleted(1)
+				db.Table("B").MarkDeleted(0)
+			}
+			for _, sh := range shapes {
+				t.Run(sh.name, func(t *testing.T) {
+					db.Exec = Options{}
+					before := db.Stats
+					rsB, errB := db.ExecuteBlock(sh.block(), nil)
+					deltaB := counterDelta(db.Stats, before)
+
+					db.Exec = Options{RowAtATime: true}
+					before = db.Stats
+					rsR, errR := db.ExecuteBlock(sh.block(), nil)
+					deltaR := counterDelta(db.Stats, before)
+
+					if (errB != nil) != (errR != nil) {
+						t.Fatalf("error mismatch: batch=%v rows=%v", errB, errR)
+					}
+					if errB != nil {
+						return
+					}
+					if deltaB != deltaR {
+						t.Errorf("counters diverge: batch=%+v rows=%+v", deltaB, deltaR)
+					}
+					kb, kr := sortedRowKeys(rsB), sortedRowKeys(rsR)
+					if len(kb) != len(kr) {
+						t.Fatalf("row counts diverge: batch=%d rows=%d", len(kb), len(kr))
+					}
+					for i := range kb {
+						if kb[i] != kr[i] {
+							t.Fatalf("row multiset diverges at %d: %q vs %q", i, kb[i], kr[i])
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+func counterDelta(after, before Counters) Counters {
+	return Counters{
+		BytesRead:  after.BytesRead - before.BytesRead,
+		TuplesRead: after.TuplesRead - before.TuplesRead,
+		Probes:     after.Probes - before.Probes,
+		Scans:      after.Scans - before.Scans,
+		TuplesOut:  after.TuplesOut - before.TuplesOut,
+	}
+}
+
+// TestAllocsLookupProbe: the index-probe hot path must not allocate when
+// no probed position is tombstoned — it runs once per intermediate tuple
+// of every INL join.
+func TestAllocsLookupProbe(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets only hold without the race detector")
+	}
+	db := NewDatabase(twoTableCatalog(t))
+	loadAB(t, db)
+	a := db.Table("A")
+	probe := IntVal(1)
+	if got := testing.AllocsPerRun(200, func() {
+		positions, ok := a.Lookup("parent_R", probe)
+		if !ok || len(positions) != 3 {
+			t.Fatal("unexpected lookup result")
+		}
+	}); got > 0 {
+		t.Errorf("Lookup (no tombstones): %.1f allocs/op, budget 0", got)
+	}
+	// Tombstoning an unrelated position must not cost the hot path its
+	// zero-alloc property either: the dead scan allocates only when a
+	// listed position is actually dead.
+	a.MarkDeleted(len(a.Rows) - 1)
+	key := IntVal(1)
+	if got := testing.AllocsPerRun(200, func() {
+		positions, ok := a.Lookup("A_id", key)
+		if !ok || len(positions) != 1 {
+			t.Fatal("unexpected keyed lookup result")
+		}
+	}); got > 0 {
+		t.Errorf("Lookup (dead elsewhere): %.1f allocs/op, budget 0", got)
+	}
+}

@@ -1,0 +1,346 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+
+	"legodb/internal/sqlast"
+)
+
+// BatchSize is the number of rows an operator processes per chunk. 1024
+// keeps a chunk's gathered column (8 KB of int64s plus a 128-byte null
+// bitmap) comfortably inside L1/L2 while amortizing per-chunk overhead
+// over enough rows that the per-row cost is the loop body, not the
+// bookkeeping.
+const BatchSize = 1024
+
+// mixedKind marks a Vector whose non-null values span more than one
+// ValueKind; such vectors fall back to boxed Values.
+const mixedKind ValueKind = -1
+
+// Vector is one gathered column chunk: typed storage (int64 or string)
+// with a null bitmap, promoted to boxed Values only if a column turns
+// out to mix kinds (the shredder stores homogeneous columns, so the
+// typed paths are the ones that run in practice). Element j of a Vector
+// corresponds to element j of the selection it was gathered through.
+type Vector struct {
+	kind  ValueKind // NullValue until a non-null value is seen
+	n     int
+	ints  []int64
+	strs  []string
+	vals  []Value  // mixedKind fallback, sparse (nulls stay zero)
+	nulls []uint64 // bitmap, bit set = NULL
+}
+
+func (v *Vector) reset(n int) {
+	v.kind = NullValue
+	v.n = n
+	nw := (n + 63) / 64
+	if cap(v.nulls) < nw {
+		v.nulls = make([]uint64, nw)
+	} else {
+		v.nulls = v.nulls[:nw]
+		clear(v.nulls)
+	}
+}
+
+func (v *Vector) isNull(j int) bool { return v.nulls[j>>6]&(1<<(j&63)) != 0 }
+
+func (v *Vector) set(j int, val Value) {
+	if val.Kind == NullValue {
+		v.nulls[j>>6] |= 1 << (j & 63)
+		return
+	}
+	if v.kind == NullValue {
+		v.kind = val.Kind
+		switch val.Kind {
+		case IntValue:
+			if cap(v.ints) < v.n {
+				v.ints = make([]int64, v.n)
+			} else {
+				v.ints = v.ints[:v.n]
+				clear(v.ints)
+			}
+		case StrValue:
+			if cap(v.strs) < v.n {
+				v.strs = make([]string, v.n)
+			} else {
+				v.strs = v.strs[:v.n]
+				clear(v.strs)
+			}
+		}
+	}
+	switch v.kind {
+	case mixedKind:
+		v.vals[j] = val
+	case val.Kind:
+		if v.kind == IntValue {
+			v.ints[j] = val.Int
+		} else {
+			v.strs[j] = val.Str
+		}
+	default:
+		v.promote()
+		v.vals[j] = val
+	}
+}
+
+// promote reboxes typed storage as Values when a mixed-kind column
+// appears (possible only through direct Table.Insert; shredded data is
+// homogeneous per column).
+func (v *Vector) promote() {
+	if cap(v.vals) < v.n {
+		v.vals = make([]Value, v.n)
+	} else {
+		v.vals = v.vals[:v.n]
+		clear(v.vals)
+	}
+	for j := 0; j < v.n; j++ {
+		if v.isNull(j) {
+			continue
+		}
+		if v.kind == IntValue {
+			v.vals[j] = IntVal(v.ints[j])
+		} else {
+			v.vals[j] = StrVal(v.strs[j])
+		}
+	}
+	v.kind = mixedKind
+}
+
+// value reboxes element j.
+func (v *Vector) value(j int) Value {
+	if v.isNull(j) {
+		return Null
+	}
+	switch v.kind {
+	case IntValue:
+		return IntVal(v.ints[j])
+	case StrValue:
+		return StrVal(v.strs[j])
+	case mixedKind:
+		return v.vals[j]
+	default:
+		return Null
+	}
+}
+
+// gather fills the vector with column ci of t's rows at the given
+// positions.
+func (v *Vector) gather(t *Table, ci int, positions []int32) {
+	v.reset(len(positions))
+	rows := t.Rows
+	for j, pos := range positions {
+		v.set(j, rows[pos][ci])
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// cmpBytesStr compares a byte slice against a string without allocating
+// (the formatted-integer side of a mixed int/string comparison).
+func cmpBytesStr(b []byte, s string) int {
+	n := min(len(b), len(s))
+	for i := 0; i < n; i++ {
+		if b[i] != s[i] {
+			if b[i] < s[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return len(b) - len(s)
+}
+
+// compactLiteral keeps sel[j] iff vector element j satisfies (op lit),
+// compacting sel in place. The typed cases run tight loops over the
+// unboxed storage; only genuinely mixed columns fall back to boxed
+// satisfies.
+func compactLiteral(v *Vector, op sqlast.CmpOp, lit Value, sel []int32) []int32 {
+	w := 0
+	switch {
+	case lit.Kind == NullValue:
+		// NULL satisfies nothing.
+	case v.kind == IntValue && lit.Kind == IntValue:
+		for j := range sel {
+			if !v.isNull(j) && opHolds(op, cmpInt(v.ints[j], lit.Int)) {
+				sel[w] = sel[j]
+				w++
+			}
+		}
+	case v.kind == IntValue && lit.Kind == StrValue:
+		var buf [20]byte
+		for j := range sel {
+			if v.isNull(j) {
+				continue
+			}
+			b := strconv.AppendInt(buf[:0], v.ints[j], 10)
+			if opHolds(op, cmpBytesStr(b, lit.Str)) {
+				sel[w] = sel[j]
+				w++
+			}
+		}
+	case v.kind == StrValue:
+		s := lit.Str
+		if lit.Kind == IntValue {
+			s = lit.String()
+		}
+		for j := range sel {
+			if !v.isNull(j) && opHolds(op, strings.Compare(v.strs[j], s)) {
+				sel[w] = sel[j]
+				w++
+			}
+		}
+	default:
+		// All-null or mixed-kind column.
+		for j := range sel {
+			if satisfies(v.value(j), op, lit) {
+				sel[w] = sel[j]
+				w++
+			}
+		}
+	}
+	return sel[:w]
+}
+
+// pairSatisfies evaluates element j of two aligned vectors under op with
+// satisfies semantics (NULL never matches, integers coerce to strings
+// against string values).
+func pairSatisfies(l, r *Vector, j int, op sqlast.CmpOp) bool {
+	if l.isNull(j) || r.isNull(j) {
+		return false
+	}
+	switch {
+	case l.kind == IntValue && r.kind == IntValue:
+		return opHolds(op, cmpInt(l.ints[j], r.ints[j]))
+	case l.kind == StrValue && r.kind == StrValue:
+		return opHolds(op, strings.Compare(l.strs[j], r.strs[j]))
+	case l.kind == IntValue && r.kind == StrValue:
+		var buf [20]byte
+		return opHolds(op, cmpBytesStr(strconv.AppendInt(buf[:0], l.ints[j], 10), r.strs[j]))
+	case l.kind == StrValue && r.kind == IntValue:
+		var buf [20]byte
+		return opHolds(op, -cmpBytesStr(strconv.AppendInt(buf[:0], r.ints[j], 10), l.strs[j]))
+	default:
+		return satisfies(l.value(j), op, r.value(j))
+	}
+}
+
+// compactPair keeps sel[j] iff pairSatisfies(l, r, j, op), compacting
+// sel in place.
+func compactPair(l, r *Vector, op sqlast.CmpOp, sel []int32) []int32 {
+	w := 0
+	for j := range sel {
+		if pairSatisfies(l, r, j, op) {
+			sel[w] = sel[j]
+			w++
+		}
+	}
+	return sel[:w]
+}
+
+// hashTable is a typed hash-join build over one column of a table:
+// int64 or string keys map to build-side row positions, with NULL keys
+// in their own bucket (Value-map semantics of the reference executor:
+// exact-kind matching, NULL probe matches NULL build rows). A build
+// column mixing kinds falls back to a boxed Value map.
+type hashTable struct {
+	kind  ValueKind
+	ints  map[int64][]int32
+	strs  map[string][]int32
+	nullP []int32
+	mixed map[Value][]int32
+}
+
+// buildHash builds the table over column ci of t at the given positions.
+func buildHash(t *Table, ci int, positions []int32) *hashTable {
+	ht := &hashTable{kind: NullValue}
+	for _, pos := range positions {
+		v := t.Rows[pos][ci]
+		if ht.kind != mixedKind {
+			switch v.Kind {
+			case NullValue:
+				ht.nullP = append(ht.nullP, pos)
+				continue
+			case ht.kind:
+				// Same kind as established; fall through to insert.
+			default:
+				if ht.kind == NullValue {
+					ht.kind = v.Kind
+					if v.Kind == IntValue {
+						ht.ints = make(map[int64][]int32, len(positions))
+					} else {
+						ht.strs = make(map[string][]int32, len(positions))
+					}
+				} else {
+					ht.demote(t, ci)
+				}
+			}
+		}
+		switch ht.kind {
+		case IntValue:
+			ht.ints[v.Int] = append(ht.ints[v.Int], pos)
+		case StrValue:
+			ht.strs[v.Str] = append(ht.strs[v.Str], pos)
+		case mixedKind:
+			ht.mixed[v] = append(ht.mixed[v], pos)
+		}
+	}
+	return ht
+}
+
+// demote reboxes a typed build into a Value map when the build column
+// mixes kinds.
+func (ht *hashTable) demote(t *Table, ci int) {
+	ht.mixed = make(map[Value][]int32)
+	for k, p := range ht.ints {
+		ht.mixed[IntVal(k)] = p
+	}
+	for k, p := range ht.strs {
+		ht.mixed[StrVal(k)] = p
+	}
+	for _, pos := range ht.nullP {
+		ht.mixed[Null] = append(ht.mixed[Null], pos)
+	}
+	ht.ints, ht.strs, ht.nullP = nil, nil, nil
+	ht.kind = mixedKind
+}
+
+// lookup returns the build positions matching probe value v. Matching is
+// exact (no cross-kind coercion): a string probe never matches an
+// integer build key, and NULL matches the NULL bucket — both exactly as
+// the reference executor's map[Value] build behaves.
+func (ht *hashTable) lookup(v Value) []int32 {
+	switch ht.kind {
+	case IntValue:
+		if v.Kind == IntValue {
+			return ht.ints[v.Int]
+		}
+		if v.Kind == NullValue {
+			return ht.nullP
+		}
+	case StrValue:
+		if v.Kind == StrValue {
+			return ht.strs[v.Str]
+		}
+		if v.Kind == NullValue {
+			return ht.nullP
+		}
+	case mixedKind:
+		return ht.mixed[v]
+	case NullValue:
+		// Empty build.
+		if v.Kind == NullValue {
+			return ht.nullP
+		}
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"legodb/internal/core"
 	"legodb/internal/engine"
@@ -10,6 +11,7 @@ import (
 	"legodb/internal/optimizer"
 	"legodb/internal/relational"
 	"legodb/internal/shred"
+	"legodb/internal/sqlast"
 	"legodb/internal/xquery"
 	"legodb/internal/xstats"
 )
@@ -73,14 +75,25 @@ func AblationSIvsSO(ctx context.Context) (*Table, error) {
 	return t, nil
 }
 
-// AblationCostModel validates the cost model against the execution
-// engine, in the spirit of the paper's SQL-Server comparison: generated
-// IMDB data is shredded into the all-inlined configuration, the workload
-// queries are executed, and the measured work (converted with the same
-// cost constants) is compared with the optimizer's estimates. The claim
-// to check is agreement in *ranking* and rough magnitude, not identical
-// numbers.
-func AblationCostModel(ctx context.Context) (*Table, error) {
+// costModelFixture is the shared setup of the cost-model validation
+// ablations: generated IMDB data shredded into the map-1 (all-inlined)
+// configuration, the workload queries, and their parameter bindings.
+type costModelFixture struct {
+	shows   int
+	db      *engine.Database
+	opt     *optimizer.Optimizer
+	queries []costModelQuery
+	params  engine.Params
+}
+
+// costModelQuery is one translated workload query of the fixture.
+type costModelQuery struct {
+	name string
+	sql  *sqlast.Query
+	est  float64
+}
+
+func newCostModelFixture() (*costModelFixture, error) {
 	const shows = 400
 	doc := imdb.Generate(imdb.GenOptions{Shows: shows, Seed: 17})
 	s := imdb.Schema()
@@ -108,12 +121,17 @@ func AblationCostModel(ctx context.Context) (*Table, error) {
 	if g := doc.Path("show", "episodes", "guest_director"); len(g) > 0 {
 		gd = g[0].Text
 	}
-	params := engine.Params{
-		"c1": engine.StrVal(title),
-		"c2": engine.StrVal(title),
-		"c4": engine.StrVal(gd),
+	fx := &costModelFixture{
+		shows: shows,
+		db:    db,
+		opt:   opt,
+		params: engine.Params{
+			"c1": engine.StrVal(title),
+			"c2": engine.StrVal(title),
+			"c4": engine.StrVal(gd),
+		},
 	}
-	queries := []struct {
+	for _, q := range []struct {
 		name string
 		src  string
 	}{
@@ -121,15 +139,7 @@ func AblationCostModel(ctx context.Context) (*Table, error) {
 		{"lookup-year", `FOR $v IN imdb/show WHERE $v/year = ` + year + ` RETURN $v/title`},
 		{"episodes", `FOR $v IN imdb/show RETURN <r> $v/title FOR $e IN $v/episodes WHERE $e/guest_director = c4 RETURN $e/name </r>`},
 		{"publish-shows", `FOR $v IN imdb/show RETURN $v`},
-	}
-	t := &Table{
-		Name:   "ablation-costmodel",
-		Title:  fmt.Sprintf("Estimated vs engine-measured cost (all-inlined, %d shows)", shows),
-		Header: []string{"query", "estimated", "measured", "est/meas"},
-		Notes:  "measured = seeks+pages+tuples+probes of the engine, weighted with the model's constants",
-	}
-	m := opt.Model
-	for _, q := range queries {
+	} {
 		parsed := xquery.MustParse(q.src)
 		parsed.Name = q.name
 		sq, err := xquery.Translate(parsed, ps, cat)
@@ -140,24 +150,117 @@ func AblationCostModel(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		before := db.Stats
-		if _, err := db.Execute(sq, params); err != nil {
+		fx.queries = append(fx.queries, costModelQuery{name: q.name, sql: sq, est: est.Cost})
+	}
+	return fx, nil
+}
+
+// costModelTimingIters is how many executions the wall-clock timing of
+// measure averages over: the lookup queries finish in microseconds, so
+// a single sample is dominated by scheduler noise.
+const costModelTimingIters = 20
+
+// measure executes one fixture query and converts the engine's counter
+// deltas into cost units with the model's own constants; elapsed is the
+// wall clock per execution, averaged over costModelTimingIters runs.
+func (fx *costModelFixture) measure(q costModelQuery) (measured float64, elapsed time.Duration, err error) {
+	m := fx.opt.Model
+	before := fx.db.Stats
+	start := time.Now()
+	for i := 0; i < costModelTimingIters; i++ {
+		if _, err := fx.db.Execute(q.sql, fx.params); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed = time.Since(start) / costModelTimingIters
+	d := fx.db.Stats
+	d.BytesRead -= before.BytesRead
+	d.TuplesRead -= before.TuplesRead
+	d.Probes -= before.Probes
+	d.Scans -= before.Scans
+	measured = m.SeekCost*float64(d.Scans) +
+		d.BytesRead/m.PageSize*m.PageIOCost +
+		float64(d.TuplesRead)*m.CPUTupleCost +
+		float64(d.Probes)*m.ProbeCost
+	// The delta covers all timing iterations of identical work; report
+	// the per-execution cost the estimates are compared against.
+	return measured / costModelTimingIters, elapsed, nil
+}
+
+// AblationCostModel validates the cost model against the execution
+// engine, in the spirit of the paper's SQL-Server comparison: generated
+// IMDB data is shredded into the all-inlined configuration, the workload
+// queries are executed, and the measured work (converted with the same
+// cost constants) is compared with the optimizer's estimates. The claim
+// to check is agreement in *ranking* and rough magnitude, not identical
+// numbers.
+func AblationCostModel(ctx context.Context) (*Table, error) {
+	fx, err := newCostModelFixture()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:   "ablation-costmodel",
+		Title:  fmt.Sprintf("Estimated vs engine-measured cost (all-inlined, %d shows)", fx.shows),
+		Header: []string{"query", "estimated", "measured", "est/meas"},
+		Notes:  "measured = seeks+pages+tuples+probes of the engine, weighted with the model's constants",
+	}
+	for _, q := range fx.queries {
+		measured, _, err := fx.measure(q)
+		if err != nil {
 			return nil, err
 		}
-		d := db.Stats
-		d.BytesRead -= before.BytesRead
-		d.TuplesRead -= before.TuplesRead
-		d.Probes -= before.Probes
-		d.Scans -= before.Scans
-		measured := m.SeekCost*float64(d.Scans) +
-			d.BytesRead/m.PageSize*m.PageIOCost +
-			float64(d.TuplesRead)*m.CPUTupleCost +
-			float64(d.Probes)*m.ProbeCost
 		ratio := 0.0
 		if measured > 0 {
-			ratio = est.Cost / measured
+			ratio = q.est / measured
 		}
-		t.AddRow(q.name, f1(est.Cost), f1(measured), f2(ratio))
+		t.AddRow(q.name, f1(q.est), f1(measured), f2(ratio))
 	}
+	return t, nil
+}
+
+// AblationExecModes re-validates the cost model against both executor
+// implementations. The vectorized batch executor maintains the same
+// Counters as the reference row-at-a-time path, so the measured cost —
+// counter deltas weighted with the model's constants — must come out
+// identical in both modes, keeping every est/meas ratio (and therefore
+// the calibrated constants) unchanged; what vectorization shifts is the
+// wall clock per unit of measured work. The table records both measured
+// costs, the shared est/meas ratio and the per-query wall-clock speedup.
+func AblationExecModes(ctx context.Context) (*Table, error) {
+	fx, err := newCostModelFixture()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:   "ablation-execmodes",
+		Title:  fmt.Sprintf("Cost model vs both executors (all-inlined, %d shows)", fx.shows),
+		Header: []string{"query", "estimated", "meas batch", "meas rows", "est/meas", "speedup"},
+		Notes:  "meas batch and meas rows are counter deltas in cost units and must agree exactly; speedup is row-at-a-time wall clock over batch",
+	}
+	for _, q := range fx.queries {
+		fx.db.Exec = engine.Options{}
+		mb, eb, err := fx.measure(q)
+		if err != nil {
+			return nil, err
+		}
+		fx.db.Exec = engine.Options{RowAtATime: true}
+		mr, er, err := fx.measure(q)
+		if err != nil {
+			return nil, err
+		}
+		if mb != mr {
+			return nil, fmt.Errorf("ablation-execmodes: %s: measured cost diverges between executors: batch=%v rows=%v", q.name, mb, mr)
+		}
+		ratio, speedup := 0.0, 0.0
+		if mb > 0 {
+			ratio = q.est / mb
+		}
+		if eb > 0 {
+			speedup = float64(er) / float64(eb)
+		}
+		t.AddRow(q.name, f1(q.est), f1(mb), f1(mr), f2(ratio), f2(speedup))
+	}
+	fx.db.Exec = engine.Options{}
 	return t, nil
 }

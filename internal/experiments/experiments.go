@@ -126,6 +126,7 @@ var registry = map[string]Runner{
 	"ablation-threshold": AblationThreshold,
 	"ablation-si-vs-so":  AblationSIvsSO,
 	"ablation-costmodel": AblationCostModel,
+	"ablation-execmodes": AblationExecModes,
 	"ablation-beam":      AblationBeam,
 	"ablation-updates":   AblationUpdates,
 }

@@ -201,6 +201,24 @@ func TestAblationCostModel(t *testing.T) {
 	}
 }
 
+func TestAblationExecModes(t *testing.T) {
+	tbl := run(t, "ablation-execmodes")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		// The batch executor maintains the reference path's counters, so
+		// the measured costs must match and the model's calibration (the
+		// est/meas ratio) is unchanged by vectorization.
+		if batch, rows := tbl.Rows[i][2], tbl.Rows[i][3]; batch != rows {
+			t.Errorf("%s: measured cost diverges: batch=%s rows=%s", tbl.Rows[i][0], batch, rows)
+		}
+		if ratio := cell(t, tbl, i, 4); ratio < 0.05 || ratio > 20 {
+			t.Errorf("cost model off by more than 20x on %s: ratio %.2f", tbl.Rows[i][0], ratio)
+		}
+	}
+}
+
 func TestRunUnknown(t *testing.T) {
 	if _, err := Run("nope"); err == nil {
 		t.Fatal("unknown experiment accepted")
@@ -209,7 +227,7 @@ func TestRunUnknown(t *testing.T) {
 
 func TestNamesComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 11 {
+	if len(names) != 12 {
 		t.Fatalf("names = %v", names)
 	}
 }
