@@ -6,10 +6,13 @@
 // queries versus actually run by the optimizer). The engine-exec rows
 // measure the relational executor itself: three IMDB query shapes under
 // the vectorized batch executor versus the reference row-at-a-time path,
-// with rows/sec and engine_exec_<shape>_speedup summary keys. CI
-// archives the output as a non-gating artifact so regressions in
-// translations/op, the sharing ratio or the executor speedups are
-// visible across commits.
+// with rows/sec and engine_exec_<shape>_speedup summary keys. The
+// serve-load row drives the legodbd serving layer with an in-process
+// HTTP load generator (concurrent clients, retry-with-backoff on 429)
+// and reports qps, p50/p99 latency, shed rate and drain time as
+// serve_load_* summary keys. CI archives the output as a non-gating
+// artifact so regressions in translations/op, the sharing ratio, the
+// executor speedups or serving latency are visible across commits.
 //
 // Usage:
 //
@@ -17,15 +20,24 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -35,6 +47,7 @@ import (
 	"legodb/internal/imdb"
 	"legodb/internal/pschema"
 	"legodb/internal/relational"
+	"legodb/internal/server"
 	"legodb/internal/shred"
 	"legodb/internal/xquery"
 	"legodb/internal/xstats"
@@ -110,6 +123,15 @@ type scenarioResult struct {
 	Mode string `json:"mode,omitempty"`
 	// RowsPerSec is the engine-exec scenario's result-row throughput.
 	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
+	// Serve-load fields (the legodbd serving benchmark): concurrent
+	// clients, successful-request latency percentiles, the fraction of
+	// attempts shed with 429 by admission control, and how long the
+	// graceful drain took after the load stopped.
+	Clients  int     `json:"clients,omitempty"`
+	P50Ms    float64 `json:"p50_ms,omitempty"`
+	P99Ms    float64 `json:"p99_ms,omitempty"`
+	ShedRate float64 `json:"shed_rate,omitempty"`
+	DrainMs  float64 `json:"drain_ms,omitempty"`
 }
 
 type report struct {
@@ -361,6 +383,175 @@ func runEngineExec(ctx context.Context, runs int, rep *report) error {
 	return nil
 }
 
+// runServeLoad measures the serving layer end to end: a resident
+// legodbd server (small admission budget so shedding actually happens)
+// under an in-process HTTP load generator — concurrent clients posting
+// the IMDB lookup query, retrying shed requests with jittered
+// exponential backoff. It reports qps, p50/p99 latency of successful
+// requests, the shed rate, and how long the post-load graceful drain
+// took; the summary gains serve_load_* keys.
+func runServeLoad(ctx context.Context, rep *report) error {
+	const (
+		clients   = 32
+		perClient = 40
+		attempts  = 10
+	)
+	// The admission budget is deliberately tight for 32 clients — four
+	// slots and a shallow queue against a mix with heavy joins — so
+	// overload is real and the shed/retry path is part of what's
+	// measured, not just the happy path.
+	srv, err := server.New(server.Config{
+		MaxInflight:    4,
+		QueueDepth:     4,
+		QueueWait:      10 * time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+		DrainTimeout:   5 * time.Second,
+		Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.AddTenant(ctx, server.TenantSpec{
+		Name:   "bench",
+		Schema: imdb.SchemaText,
+		Stats:  imdb.StatsText,
+		Config: "all-inlined",
+		Queries: []server.TenantQuery{
+			{Name: "lookup", Text: `FOR $v IN imdb/show WHERE $v/year = c1 RETURN $v/title, $v/year`, Weight: 1},
+		},
+	}); err != nil {
+		return err
+	}
+	if err := srv.LoadDocument("bench", imdb.Generate(imdb.GenOptions{Shows: 200, Seed: 17})); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	// The request mix: cheap point lookups with a heavy self-join (the
+	// paper's Q12) every eighth request, so the admission slots stay
+	// genuinely occupied and overload behavior is measurable.
+	joinText := imdb.Query("Q12").String()
+	makeBody := func(c, i int) []byte {
+		if (c+i)%8 == 0 {
+			b, _ := json.Marshal(map[string]any{"query": joinText})
+			return b
+		}
+		b, _ := json.Marshal(map[string]any{
+			"query":  `FOR $v IN imdb/show WHERE $v/year = c1 RETURN $v/title, $v/year`,
+			"params": map[string]string{"c1": fmt.Sprint(1990 + (c+i)%20)},
+		})
+		return b
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // ms, successful requests only
+		shed      atomic.Int64
+		failed    atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			for i := 0; i < perClient; i++ {
+				body := makeBody(c, i)
+				var ok bool
+				reqStart := time.Now()
+				for a := 0; a < attempts; a++ {
+					resp, err := http.Post(ts.URL+"/tenants/bench/query", "application/json", bytes.NewReader(body))
+					if err != nil {
+						break
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						ok = true
+						break
+					}
+					if resp.StatusCode != http.StatusTooManyRequests {
+						break
+					}
+					shed.Add(1)
+					// Honor Retry-After as a floor signal but cap the sleep:
+					// the server advertises whole seconds, far coarser than
+					// this benchmark's time budget.
+					backoff := time.Duration(1<<a) * time.Millisecond
+					if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+						if d := time.Duration(ra) * time.Millisecond; d > backoff {
+							backoff = d
+						}
+					}
+					backoff += time.Duration(rng.Int63n(int64(time.Millisecond) * (1 << a)))
+					if backoff > 100*time.Millisecond {
+						backoff = 100 * time.Millisecond
+					}
+					time.Sleep(backoff)
+				}
+				if ok {
+					ms := float64(time.Since(reqStart).Microseconds()) / 1000
+					mu.Lock()
+					latencies = append(latencies, ms)
+					mu.Unlock()
+				} else {
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	drainStart := time.Now()
+	if err := srv.Drain(context.Background()); err != nil {
+		return fmt.Errorf("drain: %v", err)
+	}
+	drainMs := float64(time.Since(drainStart).Microseconds()) / 1000
+	ts.Close()
+
+	if failed.Load() > 0 {
+		return fmt.Errorf("%d requests failed after %d attempts", failed.Load(), attempts)
+	}
+	sort.Float64s(latencies)
+	pctl := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	total := len(latencies) + int(shed.Load())
+	res := scenarioResult{
+		Name:     "serve-load",
+		Runs:     1,
+		Clients:  clients,
+		Searches: len(latencies),
+		P50Ms:    pctl(0.50),
+		P99Ms:    pctl(0.99),
+		DrainMs:  drainMs,
+	}
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.NsPerOp = sum / float64(len(latencies)) * 1e6
+		res.OpsPerSec = float64(len(latencies)) / wall.Seconds()
+	}
+	if total > 0 {
+		res.ShedRate = float64(shed.Load()) / float64(total)
+	}
+	rep.Scenarios = append(rep.Scenarios, res)
+	rep.Summary["serve_load_qps"] = res.OpsPerSec
+	rep.Summary["serve_load_p50_ms"] = res.P50Ms
+	rep.Summary["serve_load_p99_ms"] = res.P99Ms
+	rep.Summary["serve_load_shed_rate"] = res.ShedRate
+	rep.Summary["serve_load_drain_ms"] = res.DrainMs
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_search.json", "output file ('-' for stdout)")
 	runs := flag.Int("runs", 3, "runs per scenario (metrics are averaged)")
@@ -455,6 +646,12 @@ func main() {
 	if *only == "" || *only == "engine-exec" {
 		if err := runEngineExec(ctx, *runs, &rep); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: engine-exec: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *only == "" || *only == "serve-load" {
+		if err := runServeLoad(ctx, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: serve-load: %v\n", err)
 			os.Exit(1)
 		}
 	}

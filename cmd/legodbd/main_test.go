@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"legodb/internal/faults"
+	"legodb/internal/server"
+)
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func getStatus(url string) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		return -1
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestSigtermDrainsAndSnapshots boots the demo server the way main does
+// (listener + signal.NotifyContext + Run), holds one request in flight
+// through a gated failpoint, delivers a real SIGTERM to the process,
+// and asserts the drain contract: no new admissions, the held request
+// completes with 200, Run returns a clean nil, and the cost-cache
+// snapshot it wrote boots the next server warm.
+func TestSigtermDrainsAndSnapshots(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "cache.snap")
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	s, err := server.New(server.Config{
+		MaxInflight:  4,
+		DrainTimeout: 10 * time.Second,
+		SnapshotPath: snap,
+		Logger:       log,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := bootDemo(s, 5); err != nil {
+		t.Fatalf("bootDemo: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	runDone := make(chan error, 1)
+	go func() { runDone <- s.Run(ctx, ln) }()
+	waitUntil(t, "server up", func() bool { return getStatus(base+"/healthz") == http.StatusOK })
+
+	// Hold one admitted request in flight at the serving failpoint.
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	restore := faults.EnableHook(faults.SiteServe, 1, func() {
+		close(entered)
+		<-gate
+	})
+	defer restore()
+
+	body, _ := json.Marshal(map[string]any{
+		"query":  `FOR $v IN imdb/show RETURN $v/title`,
+		"params": map[string]string{},
+	})
+	heldCode := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/tenants/imdb/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			heldCode <- -1
+			return
+		}
+		resp.Body.Close()
+		heldCode <- resp.StatusCode
+	}()
+	<-entered
+
+	// Real signal delivery, as systemd would send it.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	waitUntil(t, "drain to start", func() bool {
+		return getStatus(base+"/healthz") == http.StatusServiceUnavailable
+	})
+
+	// New work bounces while the held request is still in flight.
+	resp, err := http.Post(base+"/tenants/imdb/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("query during drain: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query during drain = %d, want 503", resp.StatusCode)
+	}
+
+	close(gate)
+	if code := <-heldCode; code != http.StatusOK {
+		t.Fatalf("held request = %d, want 200", code)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("Run returned %v, want clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after drain")
+	}
+
+	// The drain snapshot warms the next boot.
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	s2, err := server.New(server.Config{SnapshotPath: snap, Logger: log})
+	if err != nil {
+		t.Fatalf("New from drain snapshot: %v", err)
+	}
+	if w := s2.BootWarning(); w != "" {
+		t.Fatalf("drain snapshot produced boot warning %q", w)
+	}
+	if s2.Registry().Stats().Cache.Entries == 0 {
+		t.Fatal("drain snapshot reloaded zero cost-cache entries")
+	}
+}
+
+// TestDemoTenantServes checks the -demo boot path end to end: the
+// advised imdb tenant exists, holds rows, and answers the embedded
+// lookup query.
+func TestDemoTenantServes(t *testing.T) {
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	s, err := server.New(server.Config{Logger: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bootDemo(s, 8); err != nil {
+		t.Fatalf("bootDemo: %v", err)
+	}
+	st := s.StatsSnapshot()
+	tn, ok := st.Tenants["imdb"]
+	if !ok || !tn.Ready || tn.Rows == 0 {
+		t.Fatalf("demo tenant stats = %+v", tn)
+	}
+	store := s.TenantStore("imdb")
+	res, err := store.Query(`FOR $v IN imdb/show RETURN $v/title`, nil)
+	if err != nil {
+		t.Fatalf("demo query: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("demo query returned no rows")
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"legodb/internal/sqlast"
@@ -18,6 +19,8 @@ import (
 
 type batchExec struct {
 	db     *Database
+	ctx    context.Context
+	stats  *Counters
 	p      *blockPlan
 	params Params
 	// cols[slot] is the position vector for the alias at that slot, nil
@@ -29,9 +32,11 @@ type batchExec struct {
 	selBuf    []int32
 }
 
-func (db *Database) executeBlockBatch(p *blockPlan, params Params) (*ResultSet, error) {
+func (db *Database) executeBlockBatch(ctx context.Context, p *blockPlan, params Params, stats *Counters) (*ResultSet, error) {
 	e := &batchExec{
 		db:     db,
+		ctx:    ctx,
+		stats:  stats,
 		p:      p,
 		params: params,
 		cols:   make([][]int32, len(p.order)),
@@ -69,12 +74,15 @@ func (db *Database) executeBlockBatch(p *blockPlan, params Params) (*ResultSet, 
 // Counter accrual matches scanFiltered: one scan, every heap row
 // (tombstoned included) read.
 func (e *batchExec) scanPositions(t *Table, filters []sqlast.Filter) ([]int32, error) {
-	e.db.Stats.Scans++
-	e.db.Stats.TuplesRead += int64(len(t.Rows))
-	e.db.Stats.BytesRead += float64(len(t.Rows)) * t.Def.RowBytes()
+	e.stats.Scans++
+	e.stats.TuplesRead += int64(len(t.Rows))
+	e.stats.BytesRead += float64(len(t.Rows)) * t.Def.RowBytes()
 	cf := compileFilters(t, filters, e.params)
 	out := make([]int32, 0, len(t.Rows))
 	for base := 0; base < len(t.Rows); base += BatchSize {
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
 		end := min(base+BatchSize, len(t.Rows))
 		sel := e.selBuf[:0]
 		if len(t.dead) == 0 {
@@ -137,12 +145,17 @@ func (e *batchExec) stepINL(st *planStep) error {
 	oldPos := e.cols[e.p.slot[st.oldAlias]]
 	var src, newPos []int32
 	for i := 0; i < e.n; i++ {
+		if i&ctxCheckMask == 0 {
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		v := oldTable.Rows[oldPos[i]][oldCi]
 		positions, _ := newTable.Lookup(st.newCol, v)
-		e.db.Stats.Probes++
+		e.stats.Probes++
 		for _, pos := range positions {
-			e.db.Stats.TuplesRead++
-			e.db.Stats.BytesRead += width
+			e.stats.TuplesRead++
+			e.stats.BytesRead += width
 			ok, err := passesCompiled(newTable.Rows[pos], cf)
 			if err != nil {
 				return err
@@ -175,6 +188,11 @@ func (e *batchExec) stepHash(st *planStep) error {
 	oldPos := e.cols[e.p.slot[st.oldAlias]]
 	var src, newPos []int32
 	for i := 0; i < e.n; i++ {
+		if i&ctxCheckMask == 0 {
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		for _, pos := range ht.lookup(oldTable.Rows[oldPos[i]][oldCi]) {
 			src = append(src, int32(i))
 			newPos = append(newPos, pos)
@@ -194,6 +212,11 @@ func (e *batchExec) stepCartesian(st *planStep) error {
 	src := make([]int32, 0, e.n*len(rows))
 	newPos := make([]int32, 0, e.n*len(rows))
 	for i := 0; i < e.n; i++ {
+		if i&ctxCheckMask == 0 {
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		for _, pos := range rows {
 			src = append(src, int32(i))
 			newPos = append(newPos, pos)
@@ -233,6 +256,9 @@ func (e *batchExec) applyCross(filters []sqlast.Filter) error {
 		rcol := e.cols[e.p.slot[f.RightCol.Alias]]
 		var keep []int32
 		for base := 0; base < e.n; base += BatchSize {
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
 			end := min(base+BatchSize, e.n)
 			e.vec.gather(lt, li, lcol[base:end])
 			e.vec2.gather(rt, ri, rcol[base:end])

@@ -8,14 +8,19 @@
 // quantities the cost model predicts — bytes read, probes, tuples
 // processed — so estimates and measurements can be compared.
 //
-// A Database is not safe for concurrent use: callers serialize loads,
-// queries and mutations (the Store facade is single-writer by design).
+// A Database supports concurrent query execution against stable data:
+// Execute/ExecuteContext from multiple goroutines are safe with each
+// other (counters accrue execution-locally and fold into Stats under an
+// internal mutex), but callers must serialize mutations — inserts,
+// tombstones, executor-mode flips — against in-flight queries. The Store
+// facade does exactly that with a readers-writer lock.
 package engine
 
 import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"legodb/internal/relational"
 )
@@ -241,10 +246,29 @@ type Options struct {
 type Database struct {
 	Cat    *relational.Catalog
 	Tables map[string]*Table
-	// Stats counts work done by Execute calls.
+	// Stats counts work done by Execute calls. Executions accrue into a
+	// local Counters and fold in once under statsMu; concurrent readers
+	// should use Measured instead of the field.
 	Stats Counters
 	// Exec selects the executor implementation for Execute/ExecuteBlock.
 	Exec Options
+
+	statsMu sync.Mutex
+}
+
+// addStats folds one execution's counters into the database totals.
+func (db *Database) addStats(c Counters) {
+	db.statsMu.Lock()
+	db.Stats.Add(c)
+	db.statsMu.Unlock()
+}
+
+// Measured snapshots the accumulated execution counters; unlike reading
+// Stats directly, it is safe against concurrent executions.
+func (db *Database) Measured() Counters {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	return db.Stats
 }
 
 // NewDatabase creates empty tables for every relation in the catalog.

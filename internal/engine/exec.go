@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
+	"legodb/internal/faults"
 	"legodb/internal/sqlast"
 )
 
@@ -19,12 +21,25 @@ type ResultSet struct {
 }
 
 // Execute runs all blocks of a query and unions their results, counting
-// work in db.Stats.
+// work in db.Stats. It is ExecuteContext with a background context.
 func (db *Database) Execute(q *sqlast.Query, params Params) (*ResultSet, error) {
+	return db.ExecuteContext(context.Background(), q, params)
+}
+
+// ExecuteContext is Execute under a caller-controlled context:
+// cancelling ctx (or exceeding its deadline) aborts the execution at the
+// next chunk or probe-loop boundary with the context's error, so a
+// served query stops consuming engine work as soon as its request is
+// cancelled. Counters accrue into an execution-local accumulator and are
+// folded into db.Stats once at the end (partial work included on error),
+// so concurrent executions never race on the shared counters.
+func (db *Database) ExecuteContext(ctx context.Context, q *sqlast.Query, params Params) (*ResultSet, error) {
+	var stats Counters
 	out := &ResultSet{}
 	for _, b := range q.Blocks {
-		rs, err := db.ExecuteBlock(b, params)
+		rs, err := db.executeBlock(ctx, b, params, &stats)
 		if err != nil {
+			db.addStats(stats)
 			return nil, fmt.Errorf("engine: %s: %w", q.Name, err)
 		}
 		if len(rs.Columns) > len(out.Columns) {
@@ -41,26 +56,54 @@ func (db *Database) Execute(q *sqlast.Query, params Params) (*ResultSet, error) 
 		}
 		out.Rows[i] = r
 	}
-	db.Stats.TuplesOut += int64(len(out.Rows))
+	stats.TuplesOut += int64(len(out.Rows))
+	db.addStats(stats)
 	return out, nil
 }
 
-// ExecuteBlock runs one SPJ block: filtered scan of a start relation,
-// then index-nested-loop or hash joins along the join graph, then
-// projection. The physical plan (join order, join algorithm per edge,
-// cross-filter schedule) is derived once by planBlock and shared by both
-// executor implementations, so the batch and row-at-a-time paths do the
-// same logical work and report identical Counters.
+// ExecuteBlock runs one SPJ block with a background context.
 func (db *Database) ExecuteBlock(b *sqlast.Block, params Params) (*ResultSet, error) {
+	return db.ExecuteBlockContext(context.Background(), b, params)
+}
+
+// ExecuteBlockContext runs one SPJ block: filtered scan of a start
+// relation, then index-nested-loop or hash joins along the join graph,
+// then projection. The physical plan (join order, join algorithm per
+// edge, cross-filter schedule) is derived once by planBlock and shared by
+// both executor implementations, so the batch and row-at-a-time paths do
+// the same logical work and report identical Counters.
+func (db *Database) ExecuteBlockContext(ctx context.Context, b *sqlast.Block, params Params) (*ResultSet, error) {
+	var stats Counters
+	rs, err := db.executeBlock(ctx, b, params, &stats)
+	db.addStats(stats)
+	return rs, err
+}
+
+func (db *Database) executeBlock(ctx context.Context, b *sqlast.Block, params Params, stats *Counters) (*ResultSet, error) {
+	// SiteExec is the serving path's fault seam: tests arm it to prove an
+	// injected executor failure surfaces as a structured error without
+	// wedging or crashing the caller.
+	if err := faults.Inject(faults.SiteExec); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p, err := db.planBlock(b)
 	if err != nil {
 		return nil, err
 	}
 	if db.Exec.RowAtATime {
-		return db.executeBlockRows(p, params)
+		return db.executeBlockRows(ctx, p, params, stats)
 	}
-	return db.executeBlockBatch(p, params)
+	return db.executeBlockBatch(ctx, p, params, stats)
 }
+
+// ctxCheckMask bounds how often the executors' inner loops poll for
+// cancellation: every (mask+1)th tuple, cheap enough to leave on
+// unconditionally while still stopping runaway scans, probes and
+// cartesian products within a fraction of a millisecond.
+const ctxCheckMask = 511
 
 // stepKind discriminates how a plan step binds its alias.
 type stepKind int

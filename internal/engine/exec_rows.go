@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"legodb/internal/sqlast"
@@ -15,8 +16,8 @@ import (
 // binding is one intermediate tuple: row positions per bound alias.
 type binding map[string]int
 
-func (db *Database) executeBlockRows(p *blockPlan, params Params) (*ResultSet, error) {
-	current, err := db.scanFiltered(p.tables[p.start], p.start, p.startFilters, params)
+func (db *Database) executeBlockRows(ctx context.Context, p *blockPlan, params Params, stats *Counters) (*ResultSet, error) {
+	current, err := db.scanFiltered(ctx, p.tables[p.start], p.start, p.startFilters, params, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -25,12 +26,17 @@ func (db *Database) executeBlockRows(p *blockPlan, params Params) (*ResultSet, e
 		st := &p.steps[i]
 		switch st.kind {
 		case stepCartesian:
-			rows, err := db.scanFiltered(p.tables[st.alias], st.alias, st.filters, params)
+			rows, err := db.scanFiltered(ctx, p.tables[st.alias], st.alias, st.filters, params, stats)
 			if err != nil {
 				return nil, err
 			}
 			var merged []binding
-			for _, l := range current {
+			for li, l := range current {
+				if li&ctxCheckMask == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				for _, r := range rows {
 					m := cloneBinding(l)
 					m[st.alias] = r[st.alias]
@@ -52,13 +58,18 @@ func (db *Database) executeBlockRows(p *blockPlan, params Params) (*ResultSet, e
 			// once per intermediate tuple.
 			width := newTable.Def.RowBytes()
 			var joined []binding
-			for _, l := range current {
+			for li, l := range current {
+				if li&ctxCheckMask == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				v := oldTable.Rows[l[st.oldAlias]][oldCi]
 				positions, _ := newTable.Lookup(st.newCol, v)
-				db.Stats.Probes++
+				stats.Probes++
 				for _, pos := range positions {
-					db.Stats.TuplesRead++
-					db.Stats.BytesRead += width
+					stats.TuplesRead++
+					stats.BytesRead += width
 					row := newTable.Rows[pos]
 					if ok, err := db.passes(row, newTable, st.filters, params); err != nil {
 						return nil, err
@@ -80,7 +91,7 @@ func (db *Database) executeBlockRows(p *blockPlan, params Params) (*ResultSet, e
 			newTable := p.tables[st.alias]
 			oldTable := p.tables[st.oldAlias]
 			// Hash join: scan + build the new relation, probe current.
-			rows, err := db.scanFiltered(newTable, st.alias, st.filters, params)
+			rows, err := db.scanFiltered(ctx, newTable, st.alias, st.filters, params, stats)
 			if err != nil {
 				return nil, err
 			}
@@ -91,7 +102,12 @@ func (db *Database) executeBlockRows(p *blockPlan, params Params) (*ResultSet, e
 				hash[v] = append(hash[v], pos)
 			}
 			var joined []binding
-			for _, l := range current {
+			for li, l := range current {
+				if li&ctxCheckMask == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				v := oldTable.Rows[l[st.oldAlias]][oldCi]
 				for _, pos := range hash[v] {
 					m := cloneBinding(l)
@@ -130,12 +146,17 @@ func (db *Database) executeBlockRows(p *blockPlan, params Params) (*ResultSet, e
 
 // scanFiltered scans a table, applying constant filters, and returns one
 // binding per passing row.
-func (db *Database) scanFiltered(t *Table, alias string, filters []sqlast.Filter, params Params) ([]binding, error) {
-	db.Stats.Scans++
-	db.Stats.TuplesRead += int64(len(t.Rows))
-	db.Stats.BytesRead += float64(len(t.Rows)) * t.Def.RowBytes()
+func (db *Database) scanFiltered(ctx context.Context, t *Table, alias string, filters []sqlast.Filter, params Params, stats *Counters) ([]binding, error) {
+	stats.Scans++
+	stats.TuplesRead += int64(len(t.Rows))
+	stats.BytesRead += float64(len(t.Rows)) * t.Def.RowBytes()
 	var out []binding
 	for pos, row := range t.Rows {
+		if pos&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if !t.Alive(pos) {
 			continue
 		}

@@ -1,7 +1,9 @@
 // Package faults provides failpoints: named sites in the evaluation
 // pipeline (relational mapping, workload translation, optimizer costing,
-// statistics annotation, memo validation) where tests can inject errors
-// or panics to exercise the search's fault isolation.
+// statistics annotation, memo validation) and the serving path (block
+// execution, document shredding, request dispatch) where tests can
+// inject errors or panics to exercise the search's and the server's
+// fault isolation.
 //
 // Production code never arms a site — the package is inert unless a test
 // calls Enable, and the disarmed fast path is a single atomic load, so
@@ -35,6 +37,17 @@ const (
 	// incremental evaluation report an inconsistent memo state, forcing
 	// the graceful fallback to full evaluation.
 	SiteMemo = "core.memo"
+	// SiteExec fires in engine.Database execution before each SPJ block
+	// runs — the serving path's executor seam. Hook mode doubles as a
+	// deterministic way to make a served query slow or gated.
+	SiteExec = "engine.exec"
+	// SiteShred fires in shred.Shredder.Shred before a document is
+	// shredded into the relational image.
+	SiteShred = "shred.shred"
+	// SiteServe fires in the legodbd request path after admission and
+	// before dispatch; hook mode holds an admitted request in flight for
+	// drain and saturation tests.
+	SiteServe = "server.serve"
 )
 
 // ErrInjected is the error returned (wrapped) by error-mode failpoints.

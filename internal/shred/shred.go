@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"legodb/internal/engine"
+	"legodb/internal/faults"
 	"legodb/internal/pschema"
 	"legodb/internal/relational"
 	"legodb/internal/xmltree"
@@ -35,6 +36,9 @@ func New(s *xschema.Schema, cat *relational.Catalog, db *engine.Database) *Shred
 // Shred inserts one document. It can be called repeatedly to load
 // multiple documents into the same database.
 func (sh *Shredder) Shred(doc *xmltree.Node) error {
+	if err := faults.Inject(faults.SiteShred); err != nil {
+		return err
+	}
 	_, err := sh.shredInstance(sh.Schema.Root, doc, "", 0)
 	return err
 }

@@ -237,6 +237,17 @@ func (e *Engine) Registry() *Registry {
 	return e.registry
 }
 
+// Ready is a cheap health probe: it reports whether the engine holds a
+// parsed schema and a usable cost cache, without touching the search
+// pipeline. Serving layers poll it for /healthz so an in-flight Advise
+// (which snapshots the description and runs outside the mutex) never
+// makes the probe block or flap.
+func (e *Engine) Ready() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.schema != nil && e.cache != nil
+}
+
 // CacheStats reports the engine's cumulative cost-cache activity across
 // all its searches (each Advice carries the per-search delta). For a
 // registry-attached engine these are the engine's own hits, misses and

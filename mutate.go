@@ -29,6 +29,8 @@ func (s *Store) DeleteWhere(text string, params Params) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	deleted := 0
 	for _, tgt := range targets {
 		rs, err := s.db.ExecuteBlock(tgt.Block, params.forBlocks(s.catalog, tgt.Block))
@@ -71,6 +73,8 @@ func (s *Store) InsertChild(parentQuery string, params Params, fragmentXML strin
 	if err != nil {
 		return 0, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	inserted := 0
 	for _, tgt := range targets {
 		rs, err := s.db.ExecuteBlock(tgt.Block, params.forBlocks(s.catalog, tgt.Block))

@@ -31,8 +31,12 @@ type tableSnapshot struct {
 	NextID  int64
 }
 
-// Save writes the store (schema and all rows) to w.
+// Save writes the store (schema and all rows) to w. It takes the
+// store's read lock, so a snapshot taken while queries are serving is
+// consistent (mutations wait).
 func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	snap := storeSnapshot{SchemaText: s.schema.String()}
 	for _, name := range s.catalog.Order {
 		t := s.db.Table(name)

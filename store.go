@@ -1,10 +1,12 @@
 package legodb
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 
 	"legodb/internal/engine"
 	"legodb/internal/optimizer"
@@ -19,7 +21,17 @@ import (
 // Store is an instantiated storage configuration: an in-memory relational
 // database following the chosen mapping, with document loading, XQuery
 // execution and publishing.
+//
+// A Store is safe for concurrent use: queries, prepared executions,
+// publishing and stats reads run concurrently with each other, while
+// mutations (Load, InsertChild, DeleteWhere) and executor-mode flips are
+// serialized against them under a readers-writer lock — the serving
+// layer's contract (one store per tenant, many concurrent requests).
 type Store struct {
+	// mu is the store's readers-writer lock: queries, publishing and
+	// stats reads share it, mutations take it exclusively. The engine
+	// below is safe for concurrent reads but not for reads racing writes.
+	mu        sync.RWMutex
 	schema    *xschema.Schema
 	catalog   *relational.Catalog
 	db        *engine.Database
@@ -48,6 +60,8 @@ func openStore(ps *xschema.Schema, cat *relational.Catalog) (*Store, error) {
 // Load shreds a document into the store. Documents must validate against
 // the engine's schema.
 func (s *Store) Load(doc *xmltree.Node) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.shredder.Shred(doc)
 }
 
@@ -164,7 +178,11 @@ func paramColumnTypes(cat *relational.Catalog, blocks []*sqlast.Block) map[strin
 // maintain identical Counters — the row path is kept as the baseline
 // the batch executor's differential tests and speedup benchmarks run
 // against.
-func (s *Store) SetRowAtATimeExec(on bool) { s.db.Exec = engine.Options{RowAtATime: on} }
+func (s *Store) SetRowAtATimeExec(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.db.Exec = engine.Options{RowAtATime: on}
+}
 
 // Result is a query result: column headers and stringified rows.
 type Result struct {
@@ -174,11 +192,19 @@ type Result struct {
 
 // Query parses, translates and executes an XQuery against the store.
 func (s *Store) Query(text string, params Params) (*Result, error) {
+	return s.QueryContext(context.Background(), text, params)
+}
+
+// QueryContext is Query under a caller-controlled context: cancelling
+// ctx (or exceeding its deadline) aborts the execution mid-plan with the
+// context's error, so a served request's timeout actually stops engine
+// work instead of letting it run to completion.
+func (s *Store) QueryContext(ctx context.Context, text string, params Params) (*Result, error) {
 	p, err := s.Prepare(text)
 	if err != nil {
 		return nil, err
 	}
-	return p.Run(params)
+	return p.RunContext(ctx, params)
 }
 
 // PreparedQuery is a parsed and translated query, reusable with
@@ -207,7 +233,16 @@ func (p *PreparedQuery) SQL() string { return p.sql.SQL() }
 
 // Run executes the prepared query with the given parameters.
 func (p *PreparedQuery) Run(params Params) (*Result, error) {
-	rs, err := p.store.db.Execute(p.sql, params.forBlocks(p.store.catalog, p.sql.Blocks...))
+	return p.RunContext(context.Background(), params)
+}
+
+// RunContext executes the prepared query under a caller-controlled
+// context (see Store.QueryContext).
+func (p *PreparedQuery) RunContext(ctx context.Context, params Params) (*Result, error) {
+	s := p.store
+	s.mu.RLock()
+	rs, err := s.db.ExecuteContext(ctx, p.sql, params.forBlocks(s.catalog, p.sql.Blocks...))
+	s.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -242,6 +277,8 @@ func (s *Store) ExplainQuery(text string) (string, error) {
 
 // Publish reconstructs all loaded documents.
 func (s *Store) Publish() ([]*xmltree.Node, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.publisher.PublishAll()
 }
 
@@ -251,6 +288,8 @@ func (s *Store) DDL() string { return s.catalog.SQL() }
 // TableRows reports the number of live rows stored in a relation (-1
 // when the relation does not exist).
 func (s *Store) TableRows(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t := s.db.Table(name)
 	if t == nil {
 		return -1
@@ -263,4 +302,15 @@ func (s *Store) Tables() []string { return append([]string(nil), s.catalog.Order
 
 // Measured returns the engine's accumulated execution counters (bytes
 // read, tuples, probes) since the store was opened.
-func (s *Store) Measured() engine.Counters { return s.db.Stats }
+func (s *Store) Measured() engine.Counters {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Measured()
+}
+
+// TotalRows sums live rows over the store's relations.
+func (s *Store) TotalRows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.RowCount()
+}
