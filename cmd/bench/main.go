@@ -41,10 +41,13 @@ import (
 	"syscall"
 	"time"
 
+	"legodb"
+	"legodb/internal/adapt"
 	"legodb/internal/core"
 	"legodb/internal/engine"
 	"legodb/internal/faults"
 	"legodb/internal/imdb"
+	"legodb/internal/optimizer"
 	"legodb/internal/pschema"
 	"legodb/internal/relational"
 	"legodb/internal/server"
@@ -552,6 +555,206 @@ func runServeLoad(ctx context.Context, rep *report) error {
 	return nil
 }
 
+// driftLookups is the flipped workload the drift scenario pushes at a
+// store advised for publishing: point lookups that want scalars inlined,
+// the opposite of what the all-outlined baseline is good at.
+var driftLookups = []struct {
+	text   string
+	params map[string]string
+}{
+	{`FOR $v IN imdb/show WHERE $v/year = c1 RETURN $v/title, $v/year`, map[string]string{"c1": "1995"}},
+	{`FOR $v IN imdb/show WHERE $v/year = c1 RETURN $v/title`, map[string]string{"c1": "1999"}},
+	{`FOR $v IN imdb/show WHERE $v/title = c1 RETURN $v/year, $v/box_office`, map[string]string{"c1": "zzz"}},
+}
+
+// measuredLookupCost executes the flipped workload iters times and
+// converts the engine's counter deltas into cost units with the
+// optimizer's own constants — the same formula the cost-model ablation
+// uses, so estimated and measured wins are comparable.
+func measuredLookupCost(store *legodb.Store, m optimizer.CostModel, iters int) (float64, error) {
+	before := store.Measured()
+	for i := 0; i < iters; i++ {
+		for _, q := range driftLookups {
+			params := legodb.Params{}
+			for k, v := range q.params {
+				params[k] = v
+			}
+			if _, err := store.Query(q.text, params); err != nil {
+				return 0, err
+			}
+		}
+	}
+	d := store.Measured()
+	d.BytesRead -= before.BytesRead
+	d.TuplesRead -= before.TuplesRead
+	d.Probes -= before.Probes
+	d.Scans -= before.Scans
+	cost := m.SeekCost*float64(d.Scans) +
+		d.BytesRead/m.PageSize*m.PageIOCost +
+		float64(d.TuplesRead)*m.CPUTupleCost +
+		float64(d.Probes)*m.ProbeCost
+	return cost / float64(iters), nil
+}
+
+// runDrift measures the adaptation loop end to end. A store advised for
+// a publish workload (installed all-outlined) has its traffic flip to
+// point lookups; the drift controller detects the flip through the
+// hysteresis gates, re-advises in the background and migrates the store
+// live — table group by table group — while client goroutines keep
+// querying. Reported: the measured engine cost of the flipped workload
+// on the stale versus migrated configuration (post_migrate_cost_ratio,
+// < 1 is the win), the drift checks run, the cutover write-lock hold
+// time, and the p99 client latency observed while the re-advise and
+// migration were in flight.
+func runDrift(ctx context.Context, rep *report) error {
+	const (
+		shows     = 200
+		observeN  = 64
+		costIters = 5
+		clients   = 4
+	)
+	eng, err := legodb.New(imdb.SchemaText)
+	if err != nil {
+		return err
+	}
+	if err := eng.SetStatisticsText(imdb.StatsText); err != nil {
+		return err
+	}
+	if err := eng.AddQuery("publish", `FOR $v IN imdb/show RETURN $v`, 1); err != nil {
+		return err
+	}
+	baseline, err := eng.EvaluateFixed("all-outlined")
+	if err != nil {
+		return err
+	}
+	store, err := baseline.Open()
+	if err != nil {
+		return err
+	}
+	if err := store.Load(imdb.Generate(imdb.GenOptions{Shows: shows, Seed: 17})); err != nil {
+		return err
+	}
+	ctrl := adapt.New(eng, store, eng.Workload(), adapt.Config{
+		SearchTimeout:  30 * time.Second,
+		MaxEvaluations: 400,
+	})
+
+	// Phase 1: the declared workload. The controller sees no drift.
+	for i := 0; i < 8; i++ {
+		if _, err := store.Query(`FOR $v IN imdb/show RETURN $v`, nil); err != nil {
+			return err
+		}
+	}
+	if d, err := ctrl.Check(ctx, false); err != nil {
+		return err
+	} else if d.Migrated {
+		return fmt.Errorf("undrifted store migrated: %+v", d)
+	}
+
+	// Phase 2: the workload flips to lookups. Measure what the flipped
+	// traffic costs on the stale configuration.
+	for i := 0; i < observeN; i++ {
+		q := driftLookups[i%len(driftLookups)]
+		params := legodb.Params{}
+		for k, v := range q.params {
+			params[k] = v
+		}
+		if _, err := store.Query(q.text, params); err != nil {
+			return err
+		}
+	}
+	model := optimizer.DefaultModel()
+	staleCost, err := measuredLookupCost(store, model, costIters)
+	if err != nil {
+		return err
+	}
+
+	// Phase 3: the controller reacts while clients keep querying; their
+	// latencies across the re-advise + migration window bound the
+	// availability impact of the cutover.
+	var (
+		latMu     sync.Mutex
+		latencies []float64
+		clientErr atomic.Value
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := driftLookups[(c+i)%len(driftLookups)]
+				params := legodb.Params{}
+				for k, v := range q.params {
+					params[k] = v
+				}
+				qs := time.Now()
+				if _, err := store.Query(q.text, params); err != nil {
+					clientErr.Store(err)
+					return
+				}
+				latMu.Lock()
+				latencies = append(latencies, float64(time.Since(qs).Microseconds())/1000)
+				latMu.Unlock()
+			}
+		}(c)
+	}
+	dec, err := ctrl.Check(ctx, false)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	if e := clientErr.Load(); e != nil {
+		return fmt.Errorf("client failed during migration: %v", e)
+	}
+	if !dec.Migrated {
+		return fmt.Errorf("drifted store did not migrate: %+v", dec)
+	}
+
+	// Phase 4: the same flipped traffic on the migrated configuration.
+	newCost, err := measuredLookupCost(store, model, costIters)
+	if err != nil {
+		return err
+	}
+	if staleCost <= 0 {
+		return fmt.Errorf("measured stale cost is %v", staleCost)
+	}
+	ratio := newCost / staleCost
+
+	sort.Float64s(latencies)
+	pctl := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		return latencies[int(p*float64(len(latencies)-1))]
+	}
+	st := ctrl.Stats()
+	res := scenarioResult{
+		Name:     "drift",
+		Runs:     1,
+		Clients:  clients,
+		Searches: len(latencies),
+		P50Ms:    pctl(0.50),
+		P99Ms:    pctl(0.99),
+	}
+	rep.Scenarios = append(rep.Scenarios, res)
+	rep.Summary["drift_detect_checks"] = float64(st.Checks)
+	rep.Summary["drift_score"] = dec.Drift
+	rep.Summary["migrate_cutover_ms"] = float64(dec.Migration.Cutover.Microseconds()) / 1000
+	rep.Summary["migrate_cutover_p99_ms"] = res.P99Ms
+	rep.Summary["post_migrate_cost_ratio"] = ratio
+	fmt.Printf("drift: stale=%.1f migrated=%.1f cost units/pass (ratio %.3f), cutover %.2fms, client p99 %.2fms\n",
+		staleCost, newCost, ratio, rep.Summary["migrate_cutover_ms"], res.P99Ms)
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_search.json", "output file ('-' for stdout)")
 	runs := flag.Int("runs", 3, "runs per scenario (metrics are averaged)")
@@ -652,6 +855,12 @@ func main() {
 	if *only == "" || *only == "serve-load" {
 		if err := runServeLoad(ctx, &rep); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: serve-load: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *only == "" || *only == "drift" {
+		if err := runDrift(ctx, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: drift: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -98,13 +98,37 @@ func main() {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	fmt.Printf("\n%-40s %10s %10s\n", "summary", "old", "new")
+	fmt.Printf("\n%-40s %10s %10s %8s\n", "summary", "old", "new", "delta")
 	for _, k := range keys {
+		nv := cur.Summary[k]
 		ov, ok := old.Summary[k]
 		if !ok {
-			fmt.Printf("%-40s %10s %10.3f\n", k, "(new)", cur.Summary[k])
+			fmt.Printf("%-40s %10s %10.3f %8s %s\n", k, "(new)", nv, "", judge(k, nv))
 			continue
 		}
-		fmt.Printf("%-40s %10.3f %10.3f\n", k, ov, cur.Summary[k])
+		fmt.Printf("%-40s %10.3f %10.3f %8s %s\n", k, ov, nv, pct(ov, nv), judge(k, nv))
 	}
+}
+
+// judge annotates the adaptation-loop keys whose absolute value carries
+// meaning on its own (most summary keys are only meaningful as deltas):
+// post_migrate_cost_ratio must stay below 1 or the re-advise cycle
+// stopped paying for itself, and a cutover p99 in whole seconds means
+// migrations are blocking the serving path.
+func judge(key string, v float64) string {
+	switch key {
+	case "post_migrate_cost_ratio":
+		if v >= 1 {
+			return "!! re-advised config no cheaper than stale"
+		}
+	case "migrate_cutover_p99_ms":
+		if v >= 1000 {
+			return "!! cutover stalls clients"
+		}
+	case "drift_detect_checks":
+		if v == 0 {
+			return "!! drift scenario ran no checks"
+		}
+	}
+	return ""
 }

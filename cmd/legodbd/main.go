@@ -16,10 +16,20 @@
 //	POST /tenants/{t}/query          run an XQuery {"query": ..., "params": ...}
 //	POST /tenants/{t}/delete         DeleteWhere {"query": ..., "params": ...}
 //	POST /tenants/{t}/insert         InsertChild {..., "fragment": "<aka>x</aka>"}
+//	POST /tenants/{t}/readvise       adaptation check now: score drift, re-advise,
+//	                                 migrate live if the winner clears the margin
 //
 // With -demo N the server boots with an "imdb" tenant (cost-advised over
 // the embedded workload) preloaded with an N-show synthetic document, so
 // a bare binary is immediately curl-able.
+//
+// With -adapt D the server runs the adaptation loop: every D it compares
+// each tenant's observed workload (accumulated from served traffic)
+// against the one it was advised for, and when drift clears the
+// hysteresis threshold it re-runs the cost-based search in the
+// background and migrates the store live — table group by table group,
+// with serving blocked only for the final cutover swap — if the new
+// configuration's estimated cost wins by the margin.
 //
 // Exit codes: 0 clean drain, 1 runtime failure, 2 bad usage, 3 drain
 // forced by the -drain-timeout deadline.
@@ -63,6 +73,7 @@ func run() int {
 		perTenant    = flag.Int("tenant-inflight", 0, "per-tenant in-flight cap (0 = max-inflight)")
 		snapshot     = flag.String("snapshot", "", "cost-cache snapshot path: loaded at boot (corrupt files are quarantined), saved on drain")
 		demo         = flag.Int("demo", 0, "boot with an 'imdb' demo tenant preloaded with this many shows")
+		adaptEvery   = flag.Duration("adapt", 0, "adaptation check interval: re-advise and live-migrate tenants whose observed workload drifted (0 = manual /readvise only)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -79,6 +90,7 @@ func run() int {
 		DrainTimeout:      *drainTimeout,
 		PerTenantInflight: *perTenant,
 		SnapshotPath:      *snapshot,
+		AdaptInterval:     *adaptEvery,
 		Logger:            log,
 	})
 	if err != nil {

@@ -1,0 +1,219 @@
+// Package adapt closes the advisor loop: it watches a serving store's
+// observed workload, detects drift against the workload the store was
+// advised for, re-runs the budgeted anytime search in the background
+// when drift clears a hysteresis threshold, and migrates the store live
+// when the winning configuration beats the installed one by a
+// configurable cost margin.
+//
+// The controller runs entirely off the serving path. Observation is
+// lock-free with respect to serving (the store records shapes outside
+// its readers-writer lock), the search runs against a snapshot of the
+// observed workload through the engine's shared cost cache, and the
+// migration only contends with traffic for one write-lock cutover swap.
+//
+// Hysteresis has two gates so noise never triggers churn: a minimum
+// observation count (a handful of requests is not a workload) and a
+// drift threshold (total variation distance in [0, 1]). Even past both
+// gates, nothing migrates unless the re-advised configuration's
+// estimated cost beats the installed configuration's — priced under the
+// *observed* workload — by the margin.
+package adapt
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"legodb"
+	"legodb/internal/core"
+	"legodb/internal/xquery"
+)
+
+// Config tunes a Controller; the zero value uses the defaults noted per
+// field.
+type Config struct {
+	// DriftThreshold is the minimum drift score (total variation
+	// distance, [0, 1]) before a re-advise is considered (default 0.25).
+	DriftThreshold float64
+	// MinObservations is the minimum number of recorded observations
+	// before drift is acted on (default 32).
+	MinObservations uint64
+	// CostMargin is the fraction by which a re-advised configuration's
+	// estimated cost must beat the installed one before migrating
+	// (default 0.05).
+	CostMargin float64
+	// SearchTimeout bounds the background search's wall-clock time; the
+	// anytime search returns its best-so-far on expiry (default 5s).
+	SearchTimeout time.Duration
+	// MaxEvaluations bounds the candidate configurations the background
+	// search costs (0 = unbounded).
+	MaxEvaluations int
+	// TablesPerGroup is the migration's table-group size (0 = migrator
+	// default).
+	TablesPerGroup int
+	// Documents overrides the stored document count used for costing
+	// (0 = derive from the store).
+	Documents float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 0.25
+	}
+	if c.MinObservations == 0 {
+		c.MinObservations = 32
+	}
+	if c.CostMargin <= 0 {
+		c.CostMargin = 0.05
+	}
+	if c.SearchTimeout <= 0 {
+		c.SearchTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Controller binds one engine/store pair into an adaptation loop.
+// Check is safe to call concurrently with serving traffic; concurrent
+// Check calls serialize against each other (one background re-advise at
+// a time).
+type Controller struct {
+	cfg   Config
+	eng   *legodb.Engine
+	store *legodb.Store
+
+	mu       sync.Mutex // serializes Check; guards baseline
+	baseline *xquery.Workload
+
+	checks     atomic.Uint64
+	readvises  atomic.Uint64
+	migrations atomic.Uint64
+	driftBits  atomic.Uint64 // math.Float64bits of the last drift score
+}
+
+// New builds a controller. advised is the workload the store's current
+// configuration was chosen for — the drift baseline; after a successful
+// migration the baseline resets to the observed workload that won.
+func New(eng *legodb.Engine, store *legodb.Store, advised *xquery.Workload, cfg Config) *Controller {
+	if advised == nil {
+		advised = &xquery.Workload{}
+	}
+	return &Controller{cfg: cfg.withDefaults(), eng: eng, store: store, baseline: advised.Copy()}
+}
+
+// Decision reports one Check outcome.
+type Decision struct {
+	// Drift is the drift score between the baseline and observed
+	// workloads at check time.
+	Drift float64
+	// Observations is the store's total recorded observation count.
+	Observations uint64
+	// ReAdvised is true when the background search ran.
+	ReAdvised bool
+	// Migrated is true when the store was migrated to a new
+	// configuration.
+	Migrated bool
+	// CurrentCost and NewCost are the estimated costs of the installed
+	// and re-advised configurations under the observed workload (set
+	// when ReAdvised).
+	CurrentCost float64
+	NewCost     float64
+	// Reason says what the check concluded.
+	Reason string
+	// Migration carries the migration report when Migrated.
+	Migration *legodb.MigrateReport
+}
+
+// Check runs one control-loop pass: score drift, and when the hysteresis
+// gates open (or force is true, the manual-trigger path), re-advise
+// against the observed workload and migrate if the winner clears the
+// cost margin. force bypasses the observation-count and drift gates but
+// never the cost margin — a manual trigger still refuses a migration
+// that would not pay.
+func (c *Controller) Check(ctx context.Context, force bool) (Decision, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.checks.Add(1)
+	observed, n := c.store.ObservedWorkload()
+	drift := core.DriftScore(c.baseline, observed)
+	c.driftBits.Store(math.Float64bits(drift))
+	d := Decision{Drift: drift, Observations: n}
+	if len(observed.Entries) == 0 && len(observed.Updates) == 0 {
+		d.Reason = "no observed traffic"
+		return d, nil
+	}
+	if !force {
+		if n < c.cfg.MinObservations {
+			d.Reason = "too few observations"
+			return d, nil
+		}
+		if drift < c.cfg.DriftThreshold {
+			d.Reason = "drift below threshold"
+			return d, nil
+		}
+	}
+	docs := c.cfg.Documents
+	if docs == 0 {
+		docs = float64(c.store.Documents())
+	}
+	if docs == 0 {
+		docs = 1
+	}
+	current, err := c.store.EstimatedCost(c.eng, observed, docs)
+	if err != nil {
+		return d, err
+	}
+	d.CurrentCost = current
+	advice, err := c.eng.AdviseWorkload(ctx, observed, legodb.AdviseOptions{
+		Timeout:        c.cfg.SearchTimeout,
+		MaxEvaluations: c.cfg.MaxEvaluations,
+		Documents:      docs,
+	})
+	if err != nil {
+		return d, err
+	}
+	c.readvises.Add(1)
+	d.ReAdvised = true
+	d.NewCost = advice.Cost()
+	if advice.Cost() >= current*(1-c.cfg.CostMargin) {
+		d.Reason = "re-advised configuration does not clear the cost margin"
+		return d, nil
+	}
+	if advice.PSchema() == c.store.PSchema() {
+		d.Reason = "re-advised configuration already installed"
+		return d, nil
+	}
+	rep, err := c.store.MigrateTo(advice, legodb.MigrateOptions{TablesPerGroup: c.cfg.TablesPerGroup})
+	if err != nil {
+		// The migration aborted; the old image is intact and serving.
+		d.Reason = "migration aborted"
+		return d, err
+	}
+	c.migrations.Add(1)
+	d.Migrated = true
+	d.Migration = rep
+	d.Reason = "migrated"
+	// The store now serves the configuration advised for this observed
+	// workload: it becomes the new drift baseline.
+	c.baseline = observed
+	return d, nil
+}
+
+// Stats snapshots the controller's counters.
+type Stats struct {
+	Checks     uint64
+	ReAdvises  uint64
+	Migrations uint64
+	LastDrift  float64
+}
+
+// Stats is safe to call concurrently with Check.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Checks:     c.checks.Load(),
+		ReAdvises:  c.readvises.Load(),
+		Migrations: c.migrations.Load(),
+		LastDrift:  math.Float64frombits(c.driftBits.Load()),
+	}
+}

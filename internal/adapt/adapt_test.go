@@ -1,0 +1,226 @@
+package adapt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"legodb"
+	"legodb/internal/faults"
+	"legodb/internal/imdb"
+	"legodb/internal/xquery"
+)
+
+const (
+	lookupQ  = `FOR $v IN imdb/show WHERE $v/year = c1 RETURN $v/title, $v/year`
+	publishQ = `FOR $v IN imdb/show RETURN $v`
+)
+
+// fixture opens an all-inlined store (advised baseline: the publish
+// workload) and returns the engine, store and a ready controller.
+func fixture(t *testing.T, cfg Config) (*legodb.Engine, *legodb.Store, *Controller) {
+	t.Helper()
+	eng, err := legodb.New(imdb.SchemaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetStatisticsText(imdb.StatsText); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddQuery("pub", publishQ, 1); err != nil {
+		t.Fatal(err)
+	}
+	advice, err := eng.EvaluateFixed("all-inlined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := advice.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Load(imdb.Generate(imdb.GenOptions{Shows: 30, Seed: 11})); err != nil {
+		t.Fatal(err)
+	}
+	baseline := (&xquery.Workload{}).Add(xquery.MustParse(publishQ), 1)
+	return eng, store, New(eng, store, baseline, cfg)
+}
+
+func serveLookups(t *testing.T, store *legodb.Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := store.Query(lookupQ, legodb.Params{"c1": fmt.Sprint(1990 + i%20)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCheckGates walks the hysteresis ladder: no traffic, too few
+// observations, drift below threshold — none may reach the search.
+func TestCheckGates(t *testing.T) {
+	_, store, ctrl := fixture(t, Config{})
+
+	d, err := ctrl.Check(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ReAdvised || d.Reason != "no observed traffic" {
+		t.Errorf("idle check: %+v", d)
+	}
+
+	serveLookups(t, store, 5) // drifted, but below MinObservations
+	d, err = ctrl.Check(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ReAdvised || d.Reason != "too few observations" {
+		t.Errorf("sparse check: %+v", d)
+	}
+	if d.Drift != 1 {
+		t.Errorf("disjoint traffic drift = %v, want 1", d.Drift)
+	}
+
+	// Flood with the baseline's own shape: plenty of observations, no
+	// drift (the lookups fade to a small minority share).
+	for i := 0; i < 200; i++ {
+		if _, err := store.Query(publishQ, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err = ctrl.Check(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ReAdvised || d.Reason != "drift below threshold" {
+		t.Errorf("stable check: %+v", d)
+	}
+	if d.Drift >= 0.25 {
+		t.Errorf("stable traffic drift = %v", d.Drift)
+	}
+	if s := ctrl.Stats(); s.Checks != 3 || s.ReAdvises != 0 || s.Migrations != 0 {
+		t.Errorf("stats after gated checks: %+v", s)
+	}
+}
+
+// TestCheckMigratesOnDrift drives drifted traffic past the gates and
+// expects the full loop: re-advise, margin cleared, live migration,
+// baseline reset (so the next check is quiet).
+func TestCheckMigratesOnDrift(t *testing.T) {
+	_, store, ctrl := fixture(t, Config{})
+	prePS := store.PSchema()
+	serveLookups(t, store, 64)
+
+	d, err := ctrl.Check(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ReAdvised {
+		t.Fatalf("drifted check did not re-advise: %+v", d)
+	}
+	if !d.Migrated {
+		t.Fatalf("re-advised configuration did not migrate (reason %q, cost %v -> %v)",
+			d.Reason, d.CurrentCost, d.NewCost)
+	}
+	if d.NewCost >= d.CurrentCost {
+		t.Errorf("migrated without a cost win: %v -> %v", d.CurrentCost, d.NewCost)
+	}
+	if d.Migration == nil || d.Migration.Groups == 0 {
+		t.Errorf("missing migration report: %+v", d.Migration)
+	}
+	if store.PSchema() == prePS {
+		t.Error("store still serves the old configuration")
+	}
+	// Queries keep working on the migrated image.
+	serveLookups(t, store, 4)
+
+	// The observed workload that won is the new baseline: an immediate
+	// re-check under the same traffic must be quiet.
+	d, err = ctrl.Check(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ReAdvised || d.Migrated {
+		t.Errorf("post-migration check churned: %+v", d)
+	}
+	if s := ctrl.Stats(); s.Migrations != 1 || s.ReAdvises != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+// TestForceBypassesGatesNotMargin: a forced check on a store already
+// serving the configuration advised for its traffic must re-advise but
+// refuse to migrate.
+func TestForceBypassesGatesNotMargin(t *testing.T) {
+	eng, store, ctrl := fixture(t, Config{})
+	serveLookups(t, store, 64)
+	// First forced check migrates to the lookup-advised configuration.
+	d, err := ctrl.Check(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Migrated {
+		t.Fatalf("forced check on drifted store did not migrate: %+v", d)
+	}
+	// Second forced check: same traffic, config already optimal for it.
+	serveLookups(t, store, 8)
+	d, err = ctrl.Check(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ReAdvised {
+		t.Errorf("force must always reach the search: %+v", d)
+	}
+	if d.Migrated {
+		t.Errorf("forced check migrated without a margin win: %+v", d)
+	}
+	if !strings.Contains(d.Reason, "margin") && !strings.Contains(d.Reason, "already installed") {
+		t.Errorf("unexpected reason %q", d.Reason)
+	}
+	_ = eng
+}
+
+// TestForcedCheckWithNoTraffic stays quiet even under force: there is
+// nothing to advise against.
+func TestForcedCheckWithNoTraffic(t *testing.T) {
+	_, _, ctrl := fixture(t, Config{})
+	d, err := ctrl.Check(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ReAdvised || d.Reason != "no observed traffic" {
+		t.Errorf("forced idle check: %+v", d)
+	}
+}
+
+// TestCheckSurvivesAbortedMigration: an injected migration fault surfaces
+// as an error, the store keeps serving the old configuration, and the
+// migration counter stays put.
+func TestCheckSurvivesAbortedMigration(t *testing.T) {
+	_, store, ctrl := fixture(t, Config{})
+	prePS := store.PSchema()
+	serveLookups(t, store, 64)
+
+	defer faults.Enable(faults.SiteMigrate, 1, false)()
+	d, err := ctrl.Check(context.Background(), false)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("want injected fault, got %v (decision %+v)", err, d)
+	}
+	if d.Migrated || d.Reason != "migration aborted" {
+		t.Errorf("decision after aborted migration: %+v", d)
+	}
+	if store.PSchema() != prePS {
+		t.Error("aborted migration changed the configuration")
+	}
+	if s := ctrl.Stats(); s.Migrations != 0 {
+		t.Errorf("aborted migration counted: %+v", s)
+	}
+	// The fault is spent: the next check completes the migration.
+	d, err = ctrl.Check(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Migrated {
+		t.Errorf("retry after aborted migration: %+v", d)
+	}
+}

@@ -48,6 +48,11 @@ const (
 	// before dispatch; hook mode holds an admitted request in flight for
 	// drain and saturation tests.
 	SiteServe = "server.serve"
+	// SiteMigrate fires in Store.MigrateTo before each table-group
+	// rebuild and once more immediately before the cutover swap; arming
+	// it aborts a live migration mid-flight, proving the old image stays
+	// intact and serving.
+	SiteMigrate = "store.migrate"
 )
 
 // ErrInjected is the error returned (wrapped) by error-mode failpoints.

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"legodb/internal/faults"
+	"legodb/internal/imdb"
+)
+
+// driftedServer builds a server whose "imdb" tenant serves under the
+// all-outlined baseline (declared workload: whole-element publish) and
+// then pushes lookup traffic through the query endpoint — maximal
+// drift, and a configuration the re-advisor will certainly beat.
+func driftedServer(t *testing.T, cfg Config, lookups int) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = quietLogger()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	spec := TenantSpec{
+		Name:   "imdb",
+		Schema: imdb.SchemaText,
+		Stats:  imdb.StatsText,
+		Config: "all-outlined",
+		Queries: []TenantQuery{
+			{Name: "publish", Text: `FOR $v IN imdb/show RETURN $v`, Weight: 1},
+		},
+	}
+	if err := s.AddTenant(context.Background(), spec); err != nil {
+		t.Fatalf("AddTenant: %v", err)
+	}
+	if err := s.LoadDocument("imdb", imdb.Generate(imdb.GenOptions{Shows: 30, Seed: 7})); err != nil {
+		t.Fatalf("LoadDocument: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	for i := 0; i < lookups; i++ {
+		resp, b := postQuery(t, ts.URL, lookupQuery, map[string]string{"c1": fmt.Sprint(1990 + i%20)}, 0)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("lookup %d = %d: %s", i, resp.StatusCode, b)
+		}
+	}
+	return s, ts
+}
+
+func postReadvise(t *testing.T, base string, body string) (int, readviseResponse) {
+	t.Helper()
+	resp, err := http.Post(base+"/tenants/imdb/readvise", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST readvise: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var out readviseResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("readvise response %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+// TestReadviseEndpointMigrates drives the whole loop over HTTP: drifted
+// traffic, then a manual /readvise that must re-advise, migrate live,
+// and report the new configuration in /stats.
+func TestReadviseEndpointMigrates(t *testing.T) {
+	s, ts := driftedServer(t, Config{}, 40)
+
+	code, dec := postReadvise(t, ts.URL, `{}`)
+	if code != http.StatusOK {
+		t.Fatalf("readvise = %d", code)
+	}
+	if !dec.ReAdvised || !dec.Migrated {
+		t.Fatalf("manual readvise did not migrate: %+v", dec)
+	}
+	if dec.Drift != 1 {
+		t.Errorf("disjoint traffic drift = %v, want 1", dec.Drift)
+	}
+	if dec.NewCost >= dec.CurrentCost {
+		t.Errorf("migrated without a cost win: %v -> %v", dec.CurrentCost, dec.NewCost)
+	}
+	if dec.Groups == 0 {
+		t.Errorf("no migration report: %+v", dec)
+	}
+
+	// The migrated tenant keeps serving.
+	resp, b := postQuery(t, ts.URL, lookupQuery, map[string]string{"c1": "1995"}, 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after migration = %d: %s", resp.StatusCode, b)
+	}
+
+	st := s.StatsSnapshot().Tenants["imdb"]
+	if st.DriftChecks != 1 || st.ReAdvises != 1 || st.Migrations != 1 {
+		t.Errorf("adaptation counters: %+v", st)
+	}
+	if st.LastDrift != 1 {
+		t.Errorf("last_drift = %v", st.LastDrift)
+	}
+}
+
+// TestReadviseRespectsGatesWithoutForce: force=false runs the hysteresis
+// gates — with traffic below MinObservations nothing happens.
+func TestReadviseRespectsGatesWithoutForce(t *testing.T) {
+	_, ts := driftedServer(t, Config{}, 5)
+	code, dec := postReadvise(t, ts.URL, `{"force": false}`)
+	if code != http.StatusOK {
+		t.Fatalf("readvise = %d", code)
+	}
+	if dec.ReAdvised || dec.Migrated {
+		t.Fatalf("gated readvise acted: %+v", dec)
+	}
+	if dec.Reason != "too few observations" {
+		t.Errorf("reason = %q", dec.Reason)
+	}
+}
+
+// TestReadviseSurvivesInjectedMigrationFault: the endpoint surfaces the
+// abort as an execution error and the tenant keeps serving the old
+// configuration.
+func TestReadviseSurvivesInjectedMigrationFault(t *testing.T) {
+	s, ts := driftedServer(t, Config{}, 40)
+	defer faults.Enable(faults.SiteMigrate, 1, false)()
+
+	code, _ := postReadvise(t, ts.URL, `{}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("readvise with injected fault = %d, want 500", code)
+	}
+	if st := s.StatsSnapshot().Tenants["imdb"]; st.Migrations != 0 {
+		t.Errorf("aborted migration counted: %+v", st)
+	}
+	resp, b := postQuery(t, ts.URL, lookupQuery, map[string]string{"c1": "1995"}, 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after aborted migration = %d: %s", resp.StatusCode, b)
+	}
+	// The fault is spent; the retry completes.
+	code, dec := postReadvise(t, ts.URL, `{}`)
+	if code != http.StatusOK || !dec.Migrated {
+		t.Fatalf("retry readvise = %d, %+v", code, dec)
+	}
+}
+
+// TestAdaptTickMigratesDriftedTenant drives the auto-mode loop body
+// directly: one tick over a drifted tenant must migrate it under the
+// default gates, and a second tick must be quiet.
+func TestAdaptTickMigratesDriftedTenant(t *testing.T) {
+	s, _ := driftedServer(t, Config{}, 40)
+
+	s.AdaptTick(context.Background())
+	st := s.StatsSnapshot().Tenants["imdb"]
+	if st.Migrations != 1 {
+		t.Fatalf("tick did not migrate: %+v", st)
+	}
+	s.AdaptTick(context.Background())
+	st = s.StatsSnapshot().Tenants["imdb"]
+	if st.Migrations != 1 || st.DriftChecks != 2 {
+		t.Errorf("second tick churned: %+v", st)
+	}
+}
+
+// TestShedRetryAfterJitter saturates the server and samples shed
+// responses: every Retry-After hint must be an integer in [1, 3], and
+// across enough samples more than one value must appear — synchronized
+// client retry stampedes are the failure mode being prevented.
+func TestShedRetryAfterJitter(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 1, QueueDepth: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	restore := faults.EnableHook(faults.SiteServe, 1, func() {
+		close(entered)
+		<-gate
+	})
+	defer restore()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postQuery(t, ts.URL, lookupQuery, map[string]string{"c1": "1999"}, 0)
+	}()
+	<-entered
+
+	seen := map[int]bool{}
+	for i := 0; i < 24; i++ {
+		resp, b := postQuery(t, ts.URL, lookupQuery, map[string]string{"c1": "1999"}, 0)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("saturated query %d = %d: %s", i, resp.StatusCode, b)
+		}
+		ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("Retry-After %q is not an integer: %v", resp.Header.Get("Retry-After"), err)
+		}
+		if ra < 1 || ra > 3 {
+			t.Fatalf("Retry-After = %d, want [1, 3]", ra)
+		}
+		seen[ra] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("24 shed responses all carried the same hint %v — no jitter", seen)
+	}
+	close(gate)
+	wg.Wait()
+}

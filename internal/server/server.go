@@ -43,15 +43,18 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"legodb"
+	"legodb/internal/adapt"
 	"legodb/internal/faults"
 	"legodb/internal/xmltree"
 )
@@ -85,6 +88,16 @@ type Config struct {
 	// AdviseIterations bounds the greedy search run when a tenant is
 	// created with an advised configuration (default 3).
 	AdviseIterations int
+	// AdaptInterval enables the adaptation auto mode: every interval,
+	// each tenant's controller checks observed-workload drift and — when
+	// the hysteresis gates open and a cheaper configuration is found —
+	// migrates the store live. 0 disables the loop; POST
+	// /tenants/{t}/readvise triggers a check manually either way.
+	AdaptInterval time.Duration
+	// Adapt tunes the per-tenant adaptation controllers (drift
+	// threshold, cost margin, search budget); the zero value uses the
+	// adapt package defaults.
+	Adapt adapt.Config
 	// Logger receives structured serving logs (default: text to stderr).
 	Logger *slog.Logger
 }
@@ -117,11 +130,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// tenant is one resident engine+store pair.
+// tenant is one resident engine+store pair with its adaptation
+// controller.
 type tenant struct {
 	name     string
 	eng      *legodb.Engine
 	store    *legodb.Store
+	ctrl     *adapt.Controller
 	inflight atomic.Int64
 	served   atomic.Int64
 	shed     atomic.Int64
@@ -196,6 +211,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /tenants/{tenant}/query", s.tenantFunc((*Server).handleQuery))
 	mux.HandleFunc("POST /tenants/{tenant}/delete", s.tenantFunc((*Server).handleDelete))
 	mux.HandleFunc("POST /tenants/{tenant}/insert", s.tenantFunc((*Server).handleInsert))
+	mux.HandleFunc("POST /tenants/{tenant}/readvise", s.tenantFunc((*Server).handleReadvise))
 	s.mux = mux
 	return s, nil
 }
@@ -286,7 +302,14 @@ func (s *Server) AddTenant(ctx context.Context, spec TenantSpec) error {
 	if err != nil {
 		return fmt.Errorf("server: tenant %q: %w", spec.Name, err)
 	}
-	tn := &tenant{name: spec.Name, eng: eng, store: store}
+	tn := &tenant{
+		name:  spec.Name,
+		eng:   eng,
+		store: store,
+		// The declared workload the configuration was just chosen for is
+		// the controller's drift baseline.
+		ctrl: adapt.New(eng, store, eng.Workload(), s.cfg.Adapt),
+	}
 	s.tmu.Lock()
 	defer s.tmu.Unlock()
 	if _, dup := s.tenants[spec.Name]; dup {
@@ -427,12 +450,18 @@ func (s *Server) bounceDraining(w http.ResponseWriter) {
 	writeJSON(w, http.StatusServiceUnavailable, errBody{Error: "draining"})
 }
 
+// shedRetryAfterMax bounds the jittered Retry-After hint (seconds).
+const shedRetryAfterMax = 3
+
 func (s *Server) shedReq(w http.ResponseWriter, tn *tenant) {
 	s.shed.Add(1)
 	if tn != nil {
 		tn.shed.Add(1)
 	}
-	w.Header().Set("Retry-After", "1")
+	// Jitter the retry hint across [1, shedRetryAfterMax] so the clients
+	// shed at a saturation spike do not all stampede back in the same
+	// second and re-create the spike they were shed from.
+	w.Header().Set("Retry-After", strconv.Itoa(1+rand.Intn(shedRetryAfterMax)))
 	writeJSON(w, http.StatusTooManyRequests, errBody{Error: "overloaded; retry with backoff"})
 }
 
@@ -512,6 +541,12 @@ type TenantStats struct {
 	Tables   int               `json:"tables"`
 	Rows     int               `json:"rows"`
 	Cache    legodb.CacheStats `json:"cache"`
+	// Adaptation-loop counters: drift checks run, background
+	// re-advises, live migrations completed, and the last drift score.
+	DriftChecks uint64  `json:"drift_checks"`
+	ReAdvises   uint64  `json:"readvises"`
+	Migrations  uint64  `json:"migrations"`
+	LastDrift   float64 `json:"last_drift"`
 }
 
 // Stats is the /stats payload: serving counters, the fleet registry's
@@ -549,14 +584,19 @@ func (s *Server) StatsSnapshot() Stats {
 	s.tmu.RLock()
 	defer s.tmu.RUnlock()
 	for name, tn := range s.tenants {
+		ad := tn.ctrl.Stats()
 		st.Tenants[name] = TenantStats{
-			Ready:    tn.eng.Ready(),
-			Inflight: tn.inflight.Load(),
-			Served:   tn.served.Load(),
-			Shed:     tn.shed.Load(),
-			Tables:   len(tn.store.Tables()),
-			Rows:     tn.store.TotalRows(),
-			Cache:    tn.eng.CacheStats(),
+			Ready:       tn.eng.Ready(),
+			Inflight:    tn.inflight.Load(),
+			Served:      tn.served.Load(),
+			Shed:        tn.shed.Load(),
+			Tables:      len(tn.store.Tables()),
+			Rows:        tn.store.TotalRows(),
+			Cache:       tn.eng.CacheStats(),
+			DriftChecks: ad.Checks,
+			ReAdvises:   ad.ReAdvises,
+			Migrations:  ad.Migrations,
+			LastDrift:   ad.LastDrift,
 		}
 	}
 	return st
@@ -683,6 +723,112 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request, tn *tenant
 	writeJSON(w, http.StatusOK, map[string]any{"inserted": n})
 }
 
+// readviseRequest is the /readvise body (optional). Force defaults to
+// true — a manual trigger means "check now", bypassing the
+// observation-count and drift gates (the cost margin still applies:
+// nothing migrates unless the re-advised configuration actually wins).
+type readviseRequest struct {
+	Force *bool `json:"force,omitempty"`
+}
+
+// readviseResponse mirrors adapt.Decision over the wire.
+type readviseResponse struct {
+	Drift        float64 `json:"drift"`
+	Observations uint64  `json:"observations"`
+	ReAdvised    bool    `json:"readvised"`
+	Migrated     bool    `json:"migrated"`
+	CurrentCost  float64 `json:"current_cost,omitempty"`
+	NewCost      float64 `json:"new_cost,omitempty"`
+	Reason       string  `json:"reason"`
+	CutoverMs    float64 `json:"cutover_ms,omitempty"`
+	Groups       int     `json:"groups,omitempty"`
+	Restarts     int     `json:"restarts,omitempty"`
+}
+
+func (s *Server) handleReadvise(w http.ResponseWriter, r *http.Request, tn *tenant) {
+	req := readviseRequest{}
+	if r.ContentLength > 0 && !decodeJSON(w, r, &req) {
+		return
+	}
+	force := true
+	if req.Force != nil {
+		force = *req.Force
+	}
+	// The check runs under the client's context (not the data-plane
+	// deadline): the background search budget is the adapt config's,
+	// and a dropped client cancels it.
+	dec, err := tn.ctrl.Check(r.Context(), force)
+	if err != nil {
+		s.writeExecError(w, r, err)
+		return
+	}
+	tn.served.Add(1)
+	s.served.Add(1)
+	resp := readviseResponse{
+		Drift:        dec.Drift,
+		Observations: dec.Observations,
+		ReAdvised:    dec.ReAdvised,
+		Migrated:     dec.Migrated,
+		CurrentCost:  dec.CurrentCost,
+		NewCost:      dec.NewCost,
+		Reason:       dec.Reason,
+	}
+	if dec.Migration != nil {
+		resp.CutoverMs = float64(dec.Migration.Cutover.Microseconds()) / 1000
+		resp.Groups = dec.Migration.Groups
+		resp.Restarts = dec.Migration.Restarts
+	}
+	if dec.Migrated {
+		s.log.Info("tenant migrated", "tenant", tn.name, "drift", dec.Drift,
+			"current_cost", dec.CurrentCost, "new_cost", dec.NewCost,
+			"cutover", dec.Migration.Cutover)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AdaptTick runs one adaptation check for every tenant (the auto-mode
+// loop body, exported so tests and harnesses can drive it
+// deterministically). Checks run with force=false: the hysteresis gates
+// decide. Errors are logged, never fatal — a failed or aborted check
+// leaves the tenant serving its current image.
+func (s *Server) AdaptTick(ctx context.Context) {
+	s.tmu.RLock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, tn := range s.tenants {
+		tenants = append(tenants, tn)
+	}
+	s.tmu.RUnlock()
+	for _, tn := range tenants {
+		dec, err := tn.ctrl.Check(ctx, false)
+		if err != nil {
+			s.log.Error("adapt check failed", "tenant", tn.name, "error", err)
+			continue
+		}
+		if dec.Migrated {
+			s.log.Info("tenant migrated", "tenant", tn.name, "drift", dec.Drift,
+				"current_cost", dec.CurrentCost, "new_cost", dec.NewCost,
+				"cutover", dec.Migration.Cutover)
+		}
+	}
+}
+
+// adaptLoop ticks AdaptTick every AdaptInterval until ctx is cancelled.
+func (s *Server) adaptLoop(ctx context.Context) {
+	t := time.NewTicker(s.cfg.AdaptInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if s.isDraining() {
+				return
+			}
+			s.AdaptTick(ctx)
+		}
+	}
+}
+
 // writeExecError maps an execution failure to a structured response:
 // deadline → 504 (counted), client cancellation → log only (the
 // connection is gone), anything else → 500 with the error text.
@@ -780,6 +926,9 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+	if s.cfg.AdaptInterval > 0 {
+		go s.adaptLoop(ctx)
+	}
 	select {
 	case err := <-serveErr:
 		return fmt.Errorf("server: serve: %w", err)

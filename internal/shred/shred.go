@@ -25,6 +25,15 @@ type Shredder struct {
 	Schema *xschema.Schema
 	Cat    *relational.Catalog
 	DB     *engine.Database
+
+	// Restrict, when non-nil, limits materialization to the named
+	// tables: rows destined for any other table are matched and id'd but
+	// not inserted. Because every instance still burns its table's
+	// NextID, ids assigned under any restriction are identical to an
+	// unrestricted shred of the same documents in the same order — the
+	// property live migration relies on to rebuild a store
+	// table-group-by-table-group across separate passes.
+	Restrict map[string]bool
 }
 
 // New builds a shredder over schema, catalog and database (all three must
@@ -363,8 +372,10 @@ func (sh *Shredder) insertRow(typeName string, pieces []piece, parentTable strin
 		}
 		row[ci] = v
 	}
-	if err := table.Insert(row); err != nil {
-		return 0, err
+	if sh.Restrict == nil || sh.Restrict[tableName] {
+		if err := table.Insert(row); err != nil {
+			return 0, err
+		}
 	}
 	for _, c := range children {
 		switch {

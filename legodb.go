@@ -311,6 +311,14 @@ func (e *Engine) AddUpdate(name, text string, weight float64) error {
 	return nil
 }
 
+// Workload returns a copy of the engine's declared workload (the drift
+// baseline an adaptation controller starts from).
+func (e *Engine) Workload() *xquery.Workload {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.workload.Copy()
+}
+
 // Strategy selects a search strategy for Advise.
 type Strategy = core.Strategy
 
@@ -386,13 +394,27 @@ func (e *Engine) Advise(opts AdviseOptions) (*Advice, error) {
 // returned, with Advice.Report() saying why the search stopped. An
 // error is returned only when no configuration was costed at all.
 func (e *Engine) AdviseContext(ctx context.Context, opts AdviseOptions) (*Advice, error) {
+	e.mu.Lock()
+	w := e.workload.Copy()
+	e.mu.Unlock()
+	return e.AdviseWorkload(ctx, w, opts)
+}
+
+// AdviseWorkload is AdviseContext against a supplied workload instead of
+// the engine's declared one — the adaptation loop's re-advising seam: a
+// store's observed workload is searched with the engine's schema,
+// statistics and shared cost cache, without disturbing the declared
+// workload. Cache keys include the workload digest, so costings for
+// different workloads never cross-hit.
+func (e *Engine) AdviseWorkload(ctx context.Context, w *xquery.Workload, opts AdviseOptions) (*Advice, error) {
 	// Snapshot the description so setters racing this search cannot
 	// corrupt it mid-flight: the workload slices are copied (the parsed
 	// queries inside are immutable), and schema/stats pointers are only
 	// ever replaced wholesale by setters, never mutated in place.
 	e.mu.Lock()
-	schema, stats, workload, cache := e.schema, e.stats, e.workload.Copy(), e.cache
+	schema, stats, cache := e.schema, e.stats, e.cache
 	e.mu.Unlock()
+	workload := w.Copy()
 	if len(workload.Entries) == 0 && len(workload.Updates) == 0 {
 		return nil, fmt.Errorf("legodb: add at least one workload query before Advise")
 	}

@@ -25,12 +25,16 @@ func (s *Store) DeleteWhere(text string, params Params) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Translate under the lock: a live migration may swap the catalog,
+	// and target blocks must execute against the catalog they were
+	// translated for.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	targets, err := xquery.TranslateTargets(q, s.schema, s.catalog)
 	if err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mutEpoch++
 	deleted := 0
 	for _, tgt := range targets {
 		rs, err := s.db.ExecuteBlock(tgt.Block, params.forBlocks(s.catalog, tgt.Block))
@@ -49,6 +53,7 @@ func (s *Store) DeleteWhere(text string, params Params) (int, error) {
 			deleted += n
 		}
 	}
+	s.observeMutation(q, xquery.DeleteUpdate, "")
 	return deleted, nil
 }
 
@@ -69,12 +74,13 @@ func (s *Store) InsertChild(parentQuery string, params Params, fragmentXML strin
 	if err != nil {
 		return 0, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	targets, err := xquery.TranslateTargets(q, s.schema, s.catalog)
 	if err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mutEpoch++
 	inserted := 0
 	for _, tgt := range targets {
 		rs, err := s.db.ExecuteBlock(tgt.Block, params.forBlocks(s.catalog, tgt.Block))
@@ -88,5 +94,47 @@ func (s *Store) InsertChild(parentQuery string, params Params, fragmentXML strin
 			inserted++
 		}
 	}
+	s.observeMutation(q, xquery.InsertUpdate, fragment.Name)
 	return inserted, nil
+}
+
+// observeMutation records a mutation's shape in the observed workload as
+// an update operation: the target query's RETURN path expanded to a
+// document-rooted path (plus the inserted child's name for inserts).
+// Mutations whose target cannot be expanded — which TranslateTargets
+// would have rejected anyway — are simply not recorded.
+func (s *Store) observeMutation(q *xquery.Query, kind xquery.UpdateKind, child string) {
+	if len(q.Return) != 1 || q.Return[0].Path == nil {
+		return
+	}
+	path, ok := docPath(q, *q.Return[0].Path)
+	if !ok {
+		return
+	}
+	if child != "" {
+		path.Steps = append(path.Steps, child)
+	}
+	s.obs.observeUpdate(&xquery.Update{Kind: kind, Path: path})
+}
+
+// docPath expands a variable-rooted path to a document-rooted one by
+// splicing in the binding chain ($e IN $v/episode, $v IN imdb/show
+// makes $e/title into imdb/show/episode/title).
+func docPath(q *xquery.Query, p xquery.Path) (xquery.Path, bool) {
+	steps := append([]string(nil), p.Steps...)
+	for v := p.Var; v != ""; {
+		found := false
+		for _, b := range q.Bindings {
+			if b.Var == v {
+				steps = append(append([]string(nil), b.Path.Steps...), steps...)
+				v = b.Path.Var
+				found = true
+				break
+			}
+		}
+		if !found {
+			return xquery.Path{}, false
+		}
+	}
+	return xquery.Path{Steps: steps}, true
 }

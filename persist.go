@@ -1,8 +1,12 @@
 package legodb
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -15,8 +19,35 @@ import (
 // the catalog re-derives via the fixed mapping) and every relation's
 // rows, so an advised-and-loaded store can be saved and reopened without
 // re-running the search or re-shredding documents.
+//
+// Snapshots are framed with the in-house header (the cost-cache
+// snapshot idiom): magic, version, table count, payload length and a
+// CRC32C of the gob payload. A truncated, bit-flipped or foreign file is
+// rejected with ErrCorruptStoreSnapshot before any row is replayed, and
+// OpenStoreFile quarantines such a file to path+".corrupt" so the
+// evidence survives and the path is free for the next save.
 
-// storeSnapshot is the gob-encoded on-disk form.
+// storeMagic identifies a store snapshot ("LGDBSTOR").
+var storeMagic = [8]byte{'L', 'G', 'D', 'B', 'S', 'T', 'O', 'R'}
+
+const (
+	storeSnapshotVersion = 1
+	storeHeaderLen       = 30
+	// maxStoreSnapshotTables bounds the declared table count; a header
+	// claiming more is forged (catalogs are tens of tables, not
+	// millions).
+	maxStoreSnapshotTables = 1 << 20
+	// maxStoreSnapshotBytes bounds the payload allocation (1 GiB).
+	maxStoreSnapshotBytes = 1 << 30
+)
+
+// ErrCorruptStoreSnapshot marks a snapshot OpenStore rejected before
+// reconstructing anything: bad magic, wrong version, truncation, an
+// implausible size, a checksum mismatch, or a payload that does not
+// decode. Callers can errors.Is on it to quarantine the file.
+var ErrCorruptStoreSnapshot = errors.New("legodb: corrupt store snapshot")
+
+// storeSnapshot is the gob-encoded payload.
 type storeSnapshot struct {
 	// SchemaText is the p-schema in algebra notation (statistics
 	// annotations included).
@@ -31,12 +62,11 @@ type tableSnapshot struct {
 	NextID  int64
 }
 
-// Save writes the store (schema and all rows) to w. It takes the
-// store's read lock, so a snapshot taken while queries are serving is
-// consistent (mutations wait).
+// Save writes the store (schema and all rows) to w, framed and
+// checksummed. It takes the store's read lock, so a snapshot taken while
+// queries are serving is consistent (mutations wait).
 func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	snap := storeSnapshot{SchemaText: s.schema.String()}
 	for _, name := range s.catalog.Order {
 		t := s.db.Table(name)
@@ -58,29 +88,88 @@ func (s *Store) Save(w io.Writer) error {
 			NextID:  t.PeekNextID(),
 		})
 	}
-	return gob.NewEncoder(w).Encode(&snap)
+	s.mu.RUnlock()
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
+		return fmt.Errorf("legodb: encode snapshot: %w", err)
+	}
+	var hdr [storeHeaderLen]byte
+	copy(hdr[:8], storeMagic[:])
+	binary.LittleEndian.PutUint16(hdr[8:10], storeSnapshotVersion)
+	binary.LittleEndian.PutUint64(hdr[10:18], uint64(len(snap.Tables)))
+	binary.LittleEndian.PutUint64(hdr[18:26], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[26:30], crc32.Checksum(payload.Bytes(), crc32.MakeTable(crc32.Castagnoli)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("legodb: write snapshot header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("legodb: write snapshot payload: %w", err)
+	}
+	return nil
 }
 
-// SaveFile writes the store to a file.
+// SaveFile writes the store to a file atomically (via a sibling temp
+// file renamed into place).
 func (s *Store) SaveFile(path string) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := s.Save(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // OpenStore reads a snapshot written by Save and reconstructs the store:
-// the schema is re-parsed, the catalog re-derived through the fixed
-// mapping, and the rows restored with their indexes rebuilt.
+// the frame is validated (magic, version, declared sizes, payload
+// checksum — failures return ErrCorruptStoreSnapshot before anything is
+// built), then the schema is re-parsed, the catalog re-derived through
+// the fixed mapping, and the rows restored with their indexes rebuilt.
 func OpenStore(r io.Reader) (*Store, error) {
+	var hdr [storeHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorruptStoreSnapshot, err)
+	}
+	if !bytes.Equal(hdr[:8], storeMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptStoreSnapshot)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[8:10]); v != storeSnapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, want %d", ErrCorruptStoreSnapshot, v, storeSnapshotVersion)
+	}
+	declared := binary.LittleEndian.Uint64(hdr[10:18])
+	payloadLen := binary.LittleEndian.Uint64(hdr[18:26])
+	sum := binary.LittleEndian.Uint32(hdr[26:30])
+	if declared > maxStoreSnapshotTables {
+		return nil, fmt.Errorf("%w: %d tables exceeds limit %d", ErrCorruptStoreSnapshot, declared, maxStoreSnapshotTables)
+	}
+	if payloadLen > maxStoreSnapshotBytes {
+		return nil, fmt.Errorf("%w: %d payload bytes exceeds limit %d", ErrCorruptStoreSnapshot, payloadLen, maxStoreSnapshotBytes)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: short payload: %v", ErrCorruptStoreSnapshot, err)
+	}
+	if got := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)); got != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorruptStoreSnapshot, got, sum)
+	}
 	var snap storeSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("legodb: read snapshot: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrCorruptStoreSnapshot, err)
+	}
+	if uint64(len(snap.Tables)) != declared {
+		return nil, fmt.Errorf("%w: %d tables decoded, header declared %d", ErrCorruptStoreSnapshot, len(snap.Tables), declared)
 	}
 	ps, err := xschema.ParseSchema(snap.SchemaText)
 	if err != nil {
@@ -119,12 +208,22 @@ func OpenStore(r io.Reader) (*Store, error) {
 	return store, nil
 }
 
-// OpenStoreFile reads a snapshot file.
+// OpenStoreFile reads a snapshot file. A corrupt file is quarantined to
+// path+".corrupt" (the returned error still reports the corruption, and
+// mentions the quarantine path when the rename succeeded) so the next
+// SaveFile starts clean and the evidence survives for inspection.
 func OpenStoreFile(path string) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return OpenStore(f)
+	store, err := OpenStore(f)
+	f.Close()
+	if err != nil && errors.Is(err, ErrCorruptStoreSnapshot) {
+		quarantine := path + ".corrupt"
+		if renameErr := os.Rename(path, quarantine); renameErr == nil {
+			return nil, fmt.Errorf("%w (quarantined to %s)", err, quarantine)
+		}
+	}
+	return store, err
 }

@@ -2,8 +2,13 @@ package legodb
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"legodb/internal/imdb"
@@ -110,5 +115,158 @@ func TestOpenStoreRejectsGarbage(t *testing.T) {
 	}
 	if _, err := OpenStoreFile("/nonexistent/path"); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestSnapshotFrameValidation corrupts a valid snapshot every way the
+// header can catch — magic, version, truncation, payload bit-flip — and
+// demands ErrCorruptStoreSnapshot before any reconstruction starts.
+func TestSnapshotFrameValidation(t *testing.T) {
+	store, _ := advisedStore(t)
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corrupt := func(name string, mutate func(b []byte) []byte) {
+		t.Helper()
+		b := append([]byte(nil), good...)
+		b = mutate(b)
+		_, err := OpenStore(bytes.NewReader(b))
+		if !errors.Is(err, ErrCorruptStoreSnapshot) {
+			t.Errorf("%s: want ErrCorruptStoreSnapshot, got %v", name, err)
+		}
+	}
+	corrupt("bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	corrupt("bad version", func(b []byte) []byte { b[8] = 0x7f; return b })
+	corrupt("truncated header", func(b []byte) []byte { return b[:storeHeaderLen-3] })
+	corrupt("truncated payload", func(b []byte) []byte { return b[:len(b)-5] })
+	corrupt("payload bit-flip", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b })
+	corrupt("forged table count", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[10:18], 1<<40)
+		return b
+	})
+	corrupt("forged payload length", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[18:26], uint64(maxStoreSnapshotBytes)+1)
+		return b
+	})
+
+	// The pristine bytes still open.
+	if _, err := OpenStore(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+}
+
+// TestOpenStoreFileQuarantinesCorrupt is the regression test for the
+// quarantine path: a corrupt snapshot file is moved aside to
+// path+".corrupt" and the error names both the corruption and the
+// quarantine location.
+func TestOpenStoreFileQuarantinesCorrupt(t *testing.T) {
+	store, _ := advisedStore(t)
+	path := filepath.Join(t.TempDir(), "store.legodb")
+	if err := store.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = OpenStoreFile(path)
+	if !errors.Is(err, ErrCorruptStoreSnapshot) {
+		t.Fatalf("want ErrCorruptStoreSnapshot, got %v", err)
+	}
+	if !strings.Contains(err.Error(), ".corrupt") {
+		t.Errorf("error does not mention the quarantine: %v", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Error("corrupt file still occupies the snapshot path")
+	}
+	if _, statErr := os.Stat(path + ".corrupt"); statErr != nil {
+		t.Errorf("quarantined file missing: %v", statErr)
+	}
+	// The freed path accepts the next save, which then opens cleanly.
+	if err := store.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile after quarantine: %v", err)
+	}
+	if _, err := OpenStoreFile(path); err != nil {
+		t.Fatalf("reopen after quarantine: %v", err)
+	}
+}
+
+// TestSaveRacesServing snapshots a store while queries and mutations
+// hammer it (run under -race in CI): every snapshot must be internally
+// consistent — it reopens cleanly and publishes valid documents.
+func TestSaveRacesServing(t *testing.T) {
+	store, _ := advisedStore(t)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	fail := make(chan error, 16)
+	report := func(op string, err error) {
+		select {
+		case fail <- fmt.Errorf("%s: %w", op, err):
+		default:
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := store.Query(
+				`FOR $v IN imdb/show WHERE $v/year = c1 RETURN $v/title`,
+				Params{"c1": fmt.Sprint(1990 + i%20)}); err != nil {
+				report("Query", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := store.InsertChild(
+				`FOR $s IN imdb/show RETURN $s`, nil,
+				fmt.Sprintf(`<aka>save race %d</aka>`, i)); err != nil {
+				report("InsertChild", err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		if err := store.Save(&buf); err != nil {
+			t.Fatalf("Save %d under load: %v", i, err)
+		}
+		restored, err := OpenStore(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("snapshot %d taken under load does not reopen: %v", i, err)
+		}
+		if _, err := restored.Publish(); err != nil {
+			t.Fatalf("snapshot %d does not publish: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-fail:
+		t.Fatal(err)
+	default:
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"legodb/internal/core"
 	"legodb/internal/engine"
 	"legodb/internal/optimizer"
 	"legodb/internal/relational"
@@ -38,6 +39,17 @@ type Store struct {
 	shredder  *shred.Shredder
 	publisher *shred.Publisher
 	opt       *optimizer.Optimizer
+
+	// mutEpoch counts mutations (loads, deletes, inserts). A live
+	// migration records it when publishing the old image and re-checks it
+	// at cutover: a mismatch means the rebuilt image is stale and the
+	// migration restarts instead of installing it.
+	mutEpoch uint64
+
+	// obs accumulates the observed workload from served traffic; it has
+	// its own lock and survives migration (observation is a property of
+	// the traffic, not of the storage configuration).
+	obs *workloadObserver
 }
 
 // Open instantiates the advised configuration as an empty store.
@@ -54,6 +66,7 @@ func openStore(ps *xschema.Schema, cat *relational.Catalog) (*Store, error) {
 		shredder:  shred.New(ps, cat, db),
 		publisher: shred.NewPublisher(ps, cat, db),
 		opt:       optimizer.New(cat),
+		obs:       newWorkloadObserver(),
 	}, nil
 }
 
@@ -62,6 +75,7 @@ func openStore(ps *xschema.Schema, cat *relational.Catalog) (*Store, error) {
 func (s *Store) Load(doc *xmltree.Node) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mutEpoch++
 	return s.shredder.Shred(doc)
 }
 
@@ -212,7 +226,18 @@ func (s *Store) QueryContext(ctx context.Context, text string, params Params) (*
 // translation.
 type PreparedQuery struct {
 	store *Store
-	sql   *sqlast.Query
+	q     *xquery.Query
+	// shape is the parsed query with its report name stripped — the
+	// observation key each successful execution is recorded under.
+	shape *xquery.Query
+
+	// planMu guards the cached translation. The plan is bound to the
+	// catalog it was translated against; when a live migration swaps the
+	// store's configuration, the next execution re-translates against
+	// the new one instead of running a stale plan.
+	planMu sync.Mutex
+	sql    *sqlast.Query
+	cat    *relational.Catalog
 }
 
 // Prepare parses and translates an XQuery once for repeated execution.
@@ -221,15 +246,41 @@ func (s *Store) Prepare(text string) (*PreparedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	sq, err := xquery.Translate(q, s.schema, s.catalog)
+	s.mu.RLock()
+	schema, catalog := s.schema, s.catalog
+	s.mu.RUnlock()
+	sq, err := xquery.Translate(q, schema, catalog)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{store: s, sql: sq}, nil
+	shape, _ := queryShape(q)
+	return &PreparedQuery{store: s, q: q, shape: shape, sql: sq, cat: catalog}, nil
 }
 
-// SQL returns the prepared query's translated SQL.
-func (p *PreparedQuery) SQL() string { return p.sql.SQL() }
+// planLocked returns the translated plan for the store's current
+// configuration, re-translating when a migration has swapped the
+// catalog since the last execution. The caller holds the store's read
+// lock, pinning schema and catalog for the duration.
+func (p *PreparedQuery) planLocked(s *Store) (*sqlast.Query, error) {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	if p.cat != s.catalog {
+		sq, err := xquery.Translate(p.q, s.schema, s.catalog)
+		if err != nil {
+			return nil, err
+		}
+		p.sql, p.cat = sq, s.catalog
+	}
+	return p.sql, nil
+}
+
+// SQL returns the prepared query's translated SQL (for the configuration
+// it was last executed or prepared against).
+func (p *PreparedQuery) SQL() string {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	return p.sql.SQL()
+}
 
 // Run executes the prepared query with the given parameters.
 func (p *PreparedQuery) Run(params Params) (*Result, error) {
@@ -241,11 +292,20 @@ func (p *PreparedQuery) Run(params Params) (*Result, error) {
 func (p *PreparedQuery) RunContext(ctx context.Context, params Params) (*Result, error) {
 	s := p.store
 	s.mu.RLock()
-	rs, err := s.db.ExecuteContext(ctx, p.sql, params.forBlocks(s.catalog, p.sql.Blocks...))
+	sql, err := p.planLocked(s)
+	if err != nil {
+		s.mu.RUnlock()
+		return nil, err
+	}
+	rs, err := s.db.ExecuteContext(ctx, sql, params.forBlocks(s.catalog, sql.Blocks...))
 	s.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
+	// Record the observation outside the serving lock: a successful
+	// execution is one vote for this query shape in the observed
+	// workload.
+	s.obs.observeQuery(p.shape)
 	out := &Result{Columns: rs.Columns}
 	for _, row := range rs.Rows {
 		cells := make([]string, len(row))
@@ -264,6 +324,8 @@ func (s *Store) ExplainQuery(text string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	sq, err := xquery.Translate(q, s.schema, s.catalog)
 	if err != nil {
 		return "", err
@@ -283,7 +345,33 @@ func (s *Store) Publish() ([]*xmltree.Node, error) {
 }
 
 // DDL returns the store's relational schema.
-func (s *Store) DDL() string { return s.catalog.SQL() }
+func (s *Store) DDL() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.catalog.SQL()
+}
+
+// PSchema renders the store's current physical schema in algebra
+// notation (statistics annotations included) — comparable against
+// Advice.PSchema to tell whether an advised configuration is already
+// installed.
+func (s *Store) PSchema() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.schema.String()
+}
+
+// Documents reports the number of loaded documents (live rows of the
+// root type's relation; 0 when the root relation does not exist).
+func (s *Store) Documents() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.db.Table(s.catalog.TableOf[s.schema.Root])
+	if t == nil {
+		return 0
+	}
+	return t.LiveRows()
+}
 
 // TableRows reports the number of live rows stored in a relation (-1
 // when the relation does not exist).
@@ -298,7 +386,11 @@ func (s *Store) TableRows(name string) int {
 }
 
 // Tables lists the store's relations in creation order.
-func (s *Store) Tables() []string { return append([]string(nil), s.catalog.Order...) }
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.catalog.Order...)
+}
 
 // Measured returns the engine's accumulated execution counters (bytes
 // read, tuples, probes) since the store was opened.
@@ -306,6 +398,21 @@ func (s *Store) Measured() engine.Counters {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.db.Measured()
+}
+
+// EstimatedCost prices the store's current physical schema under a
+// workload (typically the observed one) with the optimizer's cost model,
+// through eng's cost cache — the "is the installed configuration still
+// the right one?" half of the adaptation loop's comparison. documents
+// is the stored document count (0 = 1).
+func (s *Store) EstimatedCost(eng *Engine, w *xquery.Workload, documents float64) (float64, error) {
+	s.mu.RLock()
+	ps := s.schema
+	s.mu.RUnlock()
+	if documents == 0 {
+		documents = 1
+	}
+	return core.GetPSchemaCostWith(ps, w, documents, nil, eng.snapshotCache())
 }
 
 // TotalRows sums live rows over the store's relations.
