@@ -45,6 +45,7 @@ import (
 	"legodb/internal/adapt"
 	"legodb/internal/core"
 	"legodb/internal/engine"
+	"legodb/internal/experiments"
 	"legodb/internal/faults"
 	"legodb/internal/imdb"
 	"legodb/internal/optimizer"
@@ -382,6 +383,32 @@ func runEngineExec(ctx context.Context, runs int, rep *report) error {
 		if nsByMode["batch"] > 0 {
 			rep.Summary["engine_exec_"+sh.name+"_speedup"] = nsByMode["rows"] / nsByMode["batch"]
 		}
+	}
+	return nil
+}
+
+// runExecModesConstants re-runs the ablation-execmodes experiment — the
+// cost model validated against both executors on both storage engines
+// (heap rows and the colfile-frozen persistent image) — and records
+// each est/meas calibration ratio as an execmodes_<query>_<storage>
+// summary key. The persistent rows charge encoded chunk bytes instead
+// of catalog row-width estimates, so their constants sit at a different
+// level than the heap rows'; archiving both lets cmd/benchdiff print
+// the shift across commits without gating on it.
+func runExecModesConstants(ctx context.Context, rep *report) error {
+	tbl, err := experiments.AblationExecModes(ctx)
+	if err != nil {
+		return err
+	}
+	for _, row := range tbl.Rows {
+		// Columns: query, storage, estimated, meas batch, meas rows,
+		// est/meas, speedup.
+		ratio, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			return fmt.Errorf("est/meas cell %q: %v", row[5], err)
+		}
+		key := "execmodes_" + strings.ReplaceAll(row[0], "-", "_") + "_" + row[1]
+		rep.Summary[key] = ratio
 	}
 	return nil
 }
@@ -861,6 +888,12 @@ func main() {
 	if *only == "" || *only == "drift" {
 		if err := runDrift(ctx, &rep); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: drift: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *only == "" || *only == "execmodes" {
+		if err := runExecModesConstants(ctx, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: execmodes: %v\n", err)
 			os.Exit(1)
 		}
 	}

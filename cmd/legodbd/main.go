@@ -72,6 +72,7 @@ func run() int {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "max time in-flight requests get to finish after SIGTERM")
 		perTenant    = flag.Int("tenant-inflight", 0, "per-tenant in-flight cap (0 = max-inflight)")
 		snapshot     = flag.String("snapshot", "", "cost-cache snapshot path: loaded at boot (corrupt files are quarantined), saved on drain")
+		storeDir     = flag.String("store-dir", "", "directory for per-tenant table snapshots (<name>.store): reopened at tenant creation, saved on drain (corrupt files are quarantined)")
 		demo         = flag.Int("demo", 0, "boot with an 'imdb' demo tenant preloaded with this many shows")
 		adaptEvery   = flag.Duration("adapt", 0, "adaptation check interval: re-advise and live-migrate tenants whose observed workload drifted (0 = manual /readvise only)")
 	)
@@ -90,6 +91,7 @@ func run() int {
 		DrainTimeout:      *drainTimeout,
 		PerTenantInflight: *perTenant,
 		SnapshotPath:      *snapshot,
+		StoreDir:          *storeDir,
 		AdaptInterval:     *adaptEvery,
 		Logger:            log,
 	})
@@ -138,6 +140,11 @@ func bootDemo(s *server.Server, shows int) error {
 	}
 	if err := s.AddTenant(context.Background(), spec); err != nil {
 		return err
+	}
+	// A tenant reopened from a -store-dir snapshot already holds its
+	// data; loading the demo document again would double it.
+	if st := s.TenantStore("imdb"); st != nil && st.TotalRows() > 0 {
+		return nil
 	}
 	return s.LoadDocument("imdb", imdb.Generate(imdb.GenOptions{Shows: shows, Seed: 1}))
 }

@@ -1,0 +1,182 @@
+package colfile
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"legodb/internal/engine"
+)
+
+// fixtureTable builds a table exercising every chunk encoding: a pure
+// int column, a pure string column, an all-null column and a mixed
+// column, spanning more than one chunk so the short-last-chunk rule is
+// exercised too.
+func fixtureTable(rows int) *Table {
+	ints := make([]engine.Value, rows)
+	strs := make([]engine.Value, rows)
+	nulls := make([]engine.Value, rows)
+	mixed := make([]engine.Value, rows)
+	for i := 0; i < rows; i++ {
+		ints[i] = engine.IntVal(int64(i * 3))
+		strs[i] = engine.StrVal(fmt.Sprintf("row-%d", i))
+		nulls[i] = engine.Value{}
+		switch i % 4 {
+		case 0:
+			mixed[i] = engine.IntVal(int64(-i))
+		case 1:
+			mixed[i] = engine.StrVal(strings.Repeat("x", i%7))
+		case 2:
+			mixed[i] = engine.Value{}
+		default:
+			mixed[i] = engine.StrVal("")
+		}
+	}
+	return &Table{
+		Name:    "fixture",
+		Columns: []string{"id", "name", "gap", "mixed"},
+		Rows:    rows,
+		NextID:  int64(rows + 1),
+		Cols: [][]engine.ColumnChunk{
+			engine.BuildColumnChunks(ints),
+			engine.BuildColumnChunks(strs),
+			engine.BuildColumnChunks(nulls),
+			engine.BuildColumnChunks(mixed),
+		},
+	}
+}
+
+func encodeFixture(t testing.TB, rows int) []byte {
+	t.Helper()
+	data, err := Encode(fixtureTable(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, rows := range []int{1, 2, engine.BatchSize - 1, engine.BatchSize, engine.BatchSize + 1, engine.BatchSize*2 + 500} {
+		t.Run(fmt.Sprint(rows), func(t *testing.T) {
+			orig := fixtureTable(rows)
+			data, err := Encode(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Name != orig.Name || got.Rows != orig.Rows || got.NextID != orig.NextID {
+				t.Fatalf("metadata: %q/%d/%d, want %q/%d/%d",
+					got.Name, got.Rows, got.NextID, orig.Name, orig.Rows, orig.NextID)
+			}
+			if len(got.Columns) != len(orig.Columns) {
+				t.Fatalf("columns: %v", got.Columns)
+			}
+			for ci := range orig.Cols {
+				for pos := 0; pos < rows; pos++ {
+					oc := &orig.Cols[ci][pos/engine.BatchSize]
+					gc := &got.Cols[ci][pos/engine.BatchSize]
+					i := pos % engine.BatchSize
+					ov, gv := oc.Value(i), gc.Value(i)
+					if ov != gv {
+						t.Fatalf("col %d row %d: %v != %v", ci, pos, gv, ov)
+					}
+				}
+			}
+			if got.DataBytes <= 0 || got.DataBytes > int64(len(data)) {
+				t.Errorf("DataBytes = %d with %d file bytes", got.DataBytes, len(data))
+			}
+		})
+	}
+}
+
+func TestEncodeRejectsInconsistentTable(t *testing.T) {
+	bad := fixtureTable(10)
+	bad.Columns = bad.Columns[:2] // name count != column count
+	if _, err := Encode(bad); err == nil {
+		t.Error("column-count mismatch encoded")
+	}
+	bad = fixtureTable(10)
+	bad.Rows = 11 // declared rows != chunk totals
+	if _, err := Encode(bad); err == nil {
+		t.Error("row-count mismatch encoded")
+	}
+}
+
+func TestZeroRowTable(t *testing.T) {
+	empty := &Table{Name: "empty", Columns: []string{"id"}, Rows: 0, NextID: 1,
+		Cols: [][]engine.ColumnChunk{nil}}
+	data, err := Encode(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 0 || len(got.Columns) != 1 || got.Name != "empty" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestDecodeDetectsEveryBitFlip flips each byte of a small valid file in
+// turn: every mutation must be rejected with ErrCorrupt (CRCs cover the
+// entire file) and none may panic.
+func TestDecodeDetectsEveryBitFlip(t *testing.T) {
+	data := encodeFixture(t, 40)
+	for i := range data {
+		b := append([]byte(nil), data...)
+		b[i] ^= 0x10
+		tbl, err := Decode(b)
+		if err == nil {
+			t.Fatalf("bit flip at byte %d/%d accepted (decoded %q)", i, len(data), tbl.Name)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at byte %d: error does not wrap ErrCorrupt: %v", i, err)
+		}
+	}
+}
+
+func TestDecodeDetectsEveryTruncation(t *testing.T) {
+	data := encodeFixture(t, 40)
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Decode(data[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: %v", cut, err)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), data...), 0x00)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing garbage accepted: %v", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.colfile")
+	orig := fixtureTable(100)
+	if err := WriteFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != orig.Rows || got.Name != orig.Name {
+		t.Fatalf("got %q/%d", got.Name, got.Rows)
+	}
+	// A truncated file on disk is rejected with ErrCorrupt so callers
+	// can quarantine it.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated file: %v", err)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"math"
@@ -14,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"legodb/internal/fsio"
 	"legodb/internal/optimizer"
 	"legodb/internal/plan"
 	"legodb/internal/xquery"
@@ -328,7 +328,7 @@ func (c *CostCache) Save(w io.Writer) error {
 	binary.LittleEndian.PutUint16(hdr[8:10], cacheSnapshotVersion)
 	binary.LittleEndian.PutUint64(hdr[10:18], uint64(len(snap.Entries)))
 	binary.LittleEndian.PutUint64(hdr[18:26], uint64(payload.Len()))
-	binary.LittleEndian.PutUint32(hdr[26:30], crc32.Checksum(payload.Bytes(), crc32.MakeTable(crc32.Castagnoli)))
+	binary.LittleEndian.PutUint32(hdr[26:30], fsio.Checksum(payload.Bytes()))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("core: write cost cache header: %w", err)
 	}
@@ -377,7 +377,7 @@ func (c *CostCache) Load(r io.Reader) (int, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, fmt.Errorf("%w: short payload: %v", ErrCorruptSnapshot, err)
 	}
-	if got := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)); got != sum {
+	if got := fsio.Checksum(payload); got != sum {
 		return 0, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorruptSnapshot, got, sum)
 	}
 	var snap cacheSnapshot
@@ -413,25 +413,12 @@ func (c *CostCache) Load(r io.Reader) (int, error) {
 	return n, nil
 }
 
-// SaveSnapshotFile writes the cache to a snapshot file atomically (via
-// a sibling temp file renamed into place).
+// SaveSnapshotFile writes the cache to a snapshot file
+// crash-consistently: the sibling temp file is fsynced before the
+// rename and the parent directory after it, so a crash leaves either
+// the previous complete snapshot or the new one — never a torn image.
 func (c *CostCache) SaveSnapshotFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("core: create cache snapshot: %w", err)
-	}
-	if err := c.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("core: close cache snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsio.WriteFileAtomic(path, c.Save); err != nil {
 		return fmt.Errorf("core: install cache snapshot: %w", err)
 	}
 	return nil

@@ -74,16 +74,17 @@ func (db *Database) executeBlockBatch(ctx context.Context, p *blockPlan, params 
 // Counter accrual matches scanFiltered: one scan, every heap row
 // (tombstoned included) read.
 func (e *batchExec) scanPositions(t *Table, filters []sqlast.Filter) ([]int32, error) {
+	n := t.NumRows()
 	e.stats.Scans++
-	e.stats.TuplesRead += int64(len(t.Rows))
-	e.stats.BytesRead += float64(len(t.Rows)) * t.Def.RowBytes()
+	e.stats.TuplesRead += int64(n)
+	e.stats.BytesRead += t.scanBytes()
 	cf := compileFilters(t, filters, e.params)
-	out := make([]int32, 0, len(t.Rows))
-	for base := 0; base < len(t.Rows); base += BatchSize {
+	out := make([]int32, 0, n)
+	for base := 0; base < n; base += BatchSize {
 		if err := e.ctx.Err(); err != nil {
 			return nil, err
 		}
-		end := min(base+BatchSize, len(t.Rows))
+		end := min(base+BatchSize, n)
 		sel := e.selBuf[:0]
 		if len(t.dead) == 0 {
 			for pos := base; pos < end; pos++ {
@@ -141,7 +142,6 @@ func (e *batchExec) stepINL(st *planStep) error {
 	newTable := e.p.tables[st.alias]
 	oldTable := e.p.tables[st.oldAlias]
 	cf := compileFilters(newTable, st.filters, e.params)
-	width := newTable.Def.RowBytes()
 	oldPos := e.cols[e.p.slot[st.oldAlias]]
 	var src, newPos []int32
 	for i := 0; i < e.n; i++ {
@@ -150,13 +150,13 @@ func (e *batchExec) stepINL(st *planStep) error {
 				return err
 			}
 		}
-		v := oldTable.Rows[oldPos[i]][oldCi]
+		v := oldTable.Cell(int(oldPos[i]), oldCi)
 		positions, _ := newTable.Lookup(st.newCol, v)
 		e.stats.Probes++
 		for _, pos := range positions {
 			e.stats.TuplesRead++
-			e.stats.BytesRead += width
-			ok, err := passesCompiled(newTable.Rows[pos], cf)
+			e.stats.BytesRead += newTable.probeRowBytes(pos)
+			ok, err := passesCompiledAt(newTable, pos, cf)
 			if err != nil {
 				return err
 			}
@@ -193,7 +193,7 @@ func (e *batchExec) stepHash(st *planStep) error {
 				return err
 			}
 		}
-		for _, pos := range ht.lookup(oldTable.Rows[oldPos[i]][oldCi]) {
+		for _, pos := range ht.lookup(oldTable.Cell(int(oldPos[i]), oldCi)) {
 			src = append(src, int32(i))
 			newPos = append(newPos, pos)
 		}
@@ -314,7 +314,7 @@ func (e *batchExec) project() (*ResultSet, error) {
 		}
 		col := e.cols[e.p.slot[pr.Alias]]
 		for i := 0; i < e.n; i++ {
-			rows[i][k] = t.Rows[col[i]][ci]
+			rows[i][k] = t.Cell(int(col[i]), ci)
 		}
 	}
 	rs.Rows = rows

@@ -91,13 +91,19 @@ func Compare(a, b Value) int {
 type Row []Value
 
 // Table is a heap relation with hash indexes on its key and foreign-key
-// columns. Deletes are tombstones: positions stay stable, dead rows are
-// skipped by scans, probes and snapshots.
+// columns, optionally frozen over a columnar base image (see
+// colstore.go). Row positions are global — base rows first, then the
+// heap tail in Rows — and deletes are tombstones: positions stay
+// stable, dead rows are skipped by scans, probes and snapshots.
 type Table struct {
-	Def    *relational.Table
+	Def *relational.Table
+	// Rows is the mutable heap tail; with a columnar base attached,
+	// Rows[i] is global position baseRows()+i. Executors go through
+	// NumRows/Cell/Row so both storage layouts serve transparently.
 	Rows   []Row
+	base   *ColumnBase
 	colIdx map[string]int
-	// indexes maps indexed column name to value → row positions.
+	// indexes maps indexed column name to value → global row positions.
 	indexes map[string]map[Value][]int
 	nextID  int64
 	dead    map[int]bool
@@ -153,7 +159,7 @@ func (t *Table) Insert(r Row) error {
 		return fmt.Errorf("engine: %s: row has %d values, table has %d columns",
 			t.Def.Name, len(r), len(t.Def.Columns))
 	}
-	pos := len(t.Rows)
+	pos := t.NumRows()
 	t.Rows = append(t.Rows, r)
 	for col, idx := range t.indexes {
 		v := r[t.colIdx[col]]
@@ -199,7 +205,7 @@ func (t *Table) Alive(pos int) bool { return !t.dead[pos] }
 
 // MarkDeleted tombstones the row at pos (idempotent).
 func (t *Table) MarkDeleted(pos int) {
-	if pos < 0 || pos >= len(t.Rows) {
+	if pos < 0 || pos >= t.NumRows() {
 		return
 	}
 	if t.dead == nil {
@@ -209,7 +215,7 @@ func (t *Table) MarkDeleted(pos int) {
 }
 
 // LiveRows counts rows that are not tombstoned.
-func (t *Table) LiveRows() int { return len(t.Rows) - len(t.dead) }
+func (t *Table) LiveRows() int { return t.NumRows() - len(t.dead) }
 
 // Counters accumulates the execution measurements compared against the
 // optimizer's estimates.
@@ -296,7 +302,7 @@ func (db *Database) RowCount() int {
 func (db *Database) String() string {
 	var b strings.Builder
 	for _, name := range db.Cat.Order {
-		fmt.Fprintf(&b, "%-24s %8d rows\n", name, len(db.Tables[name].Rows))
+		fmt.Fprintf(&b, "%-24s %8d rows\n", name, db.Tables[name].NumRows())
 	}
 	return b.String()
 }

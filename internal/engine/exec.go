@@ -421,3 +421,23 @@ func passesCompiled(row Row, cf []compiledFilter) (bool, error) {
 	}
 	return true, nil
 }
+
+// passesCompiledAt is passesCompiled over a row addressed by global
+// position: only the filtered cells are read, so probed base rows are
+// never materialized.
+func passesCompiledAt(t *Table, pos int, cf []compiledFilter) (bool, error) {
+	for i := range cf {
+		f := &cf[i]
+		if f.err != nil {
+			return false, f.err
+		}
+		right := f.lit
+		if f.rightIdx >= 0 {
+			right = t.Cell(pos, f.rightIdx)
+		}
+		if !satisfies(t.Cell(pos, f.colIdx), f.op, right) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -56,7 +56,6 @@ func (db *Database) executeBlockRows(ctx context.Context, p *blockPlan, params P
 			oldTable := p.tables[st.oldAlias]
 			// Index nested-loop join: probe the new relation's key index
 			// once per intermediate tuple.
-			width := newTable.Def.RowBytes()
 			var joined []binding
 			for li, l := range current {
 				if li&ctxCheckMask == 0 {
@@ -64,13 +63,13 @@ func (db *Database) executeBlockRows(ctx context.Context, p *blockPlan, params P
 						return nil, err
 					}
 				}
-				v := oldTable.Rows[l[st.oldAlias]][oldCi]
+				v := oldTable.Cell(l[st.oldAlias], oldCi)
 				positions, _ := newTable.Lookup(st.newCol, v)
 				stats.Probes++
 				for _, pos := range positions {
 					stats.TuplesRead++
-					stats.BytesRead += width
-					row := newTable.Rows[pos]
+					stats.BytesRead += newTable.probeRowBytes(pos)
+					row := newTable.Row(pos)
 					if ok, err := db.passes(row, newTable, st.filters, params); err != nil {
 						return nil, err
 					} else if !ok {
@@ -98,7 +97,7 @@ func (db *Database) executeBlockRows(ctx context.Context, p *blockPlan, params P
 			hash := make(map[Value][]int, len(rows))
 			for _, r := range rows {
 				pos := r[st.alias]
-				v := newTable.Rows[pos][newCi]
+				v := newTable.Cell(pos, newCi)
 				hash[v] = append(hash[v], pos)
 			}
 			var joined []binding
@@ -108,7 +107,7 @@ func (db *Database) executeBlockRows(ctx context.Context, p *blockPlan, params P
 						return nil, err
 					}
 				}
-				v := oldTable.Rows[l[st.oldAlias]][oldCi]
+				v := oldTable.Cell(l[st.oldAlias], oldCi)
 				for _, pos := range hash[v] {
 					m := cloneBinding(l)
 					m[st.alias] = pos
@@ -137,7 +136,7 @@ func (db *Database) executeBlockRows(ctx context.Context, p *blockPlan, params P
 			if ci < 0 {
 				return nil, fmt.Errorf("no column %s.%s", pr.Alias, pr.Column)
 			}
-			row[i] = t.Rows[l[pr.Alias]][ci]
+			row[i] = t.Cell(l[pr.Alias], ci)
 		}
 		rs.Rows = append(rs.Rows, row)
 	}
@@ -147,11 +146,12 @@ func (db *Database) executeBlockRows(ctx context.Context, p *blockPlan, params P
 // scanFiltered scans a table, applying constant filters, and returns one
 // binding per passing row.
 func (db *Database) scanFiltered(ctx context.Context, t *Table, alias string, filters []sqlast.Filter, params Params, stats *Counters) ([]binding, error) {
+	n := t.NumRows()
 	stats.Scans++
-	stats.TuplesRead += int64(len(t.Rows))
-	stats.BytesRead += float64(len(t.Rows)) * t.Def.RowBytes()
+	stats.TuplesRead += int64(n)
+	stats.BytesRead += t.scanBytes()
 	var out []binding
-	for pos, row := range t.Rows {
+	for pos := 0; pos < n; pos++ {
 		if pos&ctxCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -160,7 +160,7 @@ func (db *Database) scanFiltered(ctx context.Context, t *Table, alias string, fi
 		if !t.Alive(pos) {
 			continue
 		}
-		ok, err := db.passes(row, t, filters, params)
+		ok, err := db.passes(t.Row(pos), t, filters, params)
 		if err != nil {
 			return nil, err
 		}
@@ -213,7 +213,7 @@ func (db *Database) applyCrossFilters(current []binding, tables map[string]*Tabl
 		}
 		var kept []binding
 		for _, b := range current {
-			if satisfies(lt.Rows[b[f.Col.Alias]][li], f.Op, rt.Rows[b[f.RightCol.Alias]][ri]) {
+			if satisfies(lt.Cell(b[f.Col.Alias], li), f.Op, rt.Cell(b[f.RightCol.Alias], ri)) {
 				kept = append(kept, b)
 			}
 		}

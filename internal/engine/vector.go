@@ -126,12 +126,40 @@ func (v *Vector) value(j int) Value {
 }
 
 // gather fills the vector with column ci of t's rows at the given
-// positions.
+// positions. Base positions read the columnar chunks directly — typed
+// storage to typed storage, no Row in between; heap positions read the
+// row tail as before.
 func (v *Vector) gather(t *Table, ci int, positions []int32) {
 	v.reset(len(positions))
-	rows := t.Rows
+	if t.base == nil {
+		rows := t.Rows
+		for j, pos := range positions {
+			v.set(j, rows[pos][ci])
+		}
+		return
+	}
+	col := t.base.cols[ci]
+	br := t.base.rows
 	for j, pos := range positions {
-		v.set(j, rows[pos][ci])
+		p := int(pos)
+		if p >= br {
+			v.set(j, t.Rows[p-br][ci])
+			continue
+		}
+		ch := &col[p/BatchSize]
+		i := p % BatchSize
+		switch {
+		case ch.IsNull(i):
+			v.nulls[j>>6] |= 1 << (j & 63)
+		case ch.Ints != nil:
+			v.set(j, Value{Kind: IntValue, Int: ch.Ints[i]})
+		case ch.Strs != nil:
+			v.set(j, Value{Kind: StrValue, Str: ch.Strs[i]})
+		case ch.Vals != nil:
+			v.set(j, ch.Vals[i])
+		default:
+			v.nulls[j>>6] |= 1 << (j & 63)
+		}
 	}
 }
 
@@ -264,7 +292,7 @@ type hashTable struct {
 func buildHash(t *Table, ci int, positions []int32) *hashTable {
 	ht := &hashTable{kind: NullValue}
 	for _, pos := range positions {
-		v := t.Rows[pos][ci]
+		v := t.Cell(int(pos), ci)
 		if ht.kind != mixedKind {
 			switch v.Kind {
 			case NullValue:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"legodb/internal/colfile"
 	"legodb/internal/core"
 	"legodb/internal/engine"
 	"legodb/internal/imdb"
@@ -81,9 +82,51 @@ func AblationSIvsSO(ctx context.Context) (*Table, error) {
 type costModelFixture struct {
 	shows   int
 	db      *engine.Database
+	cat     *relational.Catalog
 	opt     *optimizer.Optimizer
 	queries []costModelQuery
 	params  engine.Params
+}
+
+// freeze round-trips every fixture table through the colfile binary
+// format and returns a second database serving the decoded chunks as
+// frozen columnar bases — the persistent engine a reopened store
+// snapshot runs on. Scans of it charge encoded chunk bytes instead of
+// the catalog's estimated row widths, which is exactly where the
+// measured cost (and therefore the est/meas calibration) shifts.
+func (fx *costModelFixture) freeze() (*engine.Database, error) {
+	frozen := engine.NewDatabase(fx.cat)
+	for _, name := range fx.cat.Order {
+		src := fx.db.Table(name)
+		cols := make([]string, len(src.Def.Columns))
+		for i, c := range src.Def.Columns {
+			cols[i] = c.Name
+		}
+		data, err := colfile.Encode(&colfile.Table{
+			Name:    name,
+			Columns: cols,
+			Rows:    src.LiveRows(),
+			NextID:  src.PeekNextID(),
+			Cols:    src.SnapshotColumns(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("freeze %s: %w", name, err)
+		}
+		ct, err := colfile.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("freeze %s: %w", name, err)
+		}
+		base, err := engine.NewColumnBase(ct.Cols, float64(ct.DataBytes))
+		if err != nil {
+			return nil, fmt.Errorf("freeze %s: %w", name, err)
+		}
+		dst := frozen.Table(name)
+		if err := dst.SetColumnBase(base); err != nil {
+			return nil, fmt.Errorf("freeze %s: %w", name, err)
+		}
+		dst.SetNextID(ct.NextID)
+	}
+	return frozen, nil
 }
 
 // costModelQuery is one translated workload query of the fixture.
@@ -124,6 +167,7 @@ func newCostModelFixture() (*costModelFixture, error) {
 	fx := &costModelFixture{
 		shows: shows,
 		db:    db,
+		cat:   cat,
 		opt:   opt,
 		params: engine.Params{
 			"c1": engine.StrVal(title),
@@ -220,47 +264,64 @@ func AblationCostModel(ctx context.Context) (*Table, error) {
 }
 
 // AblationExecModes re-validates the cost model against both executor
-// implementations. The vectorized batch executor maintains the same
-// Counters as the reference row-at-a-time path, so the measured cost —
-// counter deltas weighted with the model's constants — must come out
-// identical in both modes, keeping every est/meas ratio (and therefore
-// the calibrated constants) unchanged; what vectorization shifts is the
-// wall clock per unit of measured work. The table records both measured
-// costs, the shared est/meas ratio and the per-query wall-clock speedup.
+// implementations and both storage engines. The vectorized batch
+// executor maintains the same Counters as the reference row-at-a-time
+// path, so the measured cost — counter deltas weighted with the model's
+// constants — must come out identical in both modes on either storage;
+// what vectorization shifts is the wall clock per unit of measured
+// work. Storage is the second axis: the heap rows the fixture shreds
+// into, and the persistent engine (the same image frozen through the
+// colfile binary format, as a reopened snapshot serves it). Persistent
+// scans charge encoded chunk bytes instead of the catalog's estimated
+// row widths, so the est/meas ratio — the cost-model calibration —
+// shifts between the storage rows; EXPERIMENTS.md records the shift.
 func AblationExecModes(ctx context.Context) (*Table, error) {
 	fx, err := newCostModelFixture()
 	if err != nil {
 		return nil, err
 	}
+	frozen, err := fx.freeze()
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Name:   "ablation-execmodes",
-		Title:  fmt.Sprintf("Cost model vs both executors (all-inlined, %d shows)", fx.shows),
-		Header: []string{"query", "estimated", "meas batch", "meas rows", "est/meas", "speedup"},
-		Notes:  "meas batch and meas rows are counter deltas in cost units and must agree exactly; speedup is row-at-a-time wall clock over batch",
+		Title:  fmt.Sprintf("Cost model vs executors x storages (all-inlined, %d shows)", fx.shows),
+		Header: []string{"query", "storage", "estimated", "meas batch", "meas rows", "est/meas", "speedup"},
+		Notes:  "meas batch and meas rows are counter deltas in cost units and must agree exactly per storage; est/meas shifts between heap and colfile because persistent scans charge encoded bytes; speedup is row-at-a-time wall clock over batch",
 	}
+	heap := fx.db
 	for _, q := range fx.queries {
-		fx.db.Exec = engine.Options{}
-		mb, eb, err := fx.measure(q)
-		if err != nil {
-			return nil, err
+		for _, storage := range []struct {
+			name string
+			db   *engine.Database
+		}{{"heap", heap}, {"colfile", frozen}} {
+			fx.db = storage.db
+			fx.db.Exec = engine.Options{}
+			mb, eb, err := fx.measure(q)
+			if err != nil {
+				return nil, err
+			}
+			fx.db.Exec = engine.Options{RowAtATime: true}
+			mr, er, err := fx.measure(q)
+			if err != nil {
+				return nil, err
+			}
+			if mb != mr {
+				return nil, fmt.Errorf("ablation-execmodes: %s/%s: measured cost diverges between executors: batch=%v rows=%v",
+					q.name, storage.name, mb, mr)
+			}
+			ratio, speedup := 0.0, 0.0
+			if mb > 0 {
+				ratio = q.est / mb
+			}
+			if eb > 0 {
+				speedup = float64(er) / float64(eb)
+			}
+			t.AddRow(q.name, storage.name, f1(q.est), f1(mb), f1(mr), f2(ratio), f2(speedup))
+			fx.db.Exec = engine.Options{}
 		}
-		fx.db.Exec = engine.Options{RowAtATime: true}
-		mr, er, err := fx.measure(q)
-		if err != nil {
-			return nil, err
-		}
-		if mb != mr {
-			return nil, fmt.Errorf("ablation-execmodes: %s: measured cost diverges between executors: batch=%v rows=%v", q.name, mb, mr)
-		}
-		ratio, speedup := 0.0, 0.0
-		if mb > 0 {
-			ratio = q.est / mb
-		}
-		if eb > 0 {
-			speedup = float64(er) / float64(eb)
-		}
-		t.AddRow(q.name, f1(q.est), f1(mb), f1(mr), f2(ratio), f2(speedup))
 	}
-	fx.db.Exec = engine.Options{}
+	fx.db = heap
 	return t, nil
 }

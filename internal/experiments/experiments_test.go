@@ -203,19 +203,26 @@ func TestAblationCostModel(t *testing.T) {
 
 func TestAblationExecModes(t *testing.T) {
 	tbl := run(t, "ablation-execmodes")
-	if len(tbl.Rows) != 4 {
+	// 4 queries x 2 storages (heap rows, colfile-frozen persistent image).
+	if len(tbl.Rows) != 8 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
+	storages := map[string]int{}
 	for i := range tbl.Rows {
+		label := tbl.Rows[i][0] + "/" + tbl.Rows[i][1]
+		storages[tbl.Rows[i][1]]++
 		// The batch executor maintains the reference path's counters, so
 		// the measured costs must match and the model's calibration (the
 		// est/meas ratio) is unchanged by vectorization.
-		if batch, rows := tbl.Rows[i][2], tbl.Rows[i][3]; batch != rows {
-			t.Errorf("%s: measured cost diverges: batch=%s rows=%s", tbl.Rows[i][0], batch, rows)
+		if batch, rows := tbl.Rows[i][3], tbl.Rows[i][4]; batch != rows {
+			t.Errorf("%s: measured cost diverges: batch=%s rows=%s", label, batch, rows)
 		}
-		if ratio := cell(t, tbl, i, 4); ratio < 0.05 || ratio > 20 {
-			t.Errorf("cost model off by more than 20x on %s: ratio %.2f", tbl.Rows[i][0], ratio)
+		if ratio := cell(t, tbl, i, 5); ratio < 0.05 || ratio > 20 {
+			t.Errorf("cost model off by more than 20x on %s: ratio %.2f", label, ratio)
 		}
+	}
+	if storages["heap"] != 4 || storages["colfile"] != 4 {
+		t.Errorf("storage rows = %v, want 4 heap + 4 colfile", storages)
 	}
 }
 

@@ -53,6 +53,11 @@ const (
 	// it aborts a live migration mid-flight, proving the old image stays
 	// intact and serving.
 	SiteMigrate = "store.migrate"
+	// SiteSnapshot fires in fsio.WriteFileAtomic after the temp file is
+	// written and fsynced but before it is renamed into place; arming it
+	// simulates a crash mid-save, proving the canonical path never holds
+	// a torn image.
+	SiteSnapshot = "store.snapshot"
 )
 
 // ErrInjected is the error returned (wrapped) by error-mode failpoints.

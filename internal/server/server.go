@@ -47,7 +47,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -85,6 +87,12 @@ type Config struct {
 	// at boot (missing = cold, corrupt = quarantined + cold), saved on
 	// drain. Empty = no persistence.
 	SnapshotPath string
+	// StoreDir persists tenant stores as column-chunked snapshots
+	// (<dir>/<tenant>.store): a tenant whose snapshot exists reopens it
+	// instead of advising a fresh empty store (corrupt snapshots are
+	// quarantined and the tenant starts empty), and every tenant's
+	// store is saved on drain. Empty = stores live and die in memory.
+	StoreDir string
 	// AdviseIterations bounds the greedy search run when a tenant is
 	// created with an advised configuration (default 3).
 	AdviseIterations int
@@ -191,6 +199,11 @@ func New(cfg Config) (*Server, error) {
 		slots:   make(chan struct{}, cfg.MaxInflight),
 		tenants: make(map[string]*tenant),
 	}
+	if cfg.StoreDir != "" {
+		if err := os.MkdirAll(cfg.StoreDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: create store dir: %w", err)
+		}
+	}
 	if cfg.SnapshotPath != "" {
 		n, warning, err := s.reg.LoadSnapshotFile(cfg.SnapshotPath)
 		if err != nil {
@@ -283,24 +296,51 @@ func (s *Server) AddTenant(ctx context.Context, spec TenantSpec) error {
 	if config == "" {
 		config = "advised"
 	}
-	var advice *legodb.Advice
 	switch config {
-	case "advised":
-		advice, err = eng.AdviseContext(ctx, legodb.AdviseOptions{
-			MaxIterations: s.cfg.AdviseIterations,
-			Documents:     spec.Documents,
-		})
-	case "all-inlined", "all-outlined":
-		advice, err = eng.EvaluateFixed(config, legodb.AdviseOptions{Documents: spec.Documents})
+	case "advised", "all-inlined", "all-outlined":
 	default:
 		return fmt.Errorf("server: tenant %q: unknown config %q", spec.Name, spec.Config)
 	}
-	if err != nil {
-		return fmt.Errorf("server: tenant %q: %w", spec.Name, err)
+	// A persisted store snapshot is authoritative: it carries the
+	// configuration it was advised into, so reopening skips the search
+	// entirely. A corrupt snapshot is quarantined by OpenStoreFile and
+	// the tenant starts empty through the advise path.
+	var store *legodb.Store
+	if s.cfg.StoreDir != "" {
+		path := s.tenantStorePath(spec.Name)
+		st, err := legodb.OpenStoreFile(path)
+		switch {
+		case err == nil:
+			store = st
+			s.log.Info("tenant store reopened", "tenant", spec.Name,
+				"path", path, "rows", st.TotalRows())
+		case errors.Is(err, os.ErrNotExist):
+			// Cold start: no snapshot yet.
+		case errors.Is(err, legodb.ErrCorruptStoreSnapshot):
+			s.log.Warn("tenant store snapshot quarantined; starting empty",
+				"tenant", spec.Name, "error", err)
+		default:
+			return fmt.Errorf("server: tenant %q store: %w", spec.Name, err)
+		}
 	}
-	store, err := advice.Open()
-	if err != nil {
-		return fmt.Errorf("server: tenant %q: %w", spec.Name, err)
+	if store == nil {
+		var advice *legodb.Advice
+		switch config {
+		case "advised":
+			advice, err = eng.AdviseContext(ctx, legodb.AdviseOptions{
+				MaxIterations: s.cfg.AdviseIterations,
+				Documents:     spec.Documents,
+			})
+		default:
+			advice, err = eng.EvaluateFixed(config, legodb.AdviseOptions{Documents: spec.Documents})
+		}
+		if err != nil {
+			return fmt.Errorf("server: tenant %q: %w", spec.Name, err)
+		}
+		store, err = advice.Open()
+		if err != nil {
+			return fmt.Errorf("server: tenant %q: %w", spec.Name, err)
+		}
 	}
 	tn := &tenant{
 		name:  spec.Name,
@@ -344,6 +384,38 @@ func (s *Server) tenant(name string) *tenant {
 	s.tmu.RLock()
 	defer s.tmu.RUnlock()
 	return s.tenants[name]
+}
+
+// tenantStorePath is the snapshot path for one tenant's store.
+func (s *Server) tenantStorePath(name string) string {
+	return filepath.Join(s.cfg.StoreDir, name+".store")
+}
+
+// saveTenantStores snapshots every tenant's store into StoreDir. Each
+// SaveFile is crash-consistent on its own, so a failure (or a crash)
+// mid-fleet loses at most the tenants not yet saved — never a torn
+// file. The first error is returned after every tenant was attempted.
+func (s *Server) saveTenantStores() error {
+	s.tmu.RLock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, tn := range s.tenants {
+		tenants = append(tenants, tn)
+	}
+	s.tmu.RUnlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+	var firstErr error
+	for _, tn := range tenants {
+		path := s.tenantStorePath(tn.name)
+		if err := tn.store.SaveFile(path); err != nil {
+			s.log.Error("tenant store save failed", "tenant", tn.name, "error", err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("server: save tenant %q store: %w", tn.name, err)
+			}
+			continue
+		}
+		s.log.Info("tenant store saved", "tenant", tn.name, "path", path)
+	}
+	return firstErr
 }
 
 // ---- admission ----
@@ -913,6 +985,11 @@ func (s *Server) Drain(ctx context.Context) error {
 			}
 		} else {
 			s.log.Info("cost-cache snapshot saved", "path", s.cfg.SnapshotPath)
+		}
+	}
+	if s.cfg.StoreDir != "" {
+		if err := s.saveTenantStores(); err != nil && drainErr == nil {
+			drainErr = err
 		}
 	}
 	return drainErr

@@ -686,3 +686,65 @@ func TestConcurrentTrafficUnderFaults(t *testing.T) {
 		t.Fatalf("query after hammering = %d: %s", resp.StatusCode, b)
 	}
 }
+
+// TestStoreDirPersistsTenantsAcrossDrain closes the persistence loop
+// at the serving layer: a drained server saves every tenant's store
+// into StoreDir as a crash-consistent colfile snapshot, and a second
+// server with the same StoreDir reopens the image at AddTenant —
+// skipping the advise search — with the data intact.
+func TestStoreDirPersistsTenantsAcrossDrain(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{StoreDir: dir})
+	wantRows := s.TenantStore("imdb").TotalRows()
+	if wantRows == 0 {
+		t.Fatal("fixture loaded no rows")
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "imdb.store")); err != nil {
+		t.Fatalf("drain left no tenant snapshot: %v", err)
+	}
+
+	s2, err := New(Config{StoreDir: dir, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AddTenant(context.Background(), testTenantSpec("imdb")); err != nil {
+		t.Fatalf("AddTenant on reboot: %v", err)
+	}
+	if got := s2.TenantStore("imdb").TotalRows(); got != wantRows {
+		t.Fatalf("reopened tenant holds %d rows, want %d", got, wantRows)
+	}
+	// The reopened image serves queries over HTTP.
+	ts := httptest.NewServer(s2.Handler())
+	defer ts.Close()
+	resp, body := postQuery(t, ts.URL, lookupQuery, map[string]string{"c1": "1990"}, 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query on reopened store: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestStoreDirQuarantinesCorruptTenantSnapshot proves boot resilience:
+// a corrupt tenant snapshot is quarantined and the tenant starts empty
+// through the advise path instead of failing AddTenant.
+func TestStoreDirQuarantinesCorruptTenantSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "imdb.store")
+	if err := os.WriteFile(path, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{StoreDir: dir, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTenant(context.Background(), testTenantSpec("imdb")); err != nil {
+		t.Fatalf("AddTenant with corrupt snapshot: %v", err)
+	}
+	if got := s.TenantStore("imdb").TotalRows(); got != 0 {
+		t.Fatalf("tenant started with %d rows from a corrupt snapshot", got)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt snapshot not quarantined: %v", err)
+	}
+}

@@ -20,14 +20,14 @@ func (sh *Shredder) DeleteInstance(typeName string, pos int) (int, error) {
 	if t == nil {
 		return 0, fmt.Errorf("shred: no table for type %q", typeName)
 	}
-	if pos < 0 || pos >= len(t.Rows) {
+	if pos < 0 || pos >= t.NumRows() {
 		return 0, fmt.Errorf("shred: position %d out of range for %s", pos, tableName)
 	}
 	if !t.Alive(pos) {
 		return 0, nil
 	}
 	keyIdx := t.ColumnIndex(t.Def.Key())
-	id := t.Rows[pos][keyIdx]
+	id := t.Cell(pos, keyIdx)
 	t.MarkDeleted(pos)
 	deleted := 1
 	for _, childName := range sh.Cat.Order {

@@ -30,8 +30,8 @@ func (p *Publisher) PublishAll() ([]*xmltree.Node, error) {
 	if rootTable == nil {
 		return nil, fmt.Errorf("publish: no table for root type %q", p.Schema.Root)
 	}
-	docs := make([]*xmltree.Node, 0, len(rootTable.Rows))
-	for pos := range rootTable.Rows {
+	docs := make([]*xmltree.Node, 0, rootTable.NumRows())
+	for pos := 0; pos < rootTable.NumRows(); pos++ {
 		if !rootTable.Alive(pos) {
 			continue
 		}
@@ -54,7 +54,7 @@ func (p *Publisher) publishInstance(typeName string, pos int) (*xmltree.Node, er
 	if table == nil {
 		return nil, fmt.Errorf("publish: no table for type %q", typeName)
 	}
-	row := table.Rows[pos]
+	row := table.Row(pos)
 	id := p.rowID(table, row)
 	switch b := body.(type) {
 	case *xschema.Element:
@@ -173,11 +173,11 @@ func (p *Publisher) emitChildren(expr xschema.Type, out *xmltree.Node, parent *e
 				}
 				out.Append(node)
 			case *xschema.Scalar:
-				out.Text += p.columnValue(childTable, childTable.Rows[pos], "#text")
+				out.Text += p.columnValue(childTable, childTable.Row(pos), "#text")
 			default:
 				// Group type: splice its columns and children into the
 				// current element.
-				row := childTable.Rows[pos]
+				row := childTable.Row(pos)
 				gid := p.rowID(childTable, row)
 				if err := p.emitContent(def, nil, out, childTable, row, gid); err != nil {
 					return err

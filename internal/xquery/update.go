@@ -53,13 +53,25 @@ func (u *Update) String() string {
 }
 
 // ParseUpdate parses "INSERT imdb/show/aka", "DELETE imdb/show" or
-// "MODIFY imdb/show/description".
+// "MODIFY imdb/show/description". A leading "(: name :)" comment — the
+// same report-label idiom queries use — becomes the update's Name; the
+// name never participates in the canonical String rendering, so labeled
+// and unlabeled texts share one shape.
 func ParseUpdate(src string) (*Update, error) {
-	fields := strings.Fields(strings.TrimSpace(src))
+	src = strings.TrimSpace(src)
+	u := &Update{}
+	if strings.HasPrefix(src, "(:") {
+		end := strings.Index(src, ":)")
+		if end < 0 {
+			return nil, fmt.Errorf("xquery: unterminated comment in update %q", src)
+		}
+		u.Name = strings.TrimSpace(src[2:end])
+		src = strings.TrimSpace(src[end+2:])
+	}
+	fields := strings.Fields(src)
 	if len(fields) != 2 {
 		return nil, fmt.Errorf("xquery: update must be '<KIND> <path>', got %q", src)
 	}
-	u := &Update{}
 	switch strings.ToUpper(fields[0]) {
 	case "INSERT":
 		u.Kind = InsertUpdate

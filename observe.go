@@ -62,8 +62,19 @@ func (o *workloadObserver) observeQuery(q *xquery.Query) {
 	o.record("q"+key, func() *observedShape { return &observedShape{query: shape} })
 }
 
+// updateShape returns the name-stripped copy of u and its canonical
+// text, symmetric with queryShape: the observed workload must not alias
+// caller memory, and an update shape must not keep the first caller's
+// report label ("(: W1 :)" comments).
+func updateShape(u *xquery.Update) (*xquery.Update, string) {
+	c := *u
+	c.Name = ""
+	return &c, c.String()
+}
+
 func (o *workloadObserver) observeUpdate(u *xquery.Update) {
-	o.record("u"+u.String(), func() *observedShape { return &observedShape{update: u} })
+	shape, key := updateShape(u)
+	o.record("u"+key, func() *observedShape { return &observedShape{update: shape} })
 }
 
 func (o *workloadObserver) record(key string, mk func() *observedShape) {

@@ -176,3 +176,36 @@ func mustParseQuery(t *testing.T, text string) *xquery.Query {
 	}
 	return q
 }
+
+// TestObserveUpdateStripsName is the regression test for the update-shape
+// aliasing bug: a labeled update text ("(: W1 :)" report comment) must
+// land on the same observed shape as its unlabeled twin, the recorded
+// shape must carry no name, and recording must never mutate the caller's
+// Update in place.
+func TestObserveUpdateStripsName(t *testing.T) {
+	store := observedStore(t)
+	named := xquery.MustParseUpdate(`(: W1 :) INSERT imdb/show/aka`)
+	if named.Name != "W1" {
+		t.Fatalf("parsed Name = %q, want W1", named.Name)
+	}
+	plain := xquery.MustParseUpdate(`INSERT imdb/show/aka`)
+	store.obs.observeUpdate(named)
+	store.obs.observeUpdate(plain)
+
+	if named.Name != "W1" {
+		t.Errorf("observation mutated the caller's update: Name = %q", named.Name)
+	}
+	w, n := store.ObservedWorkload()
+	if n != 2 {
+		t.Errorf("want 2 observations, got %d", n)
+	}
+	if len(w.Updates) != 1 {
+		t.Fatalf("labeled and unlabeled texts split into %d shapes, want 1", len(w.Updates))
+	}
+	if got := w.Updates[0].Update.Name; got != "" {
+		t.Errorf("observed shape kept a report label: Name = %q", got)
+	}
+	if w.Updates[0].Weight != 2 {
+		t.Errorf("shape weight = %v, want 2", w.Updates[0].Weight)
+	}
+}

@@ -6,11 +6,12 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 
+	"legodb/internal/colfile"
 	"legodb/internal/engine"
+	"legodb/internal/fsio"
 	"legodb/internal/relational"
 	"legodb/internal/xschema"
 )
@@ -22,16 +23,28 @@ import (
 //
 // Snapshots are framed with the in-house header (the cost-cache
 // snapshot idiom): magic, version, table count, payload length and a
-// CRC32C of the gob payload. A truncated, bit-flipped or foreign file is
-// rejected with ErrCorruptStoreSnapshot before any row is replayed, and
+// CRC32C of the payload. Version 2 stores each table as a colfile
+// segment — the column-chunked binary format of internal/colfile — which
+// reopened stores serve directly as frozen columnar bases; version 1
+// (gob-encoded rows) still opens read-only for migration, and every save
+// writes version 2. A truncated, bit-flipped or foreign file is rejected
+// with ErrCorruptStoreSnapshot before any row is replayed, and
 // OpenStoreFile quarantines such a file to path+".corrupt" so the
-// evidence survives and the path is free for the next save.
+// evidence survives and the path is free for the next save. SaveFile is
+// crash-consistent: temp file, fsync, rename, parent-directory fsync —
+// a snapshot visible at the canonical path is complete and
+// checksum-valid.
 
 // storeMagic identifies a store snapshot ("LGDBSTOR").
 var storeMagic = [8]byte{'L', 'G', 'D', 'B', 'S', 'T', 'O', 'R'}
 
 const (
-	storeSnapshotVersion = 1
+	// storeSnapshotVersionGob is the legacy row-oriented gob payload,
+	// accepted by OpenStore but no longer written.
+	storeSnapshotVersionGob = 1
+	// storeSnapshotVersion is the current column-chunked payload: the
+	// schema text plus one colfile segment per table.
+	storeSnapshotVersion = 2
 	storeHeaderLen       = 30
 	// maxStoreSnapshotTables bounds the declared table count; a header
 	// claiming more is forged (catalogs are tens of tables, not
@@ -43,11 +56,13 @@ const (
 
 // ErrCorruptStoreSnapshot marks a snapshot OpenStore rejected before
 // reconstructing anything: bad magic, wrong version, truncation, an
-// implausible size, a checksum mismatch, or a payload that does not
-// decode. Callers can errors.Is on it to quarantine the file.
+// implausible size, a checksum mismatch at the frame or inside a
+// colfile segment, or a payload that does not decode. Callers can
+// errors.Is on it to quarantine the file.
 var ErrCorruptStoreSnapshot = errors.New("legodb: corrupt store snapshot")
 
-// storeSnapshot is the gob-encoded payload.
+// storeSnapshot is the version-1 gob-encoded payload, kept for opening
+// legacy snapshots.
 type storeSnapshot struct {
 	// SchemaText is the p-schema in algebra notation (statistics
 	// annotations included).
@@ -62,12 +77,14 @@ type tableSnapshot struct {
 	NextID  int64
 }
 
-// Save writes the store (schema and all rows) to w, framed and
-// checksummed. It takes the store's read lock, so a snapshot taken while
-// queries are serving is consistent (mutations wait).
+// Save writes the store (schema and all tables as colfile segments) to
+// w, framed and checksummed. It takes the store's read lock, so a
+// snapshot taken while queries are serving is consistent (mutations
+// wait).
 func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
-	snap := storeSnapshot{SchemaText: s.schema.String()}
+	schemaText := s.schema.String()
+	segments := make([][]byte, 0, len(s.catalog.Order))
 	for _, name := range s.catalog.Order {
 		t := s.db.Table(name)
 		cols := make([]string, len(t.Def.Columns))
@@ -75,30 +92,37 @@ func (s *Store) Save(w io.Writer) error {
 			cols[i] = c.Name
 		}
 		// Tombstoned rows compact away in the snapshot.
-		rows := make([]engine.Row, 0, t.LiveRows())
-		for pos, row := range t.Rows {
-			if t.Alive(pos) {
-				rows = append(rows, row)
-			}
-		}
-		snap.Tables = append(snap.Tables, tableSnapshot{
+		ct := &colfile.Table{
 			Name:    name,
 			Columns: cols,
-			Rows:    rows,
+			Rows:    t.LiveRows(),
 			NextID:  t.PeekNextID(),
-		})
+			Cols:    t.SnapshotColumns(),
+		}
+		seg, err := colfile.Encode(ct)
+		if err != nil {
+			s.mu.RUnlock()
+			return fmt.Errorf("legodb: encode snapshot table %s: %w", name, err)
+		}
+		segments = append(segments, seg)
 	}
 	s.mu.RUnlock()
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
-		return fmt.Errorf("legodb: encode snapshot: %w", err)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(schemaText)))
+	payload.Write(n[:])
+	payload.WriteString(schemaText)
+	for _, seg := range segments {
+		binary.LittleEndian.PutUint32(n[:], uint32(len(seg)))
+		payload.Write(n[:])
+		payload.Write(seg)
 	}
 	var hdr [storeHeaderLen]byte
 	copy(hdr[:8], storeMagic[:])
 	binary.LittleEndian.PutUint16(hdr[8:10], storeSnapshotVersion)
-	binary.LittleEndian.PutUint64(hdr[10:18], uint64(len(snap.Tables)))
+	binary.LittleEndian.PutUint64(hdr[10:18], uint64(len(segments)))
 	binary.LittleEndian.PutUint64(hdr[18:26], uint64(payload.Len()))
-	binary.LittleEndian.PutUint32(hdr[26:30], crc32.Checksum(payload.Bytes(), crc32.MakeTable(crc32.Castagnoli)))
+	binary.LittleEndian.PutUint32(hdr[26:30], fsio.Checksum(payload.Bytes()))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("legodb: write snapshot header: %w", err)
 	}
@@ -108,35 +132,23 @@ func (s *Store) Save(w io.Writer) error {
 	return nil
 }
 
-// SaveFile writes the store to a file atomically (via a sibling temp
-// file renamed into place).
+// SaveFile writes the store to a file crash-consistently: a sibling
+// temp file is written and fsynced, renamed into place, and the parent
+// directory fsynced, so a crash at any instant leaves either the
+// previous complete snapshot or the new one at path — never a torn
+// image. The faults.SiteSnapshot failpoint (inside WriteFileAtomic)
+// simulates the crash between fsync and rename.
 func (s *Store) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := s.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	return fsio.WriteFileAtomic(path, s.Save)
 }
 
 // OpenStore reads a snapshot written by Save and reconstructs the store:
 // the frame is validated (magic, version, declared sizes, payload
 // checksum — failures return ErrCorruptStoreSnapshot before anything is
 // built), then the schema is re-parsed, the catalog re-derived through
-// the fixed mapping, and the rows restored with their indexes rebuilt.
+// the fixed mapping, and the tables restored — version-2 colfile
+// segments become frozen columnar bases with their indexes rebuilt,
+// version-1 gob rows are replayed through Insert.
 func OpenStore(r io.Reader) (*Store, error) {
 	var hdr [storeHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -145,8 +157,10 @@ func OpenStore(r io.Reader) (*Store, error) {
 	if !bytes.Equal(hdr[:8], storeMagic[:]) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorruptStoreSnapshot)
 	}
-	if v := binary.LittleEndian.Uint16(hdr[8:10]); v != storeSnapshotVersion {
-		return nil, fmt.Errorf("%w: snapshot version %d, want %d", ErrCorruptStoreSnapshot, v, storeSnapshotVersion)
+	version := binary.LittleEndian.Uint16(hdr[8:10])
+	if version != storeSnapshotVersionGob && version != storeSnapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, want %d or %d",
+			ErrCorruptStoreSnapshot, version, storeSnapshotVersionGob, storeSnapshotVersion)
 	}
 	declared := binary.LittleEndian.Uint64(hdr[10:18])
 	payloadLen := binary.LittleEndian.Uint64(hdr[18:26])
@@ -161,9 +175,93 @@ func OpenStore(r io.Reader) (*Store, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("%w: short payload: %v", ErrCorruptStoreSnapshot, err)
 	}
-	if got := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)); got != sum {
+	if got := fsio.Checksum(payload); got != sum {
 		return nil, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorruptStoreSnapshot, got, sum)
 	}
+	if version == storeSnapshotVersionGob {
+		return openStoreV1(payload, declared)
+	}
+	return openStoreV2(payload, declared)
+}
+
+// openStoreV2 reconstructs a store from the column-chunked payload:
+// length-prefixed schema text, then one length-prefixed colfile segment
+// per table, each installed as a frozen columnar base.
+func openStoreV2(payload []byte, declared uint64) (*Store, error) {
+	schemaText, rest, err := takeSegment(payload, "schema")
+	if err != nil {
+		return nil, err
+	}
+	tables := make([]*colfile.Table, 0, declared)
+	for len(rest) > 0 {
+		var seg []byte
+		seg, rest, err = takeSegment(rest, "table")
+		if err != nil {
+			return nil, err
+		}
+		ct, err := colfile.Decode(seg)
+		if err != nil {
+			if errors.Is(err, colfile.ErrCorrupt) {
+				return nil, fmt.Errorf("%w: table segment %d: %v", ErrCorruptStoreSnapshot, len(tables), err)
+			}
+			return nil, err
+		}
+		tables = append(tables, ct)
+	}
+	if uint64(len(tables)) != declared {
+		return nil, fmt.Errorf("%w: %d tables decoded, header declared %d", ErrCorruptStoreSnapshot, len(tables), declared)
+	}
+	ps, err := xschema.ParseSchema(string(schemaText))
+	if err != nil {
+		return nil, fmt.Errorf("legodb: snapshot schema: %w", err)
+	}
+	cat, err := relational.Map(ps)
+	if err != nil {
+		return nil, fmt.Errorf("legodb: snapshot mapping: %w", err)
+	}
+	store, err := openStore(ps, cat)
+	if err != nil {
+		return nil, err
+	}
+	for _, ct := range tables {
+		t := store.db.Table(ct.Name)
+		if t == nil {
+			return nil, fmt.Errorf("legodb: snapshot table %q not in the re-derived catalog", ct.Name)
+		}
+		if err := matchColumns(ct.Name, ct.Columns, t); err != nil {
+			return nil, err
+		}
+		base, err := engine.NewColumnBase(ct.Cols, float64(ct.DataBytes))
+		if err != nil {
+			return nil, fmt.Errorf("%w: table %q: %v", ErrCorruptStoreSnapshot, ct.Name, err)
+		}
+		if base.Rows() != ct.Rows {
+			return nil, fmt.Errorf("%w: table %q holds %d rows, segment declared %d",
+				ErrCorruptStoreSnapshot, ct.Name, base.Rows(), ct.Rows)
+		}
+		if err := t.SetColumnBase(base); err != nil {
+			return nil, fmt.Errorf("legodb: snapshot table %q: %w", ct.Name, err)
+		}
+		t.SetNextID(ct.NextID)
+	}
+	return store, nil
+}
+
+// takeSegment splits one u32-length-prefixed segment off the payload.
+func takeSegment(payload []byte, what string) (seg, rest []byte, err error) {
+	if len(payload) < 4 {
+		return nil, nil, fmt.Errorf("%w: truncated before %s segment", ErrCorruptStoreSnapshot, what)
+	}
+	n := binary.LittleEndian.Uint32(payload)
+	if uint64(n) > uint64(len(payload)-4) {
+		return nil, nil, fmt.Errorf("%w: %s segment of %d bytes overruns payload", ErrCorruptStoreSnapshot, what, n)
+	}
+	return payload[4 : 4+n], payload[4+n:], nil
+}
+
+// openStoreV1 reconstructs a store from the legacy gob payload by
+// replaying rows through Insert.
+func openStoreV1(payload []byte, declared uint64) (*Store, error) {
 	var snap storeSnapshot
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("%w: decode: %v", ErrCorruptStoreSnapshot, err)
@@ -188,15 +286,8 @@ func OpenStore(r io.Reader) (*Store, error) {
 		if t == nil {
 			return nil, fmt.Errorf("legodb: snapshot table %q not in the re-derived catalog", ts.Name)
 		}
-		if len(ts.Columns) != len(t.Def.Columns) {
-			return nil, fmt.Errorf("legodb: snapshot table %q has %d columns, catalog has %d",
-				ts.Name, len(ts.Columns), len(t.Def.Columns))
-		}
-		for i, c := range t.Def.Columns {
-			if ts.Columns[i] != c.Name {
-				return nil, fmt.Errorf("legodb: snapshot table %q column %d is %q, catalog has %q",
-					ts.Name, i, ts.Columns[i], c.Name)
-			}
+		if err := matchColumns(ts.Name, ts.Columns, t); err != nil {
+			return nil, err
 		}
 		for _, row := range ts.Rows {
 			if err := t.Insert(row); err != nil {
@@ -206,6 +297,22 @@ func OpenStore(r io.Reader) (*Store, error) {
 		t.SetNextID(ts.NextID)
 	}
 	return store, nil
+}
+
+// matchColumns checks a snapshot table's column list against the
+// re-derived catalog definition.
+func matchColumns(name string, cols []string, t *engine.Table) error {
+	if len(cols) != len(t.Def.Columns) {
+		return fmt.Errorf("legodb: snapshot table %q has %d columns, catalog has %d",
+			name, len(cols), len(t.Def.Columns))
+	}
+	for i, c := range t.Def.Columns {
+		if cols[i] != c.Name {
+			return fmt.Errorf("legodb: snapshot table %q column %d is %q, catalog has %q",
+				name, i, cols[i], c.Name)
+		}
+	}
+	return nil
 }
 
 // OpenStoreFile reads a snapshot file. A corrupt file is quarantined to

@@ -3,6 +3,7 @@ package legodb
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"os"
@@ -11,6 +12,8 @@ import (
 	"sync"
 	"testing"
 
+	"legodb/internal/faults"
+	"legodb/internal/fsio"
 	"legodb/internal/imdb"
 	"legodb/internal/xmltree"
 )
@@ -268,5 +271,216 @@ func TestSaveRacesServing(t *testing.T) {
 	case err := <-fail:
 		t.Fatal(err)
 	default:
+	}
+}
+
+// TestSaveFileCrashBeforeRename is the acceptance test for snapshot
+// durability: a store killed mid-SaveFile at the faults.SiteSnapshot
+// failpoint (between the temp fsync and the rename) must leave the
+// previous complete snapshot at the canonical path — never a torn image
+// — and the next save must land cleanly.
+func TestSaveFileCrashBeforeRename(t *testing.T) {
+	store, _ := advisedStore(t)
+	path := filepath.Join(t.TempDir(), "store.legodb")
+	if err := store.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the store so an aborted second save would be observable.
+	if _, err := store.InsertChild(
+		`FOR $s IN imdb/show RETURN $s`, nil, `<aka>crash witness</aka>`); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Enable(faults.SiteSnapshot, 1, false)()
+	if err := store.SaveFile(path); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("canonical path unreadable after aborted save: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("aborted save changed the canonical path")
+	}
+	restored, err := OpenStoreFile(path)
+	if err != nil {
+		t.Fatalf("previous snapshot does not reopen after aborted save: %v", err)
+	}
+	if got, want := restored.TotalRows(), len(before) > 0; want && got == 0 {
+		t.Fatal("previous snapshot reopened empty")
+	}
+
+	// Failpoint budget spent: the retry publishes the new image.
+	if err := store.SaveFile(path); err != nil {
+		t.Fatalf("retry save: %v", err)
+	}
+	restored, err = OpenStoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.TotalRows() != store.TotalRows() {
+		t.Errorf("retried snapshot rows = %d, want %d", restored.TotalRows(), store.TotalRows())
+	}
+}
+
+// TestOpenStoreFileQuarantinesTruncated covers the torn-write shape a
+// crashing pre-fix writer could leave: a prefix of a valid snapshot.
+// Every truncation point must be detected and quarantined.
+func TestOpenStoreFileQuarantinesTruncated(t *testing.T) {
+	store, _ := advisedStore(t)
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.legodb")
+	if err := store.SaveFile(full); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 7, storeHeaderLen - 1, storeHeaderLen + 10, len(raw) / 2, len(raw) - 1} {
+		path := filepath.Join(dir, fmt.Sprintf("cut%d.legodb", cut))
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenStoreFile(path)
+		if !errors.Is(err, ErrCorruptStoreSnapshot) {
+			t.Errorf("truncation at %d: want ErrCorruptStoreSnapshot, got %v", cut, err)
+			continue
+		}
+		if _, statErr := os.Stat(path + ".corrupt"); statErr != nil {
+			t.Errorf("truncation at %d: not quarantined: %v", cut, statErr)
+		}
+	}
+}
+
+// writeV1Snapshot frames a legacy version-1 (gob rows) snapshot of the
+// store, exactly as the pre-colfile writer did.
+func writeV1Snapshot(t *testing.T, store *Store) []byte {
+	t.Helper()
+	store.mu.RLock()
+	snap := storeSnapshot{SchemaText: store.schema.String()}
+	for _, name := range store.catalog.Order {
+		tbl := store.db.Table(name)
+		cols := make([]string, len(tbl.Def.Columns))
+		for i, c := range tbl.Def.Columns {
+			cols[i] = c.Name
+		}
+		ts := tableSnapshot{Name: name, Columns: cols, NextID: tbl.PeekNextID()}
+		n := tbl.NumRows()
+		for pos := 0; pos < n; pos++ {
+			ts.Rows = append(ts.Rows, tbl.Row(pos))
+		}
+		snap.Tables = append(snap.Tables, ts)
+	}
+	store.mu.RUnlock()
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	var hdr [storeHeaderLen]byte
+	copy(hdr[:8], storeMagic[:])
+	binary.LittleEndian.PutUint16(hdr[8:10], storeSnapshotVersionGob)
+	binary.LittleEndian.PutUint64(hdr[10:18], uint64(len(snap.Tables)))
+	binary.LittleEndian.PutUint64(hdr[18:26], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[26:30], fsio.Checksum(payload.Bytes()))
+	buf.Write(hdr[:])
+	buf.Write(payload.Bytes())
+	return buf.Bytes()
+}
+
+// TestSnapshotUpgradeV1RoundTrip proves the migration path: a legacy
+// version-1 snapshot opens read-only, publishes byte-identical documents
+// to the version-2 snapshot of the same store, and saving it again
+// produces a version-2 file that round-trips.
+func TestSnapshotUpgradeV1RoundTrip(t *testing.T) {
+	store, doc := advisedStore(t)
+	v1 := writeV1Snapshot(t, store)
+
+	fromV1, err := OpenStore(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("open v1 snapshot: %v", err)
+	}
+	var v2 bytes.Buffer
+	if err := store.Save(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint16(v2.Bytes()[8:10]); got != storeSnapshotVersion {
+		t.Fatalf("Save wrote version %d, want %d", got, storeSnapshotVersion)
+	}
+	fromV2, err := OpenStore(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatalf("open v2 snapshot: %v", err)
+	}
+
+	docs1, err := fromV1.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs2, err := fromV2.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs1) != 1 || len(docs2) != 1 {
+		t.Fatalf("published %d and %d documents, want 1 each", len(docs1), len(docs2))
+	}
+	if got1, got2 := docs1[0].String(), docs2[0].String(); got1 != got2 {
+		t.Fatal("v1 and v2 snapshots publish different bytes")
+	}
+	if !xmltree.EqualCanonical(doc, docs1[0]) {
+		t.Fatal("v1 snapshot publishes a different document than was loaded")
+	}
+
+	// Upgrading: re-saving the v1-loaded store writes v2, which reopens.
+	var upgraded bytes.Buffer
+	if err := fromV1.Save(&upgraded); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint16(upgraded.Bytes()[8:10]); got != storeSnapshotVersion {
+		t.Fatalf("upgrade wrote version %d, want %d", got, storeSnapshotVersion)
+	}
+	back, err := OpenStore(bytes.NewReader(upgraded.Bytes()))
+	if err != nil {
+		t.Fatalf("upgraded snapshot does not reopen: %v", err)
+	}
+	docs3, err := back.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if docs3[0].String() != docs1[0].String() {
+		t.Fatal("upgraded snapshot publishes different bytes")
+	}
+	// Id sequences survive the upgrade: post-upgrade inserts don't collide.
+	if err := back.Load(imdb.Generate(imdb.GenOptions{Shows: 2, Seed: 77})); err != nil {
+		t.Fatalf("Load after upgrade: %v", err)
+	}
+	if _, err := back.Publish(); err != nil {
+		t.Fatalf("Publish after post-upgrade load: %v", err)
+	}
+}
+
+// TestOpenStoreV2CorruptSegmentQuarantines flips a byte inside a colfile
+// segment (past the frame header, so the frame checksum is recomputed to
+// match) and demands the chunk-level checksum still catches it.
+func TestOpenStoreV2CorruptSegmentQuarantines(t *testing.T) {
+	store, _ := advisedStore(t)
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a byte in the middle of the payload (inside some table
+	// segment) and re-stamp the frame checksum so only colfile-level
+	// validation can object.
+	payload := raw[storeHeaderLen:]
+	payload[len(payload)/2] ^= 0x40
+	binary.LittleEndian.PutUint32(raw[26:30], fsio.Checksum(payload))
+	_, err := OpenStore(bytes.NewReader(raw))
+	if !errors.Is(err, ErrCorruptStoreSnapshot) {
+		t.Fatalf("forged frame checksum slipped past colfile validation: %v", err)
 	}
 }
